@@ -1,0 +1,74 @@
+//! Ablation: the paper's Algorithm 2 DP vs our exact slope-greedy.
+//!
+//! Both solve the identical per-slot drift-plus-penalty problem (a
+//! property test asserts equal objectives); this bench quantifies the
+//! `O(P·C·φ_max)` → `O(P log P)` structural saving across cell sizes and
+//! BS budgets. DESIGN.md §6 calls this ablation out as the reason large
+//! sweeps run the greedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jmso_gateway::{SlotContext, UserSnapshot};
+use jmso_radio::rrc::RrcState;
+use jmso_radio::Dbm;
+use jmso_sched::ema::{slot_users, solve_dp};
+use jmso_sched::ema_fast::solve_greedy;
+use jmso_sched::{CrossLayerModels, EmaCost, VirtualQueues};
+use std::hint::black_box;
+
+fn users(n: usize) -> Vec<UserSnapshot> {
+    (0..n)
+        .map(|id| {
+            let phase = id as f64 / n.max(1) as f64;
+            let sig = -110.0 + 60.0 * phase;
+            UserSnapshot {
+                id,
+                signal: Dbm(sig),
+                rate_kbps: 300.0 + 300.0 * phase,
+                buffer_s: 0.0,
+                remaining_kb: 1e8,
+                active: true,
+                link_cap_units: ((65.8 * sig + 7567.0) / 50.0).max(0.0) as u64,
+                idle_s: phase,
+                rrc_state: RrcState::Dch,
+            }
+        })
+        .collect()
+}
+
+fn queues(n: usize) -> VirtualQueues {
+    let mut q = VirtualQueues::new(n);
+    for i in 0..n {
+        // A spread of starved and surfeited users.
+        q.update(i, (i as f64 % 7.0) - 3.0, 0.0);
+    }
+    q
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let models = CrossLayerModels::paper();
+    let mut group = c.benchmark_group("ema_solver");
+    for &(n, budget) in &[(10usize, 100u64), (20, 200), (40, 400), (80, 400)] {
+        let snaps = users(n);
+        let ctx = SlotContext {
+            slot: 0,
+            tau: 1.0,
+            delta_kb: 50.0,
+            bs_cap_units: budget,
+            users: &snaps,
+        };
+        let cost = EmaCost::new(0.3, &models, &ctx);
+        let q = queues(n);
+        let parts = slot_users(&ctx, &q);
+        let label = format!("n{n}_c{budget}");
+        group.bench_with_input(BenchmarkId::new("dp", &label), &(), |b, _| {
+            b.iter(|| black_box(solve_dp(&cost, &parts, budget)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", &label), &(), |b, _| {
+            b.iter(|| black_box(solve_greedy(&cost, &parts, budget)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end engine throughput: simulated slots per second for a full
+//! paper cell under each scheduler (one complete 40-user session horizon
+//! per iteration, shortened workload so an iteration stays sub-second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jmso_sim::{Scenario, SchedulerSpec, WorkloadSpec};
+use std::hint::black_box;
+
+fn cell(spec: SchedulerSpec) -> Scenario {
+    let mut s = Scenario::paper_default(40);
+    s.slots = 1_000;
+    // ~35 MB videos: sessions finish inside the horizon, so the bench
+    // covers startup, steady state and drain.
+    s.workload = WorkloadSpec::paper_default().with_mean_size_mb(35.0);
+    s.scheduler = spec;
+    s
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_full_run");
+    group.sample_size(20);
+    for (name, spec) in [
+        ("default", SchedulerSpec::Default),
+        ("rtma", SchedulerSpec::RtmaUnbounded),
+        ("ema_fast", SchedulerSpec::ema_fast(0.3)),
+        ("ema_dp", SchedulerSpec::ema_dp(0.3)),
+        ("estreamer", SchedulerSpec::estreamer_default()),
+        ("round_robin", SchedulerSpec::RoundRobin),
+        ("pf", SchedulerSpec::pf_default()),
+    ] {
+        let scenario = cell(spec);
+        group.bench_with_input(BenchmarkId::new(name, 40), &(), |b, _| {
+            b.iter(|| black_box(scenario.run().expect("bench run")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

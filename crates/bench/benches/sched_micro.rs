@@ -1,0 +1,71 @@
+//! Per-slot allocation cost of every policy as the cell fills.
+//!
+//! Measures one `allocate()` call on a representative congested slot for
+//! N ∈ {10, 20, 40, 80} users — the quantity that bounds how many cells a
+//! single gateway core can schedule in real time (slots are 1 s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jmso_gateway::{Scheduler, SlotContext, UserSnapshot};
+use jmso_radio::rrc::RrcState;
+use jmso_radio::Dbm;
+use jmso_sched::{
+    CrossLayerModels, DefaultMax, Ema, EmaFast, EStreamer, OnOff, Rtma, Salsa, Throttling,
+};
+use std::hint::black_box;
+
+fn users(n: usize) -> Vec<UserSnapshot> {
+    (0..n)
+        .map(|id| {
+            // A deterministic spread of signals/rates/buffers resembling a
+            // mid-run slot of the paper scenario.
+            let phase = id as f64 / n.max(1) as f64;
+            UserSnapshot {
+                id,
+                signal: Dbm(-110.0 + 60.0 * phase),
+                rate_kbps: 300.0 + 300.0 * phase,
+                buffer_s: 30.0 * phase,
+                remaining_kb: 1e8,
+                active: true,
+                link_cap_units: ((65.8 * (-110.0 + 60.0 * phase) + 7567.0) / 50.0).max(0.0) as u64,
+                idle_s: 3.0 * phase,
+                rrc_state: RrcState::Dch,
+            }
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let models = CrossLayerModels::paper();
+    let mut group = c.benchmark_group("allocate_per_slot");
+    for &n in &[10usize, 20, 40, 80] {
+        let snaps = users(n);
+        let ctx = SlotContext {
+            slot: 500,
+            tau: 1.0,
+            delta_kb: 50.0,
+            bs_cap_units: 400,
+            users: &snaps,
+        };
+        let mut policies: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(DefaultMax::new()),
+            Box::new(Rtma::unbounded()),
+            Box::new(Ema::new(0.3, models)),
+            Box::new(EmaFast::new(0.3, models)),
+            Box::new(Throttling::new(1.25)),
+            Box::new(OnOff::new(10.0, 40.0)),
+            Box::new(Salsa::new(1.0, 3.0, 0.2)),
+            Box::new(EStreamer::new(5.0, 60.0)),
+        ];
+        for pol in policies.iter_mut() {
+            group.bench_with_input(
+                BenchmarkId::new(pol.name().to_string(), n),
+                &n,
+                |b, _| b.iter(|| black_box(pol.allocate(black_box(&ctx)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

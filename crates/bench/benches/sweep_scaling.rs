@@ -1,0 +1,34 @@
+//! Parallel-sweep scaling: wall-clock of a 16-cell scenario grid at
+//! 1, 2, 4 and 8 worker threads through `sim::parallel_map`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jmso_sim::{run_scenarios, Scenario, SchedulerSpec, WorkloadSpec};
+use std::hint::black_box;
+
+fn grid() -> Vec<Scenario> {
+    (0..16u64)
+        .map(|i| {
+            let mut s = Scenario::paper_default(20 + (i as usize % 3) * 10);
+            s.slots = 400;
+            s.seed = i;
+            s.workload = WorkloadSpec::paper_default().with_mean_size_mb(20.0);
+            s.scheduler = SchedulerSpec::RtmaUnbounded;
+            s
+        })
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let cells = grid();
+    let mut group = c.benchmark_group("sweep_16_cells");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(run_scenarios(&cells, t).expect("sweep")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! `repro` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! repro <figure-id>...   regenerate specific figures (fig2 … fig10, headline)
+//! repro all              regenerate everything
+//! repro --list           list available figure ids
+//! ```
+//!
+//! Each figure prints its series as an aligned table and writes
+//! `results/<id>.csv` relative to the working directory. Pass `--chart`
+//! to also render each sweep figure as an ASCII line chart, and `--svg`
+//! to write `results/<id>.svg` figures.
+
+use jmso_bench::{generate, ALL_ABLATIONS, ALL_FIGURES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro <figure-id>... | all | ablations | --list");
+        eprintln!("figure ids: {}", ALL_FIGURES.join(" "));
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_FIGURES.iter().chain(ALL_ABLATIONS) {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let chart = args.iter().any(|a| a == "--chart");
+    let svg = args.iter().any(|a| a == "--svg");
+    let mut ids: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "all" => ids.extend_from_slice(ALL_FIGURES),
+            "ablations" => ids.extend_from_slice(ALL_ABLATIONS),
+            "--chart" | "--svg" => {}
+            other => ids.push(other),
+        }
+    }
+
+    let out_dir = PathBuf::from("results");
+    let mut failed = false;
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        match generate(id) {
+            None => {
+                eprintln!("unknown figure id `{id}` (try --list)");
+                failed = true;
+            }
+            Some(outputs) => {
+                for fig in outputs {
+                    println!("{}", fig.to_text());
+                    if chart {
+                        let rendered = jmso_sim::ascii_chart(&fig.table, 64, 16);
+                        if !rendered.is_empty() {
+                            println!("{rendered}");
+                        }
+                    }
+                    let path = out_dir.join(format!("{}.csv", fig.id));
+                    match fig.table.write_csv(&path) {
+                        Ok(()) => println!("wrote {} ({:.1?})\n", path.display(), t0.elapsed()),
+                        Err(e) => {
+                            eprintln!("failed to write {}: {e}", path.display());
+                            failed = true;
+                        }
+                    }
+                    if svg {
+                        let doc = jmso_sim::svg_chart(&fig.table, &fig.title, 720, 420);
+                        if !doc.is_empty() {
+                            let path = out_dir.join(format!("{}.svg", fig.id));
+                            match std::fs::write(&path, doc) {
+                                Ok(()) => println!("wrote {}", path.display()),
+                                Err(e) => {
+                                    eprintln!("failed to write {}: {e}", path.display());
+                                    failed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

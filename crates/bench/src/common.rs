@@ -1,0 +1,213 @@
+//! Shared scaffolding for the figure generators: paper-scale scenarios,
+//! seed-averaged statistics, and the figure output record.
+
+use jmso_sim::report::Table;
+use jmso_sim::{parallel_map, Scenario, SchedulerSpec, SimResult, WorkloadSpec};
+
+/// Seeds averaged over for the sweep figures (the CDF figures use the
+/// first seed only, like the paper's single-run CDFs).
+pub const SEEDS: [u64; 3] = [42, 1337, 90210];
+
+/// One regenerated figure: id, caption, and the plotted series.
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Figure id, e.g. `fig4a`.
+    pub id: &'static str,
+    /// What the figure shows (printed above the table).
+    pub title: String,
+    /// The series, one column per curve.
+    pub table: Table,
+}
+
+impl FigureOutput {
+    /// Render title + aligned table.
+    pub fn to_text(&self) -> String {
+        format!("== {} — {}\n{}", self.id, self.title, self.table.to_text())
+    }
+}
+
+/// The paper's §VI cell: `n_users` users, 10 000 slots of τ = 1 s,
+/// S = 20 MB/s, sinusoidal RSSI, 3G RRC, videos with mean `mean_mb` MB
+/// (paper default 375; Figs. 2/3/6/7 use 350) at 300–600 KB/s.
+pub fn paper_cell(n_users: usize, mean_mb: f64) -> Scenario {
+    let mut s = Scenario::paper_default(n_users);
+    s.workload = WorkloadSpec::paper_default().with_mean_size_mb(mean_mb);
+    s
+}
+
+/// Seed-averaged aggregates of one (scenario, policy) cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Mean total rebuffering per user, seconds.
+    pub rebuf_per_user_s: f64,
+    /// Mean rebuffering per active user-slot, milliseconds (Fig. 5a axis).
+    pub rebuf_per_active_ms: f64,
+    /// Total energy, kJ (Fig. 8 axis).
+    pub energy_total_kj: f64,
+    /// Mean energy per active user-slot, mJ (Fig. 5b/9a axis).
+    pub energy_per_active_mj: f64,
+    /// Tail energy per active user-slot, mJ (Fig. 5b black bars).
+    pub tail_per_active_mj: f64,
+}
+
+impl RunStats {
+    /// Extract from one run.
+    pub fn from_result(r: &SimResult) -> Self {
+        let active: u64 = r.per_user.iter().map(|u| u.active_slots).sum();
+        let tail_mj = r.total_energy().tail.value();
+        Self {
+            rebuf_per_user_s: r.mean_rebuffer_per_user_s(),
+            rebuf_per_active_ms: r.avg_rebuffer_per_active_slot() * 1000.0,
+            energy_total_kj: r.total_energy_kj(),
+            energy_per_active_mj: r.avg_energy_per_active_slot_mj(),
+            tail_per_active_mj: if active == 0 {
+                0.0
+            } else {
+                tail_mj / active as f64
+            },
+        }
+    }
+
+    fn add(self, o: Self) -> Self {
+        Self {
+            rebuf_per_user_s: self.rebuf_per_user_s + o.rebuf_per_user_s,
+            rebuf_per_active_ms: self.rebuf_per_active_ms + o.rebuf_per_active_ms,
+            energy_total_kj: self.energy_total_kj + o.energy_total_kj,
+            energy_per_active_mj: self.energy_per_active_mj + o.energy_per_active_mj,
+            tail_per_active_mj: self.tail_per_active_mj + o.tail_per_active_mj,
+        }
+    }
+
+    fn scale(self, k: f64) -> Self {
+        Self {
+            rebuf_per_user_s: self.rebuf_per_user_s * k,
+            rebuf_per_active_ms: self.rebuf_per_active_ms * k,
+            energy_total_kj: self.energy_total_kj * k,
+            energy_per_active_mj: self.energy_per_active_mj * k,
+            tail_per_active_mj: self.tail_per_active_mj * k,
+        }
+    }
+}
+
+/// Run `(scenario, policy)` once per seed (in parallel) and average.
+pub fn stats_over_seeds(scenario: &Scenario, spec: &SchedulerSpec) -> RunStats {
+    let cells: Vec<Scenario> = SEEDS
+        .iter()
+        .map(|&seed| scenario.with_seed(seed).with_scheduler(spec.clone()))
+        .collect();
+    let results = parallel_map(&cells, 0, |s| s.run().expect("figure run"));
+    results
+        .iter()
+        .map(RunStats::from_result)
+        .fold(RunStats::default(), RunStats::add)
+        .scale(1.0 / SEEDS.len() as f64)
+}
+
+/// The user counts swept in Figs. 4a/5/8a/9/10.
+pub const USER_SWEEP: [usize; 5] = [20, 25, 30, 35, 40];
+
+/// The mean data amounts (MB) swept in Figs. 4b/8b.
+pub const SIZE_SWEEP: [f64; 5] = [100.0, 200.0, 300.0, 400.0, 500.0];
+
+/// CDF comparison series: evaluate several sample sets on a common grid.
+pub fn cdf_table(x_label: &str, series: Vec<(&str, Vec<f64>)>, points: usize) -> Table {
+    use jmso_media::Cdf;
+    assert!(!series.is_empty());
+    let lo = series
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = series
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut columns = vec![x_label.to_string()];
+    let mut cdfs = Vec::with_capacity(series.len());
+    for (name, samples) in series {
+        columns.push(format!("cdf_{name}"));
+        cdfs.push(Cdf::new(samples));
+    }
+    let mut t = Table::new(columns);
+    for i in 0..points {
+        let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+        let mut row = vec![x];
+        row.extend(cdfs.iter().map(|c| c.fraction_at_or_below(x)));
+        t.push(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cell_applies_mean_size() {
+        let s = paper_cell(40, 350.0);
+        assert_eq!(s.n_users, 40);
+        assert!((s.workload.mean_size_mb() - 350.0).abs() < 1e-9);
+        assert_eq!(s.slots, 10_000);
+    }
+
+    #[test]
+    fn cdf_table_shares_one_grid() {
+        let t = cdf_table(
+            "x",
+            vec![("a", vec![0.0, 1.0, 2.0]), ("b", vec![1.0, 3.0])],
+            11,
+        );
+        assert_eq!(t.columns, vec!["x", "cdf_a", "cdf_b"]);
+        assert_eq!(t.rows.len(), 11);
+        // Grid spans the union of both sample ranges.
+        assert_eq!(t.rows[0][0], 0.0);
+        assert_eq!(t.rows[10][0], 3.0);
+        // CDFs end at 1 on the shared max.
+        assert_eq!(t.rows[10][1], 1.0);
+        assert_eq!(t.rows[10][2], 1.0);
+        // And are monotone.
+        for w in t.rows.windows(2) {
+            assert!(w[1][1] >= w[0][1]);
+            assert!(w[1][2] >= w[0][2]);
+        }
+    }
+
+    #[test]
+    fn run_stats_extracts_axis_normalizations() {
+        use jmso_radio::{EnergyBreakdown, MilliJoules};
+        use jmso_sim::{SimResult, UserResult};
+        let r = SimResult {
+            scheduler: "t".into(),
+            per_user: vec![UserResult {
+                rebuffer_s: 5.0,
+                stall_slots: 3,
+                startup_slots: 1,
+                watched_s: 50.0,
+                playback_complete: true,
+                fetched_kb: 10_000.0,
+                energy: EnergyBreakdown {
+                    transmission: MilliJoules(8_000.0),
+                    tail: MilliJoules(2_000.0),
+                },
+                active_slots: 100,
+                tx_slots: 60,
+                idle_slots: 40,
+                rate_kbps: 450.0,
+                video_kb: 10_000.0,
+            }],
+            slots_run: 120,
+            slots_configured: 200,
+            tau_s: 1.0,
+            fairness_series: vec![],
+            fairness_window_series: vec![],
+            power_series_j: vec![],
+        };
+        let s = RunStats::from_result(&r);
+        assert!((s.rebuf_per_user_s - 5.0).abs() < 1e-12);
+        assert!((s.rebuf_per_active_ms - 50.0).abs() < 1e-12);
+        assert!((s.energy_total_kj - 0.01).abs() < 1e-12);
+        assert!((s.energy_per_active_mj - 100.0).abs() < 1e-12);
+        assert!((s.tail_per_active_mj - 20.0).abs() < 1e-12);
+    }
+}

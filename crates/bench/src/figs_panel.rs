@@ -1,0 +1,114 @@
+//! Fig. 10 (the rebuffering–energy panel) and the paper's headline claims.
+
+use crate::common::{paper_cell, FigureOutput, USER_SWEEP};
+use jmso_sim::report::Table;
+use jmso_sim::{calibrate_default, fit_v_for_omega, parallel_map, SchedulerSpec};
+
+/// Fig. 10 — the "rebuffering time"–"energy" panel: for each user count
+/// in 20..40, the (total energy, total rebuffering) point reached by
+/// Default, RTMA (α = 1) and EMA (β = 1). RTMA's points drift along the
+/// rebuffering axis, EMA's along the energy axis — the paper's headline
+/// visual for the two complementary modes.
+pub fn fig10() -> FigureOutput {
+    let cells: Vec<usize> = USER_SWEEP.to_vec();
+    let rows = parallel_map(&cells, 0, |&n| {
+        let scenario = paper_cell(n, 350.0);
+        let cal = calibrate_default(&scenario).expect("calibration");
+        let run = |spec: SchedulerSpec| scenario.with_scheduler(spec).run().expect("fig10 run");
+        let default = run(SchedulerSpec::Default);
+        let rtma = run(SchedulerSpec::Rtma {
+            phi_mj: cal.phi_for_alpha(1.0),
+        });
+        let (v, _) =
+            fit_v_for_omega(&scenario, cal.omega_for_beta(1.0), 0.02, 100.0, 9).expect("fit V");
+        let ema = run(SchedulerSpec::ema_fast(v));
+        vec![
+            n as f64,
+            default.total_energy().total().joules(),
+            default.total_rebuffer_s() / n as f64,
+            rtma.total_energy().total().joules(),
+            rtma.total_rebuffer_s() / n as f64,
+            ema.total_energy().total().joules(),
+            ema.total_rebuffer_s() / n as f64,
+        ]
+    });
+    let mut table = Table::new(vec![
+        "users",
+        "default_energy_j",
+        "default_rebuf_s",
+        "rtma_energy_j",
+        "rtma_rebuf_s",
+        "ema_energy_j",
+        "ema_rebuf_s",
+    ]);
+    for row in rows {
+        table.push(row);
+    }
+    FigureOutput {
+        id: "fig10",
+        title: "Rebuffering–energy panel: Default vs RTMA(α=1) vs EMA(β=1), N ∈ 20..40".into(),
+        table,
+    }
+}
+
+/// The paper's headline claims, §VI summary:
+///
+/// * RTMA reduces rebuffering by ≥ 68 % vs Throttling / ON-OFF / Default;
+/// * EMA reduces energy by ≥ 48 % vs SALSA / Default and ≥ 27 % vs
+///   EStreamer.
+///
+/// Measured at N = 40 (the paper's most congested point) on the paper
+/// workload; the rows give the reduction achieved against each baseline.
+pub fn headline() -> FigureOutput {
+    let scenario = paper_cell(40, 350.0);
+    let cal = calibrate_default(&scenario).expect("calibration");
+    let run = |spec: SchedulerSpec| scenario.with_scheduler(spec).run().expect("headline run");
+
+    let default = run(SchedulerSpec::Default);
+    let throttling = run(SchedulerSpec::throttling_default());
+    let onoff = run(SchedulerSpec::onoff_default());
+    let salsa = run(SchedulerSpec::salsa_default());
+    let estreamer = run(SchedulerSpec::estreamer_default());
+    let rtma = run(SchedulerSpec::Rtma {
+        phi_mj: cal.phi_for_alpha(1.0),
+    });
+    // The paper's two EMA claims use two different bounds: the ≥48 % vs
+    // Default/SALSA claim is at β = 1 (Ω = Default's rebuffering, §VI-B
+    // Fig. 8); the ≥27 % vs EStreamer claim sets Ω to EStreamer's
+    // rebuffering (§VI-B Fig. 9).
+    let (v_beta1, _) =
+        fit_v_for_omega(&scenario, cal.omega_for_beta(1.0), 0.02, 100.0, 9).expect("fit V");
+    let ema_beta1 = run(SchedulerSpec::ema_fast(v_beta1));
+    let (v_est, _) = fit_v_for_omega(
+        &scenario,
+        estreamer.avg_rebuffer_per_active_slot(),
+        0.02,
+        100.0,
+        9,
+    )
+    .expect("fit V");
+    let ema_est = run(SchedulerSpec::ema_fast(v_est));
+
+    let pct = |ours: f64, theirs: f64| 100.0 * (1.0 - ours / theirs.max(1e-12));
+    let mut table = Table::new(vec![
+        "rtma_rebuf_red_vs_default_pct",
+        "rtma_rebuf_red_vs_throttling_pct",
+        "rtma_rebuf_red_vs_onoff_pct",
+        "ema_energy_red_vs_default_pct",
+        "ema_energy_red_vs_salsa_pct",
+        "ema_energy_red_vs_estreamer_pct",
+    ]);
+    table.push(vec![
+        pct(rtma.total_rebuffer_s(), default.total_rebuffer_s()),
+        pct(rtma.total_rebuffer_s(), throttling.total_rebuffer_s()),
+        pct(rtma.total_rebuffer_s(), onoff.total_rebuffer_s()),
+        pct(ema_beta1.total_energy_kj(), default.total_energy_kj()),
+        pct(ema_beta1.total_energy_kj(), salsa.total_energy_kj()),
+        pct(ema_est.total_energy_kj(), estreamer.total_energy_kj()),
+    ]);
+    FigureOutput {
+        id: "headline",
+        title: "Headline claims at N=40 (paper: RTMA ≥68 % rebuffering reduction, EMA ≥48 %/≥27 % energy reduction)".into(),
+        table,
+    }
+}

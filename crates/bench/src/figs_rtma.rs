@@ -1,0 +1,202 @@
+//! RTMA evaluation figures (paper Figs. 2–5).
+
+use crate::common::{
+    cdf_table, paper_cell, stats_over_seeds, FigureOutput, SIZE_SWEEP, USER_SWEEP,
+};
+use jmso_sim::report::Table;
+use jmso_sim::{calibrate_default, parallel_map, Scenario, SchedulerSpec, SimResult};
+
+/// Fig. 2/3 setting: 40 users, mean 350 MB, series recording on.
+fn cdf_cell() -> Scenario {
+    let mut s = paper_cell(40, 350.0);
+    s.record_series = true;
+    s
+}
+
+fn rtma_spec(scenario: &Scenario, alpha: f64) -> SchedulerSpec {
+    let cal = calibrate_default(scenario).expect("calibration");
+    SchedulerSpec::Rtma {
+        phi_mj: cal.phi_for_alpha(alpha),
+    }
+}
+
+fn run_pair(scenario: &Scenario, spec: SchedulerSpec) -> (SimResult, SimResult) {
+    let cells = [scenario.clone(), scenario.with_scheduler(spec)];
+    let mut out = parallel_map(&cells[..], 0, |s| s.run().expect("cdf run")).into_iter();
+    (out.next().unwrap(), out.next().unwrap())
+}
+
+/// Fig. 2 — CDF of the per-slot Jain fairness index, Default vs RTMA
+/// (N = 40, 350 MB average, α = 1).
+pub fn fig2() -> FigureOutput {
+    let scenario = cdf_cell();
+    let spec = rtma_spec(&scenario, 1.0);
+    let (default, rtma) = run_pair(&scenario, spec);
+    FigureOutput {
+        id: "fig2",
+        title: "CDF of per-slot Jain fairness index (N=40, 350 MB, α=1)".into(),
+        table: cdf_table(
+            "fairness",
+            vec![
+                ("default", default.fairness_series),
+                ("rtma", rtma.fairness_series),
+                ("default_w10", default.fairness_window_series),
+                ("rtma_w10", rtma.fairness_window_series),
+            ],
+            41,
+        ),
+    }
+}
+
+/// Fig. 3 — CDF over users of total rebuffering time, Default vs RTMA.
+pub fn fig3() -> FigureOutput {
+    let scenario = cdf_cell();
+    let spec = rtma_spec(&scenario, 1.0);
+    let (default, rtma) = run_pair(&scenario, spec);
+    FigureOutput {
+        id: "fig3",
+        title: "CDF of per-user rebuffering time, seconds (N=40, 350 MB, α=1)".into(),
+        table: cdf_table(
+            "rebuffer_s",
+            vec![
+                ("default", default.rebuffer_samples()),
+                ("rtma", rtma.rebuffer_samples()),
+            ],
+            41,
+        ),
+    }
+}
+
+/// Shared body of Figs. 4a/4b: Default vs RTMA at α ∈ {1.2, 1, 0.8} over a
+/// scenario sweep, reporting mean rebuffering per user.
+fn fig4_body(
+    id: &'static str,
+    title: String,
+    x_label: &str,
+    cells: Vec<(f64, Scenario)>,
+) -> FigureOutput {
+    let rows = parallel_map(&cells, 0, |(x, scenario)| {
+        let cal = calibrate_default(scenario).expect("calibration");
+        let run = |spec: SchedulerSpec| stats_over_seeds(scenario, &spec).rebuf_per_user_s;
+        vec![
+            *x,
+            run(SchedulerSpec::Default),
+            run(SchedulerSpec::Rtma {
+                phi_mj: cal.phi_for_alpha(1.2),
+            }),
+            run(SchedulerSpec::Rtma {
+                phi_mj: cal.phi_for_alpha(1.0),
+            }),
+            run(SchedulerSpec::Rtma {
+                phi_mj: cal.phi_for_alpha(0.8),
+            }),
+        ]
+    });
+    let mut table = Table::new(vec![
+        x_label.to_string(),
+        "default".into(),
+        "rtma_a1.2".into(),
+        "rtma_a1.0".into(),
+        "rtma_a0.8".into(),
+    ]);
+    for row in rows {
+        table.push(row);
+    }
+    FigureOutput { id, title, table }
+}
+
+/// Fig. 4a — mean rebuffering per user (s) vs user number.
+pub fn fig4a() -> FigureOutput {
+    let cells = USER_SWEEP
+        .iter()
+        .map(|&n| (n as f64, paper_cell(n, 350.0)))
+        .collect();
+    fig4_body(
+        "fig4a",
+        "Rebuffering per user (s) vs user number, RTMA α ∈ {1.2, 1.0, 0.8}".into(),
+        "users",
+        cells,
+    )
+}
+
+/// Fig. 4b — mean rebuffering per user (s) vs mean data amount (MB), N=30.
+pub fn fig4b() -> FigureOutput {
+    let cells = SIZE_SWEEP
+        .iter()
+        .map(|&mb| (mb, paper_cell(30, mb)))
+        .collect();
+    fig4_body(
+        "fig4b",
+        "Rebuffering per user (s) vs data amount (MB), N=30, RTMA α ∈ {1.2, 1.0, 0.8}".into(),
+        "data_mb",
+        cells,
+    )
+}
+
+/// Figs. 5a/5b — Default vs Throttling vs ON-OFF vs RTMA (Φ = E_Default)
+/// over the user sweep: (a) rebuffering per active user-slot (ms),
+/// (b) energy per active user-slot (mJ) with the tail share broken out.
+pub fn fig5() -> (FigureOutput, FigureOutput) {
+    let cells: Vec<(f64, Scenario)> = USER_SWEEP
+        .iter()
+        .map(|&n| (n as f64, paper_cell(n, 350.0)))
+        .collect();
+    let rows = parallel_map(&cells, 0, |(x, scenario)| {
+        let cal = calibrate_default(scenario).expect("calibration");
+        let stats = |spec: SchedulerSpec| stats_over_seeds(scenario, &spec);
+        (
+            *x,
+            stats(SchedulerSpec::Default),
+            stats(SchedulerSpec::throttling_default()),
+            stats(SchedulerSpec::onoff_default()),
+            stats(SchedulerSpec::Rtma {
+                phi_mj: cal.phi_for_alpha(1.0),
+            }),
+        )
+    });
+
+    let mut rebuf = Table::new(vec!["users", "default", "throttling", "onoff", "rtma"]);
+    let mut energy = Table::new(vec![
+        "users",
+        "default",
+        "default_tail",
+        "throttling",
+        "throttling_tail",
+        "onoff",
+        "onoff_tail",
+        "rtma",
+        "rtma_tail",
+    ]);
+    for (x, d, t, o, r) in rows {
+        rebuf.push(vec![
+            x,
+            d.rebuf_per_active_ms,
+            t.rebuf_per_active_ms,
+            o.rebuf_per_active_ms,
+            r.rebuf_per_active_ms,
+        ]);
+        energy.push(vec![
+            x,
+            d.energy_per_active_mj,
+            d.tail_per_active_mj,
+            t.energy_per_active_mj,
+            t.tail_per_active_mj,
+            o.energy_per_active_mj,
+            o.tail_per_active_mj,
+            r.energy_per_active_mj,
+            r.tail_per_active_mj,
+        ]);
+    }
+    (
+        FigureOutput {
+            id: "fig5a",
+            title: "Rebuffering per active user-slot (ms) vs user number".into(),
+            table: rebuf,
+        },
+        FigureOutput {
+            id: "fig5b",
+            title: "Energy per active user-slot (mJ, tail broken out) vs user number".into(),
+            table: energy,
+        },
+    )
+}

@@ -1,0 +1,109 @@
+//! Figure-regeneration library for the paper's §VI evaluation.
+//!
+//! Every figure in the paper (Figs. 2–10) has a generator here that builds
+//! the paper-scale scenario, runs the policies involved, and returns the
+//! plotted series as a [`jmso_sim::report::Table`]. The `repro` binary is
+//! a thin CLI over these functions; keeping them in the library makes the
+//! harness itself testable.
+
+pub mod ablations;
+pub mod common;
+pub mod experiments;
+pub mod figs_ema;
+pub mod figs_panel;
+pub mod figs_rtma;
+
+pub use ablations::{
+    abl_collector, abl_delta, abl_frames, abl_lte, abl_noise, abl_signal, abl_tail, abl_vbr,
+};
+pub use common::{paper_cell, FigureOutput, RunStats, SEEDS};
+pub use experiments::{exp_arrivals, exp_baselines, exp_multicell, exp_startup, exp_theorem1};
+pub use figs_ema::{fig6, fig7, fig8a, fig8b, fig9};
+pub use figs_panel::{fig10, headline};
+pub use figs_rtma::{fig2, fig3, fig4a, fig4b, fig5};
+
+/// All figure ids in paper order.
+pub const ALL_FIGURES: &[&str] = &[
+    "fig2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b",
+    "fig9a", "fig9b", "fig10", "headline",
+];
+
+/// All ablation ids (not in the paper; see EXPERIMENTS.md).
+pub const ALL_ABLATIONS: &[&str] = &[
+    "abl_delta",
+    "abl_noise",
+    "abl_collector",
+    "abl_signal",
+    "abl_tail",
+    "abl_lte",
+    "abl_vbr",
+    "abl_frames",
+    "exp_theorem1",
+    "exp_baselines",
+    "exp_startup",
+    "exp_multicell",
+    "exp_arrivals",
+];
+
+/// Generate one figure by id (both sub-panels for combined generators).
+pub fn generate(id: &str) -> Option<Vec<FigureOutput>> {
+    match id {
+        "fig2" => Some(vec![fig2()]),
+        "fig3" => Some(vec![fig3()]),
+        "fig4a" => Some(vec![fig4a()]),
+        "fig4b" => Some(vec![fig4b()]),
+        "fig5a" => Some(vec![fig5().0]),
+        "fig5b" => Some(vec![fig5().1]),
+        "fig5" => {
+            let (a, b) = fig5();
+            Some(vec![a, b])
+        }
+        "fig6" => Some(vec![fig6()]),
+        "fig7" => Some(vec![fig7()]),
+        "fig8a" => Some(vec![fig8a()]),
+        "fig8b" => Some(vec![fig8b()]),
+        "fig9a" => Some(vec![fig9().0]),
+        "fig9b" => Some(vec![fig9().1]),
+        "fig9" => {
+            let (a, b) = fig9();
+            Some(vec![a, b])
+        }
+        "fig10" => Some(vec![fig10()]),
+        "headline" => Some(vec![headline()]),
+        "abl_delta" => Some(vec![abl_delta()]),
+        "abl_noise" => Some(vec![abl_noise()]),
+        "abl_collector" => Some(vec![abl_collector()]),
+        "abl_signal" => Some(vec![abl_signal()]),
+        "abl_tail" => Some(vec![abl_tail()]),
+        "abl_lte" => Some(vec![abl_lte()]),
+        "abl_vbr" => Some(vec![abl_vbr()]),
+        "abl_frames" => Some(vec![abl_frames()]),
+        "exp_theorem1" => Some(vec![exp_theorem1()]),
+        "exp_baselines" => Some(vec![exp_baselines()]),
+        "exp_startup" => Some(vec![exp_startup()]),
+        "exp_multicell" => Some(vec![exp_multicell()]),
+        "exp_arrivals" => Some(vec![exp_arrivals()]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_figure_id_is_none() {
+        assert!(generate("fig99").is_none());
+        assert!(generate("").is_none());
+    }
+
+    #[test]
+    fn id_lists_are_distinct_and_nonempty() {
+        let mut all: Vec<&str> = ALL_FIGURES.to_vec();
+        all.extend_from_slice(ALL_ABLATIONS);
+        let unique: std::collections::BTreeSet<&&str> = all.iter().collect();
+        assert_eq!(unique.len(), all.len(), "no duplicate ids");
+        assert!(ALL_FIGURES.len() >= 14);
+        assert!(ALL_ABLATIONS.len() >= 10);
+    }
+}

@@ -1,0 +1,240 @@
+//! Base-station serving capacity `S(n)` (Eq. (2)).
+//!
+//! The paper fixes `S = 20 MB/s` for all slots; we also provide a recorded
+//! trace and a diurnal (sinusoidal load) model so the sensitivity of the
+//! schedulers to BS load variation can be studied.
+
+use jmso_radio::KbPerSec;
+use serde::{Deserialize, Serialize};
+
+/// Serving capacity of the base station per slot.
+pub trait CapacityModel: Send {
+    /// Maximum aggregate throughput the BS can serve in slot `slot`.
+    fn capacity(&mut self, slot: u64) -> KbPerSec;
+}
+
+/// Fixed capacity (the paper's 20 MB/s default).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantCapacity(pub KbPerSec);
+
+impl CapacityModel for ConstantCapacity {
+    fn capacity(&mut self, _slot: u64) -> KbPerSec {
+        self.0
+    }
+}
+
+/// Replay of a recorded capacity trace (cycling).
+#[derive(Debug, Clone)]
+pub struct TraceCapacity {
+    values: Vec<f64>,
+}
+
+impl TraceCapacity {
+    /// Wrap a non-empty trace of KB/s values.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "capacity trace must not be empty");
+        assert!(
+            values.iter().all(|v| *v >= 0.0),
+            "capacity must be non-negative"
+        );
+        Self { values }
+    }
+}
+
+impl CapacityModel for TraceCapacity {
+    fn capacity(&mut self, slot: u64) -> KbPerSec {
+        KbPerSec(self.values[(slot % self.values.len() as u64) as usize])
+    }
+}
+
+/// Sinusoidal load: capacity oscillates around a mean with the given
+/// relative amplitude and period, modelling diurnal cell load.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalCapacity {
+    /// Mean capacity, KB/s.
+    pub mean_kbps: f64,
+    /// Relative amplitude in `[0, 1]`.
+    pub rel_amplitude: f64,
+    /// Period in slots.
+    pub period_slots: f64,
+}
+
+impl CapacityModel for DiurnalCapacity {
+    fn capacity(&mut self, slot: u64) -> KbPerSec {
+        let angle = std::f64::consts::TAU * slot as f64 / self.period_slots;
+        KbPerSec((self.mean_kbps * (1.0 + self.rel_amplitude * angle.sin())).max(0.0))
+    }
+}
+
+/// Serializable capacity description used by scenario configs.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum CapacitySpec {
+    /// Fixed capacity in KB/s.
+    Constant {
+        /// The capacity.
+        kbps: f64,
+    },
+    /// Recorded trace in KB/s, cycled.
+    Trace {
+        /// Per-slot values.
+        values_kbps: Vec<f64>,
+    },
+    /// Sinusoidal diurnal load.
+    Diurnal {
+        /// Mean capacity in KB/s.
+        mean_kbps: f64,
+        /// Relative amplitude in [0, 1].
+        rel_amplitude: f64,
+        /// Period in slots.
+        period_slots: f64,
+    },
+    /// Periodic outage (failure injection): nominal capacity except for
+    /// `outage_slots` of zero capacity at the start of every
+    /// `period_slots`-slot cycle.
+    Outage {
+        /// Nominal capacity in KB/s.
+        kbps: f64,
+        /// Slots per cycle.
+        period_slots: u64,
+        /// Dead slots at the start of each cycle.
+        outage_slots: u64,
+    },
+}
+
+impl CapacitySpec {
+    /// The paper's default: constant 20 MB/s.
+    pub fn paper_default() -> Self {
+        CapacitySpec::Constant { kbps: 20_000.0 }
+    }
+
+    /// Instantiate the model.
+    pub fn build(&self) -> Box<dyn CapacityModel> {
+        match self {
+            CapacitySpec::Constant { kbps } => Box::new(ConstantCapacity(KbPerSec(*kbps))),
+            CapacitySpec::Trace { values_kbps } => Box::new(TraceCapacity::new(values_kbps.clone())),
+            CapacitySpec::Diurnal {
+                mean_kbps,
+                rel_amplitude,
+                period_slots,
+            } => Box::new(DiurnalCapacity {
+                mean_kbps: *mean_kbps,
+                rel_amplitude: *rel_amplitude,
+                period_slots: *period_slots,
+            }),
+            CapacitySpec::Outage {
+                kbps,
+                period_slots,
+                outage_slots,
+            } => Box::new(OutageCapacity {
+                kbps: *kbps,
+                period_slots: *period_slots,
+                outage_slots: *outage_slots,
+            }),
+        }
+    }
+}
+
+/// Periodic-outage capacity for failure-injection tests: the BS serves
+/// nothing during the first `outage_slots` of every `period_slots` cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct OutageCapacity {
+    /// Nominal capacity in KB/s.
+    pub kbps: f64,
+    /// Slots per cycle.
+    pub period_slots: u64,
+    /// Dead slots at the start of each cycle.
+    pub outage_slots: u64,
+}
+
+impl CapacityModel for OutageCapacity {
+    fn capacity(&mut self, slot: u64) -> KbPerSec {
+        if self.period_slots > 0 && slot % self.period_slots < self.outage_slots {
+            KbPerSec(0.0)
+        } else {
+            KbPerSec(self.kbps)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_capacity() {
+        let mut c = ConstantCapacity(KbPerSec(20_000.0));
+        assert_eq!(c.capacity(0).value(), 20_000.0);
+        assert_eq!(c.capacity(9999).value(), 20_000.0);
+    }
+
+    #[test]
+    fn trace_cycles() {
+        let mut c = TraceCapacity::new(vec![1.0, 2.0]);
+        assert_eq!(c.capacity(0).value(), 1.0);
+        assert_eq!(c.capacity(1).value(), 2.0);
+        assert_eq!(c.capacity(2).value(), 1.0);
+    }
+
+    #[test]
+    fn diurnal_oscillates_nonnegative() {
+        let mut c = DiurnalCapacity {
+            mean_kbps: 10_000.0,
+            rel_amplitude: 0.5,
+            period_slots: 100.0,
+        };
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for n in 0..100 {
+            let v = c.capacity(n).value();
+            assert!(v >= 0.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!((lo - 5_000.0).abs() < 30.0);
+        assert!((hi - 15_000.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn spec_builds_and_roundtrips() {
+        let spec = CapacitySpec::paper_default();
+        let mut m = spec.build();
+        assert_eq!(m.capacity(3).value(), 20_000.0);
+        let j = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<CapacitySpec>(&j).unwrap(), spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_trace_rejected() {
+        TraceCapacity::new(vec![]);
+    }
+
+    #[test]
+    fn outage_kills_capacity_periodically() {
+        let mut c = OutageCapacity {
+            kbps: 1_000.0,
+            period_slots: 10,
+            outage_slots: 3,
+        };
+        for n in 0..30u64 {
+            let v = c.capacity(n).value();
+            if n % 10 < 3 {
+                assert_eq!(v, 0.0, "slot {n} should be dead");
+            } else {
+                assert_eq!(v, 1_000.0, "slot {n} should be nominal");
+            }
+        }
+        // Spec variant builds and round-trips.
+        let spec = CapacitySpec::Outage {
+            kbps: 500.0,
+            period_slots: 20,
+            outage_slots: 5,
+        };
+        let mut m = spec.build();
+        assert_eq!(m.capacity(0).value(), 0.0);
+        assert_eq!(m.capacity(6).value(), 500.0);
+        let j = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<CapacitySpec>(&j).unwrap(), spec);
+    }
+}

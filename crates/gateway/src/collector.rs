@@ -1,0 +1,222 @@
+//! Information Collector — assembles the cross-layer snapshot.
+//!
+//! The collector turns ground-truth per-user state (as the simulator knows
+//! it) into the [`UserSnapshot`]s a scheduler sees. Real deployments read
+//! RSSI from UE measurement reports and the required rate from DPI
+//! middleboxes, both of which can be stale or noisy, so the collector
+//! supports a report staleness (signal refreshed every `staleness_slots`)
+//! and Gaussian measurement noise on the reported RSSI. With the defaults
+//! (no staleness, no noise) it is a faithful pass-through, matching the
+//! paper's evaluation.
+//!
+//! The Eq. (1) link bound is computed from the *reported* signal — exactly
+//! the information the gateway would act on.
+
+use crate::scheduler::UserSnapshot;
+use crate::shard::UnitParams;
+use jmso_radio::rrc::RrcState;
+use jmso_radio::{Dbm, LinearRssiThroughput, ThroughputModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth per-user state the simulator hands to the collector.
+#[derive(Debug, Clone, Copy)]
+pub struct RawUserState {
+    /// True RSSI this slot.
+    pub signal: Dbm,
+    /// Required data rate `pᵢ(n)`, KB/s.
+    pub rate_kbps: f64,
+    /// Client buffer occupancy, seconds.
+    pub buffer_s: f64,
+    /// KB still to fetch.
+    pub remaining_kb: f64,
+    /// Still watching?
+    pub active: bool,
+    /// Radio idle time, seconds.
+    pub idle_s: f64,
+    /// Radio RRC state.
+    pub rrc_state: RrcState,
+}
+
+/// Serializable collector configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct CollectorSpec {
+    /// Refresh the reported signal only every this many slots
+    /// (0 or 1 = every slot).
+    pub staleness_slots: u64,
+    /// Gaussian noise added to the reported RSSI, dB std-dev.
+    pub signal_noise_std_db: f64,
+}
+
+impl CollectorSpec {
+    /// Perfect information (the paper's evaluation setting).
+    pub fn perfect() -> Self {
+        Self {
+            staleness_slots: 0,
+            signal_noise_std_db: 0.0,
+        }
+    }
+}
+
+impl Default for CollectorSpec {
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+/// The collector component.
+#[derive(Debug)]
+pub struct InformationCollector {
+    spec: CollectorSpec,
+    thru: LinearRssiThroughput,
+    units: UnitParams,
+    tau: f64,
+    /// Last reported signal per user (for staleness).
+    cached_signal: Vec<Option<Dbm>>,
+    rng: StdRng,
+}
+
+impl InformationCollector {
+    /// Build a collector for `n_users`.
+    pub fn new(
+        spec: CollectorSpec,
+        thru: LinearRssiThroughput,
+        units: UnitParams,
+        tau: f64,
+        n_users: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            spec,
+            thru,
+            units,
+            tau,
+            cached_signal: vec![None; n_users],
+            rng: StdRng::seed_from_u64(seed ^ 0xC011_EC70_4F00_0000),
+        }
+    }
+
+    fn reported_signal(&mut self, user: usize, slot: u64, truth: Dbm) -> Dbm {
+        let refresh = self.spec.staleness_slots <= 1
+            || slot.is_multiple_of(self.spec.staleness_slots)
+            || self.cached_signal[user].is_none();
+        if refresh {
+            let noisy = if self.spec.signal_noise_std_db > 0.0 {
+                let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = self.rng.random();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                Dbm(truth.value() + self.spec.signal_noise_std_db * z)
+            } else {
+                truth
+            };
+            self.cached_signal[user] = Some(noisy);
+        }
+        self.cached_signal[user].expect("populated above")
+    }
+
+    /// Assemble snapshots for one slot.
+    pub fn snapshot(&mut self, slot: u64, raw: &[RawUserState]) -> Vec<UserSnapshot> {
+        assert_eq!(raw.len(), self.cached_signal.len(), "user count mismatch");
+        raw.iter()
+            .enumerate()
+            .map(|(id, r)| {
+                let signal = self.reported_signal(id, slot, r.signal);
+                let v = self.thru.throughput(signal);
+                UserSnapshot {
+                    id,
+                    signal,
+                    rate_kbps: r.rate_kbps,
+                    buffer_s: r.buffer_s,
+                    remaining_kb: r.remaining_kb,
+                    active: r.active,
+                    link_cap_units: self.units.link_cap_units(v, self.tau),
+                    idle_s: r.idle_s,
+                    rrc_state: r.rrc_state,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(sig: f64) -> RawUserState {
+        RawUserState {
+            signal: Dbm(sig),
+            rate_kbps: 450.0,
+            buffer_s: 3.0,
+            remaining_kb: 1000.0,
+            active: true,
+            idle_s: 0.0,
+            rrc_state: RrcState::Dch,
+        }
+    }
+
+    fn collector(spec: CollectorSpec, n: usize) -> InformationCollector {
+        InformationCollector::new(
+            spec,
+            LinearRssiThroughput::paper(),
+            UnitParams::new(50.0),
+            1.0,
+            n,
+            7,
+        )
+    }
+
+    #[test]
+    fn perfect_collector_passes_through() {
+        let mut c = collector(CollectorSpec::perfect(), 2);
+        let snaps = c.snapshot(0, &[raw(-80.0), raw(-60.0)]);
+        assert_eq!(snaps[0].signal, Dbm(-80.0));
+        assert_eq!(snaps[1].signal, Dbm(-60.0));
+        // Eq. (1): ⌊2303/50⌋ = 46 at −80 dBm.
+        assert_eq!(snaps[0].link_cap_units, 46);
+        assert_eq!(snaps[0].id, 0);
+        assert_eq!(snaps[1].id, 1);
+        assert_eq!(snaps[0].rate_kbps, 450.0);
+        assert_eq!(snaps[0].buffer_s, 3.0);
+    }
+
+    #[test]
+    fn staleness_holds_old_reports() {
+        let spec = CollectorSpec {
+            staleness_slots: 5,
+            signal_noise_std_db: 0.0,
+        };
+        let mut c = collector(spec, 1);
+        let s0 = c.snapshot(0, &[raw(-80.0)])[0].signal;
+        // Signal changed but report is held until slot 5.
+        let s3 = c.snapshot(3, &[raw(-60.0)])[0].signal;
+        assert_eq!(s0, s3);
+        let s5 = c.snapshot(5, &[raw(-60.0)])[0].signal;
+        assert_eq!(s5, Dbm(-60.0));
+    }
+
+    #[test]
+    fn noise_perturbs_but_is_deterministic() {
+        let spec = CollectorSpec {
+            staleness_slots: 0,
+            signal_noise_std_db: 4.0,
+        };
+        let report = |_| {
+            let mut c = collector(spec, 1);
+            (0..20)
+                .map(|n| c.snapshot(n, &[raw(-80.0)])[0].signal.value())
+                .collect::<Vec<_>>()
+        };
+        let a = report(());
+        let b = report(());
+        assert_eq!(a, b, "same seed ⇒ same reports");
+        assert!(a.iter().any(|s| (s - -80.0).abs() > 0.1), "noise applied");
+    }
+
+    #[test]
+    #[should_panic(expected = "user count mismatch")]
+    fn wrong_user_count_panics() {
+        let mut c = collector(CollectorSpec::perfect(), 2);
+        c.snapshot(0, &[raw(-80.0)]);
+    }
+}

@@ -1,0 +1,214 @@
+//! The scheduler abstraction every allocation policy implements.
+//!
+//! A scheduler is called once per slot with a [`SlotContext`] — the
+//! cross-layer snapshot assembled by the Information Collector — and must
+//! return a per-user allocation in data units that respects the link bound
+//! Eq. (1) (`alloc[i] ≤ users[i].link_cap_units`) and the BS bound Eq. (2)
+//! (`Σ alloc[i] ≤ bs_cap_units`). The Data Transmitter re-checks both, so
+//! a buggy policy cannot corrupt the simulation, but violations are
+//! reported (and `debug_assert`ed) because they indicate a policy bug.
+
+use jmso_radio::rrc::RrcState;
+use jmso_radio::Dbm;
+
+/// Per-user cross-layer state visible to the gateway in one slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserSnapshot {
+    /// Stable user index in `[0, N)`.
+    pub id: usize,
+    /// RSSI reported for this slot (`sigᵢ(n)`).
+    pub signal: Dbm,
+    /// Required data rate `pᵢ(n)` in KB/s.
+    pub rate_kbps: f64,
+    /// Client buffer occupancy `rᵢ(n)` in seconds, as known to the gateway.
+    pub buffer_s: f64,
+    /// KB still to be fetched for this user's video (0 ⇒ fetch complete).
+    pub remaining_kb: f64,
+    /// True while the user is still watching (`mᵢ(n) < Mᵢ`).
+    pub active: bool,
+    /// Eq. (1) bound for this slot, in units.
+    pub link_cap_units: u64,
+    /// Seconds since this user's radio last carried data.
+    pub idle_s: f64,
+    /// Current RRC state of the user's radio.
+    pub rrc_state: RrcState,
+}
+
+impl UserSnapshot {
+    /// Units this user could still usefully receive this slot: the link
+    /// bound intersected with the bytes the session still needs.
+    pub fn usable_cap_units(&self, delta_kb: f64) -> u64 {
+        let need = (self.remaining_kb / delta_kb).ceil() as u64;
+        self.link_cap_units.min(need)
+    }
+}
+
+/// Everything a scheduler sees in one slot.
+#[derive(Debug, Clone)]
+pub struct SlotContext<'a> {
+    /// Slot index `n`.
+    pub slot: u64,
+    /// Slot length τ in seconds.
+    pub tau: f64,
+    /// Frame length δ in KB.
+    pub delta_kb: f64,
+    /// Eq. (2) bound: `⌊τ·S(n)/δ⌋`.
+    pub bs_cap_units: u64,
+    /// Per-user snapshots, indexed by `UserSnapshot::id`.
+    pub users: &'a [UserSnapshot],
+}
+
+impl SlotContext<'_> {
+    /// Playback seconds carried by `units` frames at rate `p` KB/s
+    /// (`tᵢ(n) = δ·φᵢ/pᵢ`).
+    #[inline]
+    pub fn playback_seconds(&self, units: u64, rate_kbps: f64) -> f64 {
+        self.delta_kb * units as f64 / rate_kbps
+    }
+}
+
+/// A per-user allocation in data units (`φᵢ(n)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation(pub Vec<u64>);
+
+impl Allocation {
+    /// The all-zero allocation for `n` users.
+    pub fn zeros(n: usize) -> Self {
+        Self(vec![0; n])
+    }
+
+    /// Total units allocated.
+    pub fn total_units(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Check Eq. (1) and Eq. (2) against a context; returns a description
+    /// of the first violation found, if any.
+    pub fn validate(&self, ctx: &SlotContext) -> Result<(), String> {
+        if self.0.len() != ctx.users.len() {
+            return Err(format!(
+                "allocation has {} entries for {} users",
+                self.0.len(),
+                ctx.users.len()
+            ));
+        }
+        for (alloc, user) in self.0.iter().zip(ctx.users) {
+            if *alloc > user.link_cap_units {
+                return Err(format!(
+                    "user {} allocated {} units over link cap {} (Eq. 1)",
+                    user.id, alloc, user.link_cap_units
+                ));
+            }
+        }
+        if self.total_units() > ctx.bs_cap_units {
+            return Err(format!(
+                "total {} units over BS cap {} (Eq. 2)",
+                self.total_units(),
+                ctx.bs_cap_units
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A per-slot allocation policy (the paper's Scheduler component).
+pub trait Scheduler: Send {
+    /// Short policy name used in reports and figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Decide `φᵢ(n)` for every user.
+    fn allocate(&mut self, ctx: &SlotContext) -> Allocation;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn snap(id: usize, link_cap: u64) -> UserSnapshot {
+        UserSnapshot {
+            id,
+            signal: Dbm(-80.0),
+            rate_kbps: 450.0,
+            buffer_s: 0.0,
+            remaining_kb: 1e9,
+            active: true,
+            link_cap_units: link_cap,
+            idle_s: 0.0,
+            rrc_state: RrcState::Dch,
+        }
+    }
+
+    #[test]
+    fn validate_catches_link_violation() {
+        let users = vec![snap(0, 5), snap(1, 5)];
+        let ctx = SlotContext {
+            slot: 0,
+            tau: 1.0,
+            delta_kb: 50.0,
+            bs_cap_units: 100,
+            users: &users,
+        };
+        assert!(Allocation(vec![5, 5]).validate(&ctx).is_ok());
+        let err = Allocation(vec![6, 0]).validate(&ctx).unwrap_err();
+        assert!(err.contains("Eq. 1"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_bs_violation() {
+        let users = vec![snap(0, 50), snap(1, 50)];
+        let ctx = SlotContext {
+            slot: 0,
+            tau: 1.0,
+            delta_kb: 50.0,
+            bs_cap_units: 60,
+            users: &users,
+        };
+        let err = Allocation(vec![40, 40]).validate(&ctx).unwrap_err();
+        assert!(err.contains("Eq. 2"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_length_mismatch() {
+        let users = vec![snap(0, 5)];
+        let ctx = SlotContext {
+            slot: 0,
+            tau: 1.0,
+            delta_kb: 50.0,
+            bs_cap_units: 10,
+            users: &users,
+        };
+        assert!(Allocation(vec![1, 2]).validate(&ctx).is_err());
+    }
+
+    #[test]
+    fn usable_cap_respects_remaining_bytes() {
+        let mut u = snap(0, 40);
+        u.remaining_kb = 120.0;
+        assert_eq!(u.usable_cap_units(50.0), 3); // ceil(120/50)=3 < 40
+        u.remaining_kb = 1e9;
+        assert_eq!(u.usable_cap_units(50.0), 40);
+        u.remaining_kb = 0.0;
+        assert_eq!(u.usable_cap_units(50.0), 0);
+    }
+
+    #[test]
+    fn playback_seconds_helper() {
+        let users: Vec<UserSnapshot> = vec![];
+        let ctx = SlotContext {
+            slot: 0,
+            tau: 1.0,
+            delta_kb: 50.0,
+            bs_cap_units: 0,
+            users: &users,
+        };
+        // 9 units × 50 KB / 450 KB/s = 1 s.
+        assert!((ctx.playback_seconds(9, 450.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_totals() {
+        let a = Allocation(vec![1, 2, 3]);
+        assert_eq!(a.total_units(), 6);
+        assert_eq!(Allocation::zeros(4).total_units(), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Data-shard / frame-unit arithmetic (Definitions 1–3, Eqs. (1)–(2)).
+//!
+//! The physical layer moves data in fixed-length frames of `δ` bytes; a
+//! slot's allocation to user `i` is `φᵢ(n)` frames, i.e. `dᵢ(n) = φᵢ(n)·δ`
+//! bytes. Throughout this workspace `δ` is expressed in KB (`delta_kb`) to
+//! match the KB/s throughput and mJ/KB power fits.
+
+use jmso_radio::KbPerSec;
+use serde::{Deserialize, Serialize};
+
+/// Frame-unit parameters: the physical-layer frame length `δ`.
+///
+/// ```
+/// use jmso_gateway::UnitParams;
+/// use jmso_radio::KbPerSec;
+///
+/// let units = UnitParams::new(50.0); // δ = 50 KB
+/// // Eq. (1): at v(−80 dBm) = 2303 KB/s and τ = 1 s, ⌊2303/50⌋ = 46 frames.
+/// assert_eq!(units.link_cap_units(KbPerSec(2303.0), 1.0), 46);
+/// // Eq. (2): the paper's 20 MB/s BS serves 400 frames per slot.
+/// assert_eq!(units.bs_cap_units(KbPerSec(20_000.0), 1.0), 400);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitParams {
+    /// Frame length `δ` in KB.
+    pub delta_kb: f64,
+}
+
+impl UnitParams {
+    /// Construct with a positive `δ`.
+    pub fn new(delta_kb: f64) -> Self {
+        assert!(
+            delta_kb > 0.0 && delta_kb.is_finite(),
+            "δ must be positive and finite"
+        );
+        Self { delta_kb }
+    }
+
+    /// The workspace default: δ = 50 KB (see DESIGN.md §6 — the paper
+    /// leaves δ to the spreading factor; 50 KB keeps the EMA DP tractable
+    /// at paper scale while leaving 6–12 units of per-slot need per user).
+    pub fn paper_default() -> Self {
+        Self::new(50.0)
+    }
+
+    /// Largest whole number of units fitting in `kb` (used for capacity
+    /// bounds — the `⌊·⌋` in Eqs. (1) and (2)).
+    #[inline]
+    pub fn units_floor(&self, kb: f64) -> u64 {
+        if kb <= 0.0 {
+            0
+        } else {
+            (kb / self.delta_kb).floor() as u64
+        }
+    }
+
+    /// Smallest whole number of units covering `kb` (used for demand — the
+    /// `⌈·⌉` in RTMA's `φ_need`).
+    #[inline]
+    pub fn units_ceil(&self, kb: f64) -> u64 {
+        if kb <= 0.0 {
+            0
+        } else {
+            (kb / self.delta_kb).ceil() as u64
+        }
+    }
+
+    /// KB carried by `units` frames.
+    #[inline]
+    pub fn kb(&self, units: u64) -> f64 {
+        units as f64 * self.delta_kb
+    }
+
+    /// Eq. (1): the per-user link bound `⌊τ·v(sigᵢ(n))/δ⌋`.
+    #[inline]
+    pub fn link_cap_units(&self, v: KbPerSec, tau: f64) -> u64 {
+        self.units_floor(v.value() * tau)
+    }
+
+    /// Eq. (2): the BS serving bound `⌊τ·S(n)/δ⌋`.
+    #[inline]
+    pub fn bs_cap_units(&self, s: KbPerSec, tau: f64) -> u64 {
+        self.units_floor(s.value() * tau)
+    }
+}
+
+impl Default for UnitParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_and_ceil() {
+        let u = UnitParams::new(50.0);
+        assert_eq!(u.units_floor(0.0), 0);
+        assert_eq!(u.units_floor(49.9), 0);
+        assert_eq!(u.units_floor(50.0), 1);
+        assert_eq!(u.units_floor(325.0), 6);
+        assert_eq!(u.units_ceil(0.0), 0);
+        assert_eq!(u.units_ceil(0.1), 1);
+        assert_eq!(u.units_ceil(50.0), 1);
+        assert_eq!(u.units_ceil(325.0), 7);
+        assert_eq!(u.units_floor(-5.0), 0);
+        assert_eq!(u.units_ceil(-5.0), 0);
+    }
+
+    #[test]
+    fn kb_roundtrip() {
+        let u = UnitParams::new(50.0);
+        assert_eq!(u.kb(7), 350.0);
+        assert_eq!(u.units_floor(u.kb(7)), 7);
+    }
+
+    #[test]
+    fn caps_match_paper_formulas() {
+        let u = UnitParams::new(50.0);
+        // Eq. (1) with v(−80) = 2303 KB/s, τ=1: ⌊2303/50⌋ = 46.
+        assert_eq!(u.link_cap_units(KbPerSec(2303.0), 1.0), 46);
+        // Eq. (2) with S = 20 MB/s, τ=1: ⌊20000/50⌋ = 400.
+        assert_eq!(u.bs_cap_units(KbPerSec(20_000.0), 1.0), 400);
+        // τ scales linearly.
+        assert_eq!(u.link_cap_units(KbPerSec(2303.0), 2.0), 92);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delta_rejected() {
+        UnitParams::new(0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the gateway components.
+
+use jmso_gateway::collector::RawUserState;
+use jmso_gateway::{
+    Allocation, CollectorSpec, DataReceiver, DataTransmitter, InformationCollector, OriginModel,
+    SlotContext, UnitParams, UserSnapshot,
+};
+use jmso_radio::rrc::RrcState;
+use jmso_radio::{Dbm, KbPerSec, LinearRssiThroughput, ThroughputModel};
+use proptest::prelude::*;
+
+fn snapshot(id: usize, link_cap: u64, remaining_kb: f64) -> UserSnapshot {
+    UserSnapshot {
+        id,
+        signal: Dbm(-80.0),
+        rate_kbps: 450.0,
+        buffer_s: 0.0,
+        remaining_kb,
+        active: true,
+        link_cap_units: link_cap,
+        idle_s: 0.0,
+        rrc_state: RrcState::Dch,
+    }
+}
+
+proptest! {
+    /// Unit arithmetic: floor/ceil bracket the exact quotient and scale
+    /// exactly with δ.
+    #[test]
+    fn unit_arithmetic(kb in 0.0f64..1e7, delta in 1.0f64..500.0) {
+        let u = UnitParams::new(delta);
+        let fl = u.units_floor(kb);
+        let ce = u.units_ceil(kb);
+        prop_assert!(u.kb(fl) <= kb + 1e-6);
+        prop_assert!(u.kb(ce) + 1e-6 >= kb);
+        prop_assert!(ce - fl <= 1);
+    }
+
+    /// Eq. (1)/(2) caps are monotone in throughput/τ and consistent with
+    /// each other.
+    #[test]
+    fn caps_monotone(v in 0.0f64..10_000.0, tau in 0.1f64..4.0, delta in 1.0f64..200.0) {
+        let u = UnitParams::new(delta);
+        let cap = u.link_cap_units(KbPerSec(v), tau);
+        let cap_more = u.link_cap_units(KbPerSec(v + 100.0), tau);
+        prop_assert!(cap_more >= cap);
+        prop_assert!(u.kb(cap) <= v * tau + 1e-6);
+    }
+
+    /// The transmitter never over-delivers: per-user ≤ link cap KB + δ
+    /// (partial last frame), aggregate ≤ BS cap, and never more than the
+    /// receiver had.
+    #[test]
+    fn transmitter_respects_all_bounds(
+        caps in proptest::collection::vec(0u64..50, 1..10),
+        requests in proptest::collection::vec(0u64..50, 1..10),
+        bs_cap in 0u64..200,
+        backlog_kbps in 1.0f64..5_000.0,
+    ) {
+        let n = caps.len().min(requests.len());
+        let users: Vec<UserSnapshot> =
+            (0..n).map(|i| snapshot(i, caps[i], 1e9)).collect();
+        let alloc = Allocation(
+            (0..n)
+                // Clamp requests into validity; the transmitter re-checks.
+                .map(|i| requests[i].min(caps[i]))
+                .scan(bs_cap, |budget, want| {
+                    let grant = want.min(*budget);
+                    *budget -= grant;
+                    Some(grant)
+                })
+                .collect(),
+        );
+        let ctx = SlotContext {
+            slot: 0,
+            tau: 1.0,
+            delta_kb: 50.0,
+            bs_cap_units: bs_cap,
+            users: &users,
+        };
+        let mut rx = DataReceiver::new(n, OriginModel::RateLimited { kbps: backlog_kbps }, 1.0);
+        rx.ingest_slot(0);
+        let mut tx = DataTransmitter::new();
+        let deliveries = tx.transmit(&ctx, &alloc, &mut rx);
+        let mut total_units = 0;
+        for (d, u) in deliveries.iter().zip(&users) {
+            prop_assert!(d.kb <= (u.link_cap_units as f64) * 50.0 + 1e-6);
+            prop_assert!(d.kb <= backlog_kbps + 1e-6, "cannot exceed backlog");
+            total_units += d.units;
+        }
+        let _ = total_units;
+        let total_kb: f64 = deliveries.iter().map(|d| d.kb).sum();
+        prop_assert!(total_kb <= bs_cap as f64 * 50.0 + 1e-6);
+    }
+
+    /// Collector: snapshots preserve ids, rates and buffers exactly; the
+    /// reported link cap always equals the Eq. (1) cap of the *reported*
+    /// signal.
+    #[test]
+    fn collector_consistency(
+        sigs in proptest::collection::vec(-110.0f64..-50.0, 1..20),
+        staleness in 0u64..6,
+        noise in 0.0f64..6.0,
+        seed in 0u64..100,
+    ) {
+        let n = sigs.len();
+        let spec = CollectorSpec { staleness_slots: staleness, signal_noise_std_db: noise };
+        let units = UnitParams::new(50.0);
+        let thru = LinearRssiThroughput::paper();
+        let mut c = InformationCollector::new(spec, thru, units, 1.0, n, seed);
+        for slot in 0..8 {
+            let raw: Vec<RawUserState> = sigs
+                .iter()
+                .map(|&s| RawUserState {
+                    signal: Dbm(s),
+                    rate_kbps: 450.0,
+                    buffer_s: 2.0,
+                    remaining_kb: 100.0,
+                    active: true,
+                    idle_s: 0.5,
+                    rrc_state: RrcState::Dch,
+                })
+                .collect();
+            let snaps = c.snapshot(slot, &raw);
+            for (i, s) in snaps.iter().enumerate() {
+                prop_assert_eq!(s.id, i);
+                prop_assert_eq!(s.rate_kbps, 450.0);
+                prop_assert_eq!(s.buffer_s, 2.0);
+                let expect_cap = units.link_cap_units(thru.throughput(s.signal), 1.0);
+                prop_assert_eq!(s.link_cap_units, expect_cap);
+            }
+        }
+    }
+
+    /// Receiver conservation: dequeued KB never exceed ingested KB, and
+    /// backlog equals ingested − dequeued.
+    #[test]
+    fn receiver_conserves_bytes(
+        rate in 1.0f64..1_000.0,
+        takes in proptest::collection::vec(0.0f64..500.0, 1..30),
+    ) {
+        let mut rx = DataReceiver::new(1, OriginModel::RateLimited { kbps: rate }, 1.0);
+        let mut ingested = 0.0;
+        let mut dequeued = 0.0;
+        for (slot, take) in takes.iter().enumerate() {
+            rx.ingest_slot(slot as u64);
+            ingested += rate;
+            let (got, _) = rx.dequeue_kb(0, *take);
+            prop_assert!(got <= *take + 1e-9);
+            dequeued += got;
+            prop_assert!((rx.backlog_kb(0) - (ingested - dequeued)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Streaming-media substrate for the jmso simulator.
+//!
+//! Implements the client-side half of the paper's model:
+//!
+//! * [`video`] — video sessions: total size, CBR/VBR bitrate `pᵢ(n)`,
+//!   download progress and playback progress `mᵢ`/`Mᵢ`.
+//! * [`buffer`] — the playback buffer: remaining occupancy `rᵢ(n)` (Eq. (7))
+//!   and per-slot rebuffering `cᵢ(n)` (Eq. (8)).
+//! * [`workload`] — seeded generators for the paper's §VI workload
+//!   distributions (video sizes 250–500 MB, rates 300–600 KB/s).
+//! * [`metrics`] — QoE aggregation: rebuffering statistics, the Jain
+//!   fairness index used in Figs. 2/6, and CDF utilities for the figure
+//!   harness.
+
+pub mod buffer;
+pub mod metrics;
+pub mod video;
+pub mod workload;
+
+pub use buffer::{ClientPlayback, SlotOutcome};
+pub use metrics::{jain_index, Cdf, RebufferStats};
+pub use video::{BitrateModel, VideoSession};
+pub use workload::{generate_sessions, WorkloadSpec};

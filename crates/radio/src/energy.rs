@@ -1,0 +1,161 @@
+//! Per-device energy accounting (Eqs. (5)–(6)).
+//!
+//! The paper splits a device's consumption into *transmission energy*
+//! (Eq. (3), charged on slots where data is allocated) and *tail energy*
+//! (Eq. (4), charged on idle slots while the RRC timers run down). The
+//! evaluation figures report both the total and the tail share (Fig. 5b),
+//! so the meter keeps them separate.
+
+use crate::types::MilliJoules;
+use serde::{Deserialize, Serialize};
+
+/// Immutable snapshot of a meter.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy spent receiving data (Eq. (3)).
+    pub transmission: MilliJoules,
+    /// Energy spent in the RRC tail (Eq. (4)).
+    pub tail: MilliJoules,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (Eq. (5) summed over slots).
+    pub fn total(&self) -> MilliJoules {
+        self.transmission + self.tail
+    }
+
+    /// Tail share of the total, in `[0, 1]`; zero when nothing was spent.
+    pub fn tail_fraction(&self) -> f64 {
+        let t = self.total().value();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.tail.value() / t
+        }
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            transmission: self.transmission + rhs.transmission,
+            tail: self.tail + rhs.tail,
+        }
+    }
+}
+
+impl std::iter::Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), |a, b| a + b)
+    }
+}
+
+/// Accumulating per-device meter.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    acc: EnergyBreakdown,
+    slots_transmitting: u64,
+    slots_idle: u64,
+}
+
+impl EnergyMeter {
+    /// A fresh, empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge transmission energy for one slot.
+    pub fn record_transmission(&mut self, e: MilliJoules) {
+        debug_assert!(e.value() >= 0.0, "negative transmission energy");
+        self.acc.transmission += e;
+        self.slots_transmitting += 1;
+    }
+
+    /// Charge tail energy for one idle slot.
+    pub fn record_tail(&mut self, e: MilliJoules) {
+        debug_assert!(e.value() >= 0.0, "negative tail energy");
+        self.acc.tail += e;
+        self.slots_idle += 1;
+    }
+
+    /// Snapshot of the split so far.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.acc
+    }
+
+    /// Total energy so far.
+    pub fn total(&self) -> MilliJoules {
+        self.acc.total()
+    }
+
+    /// Slots on which transmission energy was charged.
+    pub fn slots_transmitting(&self) -> u64 {
+        self.slots_transmitting
+    }
+
+    /// Slots on which tail energy was charged (including zero-cost idle
+    /// slots after the tail saturates).
+    pub fn slots_idle(&self) -> u64 {
+        self.slots_idle
+    }
+
+    /// Reset to empty.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_split() {
+        let mut m = EnergyMeter::new();
+        m.record_transmission(MilliJoules(100.0));
+        m.record_transmission(MilliJoules(50.0));
+        m.record_tail(MilliJoules(30.0));
+        let b = m.breakdown();
+        assert_eq!(b.transmission, MilliJoules(150.0));
+        assert_eq!(b.tail, MilliJoules(30.0));
+        assert_eq!(m.total(), MilliJoules(180.0));
+        assert_eq!(m.slots_transmitting(), 2);
+        assert_eq!(m.slots_idle(), 1);
+    }
+
+    #[test]
+    fn tail_fraction() {
+        let b = EnergyBreakdown {
+            transmission: MilliJoules(75.0),
+            tail: MilliJoules(25.0),
+        };
+        assert!((b.tail_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::default().tail_fraction(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let a = EnergyBreakdown {
+            transmission: MilliJoules(1.0),
+            tail: MilliJoules(2.0),
+        };
+        let b = EnergyBreakdown {
+            transmission: MilliJoules(3.0),
+            tail: MilliJoules(4.0),
+        };
+        let s: EnergyBreakdown = [a, b].into_iter().sum();
+        assert_eq!(s.transmission, MilliJoules(4.0));
+        assert_eq!(s.tail, MilliJoules(6.0));
+        assert_eq!(s.total(), MilliJoules(10.0));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = EnergyMeter::new();
+        m.record_tail(MilliJoules(5.0));
+        m.reset();
+        assert_eq!(m.total(), MilliJoules(0.0));
+        assert_eq!(m.slots_idle(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Cellular radio substrate for the jmso simulator.
+//!
+//! This crate implements every radio-layer model used by the paper
+//! *Joint Media Streaming Optimization of Energy and Rebuffering Time in
+//! Cellular Networks* (ICPP 2015):
+//!
+//! * [`signal`] — per-user received-signal-strength (RSSI) processes:
+//!   the paper's sinusoid-plus-Gaussian-noise trace, a Gilbert–Elliott style
+//!   Markov chain, trace replay, and constants.
+//! * [`throughput`] — the linear RSSI→throughput fit `v(sig)` of Eq. (24).
+//! * [`power`] — the per-byte power fit `P(sig)` of Eq. (24) and derived
+//!   transmission-energy helpers (Eq. (3)).
+//! * [`rrc`] — the 3G/LTE Radio Resource Control state machine with
+//!   demotion timers, and the closed-form tail-energy function of Eq. (4).
+//! * [`energy`] — per-device energy metering split into transmission and
+//!   tail components (Eqs. (5)–(6)).
+//! * [`types`] — light unit newtypes (`Dbm`, `KbPerSec`, `MilliJoules`,
+//!   `MilliWatts`) so unit mistakes fail to compile.
+
+pub mod energy;
+pub mod frames;
+pub mod power;
+pub mod rrc;
+pub mod signal;
+pub mod throughput;
+pub mod types;
+
+pub use energy::{EnergyBreakdown, EnergyMeter};
+pub use frames::{FrameLevelLink, FrameTransfer};
+pub use power::{PowerModel, RssiPowerModel};
+pub use rrc::{tail_energy, RrcConfig, RrcMachine, RrcState};
+pub use signal::{ConstantSignal, MarkovSignal, SignalModel, SignalSpec, SineSignal, TraceSignal};
+pub use throughput::{LinearRssiThroughput, ThroughputModel};
+pub use types::{Dbm, KbPerSec, MilliJoules, MilliWatts};

@@ -1,0 +1,321 @@
+//! Radio Resource Control (RRC) state machine and tail energy (Eq. (4)).
+//!
+//! 3G devices demote `CELL_DCH → CELL_FACH → IDLE` on inactivity timers
+//! `T1`/`T2`, drawing `Pd`/`Pf` in the two active states. The energy burned
+//! while the timers run down after the last transmission is the *tail
+//! energy*:
+//!
+//! ```text
+//! E_tail(t) = Pd·t,                    0 ≤ t < T1
+//!           = Pd·T1 + Pf·(t − T1),     T1 ≤ t < T1 + T2
+//!           = Pd·T1 + Pf·T2,           t ≥ T1 + T2
+//! ```
+//!
+//! LTE has a two-state machine (`RRC_CONNECTED → RRC_IDLE`); it is expressed
+//! here as the degenerate case `Pf = 0, T2 = 0`, exactly as the paper notes
+//! ("the RRC models of 3G and LTE are similar and only different in certain
+//! parameters").
+//!
+//! Both a closed-form [`tail_energy`] and an incremental per-slot state
+//! machine ([`RrcMachine`]) are provided; property tests assert they agree,
+//! so the simulator can account tail energy slot-by-slot while the
+//! schedulers reason with the closed form.
+
+use crate::types::{MilliJoules, MilliWatts};
+use serde::{Deserialize, Serialize};
+
+/// RRC protocol state of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RrcState {
+    /// High-power dedicated channel (3G `CELL_DCH` / LTE `RRC_CONNECTED`).
+    Dch,
+    /// Medium-power shared channel (3G `CELL_FACH`; unused in the LTE profile).
+    Fach,
+    /// Low-power idle (`CELL_IDLE` / `RRC_IDLE`); modeled as zero draw.
+    Idle,
+}
+
+/// Timer and power parameters of the RRC state machine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct RrcConfig {
+    /// Power in the high state (`CELL_DCH`), mW.
+    pub p_dch: MilliWatts,
+    /// Power in the medium state (`CELL_FACH`), mW.
+    pub p_fach: MilliWatts,
+    /// Inactivity timer for DCH → FACH demotion, seconds.
+    pub t1: f64,
+    /// Inactivity timer for FACH → IDLE demotion, seconds.
+    pub t2: f64,
+}
+
+impl RrcConfig {
+    /// The paper's 3G parameters (from PerES \[29\]): `Pd = 732.83 mW`,
+    /// `Pf = 388.88 mW`, `T1 = 3.29 s`, `T2 = 4.02 s`.
+    pub fn umts_3g() -> Self {
+        Self {
+            p_dch: MilliWatts(732.83),
+            p_fach: MilliWatts(388.88),
+            t1: 3.29,
+            t2: 4.02,
+        }
+    }
+
+    /// An LTE profile: one connected state (~1210 mW continuous-reception
+    /// tail, per Huang et al. MobiSys'12) demoting straight to idle after
+    /// the ~11.5 s inactivity timer. Expressed as the `Pf = 0, T2 = 0`
+    /// degenerate case of the 3-state machine.
+    pub fn lte() -> Self {
+        Self {
+            p_dch: MilliWatts(1210.0),
+            p_fach: MilliWatts(0.0),
+            t1: 11.5,
+            t2: 0.0,
+        }
+    }
+
+    /// Total tail energy of a complete (uninterrupted) demotion:
+    /// `Pd·T1 + Pf·T2`.
+    pub fn full_tail_energy(&self) -> MilliJoules {
+        MilliJoules(self.p_dch.value() * self.t1 + self.p_fach.value() * self.t2)
+    }
+
+    /// Time until the radio is fully idle after the last transmission.
+    pub fn full_tail_duration(&self) -> f64 {
+        self.t1 + self.t2
+    }
+
+    /// State after `idle` seconds without transmission.
+    pub fn state_after_idle(&self, idle: f64) -> RrcState {
+        if idle < self.t1 {
+            RrcState::Dch
+        } else if idle < self.t1 + self.t2 {
+            RrcState::Fach
+        } else {
+            RrcState::Idle
+        }
+    }
+}
+
+impl Default for RrcConfig {
+    fn default() -> Self {
+        Self::umts_3g()
+    }
+}
+
+/// Closed-form cumulative tail energy after `t` seconds of inactivity
+/// (the paper's Eq. (4)).
+///
+/// ```
+/// use jmso_radio::{tail_energy, RrcConfig};
+///
+/// let cfg = RrcConfig::umts_3g();
+/// // One second in CELL_DCH costs Pd·1 = 732.83 mJ…
+/// assert!((tail_energy(&cfg, 1.0).value() - 732.83).abs() < 1e-9);
+/// // …and the tail saturates at Pd·T1 + Pf·T2 once both timers expire.
+/// assert_eq!(tail_energy(&cfg, 100.0), cfg.full_tail_energy());
+/// ```
+pub fn tail_energy(cfg: &RrcConfig, t: f64) -> MilliJoules {
+    let t = t.max(0.0);
+    let pd = cfg.p_dch.value();
+    let pf = cfg.p_fach.value();
+    let e = if t < cfg.t1 {
+        pd * t
+    } else if t < cfg.t1 + cfg.t2 {
+        pd * cfg.t1 + pf * (t - cfg.t1)
+    } else {
+        pd * cfg.t1 + pf * cfg.t2
+    };
+    MilliJoules(e)
+}
+
+/// Tail energy accrued over the idle interval `[from, to]` (both measured
+/// from the last transmission). This is what one idle slot costs.
+pub fn tail_energy_between(cfg: &RrcConfig, from: f64, to: f64) -> MilliJoules {
+    debug_assert!(to >= from);
+    tail_energy(cfg, to) - tail_energy(cfg, from)
+}
+
+/// Incremental per-device RRC state machine.
+///
+/// Drive it with [`RrcMachine::on_transmit`] on slots that carry data and
+/// [`RrcMachine::on_idle`] on slots that do not; `on_idle` returns the tail
+/// energy spent in that interval (accounting for demotions that happen
+/// mid-interval).
+///
+/// ```
+/// use jmso_radio::{RrcConfig, RrcMachine, RrcState};
+///
+/// let mut radio = RrcMachine::new(RrcConfig::umts_3g());
+/// assert_eq!(radio.state(), RrcState::Dch);
+/// let spent = radio.on_idle(5.0); // crosses the T1 = 3.29 s demotion
+/// assert_eq!(radio.state(), RrcState::Fach);
+/// assert!(spent.value() > 0.0);
+/// radio.on_transmit(); // any data promotes straight back to DCH
+/// assert_eq!(radio.state(), RrcState::Dch);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RrcMachine {
+    cfg: RrcConfig,
+    /// Seconds since the end of the last transmission.
+    idle_s: f64,
+}
+
+impl RrcMachine {
+    /// A machine that has just transmitted (idle clock at zero, in DCH).
+    pub fn new(cfg: RrcConfig) -> Self {
+        Self { cfg, idle_s: 0.0 }
+    }
+
+    /// A machine that has been idle long enough to be fully in IDLE.
+    pub fn new_idle(cfg: RrcConfig) -> Self {
+        let idle_s = cfg.full_tail_duration();
+        Self { cfg, idle_s }
+    }
+
+    /// Parameters of this machine.
+    pub fn config(&self) -> &RrcConfig {
+        &self.cfg
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> RrcState {
+        self.cfg.state_after_idle(self.idle_s)
+    }
+
+    /// Seconds since the last transmission.
+    pub fn idle_seconds(&self) -> f64 {
+        self.idle_s
+    }
+
+    /// Register a transmission: promote to DCH, reset the idle clock.
+    /// (Promotion energy is charged as transmission energy by the power
+    /// model, matching the paper's Eq. (5) dichotomy.)
+    pub fn on_transmit(&mut self) {
+        self.idle_s = 0.0;
+    }
+
+    /// Advance `dt` seconds without transmission; returns the tail energy
+    /// burned in the interval.
+    pub fn on_idle(&mut self, dt: f64) -> MilliJoules {
+        debug_assert!(dt >= 0.0);
+        let start = self.idle_s;
+        self.idle_s += dt;
+        tail_energy_between(&self.cfg, start, self.idle_s)
+    }
+
+    /// The tail energy the *next* `dt` idle seconds would cost, without
+    /// advancing the machine. Schedulers use this to price `φᵢ(n) = 0`.
+    pub fn peek_idle_cost(&self, dt: f64) -> MilliJoules {
+        tail_energy_between(&self.cfg, self.idle_s, self.idle_s + dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RrcConfig {
+        RrcConfig::umts_3g()
+    }
+
+    #[test]
+    fn eq4_pinned_values() {
+        let c = cfg();
+        // Region 1: Pd·t.
+        assert!((tail_energy(&c, 1.0).value() - 732.83).abs() < 1e-9);
+        // Boundary at T1: Pd·T1 = 2411.0107 mJ.
+        assert!((tail_energy(&c, 3.29).value() - 732.83 * 3.29).abs() < 1e-9);
+        // Region 2.
+        let e = tail_energy(&c, 5.0).value();
+        assert!((e - (732.83 * 3.29 + 388.88 * (5.0 - 3.29))).abs() < 1e-9);
+        // Saturation: Pd·T1 + Pf·T2 ≈ 3974.3083 mJ.
+        let sat = 732.83 * 3.29 + 388.88 * 4.02;
+        assert!((tail_energy(&c, 7.31).value() - sat).abs() < 1e-9);
+        assert!((tail_energy(&c, 100.0).value() - sat).abs() < 1e-9);
+        assert_eq!(tail_energy(&c, 100.0), c.full_tail_energy());
+    }
+
+    #[test]
+    fn eq4_monotone_and_continuous() {
+        let c = cfg();
+        let mut prev = 0.0;
+        for i in 0..=1000 {
+            let t = i as f64 * 0.01;
+            let e = tail_energy(&c, t).value();
+            assert!(e >= prev - 1e-12);
+            prev = e;
+        }
+        // Continuity at the two breakpoints.
+        for bp in [c.t1, c.t1 + c.t2] {
+            let lo = tail_energy(&c, bp - 1e-9).value();
+            let hi = tail_energy(&c, bp + 1e-9).value();
+            assert!((hi - lo).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn negative_time_clamped() {
+        assert_eq!(tail_energy(&cfg(), -5.0).value(), 0.0);
+    }
+
+    #[test]
+    fn machine_matches_closed_form_over_slots() {
+        let c = cfg();
+        let mut m = RrcMachine::new(c);
+        let tau = 1.0;
+        let mut acc = 0.0;
+        for k in 1..=12 {
+            acc += m.on_idle(tau).value();
+            let expect = tail_energy(&c, k as f64 * tau).value();
+            assert!((acc - expect).abs() < 1e-9, "slot {k}");
+        }
+    }
+
+    #[test]
+    fn machine_states_follow_timers() {
+        let c = cfg();
+        let mut m = RrcMachine::new(c);
+        assert_eq!(m.state(), RrcState::Dch);
+        m.on_idle(3.3);
+        assert_eq!(m.state(), RrcState::Fach);
+        m.on_idle(4.1);
+        assert_eq!(m.state(), RrcState::Idle);
+        m.on_transmit();
+        assert_eq!(m.state(), RrcState::Dch);
+        assert_eq!(m.idle_seconds(), 0.0);
+    }
+
+    #[test]
+    fn idle_machine_costs_nothing() {
+        let mut m = RrcMachine::new_idle(cfg());
+        assert_eq!(m.state(), RrcState::Idle);
+        assert_eq!(m.on_idle(10.0).value(), 0.0);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut m = RrcMachine::new(cfg());
+        let peeked = m.peek_idle_cost(1.0);
+        assert_eq!(m.idle_seconds(), 0.0);
+        let actual = m.on_idle(1.0);
+        assert_eq!(peeked, actual);
+    }
+
+    #[test]
+    fn lte_profile_is_two_state() {
+        let c = RrcConfig::lte();
+        assert_eq!(c.state_after_idle(0.0), RrcState::Dch);
+        assert_eq!(c.state_after_idle(11.49), RrcState::Dch);
+        assert_eq!(c.state_after_idle(11.5), RrcState::Idle);
+        // Full tail = Pd·T1 only.
+        assert!((c.full_tail_energy().value() - 1210.0 * 11.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn between_is_difference_of_cumulative() {
+        let c = cfg();
+        let e = tail_energy_between(&c, 2.0, 6.0).value();
+        let expect = tail_energy(&c, 6.0).value() - tail_energy(&c, 2.0).value();
+        assert!((e - expect).abs() < 1e-12);
+    }
+}

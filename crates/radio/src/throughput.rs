@@ -1,0 +1,99 @@
+//! RSSI → throughput model (the paper's Definition 3 and Eq. (24)).
+//!
+//! The paper adopts the linear fit measured by Suneja et al. (EnVi):
+//! `v(sig) = 65.8·sig + 7567.0` KB/s with `sig` in dBm. Over the paper's
+//! signal range `[-110, -50]` dBm this spans roughly 329 → 4279 KB/s.
+
+use crate::types::{Dbm, KbPerSec};
+use serde::{Deserialize, Serialize};
+
+/// Maps channel quality to the maximum per-second data volume (Def. 3).
+pub trait ThroughputModel: Send + Sync {
+    /// Maximum achievable throughput at signal strength `sig`.
+    fn throughput(&self, sig: Dbm) -> KbPerSec;
+}
+
+/// The linear RSSI→throughput fit of Eq. (24), with a non-negativity floor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct LinearRssiThroughput {
+    /// KB/s gained per dBm.
+    pub slope: f64,
+    /// KB/s at 0 dBm.
+    pub intercept: f64,
+    /// Lower bound applied after the linear map (KB/s).
+    pub floor: f64,
+}
+
+impl LinearRssiThroughput {
+    /// The paper's fitted coefficients: `v(sig) = 65.8·sig + 7567.0` KB/s.
+    pub fn paper() -> Self {
+        Self {
+            slope: 65.8,
+            intercept: 7567.0,
+            floor: 0.0,
+        }
+    }
+
+    /// Signal strength at which the model produces throughput `v`
+    /// (inverse of the linear fit, ignoring the floor). Used by the RTMA
+    /// energy-bound → signal-threshold conversion (Eq. (12)).
+    pub fn signal_for(&self, v: KbPerSec) -> Dbm {
+        Dbm((v.value() - self.intercept) / self.slope)
+    }
+}
+
+impl Default for LinearRssiThroughput {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl ThroughputModel for LinearRssiThroughput {
+    #[inline]
+    fn throughput(&self, sig: Dbm) -> KbPerSec {
+        KbPerSec((self.slope * sig.value() + self.intercept).max(self.floor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fit_pinned_values() {
+        let m = LinearRssiThroughput::paper();
+        // v(-80) = 65.8·(−80) + 7567 = 2303 KB/s.
+        assert!((m.throughput(Dbm(-80.0)).value() - 2303.0).abs() < 1e-9);
+        // Strongest / weakest paper signals.
+        assert!((m.throughput(Dbm(-50.0)).value() - 4277.0).abs() < 1e-9);
+        assert!((m.throughput(Dbm(-110.0)).value() - 329.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_prevents_negative_throughput() {
+        let m = LinearRssiThroughput::paper();
+        assert_eq!(m.throughput(Dbm(-130.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let m = LinearRssiThroughput::paper();
+        for sig in [-110.0, -95.5, -80.0, -62.1, -50.0] {
+            let v = m.throughput(Dbm(sig));
+            let back = m.signal_for(v);
+            assert!((back.value() - sig).abs() < 1e-9, "{sig} vs {back}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_signal() {
+        let m = LinearRssiThroughput::paper();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=60 {
+            let sig = -110.0 + i as f64;
+            let v = m.throughput(Dbm(sig)).value();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

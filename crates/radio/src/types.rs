@@ -1,0 +1,235 @@
+//! Unit newtypes used throughout the workspace.
+//!
+//! All quantities are `f64` internally; the wrappers exist so that a signal
+//! strength can never be added to an energy by accident. Only the arithmetic
+//! that is physically meaningful is implemented (e.g. `MilliWatts * seconds
+//! = MilliJoules`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Raw numeric value.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Zero of this unit.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Clamp into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// True when the value is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Received signal strength in dBm (typically in `[-110, -50]` for the
+    /// paper's scenarios; larger, i.e. less negative, is better).
+    Dbm,
+    "dBm"
+);
+
+unit_newtype!(
+    /// Throughput in kilobytes per second (the paper's `v(sig)` unit).
+    KbPerSec,
+    "KB/s"
+);
+
+unit_newtype!(
+    /// Energy in millijoules.
+    MilliJoules,
+    "mJ"
+);
+
+unit_newtype!(
+    /// Power in milliwatts (equivalently mJ/s).
+    MilliWatts,
+    "mW"
+);
+
+impl MilliWatts {
+    /// Energy accumulated by drawing this power for `seconds`.
+    #[inline]
+    pub fn over_seconds(self, seconds: f64) -> MilliJoules {
+        MilliJoules(self.0 * seconds)
+    }
+}
+
+impl KbPerSec {
+    /// Kilobytes transferable in `seconds` at this rate.
+    #[inline]
+    pub fn kb_in(self, seconds: f64) -> f64 {
+        self.0 * seconds
+    }
+}
+
+impl MilliJoules {
+    /// Convert to joules.
+    #[inline]
+    pub fn joules(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Convert to kilojoules.
+    #[inline]
+    pub fn kilojoules(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let p = MilliWatts(732.83);
+        let e = p.over_seconds(3.29);
+        assert!((e.value() - 2411.0107).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_times_time_is_volume() {
+        assert!((KbPerSec(2303.0).kb_in(2.0) - 4606.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = MilliJoules(2.0) + MilliJoules(3.0);
+        assert_eq!(a, MilliJoules(5.0));
+        let b = a - MilliJoules(1.0);
+        assert_eq!(b, MilliJoules(4.0));
+        let c = b * 2.0;
+        assert_eq!(c, MilliJoules(8.0));
+        let d = c / 4.0;
+        assert_eq!(d, MilliJoules(2.0));
+        assert_eq!(-d, MilliJoules(-2.0));
+    }
+
+    #[test]
+    fn clamp_min_max() {
+        let s = Dbm(-130.0).clamp(Dbm(-110.0), Dbm(-50.0));
+        assert_eq!(s, Dbm(-110.0));
+        assert_eq!(Dbm(-60.0).min(Dbm(-70.0)), Dbm(-70.0));
+        assert_eq!(Dbm(-60.0).max(Dbm(-70.0)), Dbm(-60.0));
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: MilliJoules = [MilliJoules(1.0), MilliJoules(2.5)].into_iter().sum();
+        assert_eq!(total, MilliJoules(3.5));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((MilliJoules(2500.0).joules() - 2.5).abs() < 1e-12);
+        assert!((MilliJoules(3.0e6).kilojoules() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_transparent_roundtrip() {
+        let s = Dbm(-82.5);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "-82.5");
+        let back: Dbm = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the radio substrate.
+
+use jmso_radio::rrc::tail_energy_between;
+use jmso_radio::signal::SignalSpec;
+use jmso_radio::{
+    tail_energy, Dbm, KbPerSec, LinearRssiThroughput, MilliWatts, PowerModel, RrcConfig,
+    RrcMachine, RssiPowerModel, ThroughputModel,
+};
+use proptest::prelude::*;
+
+fn arb_rrc() -> impl Strategy<Value = RrcConfig> {
+    (10.0f64..2000.0, 0.0f64..1000.0, 0.01f64..20.0, 0.0f64..20.0).prop_map(
+        |(pd, pf, t1, t2)| RrcConfig {
+            p_dch: MilliWatts(pd),
+            p_fach: MilliWatts(pf),
+            t1,
+            t2,
+        },
+    )
+}
+
+proptest! {
+    /// Eq. (4) is monotone non-decreasing in t for any parameterisation.
+    #[test]
+    fn tail_energy_monotone(cfg in arb_rrc(), a in 0.0f64..50.0, b in 0.0f64..50.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(tail_energy(&cfg, hi).value() >= tail_energy(&cfg, lo).value() - 1e-9);
+    }
+
+    /// Eq. (4) saturates at Pd·T1 + Pf·T2.
+    #[test]
+    fn tail_energy_saturates(cfg in arb_rrc(), t in 0.0f64..100.0) {
+        let cap = cfg.full_tail_energy().value();
+        prop_assert!(tail_energy(&cfg, t).value() <= cap + 1e-9);
+        prop_assert!((tail_energy(&cfg, cfg.full_tail_duration() + t).value() - cap).abs() < 1e-9);
+    }
+
+    /// The incremental machine equals the closed form regardless of how the
+    /// idle interval is chopped into slots.
+    #[test]
+    fn machine_equals_closed_form(
+        cfg in arb_rrc(),
+        slots in proptest::collection::vec(0.01f64..3.0, 1..30),
+    ) {
+        let mut m = RrcMachine::new(cfg);
+        let mut acc = 0.0;
+        let mut t = 0.0;
+        for dt in &slots {
+            acc += m.on_idle(*dt).value();
+            t += dt;
+        }
+        prop_assert!((acc - tail_energy(&cfg, t).value()).abs() < 1e-6);
+    }
+
+    /// Interval tail energy is additive: [a,b] + [b,c] = [a,c].
+    #[test]
+    fn tail_between_additive(cfg in arb_rrc(), a in 0.0f64..20.0, d1 in 0.0f64..10.0, d2 in 0.0f64..10.0) {
+        let b = a + d1;
+        let c = b + d2;
+        let lhs = tail_energy_between(&cfg, a, b).value() + tail_energy_between(&cfg, b, c).value();
+        let rhs = tail_energy_between(&cfg, a, c).value();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    /// Throughput model is monotone and its inverse roundtrips above the floor.
+    #[test]
+    fn throughput_monotone_and_invertible(s1 in -110.0f64..-50.0, s2 in -110.0f64..-50.0) {
+        let m = LinearRssiThroughput::paper();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(m.throughput(Dbm(hi)).value() >= m.throughput(Dbm(lo)).value());
+        let v = m.throughput(Dbm(s1));
+        prop_assert!((m.signal_for(v).value() - s1).abs() < 1e-6);
+    }
+
+    /// Per-byte power is positive and decreasing in signal over the paper range.
+    #[test]
+    fn power_positive_and_decreasing(s1 in -110.0f64..-50.0, s2 in -110.0f64..-50.0) {
+        let m = RssiPowerModel::paper();
+        prop_assert!(m.energy_per_kb(Dbm(s1)) > 0.0);
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(m.energy_per_kb(Dbm(hi)) <= m.energy_per_kb(Dbm(lo)) + 1e-12);
+    }
+
+    /// Full-rate power inversion roundtrips.
+    #[test]
+    fn full_rate_power_roundtrip(v in 100.0f64..5000.0) {
+        let m = RssiPowerModel::paper();
+        let p = m.full_rate_power_at(KbPerSec(v));
+        prop_assert!((m.throughput_for_power(p).value() - v).abs() < 1e-6);
+    }
+
+    /// Every signal spec yields samples within physical range and is
+    /// deterministic per seed.
+    #[test]
+    fn signal_specs_bounded_and_deterministic(seed in 0u64..1000, idx in 0usize..40) {
+        for spec in [
+            SignalSpec::paper_default(),
+            SignalSpec::Markov { min_dbm: -110.0, max_dbm: -50.0, levels: 16, move_prob: 0.3 },
+        ] {
+            let sample = |s: u64| -> Vec<f64> {
+                let mut m = spec.build(idx, 40, s);
+                (0..64).map(|n| m.sample(n).value()).collect()
+            };
+            let a = sample(seed);
+            let b = sample(seed);
+            prop_assert_eq!(&a, &b);
+            for v in &a {
+                prop_assert!((-110.0..=-50.0).contains(v));
+            }
+        }
+    }
+}

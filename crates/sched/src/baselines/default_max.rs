@@ -1,0 +1,78 @@
+//! The Default strategy: "delivers video contents to each user as much as
+//! possible to make full use of throughput" (§VI-A).
+//!
+//! Users are served in fixed index order, each taking
+//! `min(link cap, remaining BS budget, remaining bytes)`. Early users can
+//! seize the whole BS budget — exactly the unfairness the paper's Fig. 2
+//! attributes to this strategy.
+
+use jmso_gateway::{Allocation, Scheduler, SlotContext};
+
+/// The greedy-max baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultMax;
+
+impl DefaultMax {
+    /// Construct the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for DefaultMax {
+    fn name(&self) -> &'static str {
+        "Default"
+    }
+
+    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+        let mut budget = ctx.bs_cap_units;
+        let alloc = ctx
+            .users
+            .iter()
+            .map(|u| {
+                let grant = u.usable_cap_units(ctx.delta_kb).min(budget);
+                budget -= grant;
+                grant
+            })
+            .collect();
+        Allocation(alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support::{ctx, user};
+
+    #[test]
+    fn takes_everything_available() {
+        let users = vec![user(0, -70.0, 450.0, 30), user(1, -70.0, 450.0, 30)];
+        let mut d = DefaultMax::new();
+        let c = ctx(&users, 400);
+        let a = d.allocate(&c);
+        assert_eq!(a.0, vec![30, 30]);
+        a.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn early_users_seize_scarce_budget() {
+        let users = vec![
+            user(0, -70.0, 450.0, 50),
+            user(1, -70.0, 450.0, 50),
+            user(2, -70.0, 450.0, 50),
+        ];
+        let mut d = DefaultMax::new();
+        let a = d.allocate(&ctx(&users, 60));
+        assert_eq!(a.0, vec![50, 10, 0], "first-come order starves the tail");
+    }
+
+    #[test]
+    fn respects_remaining_bytes() {
+        let mut u = user(0, -70.0, 450.0, 50);
+        u.remaining_kb = 120.0; // 3 units of 50 KB
+        let users = vec![u];
+        let mut d = DefaultMax::new();
+        let a = d.allocate(&ctx(&users, 400));
+        assert_eq!(a.0[0], 3);
+    }
+}

@@ -1,0 +1,276 @@
+//! RTMA — Rebuffering Time Minimization Algorithm (the paper's Alg. 1).
+//!
+//! Per slot, RTMA:
+//!
+//! 1. sorts users by required data rate `pᵢ(n)` ascending — given equal
+//!    data, a lower-rate user sustains playback longer, so cheap users are
+//!    served first;
+//! 2. computes each user's per-slot need `φ_need(i) = ⌈τ·pᵢ/δ⌉`;
+//! 3. repeatedly sweeps the sorted users, granting each at most one more
+//!    `φ_need` tranche per sweep, skipping users whose signal falls below
+//!    the Eq. (12) threshold (the energy budget Φ in admission-rule form),
+//!    until the BS budget is exhausted or no user can take more.
+//!
+//! The tranche-per-sweep structure is what produces RTMA's fairness
+//! (Fig. 2): early users cannot seize the whole BS budget in one pass.
+
+use crate::cost::CrossLayerModels;
+use crate::threshold::SignalThreshold;
+use jmso_gateway::{Allocation, Scheduler, SlotContext};
+use jmso_radio::MilliJoules;
+
+/// The RTMA policy.
+///
+/// ```
+/// use jmso_radio::MilliJoules;
+/// use jmso_sched::{CrossLayerModels, Rtma};
+///
+/// let models = CrossLayerModels::paper();
+/// // A 950 mJ per-slot budget converts (Eq. 12) into a signal threshold
+/// // somewhere inside the paper's [−110, −50] dBm range…
+/// let rtma = Rtma::with_energy_bound(MilliJoules(950.0), 1.0, &models);
+/// let t = rtma.threshold();
+/// assert!((-110.0..=-50.0).contains(&t.min_dbm));
+/// // …while an unconstrained RTMA admits everyone.
+/// assert_eq!(Rtma::unbounded().threshold().min_dbm, f64::NEG_INFINITY);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rtma {
+    threshold: SignalThreshold,
+}
+
+impl Rtma {
+    /// RTMA with an explicit admission threshold.
+    pub fn with_threshold(threshold: SignalThreshold) -> Self {
+        Self { threshold }
+    }
+
+    /// RTMA with the threshold derived from a per-slot energy budget `Φ`
+    /// via Eq. (12).
+    pub fn with_energy_bound(phi: MilliJoules, tau: f64, models: &CrossLayerModels) -> Self {
+        Self::with_threshold(SignalThreshold::from_energy_bound(phi, tau, models))
+    }
+
+    /// RTMA without an energy constraint (threshold admits everyone). In
+    /// this configuration the per-slot allocation is locally optimal for
+    /// rebuffering, as the paper notes.
+    pub fn unbounded() -> Self {
+        Self::with_threshold(SignalThreshold::allow_all())
+    }
+
+    /// The admission threshold in force.
+    pub fn threshold(&self) -> SignalThreshold {
+        self.threshold
+    }
+}
+
+impl Scheduler for Rtma {
+    fn name(&self) -> &'static str {
+        "RTMA"
+    }
+
+    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+        let n = ctx.users.len();
+        let mut alloc = vec![0u64; n];
+        let mut budget = ctx.bs_cap_units;
+
+        // Step 2: ascending required data rate (stable: ties keep id order).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            ctx.users[a]
+                .rate_kbps
+                .partial_cmp(&ctx.users[b].rate_kbps)
+                .expect("rates are finite")
+        });
+
+        // Step 3: per-slot need ⌈τ·pᵢ/δ⌉ and the hard per-user ceiling
+        // (link bound ∩ remaining video bytes).
+        let need: Vec<u64> = ctx
+            .users
+            .iter()
+            .map(|u| ((ctx.tau * u.rate_kbps) / ctx.delta_kb).ceil() as u64)
+            .collect();
+        let ceiling: Vec<u64> = ctx
+            .users
+            .iter()
+            .map(|u| u.usable_cap_units(ctx.delta_kb))
+            .collect();
+
+        // Steps 4–15: sweep until the budget is gone or nothing moves.
+        while budget > 0 {
+            let mut progressed = false;
+            for &i in &order {
+                if budget == 0 {
+                    break;
+                }
+                let u = &ctx.users[i];
+                if !u.active && u.remaining_kb <= 0.0 {
+                    continue;
+                }
+                // Step 6: the Eq. (12) energy admission rule.
+                if !self.threshold.allows(u.signal) {
+                    continue;
+                }
+                // Step 7: φ_sup = remaining headroom under Eq. (1)/(2).
+                let sup = (ceiling[i] - alloc[i]).min(budget);
+                if sup == 0 {
+                    continue;
+                }
+                // Steps 8–12: grant one need-tranche, or whatever is left.
+                let grant = need[i].max(1).min(sup);
+                alloc[i] += grant;
+                budget -= grant;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        Allocation(alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmso_gateway::UserSnapshot;
+    use jmso_radio::rrc::RrcState;
+    use jmso_radio::Dbm;
+
+    fn user(id: usize, sig: f64, rate: f64, link_cap: u64) -> UserSnapshot {
+        UserSnapshot {
+            id,
+            signal: Dbm(sig),
+            rate_kbps: rate,
+            buffer_s: 0.0,
+            remaining_kb: 1e9,
+            active: true,
+            link_cap_units: link_cap,
+            idle_s: 0.0,
+            rrc_state: RrcState::Dch,
+        }
+    }
+
+    fn ctx<'a>(users: &'a [UserSnapshot], bs_cap: u64) -> SlotContext<'a> {
+        SlotContext {
+            slot: 0,
+            tau: 1.0,
+            delta_kb: 50.0,
+            bs_cap_units: bs_cap,
+            users,
+        }
+    }
+
+    /// With ample budget every user gets at least their need.
+    #[test]
+    fn ample_budget_meets_all_needs() {
+        let users = vec![
+            user(0, -70.0, 300.0, 60), // need ⌈300/50⌉ = 6
+            user(1, -70.0, 600.0, 60), // need 12
+        ];
+        let mut r = Rtma::unbounded();
+        let a = r.allocate(&ctx(&users, 400));
+        assert!(a.0[0] >= 6);
+        assert!(a.0[1] >= 12);
+        a.validate(&ctx(&users, 400)).unwrap();
+    }
+
+    /// Under scarcity, the low-rate user's need is served first.
+    #[test]
+    fn scarcity_prioritizes_low_rate_users() {
+        let users = vec![
+            user(0, -70.0, 600.0, 100), // need 12, sorted second
+            user(1, -70.0, 300.0, 100), // need 6, sorted first
+        ];
+        // Budget of 6: exactly the low-rate user's need.
+        let mut r = Rtma::unbounded();
+        let a = r.allocate(&ctx(&users, 6));
+        assert_eq!(a.0[1], 6, "low-rate user served first");
+        assert_eq!(a.0[0], 0);
+    }
+
+    /// The signal threshold blocks weak-signal users entirely.
+    #[test]
+    fn threshold_blocks_weak_users() {
+        let users = vec![user(0, -100.0, 300.0, 50), user(1, -60.0, 300.0, 50)];
+        let mut r = Rtma::with_threshold(SignalThreshold { min_dbm: -80.0 });
+        let a = r.allocate(&ctx(&users, 400));
+        assert_eq!(a.0[0], 0, "below threshold");
+        assert!(a.0[1] > 0, "above threshold");
+    }
+
+    /// Leftover budget is distributed in extra sweeps (bandwidth fully
+    /// used when users can take it).
+    #[test]
+    fn extra_sweeps_use_leftover_budget() {
+        let users = vec![user(0, -70.0, 300.0, 40), user(1, -70.0, 300.0, 40)];
+        let mut r = Rtma::unbounded();
+        let a = r.allocate(&ctx(&users, 80));
+        // Both can absorb 40 each: whole budget used.
+        assert_eq!(a.total_units(), 80);
+        assert_eq!(a.0[0], 40);
+        assert_eq!(a.0[1], 40);
+    }
+
+    /// Eq. (1) is never violated even with a huge BS budget.
+    #[test]
+    fn link_cap_respected() {
+        let users = vec![user(0, -70.0, 600.0, 7)];
+        let mut r = Rtma::unbounded();
+        let a = r.allocate(&ctx(&users, 1000));
+        assert_eq!(a.0[0], 7);
+    }
+
+    /// Eq. (2) is never violated even with huge link caps.
+    #[test]
+    fn bs_cap_respected() {
+        let users: Vec<_> = (0..10).map(|i| user(i, -60.0, 450.0, 1000)).collect();
+        let mut r = Rtma::unbounded();
+        let c = ctx(&users, 55);
+        let a = r.allocate(&c);
+        assert_eq!(a.total_units(), 55);
+        a.validate(&c).unwrap();
+    }
+
+    /// Users with nothing left to fetch get nothing.
+    #[test]
+    fn finished_fetchers_skipped() {
+        let mut u0 = user(0, -70.0, 300.0, 50);
+        u0.remaining_kb = 0.0;
+        let users = vec![u0, user(1, -70.0, 300.0, 50)];
+        let mut r = Rtma::unbounded();
+        let a = r.allocate(&ctx(&users, 100));
+        assert_eq!(a.0[0], 0);
+        assert!(a.0[1] > 0);
+    }
+
+    /// Remaining video bytes cap the grant (no over-delivery).
+    #[test]
+    fn remaining_bytes_cap_grant() {
+        let mut u0 = user(0, -70.0, 600.0, 100);
+        u0.remaining_kb = 130.0; // ⌈130/50⌉ = 3 units
+        let users = vec![u0];
+        let mut r = Rtma::unbounded();
+        let a = r.allocate(&ctx(&users, 400));
+        assert_eq!(a.0[0], 3);
+    }
+
+    /// Everyone blocked by the threshold ⇒ all-zero allocation, no hang.
+    #[test]
+    fn all_blocked_terminates() {
+        let users = vec![user(0, -100.0, 300.0, 50), user(1, -105.0, 450.0, 50)];
+        let mut r = Rtma::with_threshold(SignalThreshold { min_dbm: -60.0 });
+        let a = r.allocate(&ctx(&users, 400));
+        assert_eq!(a.total_units(), 0);
+    }
+
+    /// Zero users: empty allocation.
+    #[test]
+    fn no_users() {
+        let users: Vec<UserSnapshot> = vec![];
+        let mut r = Rtma::unbounded();
+        let a = r.allocate(&ctx(&users, 400));
+        assert!(a.0.is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Serializable scheduler descriptions — the factory scenario configs use.
+
+use crate::baselines::{
+    DefaultMax, EStreamer, OnOff, ProportionalFair, RoundRobin, Salsa, Throttling,
+};
+use crate::cost::{CrossLayerModels, TailPricing};
+use crate::ema::Ema;
+use crate::ema_fast::EmaFast;
+use crate::rtma::Rtma;
+use crate::threshold::SignalThreshold;
+use jmso_gateway::Scheduler;
+use jmso_radio::MilliJoules;
+use serde::{Deserialize, Serialize};
+
+/// A named, parameterised scheduling policy.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum SchedulerSpec {
+    /// The greedy-max Default baseline.
+    Default,
+    /// RTMA with the Eq. (12) threshold derived from a per-slot energy
+    /// budget `Φ` (mJ per user-slot).
+    Rtma {
+        /// Energy budget Φ in mJ.
+        phi_mj: f64,
+    },
+    /// RTMA without an energy constraint.
+    RtmaUnbounded,
+    /// EMA (exact DP form of Algorithm 2).
+    Ema {
+        /// Lyapunov weight V.
+        v: f64,
+        /// How idle slots are priced (defaults to the literal Eq. (5)).
+        #[serde(default)]
+        tail: TailPricing,
+    },
+    /// EMA solved by the exact fast greedy (identical objective).
+    EmaFast {
+        /// Lyapunov weight V.
+        v: f64,
+        /// How idle slots are priced (defaults to the literal Eq. (5)).
+        #[serde(default)]
+        tail: TailPricing,
+    },
+    /// Server-side pacing at κ·pᵢ.
+    Throttling {
+        /// Pacing factor κ.
+        kappa: f64,
+    },
+    /// Client watermark ON-OFF protocol.
+    OnOff {
+        /// Resume-reading watermark, seconds.
+        low_s: f64,
+        /// Stop-reading watermark, seconds.
+        high_s: f64,
+    },
+    /// SALSA energy-delay deferral.
+    Salsa {
+        /// Channel-opportunity factor θ.
+        theta: f64,
+        /// Buffer floor that forces a send, seconds.
+        buffer_floor_s: f64,
+        /// EWMA smoothing α.
+        ewma_alpha: f64,
+    },
+    /// EStreamer burst shaping.
+    EStreamer {
+        /// Refill threshold, seconds.
+        refill_s: f64,
+        /// Burst target, seconds.
+        target_s: f64,
+    },
+    /// Rotating fair-share (extension baseline, not in the paper).
+    RoundRobin,
+    /// Proportional-fair cellular scheduler (extension baseline).
+    ProportionalFair {
+        /// EWMA factor of the served-throughput average.
+        ewma_alpha: f64,
+    },
+}
+
+impl SchedulerSpec {
+    /// Instantiate the policy. `tau` and `models` parameterize the
+    /// cross-layer policies (RTMA's threshold, EMA's cost).
+    pub fn build(&self, tau: f64, models: &CrossLayerModels) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerSpec::Default => Box::new(DefaultMax::new()),
+            SchedulerSpec::Rtma { phi_mj } => Box::new(Rtma::with_energy_bound(
+                MilliJoules(phi_mj),
+                tau,
+                models,
+            )),
+            SchedulerSpec::RtmaUnbounded => {
+                Box::new(Rtma::with_threshold(SignalThreshold::allow_all()))
+            }
+            SchedulerSpec::Ema { v, tail } => {
+                Box::new(Ema::new(v, *models).with_tail_pricing(tail))
+            }
+            SchedulerSpec::EmaFast { v, tail } => {
+                Box::new(EmaFast::new(v, *models).with_tail_pricing(tail))
+            }
+            SchedulerSpec::Throttling { kappa } => Box::new(Throttling::new(kappa)),
+            SchedulerSpec::OnOff { low_s, high_s } => Box::new(OnOff::new(low_s, high_s)),
+            SchedulerSpec::Salsa {
+                theta,
+                buffer_floor_s,
+                ewma_alpha,
+            } => Box::new(Salsa::new(theta, buffer_floor_s, ewma_alpha)),
+            SchedulerSpec::EStreamer { refill_s, target_s } => {
+                Box::new(EStreamer::new(refill_s, target_s))
+            }
+            SchedulerSpec::RoundRobin => Box::new(RoundRobin::new()),
+            SchedulerSpec::ProportionalFair { ewma_alpha } => {
+                Box::new(ProportionalFair::new(ewma_alpha))
+            }
+        }
+    }
+
+    /// Short label for figure legends and CSV columns.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerSpec::Default => "Default".into(),
+            SchedulerSpec::Rtma { phi_mj } => format!("RTMA(Φ={phi_mj:.0}mJ)"),
+            SchedulerSpec::RtmaUnbounded => "RTMA(∞)".into(),
+            SchedulerSpec::Ema { v, .. } => format!("EMA(V={v})"),
+            SchedulerSpec::EmaFast { v, .. } => format!("EMA-fast(V={v})"),
+            SchedulerSpec::Throttling { kappa } => format!("Throttling(κ={kappa})"),
+            SchedulerSpec::OnOff { low_s, high_s } => format!("ON-OFF({low_s}/{high_s}s)"),
+            SchedulerSpec::Salsa { .. } => "SALSA".into(),
+            SchedulerSpec::EStreamer { .. } => "EStreamer".into(),
+            SchedulerSpec::RoundRobin => "RoundRobin".into(),
+            SchedulerSpec::ProportionalFair { .. } => "PF".into(),
+        }
+    }
+
+    /// The paper's default parameterisations for the three §VI baselines.
+    pub fn throttling_default() -> Self {
+        SchedulerSpec::Throttling { kappa: 1.25 }
+    }
+
+    /// ON-OFF with the YouTube-style watermarks.
+    pub fn onoff_default() -> Self {
+        SchedulerSpec::OnOff {
+            low_s: 10.0,
+            high_s: 40.0,
+        }
+    }
+
+    /// SALSA defaults used in the figure harness.
+    pub fn salsa_default() -> Self {
+        SchedulerSpec::Salsa {
+            theta: 1.0,
+            buffer_floor_s: 3.0,
+            ewma_alpha: 0.2,
+        }
+    }
+
+    /// EStreamer defaults used in the figure harness.
+    pub fn estreamer_default() -> Self {
+        SchedulerSpec::EStreamer {
+            refill_s: 5.0,
+            target_s: 60.0,
+        }
+    }
+
+    /// EMA-fast with the literal Eq. (5) per-slot tail pricing.
+    pub fn ema_fast(v: f64) -> Self {
+        SchedulerSpec::EmaFast {
+            v,
+            tail: TailPricing::PerSlot,
+        }
+    }
+
+    /// EMA-fast with the amortized tail pricing the figure harness uses
+    /// (see [`TailPricing`]).
+    pub fn ema_fast_amortized(v: f64) -> Self {
+        SchedulerSpec::EmaFast {
+            v,
+            tail: TailPricing::amortized_default(),
+        }
+    }
+
+    /// EMA (DP) with the literal Eq. (5) per-slot tail pricing.
+    pub fn ema_dp(v: f64) -> Self {
+        SchedulerSpec::Ema {
+            v,
+            tail: TailPricing::PerSlot,
+        }
+    }
+
+    /// Proportional fair with the default EWMA factor.
+    pub fn pf_default() -> Self {
+        SchedulerSpec::ProportionalFair { ewma_alpha: 0.05 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_variant() {
+        let models = CrossLayerModels::paper();
+        let specs = [
+            SchedulerSpec::Default,
+            SchedulerSpec::Rtma { phi_mj: 900.0 },
+            SchedulerSpec::RtmaUnbounded,
+            SchedulerSpec::ema_dp(1.0),
+            SchedulerSpec::ema_fast(1.0),
+            SchedulerSpec::throttling_default(),
+            SchedulerSpec::onoff_default(),
+            SchedulerSpec::salsa_default(),
+            SchedulerSpec::estreamer_default(),
+            SchedulerSpec::RoundRobin,
+            SchedulerSpec::pf_default(),
+        ];
+        for spec in specs {
+            let s = spec.build(1.0, &models);
+            assert!(!s.name().is_empty());
+            assert!(!spec.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = SchedulerSpec::Rtma { phi_mj: 850.5 };
+        let j = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<SchedulerSpec>(&j).unwrap(), spec);
+        let spec2 = SchedulerSpec::salsa_default();
+        let j2 = serde_json::to_string(&spec2).unwrap();
+        assert_eq!(serde_json::from_str::<SchedulerSpec>(&j2).unwrap(), spec2);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<String> = [
+            SchedulerSpec::Default,
+            SchedulerSpec::Rtma { phi_mj: 900.0 },
+            SchedulerSpec::RtmaUnbounded,
+            SchedulerSpec::ema_dp(1.0),
+            SchedulerSpec::ema_fast(1.0),
+            SchedulerSpec::throttling_default(),
+            SchedulerSpec::onoff_default(),
+            SchedulerSpec::salsa_default(),
+            SchedulerSpec::estreamer_default(),
+            SchedulerSpec::RoundRobin,
+            SchedulerSpec::pf_default(),
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        assert_eq!(labels.len(), 11);
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based tests for the schedulers.
+//!
+//! The load-bearing property is three-way agreement on EMA's per-slot
+//! problem: the paper's Algorithm 2 DP, our exact slope-greedy, and
+//! brute-force enumeration must produce identical objective values on
+//! random instances.
+
+use jmso_gateway::{Allocation, Scheduler, SlotContext, UserSnapshot};
+use jmso_radio::rrc::RrcState;
+use jmso_radio::Dbm;
+use jmso_sched::ema::{objective, slot_users, solve_dp};
+use jmso_sched::ema_fast::solve_greedy;
+use jmso_sched::oracle::solve_exhaustive;
+use jmso_sched::{
+    CrossLayerModels, DefaultMax, Ema, EmaCost, EmaFast, EStreamer, OnOff, ProportionalFair,
+    RoundRobin, Rtma, Salsa, SchedulerSpec, SignalThreshold, Throttling, VirtualQueues,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandUser {
+    sig: f64,
+    rate: f64,
+    link_cap: u64,
+    idle: f64,
+    remaining_kb: f64,
+    pc: f64,
+}
+
+fn arb_user() -> impl Strategy<Value = RandUser> {
+    (
+        -110.0f64..-50.0,
+        300.0f64..600.0,
+        0u64..10,
+        0.0f64..10.0,
+        0.0f64..5000.0,
+        -20.0f64..20.0,
+    )
+        .prop_map(|(sig, rate, link_cap, idle, remaining_kb, pc)| RandUser {
+            sig,
+            rate,
+            link_cap,
+            idle,
+            remaining_kb,
+            pc,
+        })
+}
+
+fn snapshots(users: &[RandUser]) -> Vec<UserSnapshot> {
+    users
+        .iter()
+        .enumerate()
+        .map(|(id, u)| UserSnapshot {
+            id,
+            signal: Dbm(u.sig),
+            rate_kbps: u.rate,
+            buffer_s: 0.0,
+            remaining_kb: u.remaining_kb,
+            active: true,
+            link_cap_units: u.link_cap,
+            idle_s: u.idle,
+            rrc_state: RrcState::Dch,
+        })
+        .collect()
+}
+
+proptest! {
+    /// DP == greedy == brute force on random tiny instances.
+    #[test]
+    fn ema_solvers_agree_with_oracle(
+        users in proptest::collection::vec(arb_user(), 1..5),
+        budget in 0u64..12,
+        v in 0.01f64..20.0,
+    ) {
+        let snaps = snapshots(&users);
+        let ctx = SlotContext {
+            slot: 0,
+            tau: 1.0,
+            delta_kb: 50.0,
+            bs_cap_units: budget,
+            users: &snaps,
+        };
+        let models = CrossLayerModels::paper();
+        let cost = EmaCost::new(v, &models, &ctx);
+        let mut q = VirtualQueues::new(users.len());
+        for (i, u) in users.iter().enumerate() {
+            q.update(i, u.pc, 0.0); // sets PCᵢ = pc directly (τ := pc, t := 0)
+        }
+        let parts = slot_users(&ctx, &q);
+        let (_, oracle_obj) = solve_exhaustive(&cost, &parts, budget);
+        let dp = solve_dp(&cost, &parts, budget);
+        let fast = solve_greedy(&cost, &parts, budget);
+        let dp_obj = objective(&cost, &parts, &dp);
+        let fast_obj = objective(&cost, &parts, &fast);
+        prop_assert!((dp_obj - oracle_obj).abs() < 1e-6, "dp {dp_obj} vs oracle {oracle_obj}");
+        prop_assert!((fast_obj - oracle_obj).abs() < 1e-6, "fast {fast_obj} vs oracle {oracle_obj}");
+        // Feasibility.
+        prop_assert!(dp.iter().sum::<u64>() <= budget);
+        prop_assert!(fast.iter().sum::<u64>() <= budget);
+        for (a, p) in dp.iter().zip(&parts) {
+            prop_assert!(*a <= p.cap);
+        }
+    }
+
+    /// DP == greedy on larger instances (oracle too slow there).
+    #[test]
+    fn ema_dp_equals_greedy_larger(
+        users in proptest::collection::vec(arb_user(), 1..12),
+        budget in 0u64..60,
+        v in 0.01f64..20.0,
+    ) {
+        let snaps = snapshots(&users);
+        let ctx = SlotContext {
+            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+        };
+        let models = CrossLayerModels::paper();
+        let cost = EmaCost::new(v, &models, &ctx);
+        let mut q = VirtualQueues::new(users.len());
+        for (i, u) in users.iter().enumerate() {
+            q.update(i, u.pc, 0.0);
+        }
+        let parts = slot_users(&ctx, &q);
+        let dp = solve_dp(&cost, &parts, budget);
+        let fast = solve_greedy(&cost, &parts, budget);
+        let dp_obj = objective(&cost, &parts, &dp);
+        let fast_obj = objective(&cost, &parts, &fast);
+        prop_assert!((dp_obj - fast_obj).abs() < 1e-6, "dp {dp_obj} vs fast {fast_obj}");
+    }
+
+    /// Every policy produces a feasible allocation on random contexts.
+    #[test]
+    fn all_policies_feasible(
+        users in proptest::collection::vec(arb_user(), 1..20),
+        budget in 0u64..200,
+        slots in 1u64..12,
+    ) {
+        let snaps = snapshots(&users);
+        let models = CrossLayerModels::paper();
+        let mut policies: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(DefaultMax::new()),
+            Box::new(Rtma::unbounded()),
+            Box::new(Rtma::with_threshold(SignalThreshold { min_dbm: -80.0 })),
+            Box::new(Ema::new(1.0, models)),
+            Box::new(EmaFast::new(1.0, models)),
+            Box::new(Throttling::new(1.25)),
+            Box::new(OnOff::new(10.0, 40.0)),
+            Box::new(Salsa::new(1.0, 3.0, 0.2)),
+            Box::new(EStreamer::new(5.0, 60.0)),
+            Box::new(RoundRobin::new()),
+            Box::new(ProportionalFair::new(0.05)),
+        ];
+        for pol in policies.iter_mut() {
+            for slot in 0..slots {
+                let ctx = SlotContext {
+                    slot, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+                };
+                let a = pol.allocate(&ctx);
+                prop_assert!(a.validate(&ctx).is_ok(),
+                    "{} produced invalid allocation: {:?}", pol.name(), a.validate(&ctx));
+            }
+        }
+    }
+
+    /// RTMA never allocates to users below its threshold, and exhausts
+    /// either the budget or every admissible user's ceiling.
+    #[test]
+    fn rtma_threshold_and_work_conservation(
+        users in proptest::collection::vec(arb_user(), 1..15),
+        budget in 1u64..150,
+        threshold in -110.0f64..-50.0,
+    ) {
+        let snaps = snapshots(&users);
+        let ctx = SlotContext {
+            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+        };
+        let mut r = Rtma::with_threshold(SignalThreshold { min_dbm: threshold });
+        let Allocation(a) = r.allocate(&ctx);
+        let mut admissible_headroom = 0u64;
+        for (u, &got) in snaps.iter().zip(&a) {
+            if u.signal.value() < threshold {
+                prop_assert_eq!(got, 0, "below-threshold user got data");
+            } else {
+                admissible_headroom += u.usable_cap_units(50.0) - got;
+            }
+        }
+        let total: u64 = a.iter().sum();
+        // Work conservation: either the BS budget is exhausted or every
+        // admissible user is at their ceiling.
+        prop_assert!(total == budget || admissible_headroom == 0,
+            "left {admissible_headroom} headroom with {} budget unused", budget - total);
+    }
+
+    /// Scheduler specs build and serde-roundtrip for arbitrary parameters.
+    #[test]
+    fn spec_roundtrip(phi_raw in 100.0f64..2000.0, v_raw in 0.25f64..50.0) {
+        // Snap to an exactly-representable grid: the JSON layer may lose
+        // the last ulp of arbitrary doubles.
+        let phi = (phi_raw * 4.0).round() / 4.0;
+        let v = (v_raw * 4.0).round() / 4.0;
+        for spec in [
+            SchedulerSpec::Rtma { phi_mj: phi },
+            SchedulerSpec::ema_dp(v),
+            SchedulerSpec::ema_fast(v),
+        ] {
+            let j = serde_json::to_string(&spec).unwrap();
+            let back: SchedulerSpec = serde_json::from_str(&j).unwrap();
+            prop_assert_eq!(&back, &spec);
+            let _ = spec.build(1.0, &CrossLayerModels::paper());
+        }
+    }
+}
+
+/// Integral-need strategy: rates divisible by δ/τ so ⌈τp/δ⌉ is exact and
+/// no tranche unit is partially wasted.
+fn arb_integral_rate_user() -> impl Strategy<Value = RandUser> {
+    (
+        -110.0f64..-50.0,
+        6u32..13, // rate = 50·k ∈ [300, 600]
+        0u64..12,
+    )
+        .prop_map(|(sig, k, link_cap)| RandUser {
+            sig,
+            rate: 50.0 * k as f64,
+            link_cap,
+            idle: 0.0,
+            remaining_kb: 1e9,
+            pc: 0.0,
+        })
+}
+
+proptest! {
+    /// The paper's §IV claim: "RTMA is local optimal in one slot without
+    /// the energy limitation". With integral needs and empty buffers,
+    /// RTMA's allocation achieves exactly the exhaustive minimum of the
+    /// Eq. (8) next-slot rebuffering.
+    #[test]
+    fn rtma_is_locally_optimal_per_slot(
+        users in proptest::collection::vec(arb_integral_rate_user(), 1..5),
+        budget in 0u64..14,
+    ) {
+        use jmso_sched::ema::slot_users;
+        use jmso_sched::oracle::min_rebuffer_exhaustive;
+
+        let snaps = snapshots(&users);
+        let ctx = SlotContext {
+            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+        };
+        let mut rtma = Rtma::unbounded();
+        let Allocation(alloc) = rtma.allocate(&ctx);
+        let rtma_rebuf: f64 = snaps
+            .iter()
+            .zip(&alloc)
+            .map(|(u, &phi)| (1.0 - 50.0 * phi as f64 / u.rate_kbps).max(0.0))
+            .sum();
+
+        let q = VirtualQueues::new(users.len());
+        let parts = slot_users(&ctx, &q);
+        let carry = vec![0.0; parts.len()];
+        // Users with zero capacity are excluded from the oracle's search
+        // space but still stall a full slot each.
+        let unreachable = (users.len() - parts.len()) as f64;
+        let best = min_rebuffer_exhaustive(&parts, &carry, 50.0, 1.0, budget) + unreachable;
+        prop_assert!(
+            rtma_rebuf <= best + 1e-9,
+            "RTMA {rtma_rebuf} vs exhaustive optimum {best}"
+        );
+    }
+}

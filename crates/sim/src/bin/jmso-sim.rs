@@ -1,0 +1,176 @@
+//! `jmso-sim` — run, calibrate and sweep simulation scenarios from JSON.
+//!
+//! ```text
+//! jmso-sim template [N]                         print a paper-default scenario (N users)
+//! jmso-sim run <scenario.json> [--out r.json] [--per-user u.csv]
+//!                                               run one scenario, print a summary
+//! jmso-sim calibrate <scenario.json>            measure the Default reference points
+//! jmso-sim fit-v <scenario.json> --omega <s>    fit EMA's V to a rebuffering bound
+//! jmso-sim sweep <scenario.json> --seeds 1,2,3 [--threads T]
+//!                                               rerun across seeds in parallel
+//! ```
+//!
+//! Scenarios are the serde `Scenario` structure (see `jmso-sim` docs);
+//! `template` emits a valid starting point.
+
+use jmso_sim::{calibrate_default, fit_v_for_omega, run_scenarios, Scenario, SimResult};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("template") => cmd_template(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
+        Some("fit-v") => cmd_fit_v(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: jmso-sim template [N] | run <scenario.json> [--out r.json] | \
+                 calibrate <scenario.json> | fit-v <scenario.json> --omega <s> | \
+                 sweep <scenario.json> --seeds 1,2,3 [--threads T]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load_scenario(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn summarize(r: &SimResult) {
+    println!("scheduler            : {}", r.scheduler);
+    println!("users                : {}", r.n_users());
+    println!("slots run / configured: {} / {}", r.slots_run, r.slots_configured);
+    println!("completion rate      : {:.2}", r.completion_rate());
+    println!(
+        "rebuffering          : {:.1} s total, {:.1} s/user, {:.1} ms per active slot",
+        r.total_rebuffer_s(),
+        r.mean_rebuffer_per_user_s(),
+        r.avg_rebuffer_per_active_slot() * 1000.0
+    );
+    println!(
+        "  startup / midstream: {:.1} s / {:.1} s",
+        r.total_startup_s(),
+        r.total_midstream_rebuffer_s()
+    );
+    println!(
+        "energy               : {:.2} kJ total ({:.1}% tail), {:.0} mJ per active user-slot",
+        r.total_energy_kj(),
+        100.0 * r.tail_fraction(),
+        r.avg_energy_per_active_slot_mj()
+    );
+}
+
+fn cmd_template(args: &[String]) -> Result<(), String> {
+    let n: usize = args
+        .first()
+        .map(|s| s.parse().map_err(|e| format!("bad N: {e}")))
+        .transpose()?
+        .unwrap_or(40);
+    let scenario = Scenario::paper_default(n);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run: missing <scenario.json>")?;
+    let scenario = load_scenario(path)?;
+    let result = scenario.run()?;
+    summarize(&result);
+    if let Some(out) = flag_value(args, "--out") {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(out) = flag_value(args, "--per-user") {
+        jmso_sim::report::per_user_table(&result)
+            .write_csv(std::path::Path::new(out))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_calibrate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("calibrate: missing <scenario.json>")?;
+    let scenario = load_scenario(path)?;
+    let cal = calibrate_default(&scenario)?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&cal).map_err(|e| e.to_string())?
+    );
+    println!("\nΦ for α ∈ {{0.8, 1.0, 1.2}}: {:.1} / {:.1} / {:.1} mJ",
+        cal.phi_for_alpha(0.8), cal.phi_for_alpha(1.0), cal.phi_for_alpha(1.2));
+    println!(
+        "Ω for β ∈ {{0.8, 1.0, 1.2}}: {:.4} / {:.4} / {:.4} s per active slot",
+        cal.omega_for_beta(0.8),
+        cal.omega_for_beta(1.0),
+        cal.omega_for_beta(1.2)
+    );
+    Ok(())
+}
+
+fn cmd_fit_v(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("fit-v: missing <scenario.json>")?;
+    let omega: f64 = flag_value(args, "--omega")
+        .ok_or("fit-v: missing --omega <seconds per active slot>")?
+        .parse()
+        .map_err(|e| format!("bad --omega: {e}"))?;
+    let scenario = load_scenario(path)?;
+    let (v, measured) = fit_v_for_omega(&scenario, omega, 0.02, 100.0, 10)?;
+    println!("fitted V = {v:.4} (measured rebuffering {measured:.4} s per active slot, bound {omega})");
+    if measured > omega {
+        println!("warning: even the smallest V violates the bound; Ω is infeasible here");
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("sweep: missing <scenario.json>")?;
+    let seeds: Vec<u64> = flag_value(args, "--seeds")
+        .ok_or("sweep: missing --seeds 1,2,3")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|e| format!("bad seed: {e}")))
+        .collect::<Result<_, _>>()?;
+    let threads: usize = flag_value(args, "--threads")
+        .map(|s| s.parse().map_err(|e| format!("bad --threads: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let scenario = load_scenario(path)?;
+    let cells: Vec<Scenario> = seeds.iter().map(|&s| scenario.with_seed(s)).collect();
+    let results = run_scenarios(&cells, threads)?;
+    println!("seed  rebuf_s/user  energy_kj  completion");
+    for (seed, r) in seeds.iter().zip(&results) {
+        println!(
+            "{seed:<5} {:>12.1} {:>10.2} {:>11.2}",
+            r.mean_rebuffer_per_user_s(),
+            r.total_energy_kj(),
+            r.completion_rate()
+        );
+    }
+    let mean_rebuf =
+        results.iter().map(|r| r.mean_rebuffer_per_user_s()).sum::<f64>() / results.len() as f64;
+    let mean_kj = results.iter().map(|r| r.total_energy_kj()).sum::<f64>() / results.len() as f64;
+    println!("mean  {mean_rebuf:>12.1} {mean_kj:>10.2}");
+    Ok(())
+}

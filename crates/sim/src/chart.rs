@@ -1,0 +1,158 @@
+//! Terminal charts: render a [`crate::report::Table`] as an ASCII
+//! line chart so `repro` output is readable without leaving the shell.
+//!
+//! The first column is the x-axis; every further column becomes a series
+//! drawn with its own glyph. Values are mapped onto a fixed character
+//! grid with nearest-cell plotting — good enough to see who wins, where
+//! curves cross, and whether a knob is monotone, which is all the figure
+//! harness needs.
+
+use crate::report::Table;
+use std::fmt::Write as _;
+
+/// Glyphs assigned to series, in column order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Render `table` as an ASCII chart of `width`×`height` plot cells.
+///
+/// Returns an empty string for tables with fewer than two rows or columns
+/// (nothing to draw).
+pub fn ascii_chart(table: &Table, width: usize, height: usize) -> String {
+    let n_series = table.columns.len().saturating_sub(1);
+    if table.rows.len() < 2 || n_series == 0 || width < 8 || height < 3 {
+        return String::new();
+    }
+
+    let xs: Vec<f64> = table.rows.iter().map(|r| r[0]).collect();
+    let (x_lo, x_hi) = min_max(&xs);
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = f64::NEG_INFINITY;
+    for row in &table.rows {
+        for v in &row[1..] {
+            y_lo = y_lo.min(*v);
+            y_hi = y_hi.max(*v);
+        }
+    }
+    if !(y_lo.is_finite() && y_hi.is_finite()) {
+        return String::new();
+    }
+    let x_span = (x_hi - x_lo).max(f64::MIN_POSITIVE);
+    let y_span = (y_hi - y_lo).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for row in &table.rows {
+        let cx = (((row[0] - x_lo) / x_span) * (width - 1) as f64).round() as usize;
+        for (s, v) in row[1..].iter().enumerate() {
+            let cy = (((v - y_lo) / y_span) * (height - 1) as f64).round() as usize;
+            let glyph = GLYPHS[s % GLYPHS.len()];
+            let cell = &mut grid[height - 1 - cy][cx.min(width - 1)];
+            // First series to claim a cell keeps it; overlaps show as the
+            // earlier (usually more important) series.
+            if *cell == ' ' {
+                *cell = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let y_label_w = 10;
+    for (r, line) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_hi:>9.3}")
+        } else if r == height - 1 {
+            format!("{y_lo:>9.3}")
+        } else {
+            " ".repeat(9)
+        };
+        let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "{} +{}",
+        " ".repeat(y_label_w - 1),
+        "-".repeat(width)
+    );
+    let _ = writeln!(
+        out,
+        "{} {:<w$.3}{:>r$.3}",
+        " ".repeat(y_label_w - 1),
+        x_lo,
+        x_hi,
+        w = width / 2,
+        r = width - width / 2
+    );
+    // Legend.
+    let legend: Vec<String> = table.columns[1..]
+        .iter()
+        .enumerate()
+        .map(|(s, name)| format!("{} {name}", GLYPHS[s % GLYPHS.len()]))
+        .collect();
+    let _ = writeln!(out, "{}  {}", " ".repeat(y_label_w - 1), legend.join("   "));
+    out
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(*v), hi.max(*v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(vec!["x", "up", "down"]);
+        for i in 0..10 {
+            let x = i as f64;
+            t.push(vec![x, x * x, 100.0 - 10.0 * x]);
+        }
+        t
+    }
+
+    #[test]
+    fn renders_all_series_with_legend() {
+        let chart = ascii_chart(&sample_table(), 40, 12);
+        assert!(chart.contains('*'), "first series plotted");
+        assert!(chart.contains('o'), "second series plotted");
+        assert!(chart.contains("* up"), "legend names first series");
+        assert!(chart.contains("o down"), "legend names second series");
+        // Axis labels carry the extremes.
+        assert!(chart.contains("81.000") || chart.contains("100.000"));
+    }
+
+    #[test]
+    fn extremes_land_on_borders() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.push(vec![0.0, 0.0]);
+        t.push(vec![1.0, 1.0]);
+        let chart = ascii_chart(&t, 20, 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Max value on the top plot row, min on the bottom plot row.
+        assert!(lines[0].contains('*'));
+        assert!(lines[4].contains('*'));
+    }
+
+    #[test]
+    fn degenerate_tables_render_empty() {
+        let t = Table::new(vec!["x", "y"]);
+        assert!(ascii_chart(&t, 40, 10).is_empty());
+        let mut one_row = Table::new(vec!["x", "y"]);
+        one_row.push(vec![1.0, 2.0]);
+        assert!(ascii_chart(&one_row, 40, 10).is_empty());
+        let mut no_series = Table::new(vec!["x"]);
+        no_series.push(vec![1.0]);
+        no_series.push(vec![2.0]);
+        assert!(ascii_chart(&no_series, 40, 10).is_empty());
+        assert!(ascii_chart(&sample_table(), 4, 10).is_empty(), "too narrow");
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let mut t = Table::new(vec!["x", "flat"]);
+        t.push(vec![0.0, 5.0]);
+        t.push(vec![1.0, 5.0]);
+        let chart = ascii_chart(&t, 20, 5);
+        assert!(chart.contains('*'));
+    }
+}

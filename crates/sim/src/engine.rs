@@ -1,0 +1,482 @@
+//! The slotted multi-user simulation engine.
+//!
+//! Each slot `n` executes the paper's §III pipeline:
+//!
+//! 1. the BS capacity `S(n)` is sampled and origin arrivals are ingested
+//!    into the Data Receiver;
+//! 2. every client advances its playback buffer by Eq. (7) and accrues
+//!    Eq. (8) rebuffering;
+//! 3. the Information Collector snapshots cross-layer state (RSSI,
+//!    `pᵢ(n)`, occupancy, RRC idle time) into a [`SlotContext`];
+//! 4. the Scheduler decides `φᵢ(n)`; the Data Transmitter enforces
+//!    Eq. (1)/(2) and moves bytes;
+//! 5. each device is charged either transmission energy (Eq. (3)) or one
+//!    slot of tail energy (Eq. (4)), per the Eq. (5) dichotomy, on the
+//!    *true* signal (the collector may have reported a noisy one);
+//! 6. per-slot fairness (`Fᵢ = dᵢ/d_need`) and total power samples are
+//!    recorded for the CDF figures.
+//!
+//! The engine stops early once every session has been fetched *and*
+//! watched — remaining slots can contribute neither rebuffering (Eq. (8)'s
+//! `mᵢ ≥ Mᵢ` branch) nor energy (the tail has saturated), so all
+//! aggregates are unaffected; `slots_configured` still reflects Γ.
+
+use crate::results::{SimResult, UserResult};
+use jmso_gateway::bs::CapacityModel;
+use jmso_gateway::collector::RawUserState;
+use jmso_gateway::{
+    DataReceiver, DataTransmitter, InformationCollector, Scheduler, SlotContext, UnitParams,
+};
+use jmso_media::{jain_index, ClientPlayback, VideoSession};
+use jmso_radio::signal::SignalModel;
+use jmso_radio::{Dbm, EnergyMeter, PowerModel, RrcMachine};
+use jmso_sched::CrossLayerModels;
+
+/// Per-user simulation state.
+struct UserSim {
+    signal: Box<dyn SignalModel>,
+    session: VideoSession,
+    playback: ClientPlayback,
+    rrc: RrcMachine,
+    meter: EnergyMeter,
+    cur_signal: Dbm,
+    active_slots: u64,
+    /// Slot at which this user's session starts (0 = at the beginning).
+    arrival_slot: u64,
+    /// Rate the gateway believes (e.g. DPI-extracted manifest rate); when
+    /// set it overrides the instantaneous session rate in snapshots.
+    declared_rate_kbps: Option<f64>,
+}
+
+/// Engine-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Slot length τ, seconds.
+    pub tau: f64,
+    /// Frame length δ, KB.
+    pub delta_kb: f64,
+    /// Horizon Γ in slots.
+    pub slots: u64,
+    /// Record per-slot fairness / power series (needed for CDF figures;
+    /// off for plain sweeps to save memory).
+    pub record_series: bool,
+}
+
+/// The assembled simulator for one scenario.
+pub struct Engine {
+    users: Vec<UserSim>,
+    scheduler: Box<dyn Scheduler>,
+    capacity: Box<dyn CapacityModel>,
+    receiver: DataReceiver,
+    transmitter: DataTransmitter,
+    collector: InformationCollector,
+    units: UnitParams,
+    models: CrossLayerModels,
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    /// Assemble an engine from its parts. `signals` and `sessions` must
+    /// have equal length; sessions' volumes are installed as the origin
+    /// source bound for each flow.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        signals: Vec<Box<dyn SignalModel>>,
+        sessions: Vec<VideoSession>,
+        scheduler: Box<dyn Scheduler>,
+        capacity: Box<dyn CapacityModel>,
+        receiver: DataReceiver,
+        collector: InformationCollector,
+        models: CrossLayerModels,
+        cfg: EngineConfig,
+    ) -> Self {
+        let n = sessions.len();
+        Self::with_arrivals(
+            signals,
+            sessions,
+            vec![0; n],
+            scheduler,
+            capacity,
+            receiver,
+            collector,
+            models,
+            cfg,
+        )
+    }
+
+    /// [`Engine::new`] with per-user session arrival slots: before their
+    /// arrival slot users neither play, fetch, nor consume energy (their
+    /// radio is cold). Staggered arrivals model realistic session churn;
+    /// the all-zeros vector recovers the paper's synchronized start.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_arrivals(
+        signals: Vec<Box<dyn SignalModel>>,
+        sessions: Vec<VideoSession>,
+        arrival_slots: Vec<u64>,
+        scheduler: Box<dyn Scheduler>,
+        capacity: Box<dyn CapacityModel>,
+        mut receiver: DataReceiver,
+        collector: InformationCollector,
+        models: CrossLayerModels,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert_eq!(signals.len(), sessions.len(), "one signal per session");
+        assert_eq!(
+            arrival_slots.len(),
+            sessions.len(),
+            "one arrival slot per session"
+        );
+        assert_eq!(receiver.n_flows(), sessions.len(), "one flow per session");
+        assert!(cfg.tau > 0.0 && cfg.delta_kb > 0.0 && cfg.slots > 0);
+        for (i, s) in sessions.iter().enumerate() {
+            receiver.set_source_volume_kb(i, s.total_kb);
+        }
+        let users = signals
+            .into_iter()
+            .zip(sessions)
+            .zip(arrival_slots)
+            .map(|((signal, session), arrival_slot)| {
+                let playback = ClientPlayback::new(session.total_playback_s(), cfg.tau);
+                UserSim {
+                    signal,
+                    session,
+                    playback,
+                    // Radios start cold (fully idle): the first slot's
+                    // promotion is charged with its transmission.
+                    rrc: RrcMachine::new_idle(models.rrc),
+                    meter: EnergyMeter::new(),
+                    cur_signal: Dbm(0.0),
+                    active_slots: 0,
+                    arrival_slot,
+                    declared_rate_kbps: None,
+                }
+            })
+            .collect();
+        Self {
+            users,
+            scheduler,
+            capacity,
+            receiver,
+            transmitter: DataTransmitter::new(),
+            collector,
+            units: UnitParams::new(cfg.delta_kb),
+            models,
+            cfg,
+        }
+    }
+
+    /// Install gateway-side declared rates (e.g. DPI-extracted manifest
+    /// rates): snapshots then expose these instead of the instantaneous
+    /// session rate. Client-side playback still uses the true rate.
+    pub fn set_declared_rates(&mut self, rates_kbps: &[f64]) {
+        assert_eq!(rates_kbps.len(), self.users.len());
+        for (u, &r) in self.users.iter_mut().zip(rates_kbps) {
+            assert!(r > 0.0, "declared rate must be positive");
+            u.declared_rate_kbps = Some(r);
+        }
+    }
+
+    /// Run to the horizon (or until all sessions complete) and report.
+    pub fn run(mut self) -> SimResult {
+        let n_users = self.users.len();
+        let mut fairness_series = Vec::new();
+        let mut fairness_window_series = Vec::new();
+        let mut power_series_j = Vec::new();
+        let mut fairness_scratch: Vec<f64> = Vec::with_capacity(n_users);
+        // 10-slot accumulators for the windowed fairness view.
+        const FAIR_WINDOW: u64 = 10;
+        let mut window_delivered = vec![0.0f64; n_users];
+        let mut window_need = vec![0.0f64; n_users];
+        let mut slots_run = 0;
+
+        for slot in 0..self.cfg.slots {
+            slots_run = slot + 1;
+            let cap = self.capacity.capacity(slot);
+            let bs_cap_units = self.units.bs_cap_units(cap, self.cfg.tau);
+            self.receiver.ingest_slot(slot);
+
+            // Client-side slot advance (Eq. 7/8) and ground-truth state.
+            let mut raw = Vec::with_capacity(n_users);
+            for u in &mut self.users {
+                u.cur_signal = u.signal.sample(slot);
+                if slot < u.arrival_slot {
+                    // Not arrived yet: no playback clock, no fetch demand,
+                    // a cold (saturated-tail) radio.
+                    raw.push(RawUserState {
+                        signal: u.cur_signal,
+                        rate_kbps: u.session.rate_at(slot),
+                        buffer_s: 0.0,
+                        remaining_kb: 0.0,
+                        active: false,
+                        idle_s: u.rrc.idle_seconds(),
+                        rrc_state: u.rrc.state(),
+                    });
+                    continue;
+                }
+                let outcome = u.playback.begin_slot();
+                if outcome.active {
+                    u.active_slots += 1;
+                }
+                raw.push(RawUserState {
+                    signal: u.cur_signal,
+                    rate_kbps: u.declared_rate_kbps.unwrap_or_else(|| u.session.rate_at(slot)),
+                    buffer_s: outcome.occupancy_s,
+                    remaining_kb: u.session.remaining_kb(),
+                    active: outcome.active,
+                    idle_s: u.rrc.idle_seconds(),
+                    rrc_state: u.rrc.state(),
+                });
+            }
+
+            // Gateway pipeline.
+            let snapshots = self.collector.snapshot(slot, &raw);
+            let ctx = SlotContext {
+                slot,
+                tau: self.cfg.tau,
+                delta_kb: self.cfg.delta_kb,
+                bs_cap_units,
+                users: &snapshots,
+            };
+            let alloc = self.scheduler.allocate(&ctx);
+            let deliveries = self.transmitter.transmit(&ctx, &alloc, &mut self.receiver);
+
+            // Device-side accounting (Eq. 3/4/5) and client delivery.
+            let mut slot_energy_mj = 0.0;
+            fairness_scratch.clear();
+            for (u_idx, ((u, d), r)) in self.users.iter_mut().zip(&deliveries).zip(&raw).enumerate() {
+                if slot < u.arrival_slot {
+                    // Pre-arrival: the device is off; nothing is charged.
+                    continue;
+                }
+                if d.kb > 0.0 {
+                    let accepted = u.session.deliver(d.kb);
+                    debug_assert!(
+                        (accepted - d.kb).abs() < 1e-6,
+                        "transmitter should never over-deliver"
+                    );
+                    // Client playback always advances by the *true*
+                    // encoding rate regardless of what the gateway thinks.
+                    u.playback.deliver(accepted, u.session.rate_at(slot));
+                    let e = self
+                        .models
+                        .power
+                        .transmission_energy(u.cur_signal, accepted);
+                    u.rrc.on_transmit();
+                    u.meter.record_transmission(e);
+                    slot_energy_mj += e.value();
+                } else {
+                    let e = u.rrc.on_idle(self.cfg.tau);
+                    u.meter.record_tail(e);
+                    slot_energy_mj += e.value();
+                }
+                // Fairness sample over users still fetching this slot.
+                if r.remaining_kb > 0.0 {
+                    let need_kb = (self.cfg.tau * r.rate_kbps).min(r.remaining_kb);
+                    if need_kb > 0.0 {
+                        fairness_scratch.push(d.kb / need_kb);
+                        window_delivered[u_idx] += d.kb;
+                        window_need[u_idx] += need_kb;
+                    }
+                }
+            }
+
+            if self.cfg.record_series {
+                if !fairness_scratch.is_empty() {
+                    fairness_series.push(jain_index(&fairness_scratch));
+                }
+                power_series_j.push(slot_energy_mj / 1000.0);
+                if (slot + 1) % FAIR_WINDOW == 0 {
+                    fairness_scratch.clear();
+                    for i in 0..n_users {
+                        if window_need[i] > 0.0 {
+                            fairness_scratch.push(window_delivered[i] / window_need[i]);
+                        }
+                    }
+                    if !fairness_scratch.is_empty() {
+                        fairness_window_series.push(jain_index(&fairness_scratch));
+                    }
+                    window_delivered.fill(0.0);
+                    window_need.fill(0.0);
+                }
+            }
+
+            // Early exit: nothing left to schedule, watch, or drain.
+            if self
+                .users
+                .iter()
+                .all(|u| u.session.fully_fetched() && u.playback.playback_complete())
+            {
+                break;
+            }
+        }
+
+        let per_user = self
+            .users
+            .into_iter()
+            .map(|u| UserResult {
+                rebuffer_s: u.playback.total_rebuffer_s(),
+                stall_slots: u.playback.stall_slots(),
+                startup_slots: u.playback.startup_slots(),
+                watched_s: u.playback.played_s(),
+                playback_complete: u.playback.playback_complete(),
+                fetched_kb: u.session.received_kb(),
+                energy: u.meter.breakdown(),
+                active_slots: u.active_slots,
+                tx_slots: u.meter.slots_transmitting(),
+                idle_slots: u.meter.slots_idle(),
+                rate_kbps: u.session.bitrate.mean_rate(),
+                video_kb: u.session.total_kb,
+            })
+            .collect();
+
+        SimResult {
+            scheduler: self.scheduler.name().to_string(),
+            per_user,
+            slots_run,
+            slots_configured: self.cfg.slots,
+            tau_s: self.cfg.tau,
+            fairness_series,
+            fairness_window_series,
+            power_series_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmso_gateway::bs::ConstantCapacity;
+    use jmso_gateway::{CollectorSpec, OriginModel};
+    use jmso_media::VideoSession;
+    use jmso_radio::signal::ConstantSignal;
+    use jmso_radio::{KbPerSec, LinearRssiThroughput};
+    use jmso_sched::DefaultMax;
+
+    fn small_engine(
+        n: usize,
+        video_kb: f64,
+        rate: f64,
+        sig: f64,
+        cap_kbps: f64,
+        slots: u64,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Engine {
+        let models = CrossLayerModels::paper();
+        let cfg = EngineConfig {
+            tau: 1.0,
+            delta_kb: 50.0,
+            slots,
+            record_series: true,
+        };
+        let signals: Vec<Box<dyn SignalModel>> =
+            (0..n).map(|_| Box::new(ConstantSignal(Dbm(sig))) as _).collect();
+        let sessions: Vec<VideoSession> =
+            (0..n).map(|_| VideoSession::cbr(video_kb, rate)).collect();
+        let receiver = DataReceiver::new(n, OriginModel::Infinite, cfg.tau);
+        let collector = InformationCollector::new(
+            CollectorSpec::perfect(),
+            LinearRssiThroughput::paper(),
+            UnitParams::new(cfg.delta_kb),
+            cfg.tau,
+            n,
+            1,
+        );
+        Engine::new(
+            signals,
+            sessions,
+            scheduler,
+            Box::new(ConstantCapacity(KbPerSec(cap_kbps))),
+            receiver,
+            collector,
+            models,
+            cfg,
+        )
+    }
+
+    /// Single user, ample capacity: fetches everything, watches everything,
+    /// stalls only at startup (shard usable next slot ⇒ exactly 1 s).
+    #[test]
+    fn single_user_happy_path() {
+        let r = small_engine(1, 5_000.0, 500.0, -70.0, 20_000.0, 200, Box::new(DefaultMax::new()))
+            .run();
+        let u = &r.per_user[0];
+        assert!(u.playback_complete, "10 s video in 200 slots");
+        assert!((u.fetched_kb - 5_000.0).abs() < 1e-6);
+        assert!((u.watched_s - 10.0).abs() < 1e-9);
+        // Startup stall: slot 0 has no data (delivered during slot 0,
+        // playable slot 1).
+        assert!((u.rebuffer_s - 1.0).abs() < 1e-9);
+        assert!(r.slots_run < 200, "early exit after completion");
+    }
+
+    /// Byte conservation: fetched ≤ video size; watched ≤ fetched/rate.
+    #[test]
+    fn conservation() {
+        let r = small_engine(3, 2_000.0, 400.0, -80.0, 1_000.0, 300, Box::new(DefaultMax::new()))
+            .run();
+        for u in &r.per_user {
+            assert!(u.fetched_kb <= u.video_kb + 1e-6);
+            assert!(u.watched_s <= u.fetched_kb / u.rate_kbps + 1e-6);
+        }
+    }
+
+    /// Starved capacity ⇒ rebuffering accrues; energy split contains tail.
+    #[test]
+    fn starvation_accrues_rebuffering() {
+        // 2 users needing 400 KB/s each through a 300 KB/s BS.
+        let r = small_engine(2, 20_000.0, 400.0, -80.0, 300.0, 150, Box::new(DefaultMax::new()))
+            .run();
+        assert!(r.total_rebuffer_s() > 10.0, "must stall hard");
+        // User order bias: user 0 gets served first every slot.
+        assert!(r.per_user[0].rebuffer_s < r.per_user[1].rebuffer_s);
+        // The starved user idles some slots ⇒ tail energy present.
+        assert!(r.per_user[1].energy.tail.value() > 0.0);
+    }
+
+    /// Energy accounting matches Eq. (3) for a deterministic run.
+    #[test]
+    fn transmission_energy_matches_eq3() {
+        let r = small_engine(1, 1_000.0, 500.0, -80.0, 20_000.0, 50, Box::new(DefaultMax::new()))
+            .run();
+        let u = &r.per_user[0];
+        // All 1000 KB at −80 dBm: P = −0.167 + 1560/2303 mJ/KB.
+        let p = -0.167 + 1560.0 / 2303.0;
+        assert!((u.energy.transmission.value() - p * 1_000.0).abs() < 1e-6);
+    }
+
+    /// Tail saturates after the session: an idle horizon costs at most one
+    /// full tail (Pd·T1 + Pf·T2 ≈ 3974 mJ).
+    #[test]
+    fn tail_saturates_after_session() {
+        let r = small_engine(1, 500.0, 500.0, -70.0, 20_000.0, 1_000, Box::new(DefaultMax::new()))
+            .run();
+        let u = &r.per_user[0];
+        let full_tail = 732.83 * 3.29 + 388.88 * 4.02;
+        assert!(u.energy.tail.value() <= full_tail + 1e-6);
+    }
+
+    /// Series recording produces bounded fairness samples and positive
+    /// power samples.
+    #[test]
+    fn series_are_sane() {
+        let r = small_engine(4, 3_000.0, 450.0, -80.0, 900.0, 100, Box::new(DefaultMax::new()))
+            .run();
+        assert!(!r.fairness_series.is_empty());
+        for f in &r.fairness_series {
+            assert!((0.0..=1.0 + 1e-9).contains(f));
+        }
+        assert_eq!(r.power_series_j.len() as u64, r.slots_run);
+        assert!(r.power_series_j.iter().all(|p| *p >= 0.0));
+    }
+
+    /// The active-slot counter equals playback duration + stalls for a
+    /// completing user.
+    #[test]
+    fn active_slots_consistent() {
+        let r = small_engine(1, 5_000.0, 500.0, -70.0, 20_000.0, 200, Box::new(DefaultMax::new()))
+            .run();
+        let u = &r.per_user[0];
+        // Active slots cover watching + stalling: ⌈10 s watched + 1 s stall⌉.
+        assert_eq!(u.active_slots, 11);
+    }
+}

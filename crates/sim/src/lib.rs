@@ -1,0 +1,45 @@
+//! Simulation layer: the slotted multi-user engine the paper's §VI
+//! evaluation runs on, plus scenario configuration, calibration, parallel
+//! parameter sweeps and reporting.
+//!
+//! * [`engine`] — wires radio (signals, RRC, energy), media (sessions,
+//!   playback buffers) and gateway (receiver, collector, scheduler,
+//!   transmitter) into the per-slot loop of §III.
+//! * [`scenario`] — a serializable [`Scenario`] describing one experiment;
+//!   `Scenario::paper_default(n)` reproduces the paper's setup (10 000
+//!   slots of τ = 1 s, S = 20 MB/s, videos 250–500 MB at 300–600 KB/s,
+//!   sinusoidal RSSI, 3G RRC).
+//! * [`results`] — per-user and aggregate outcome records with the
+//!   normalizations the paper's figures use.
+//! * [`calibrate`] — measures the Default strategy's energy/rebuffering
+//!   (the `E_Default`/`R_Default` the α/β constraints are defined
+//!   against) and fits EMA's `V` to a rebuffering bound Ω by bisection.
+//! * [`sweep`] — deterministic parallel execution of scenario grids on
+//!   crossbeam scoped threads.
+//! * [`report`] — CSV and table output for the figure harness.
+
+pub mod calibrate;
+pub mod chart;
+pub mod engine;
+pub mod multicell;
+pub mod report;
+pub mod results;
+pub mod svg;
+pub mod scenario;
+pub mod sweep;
+
+pub use calibrate::{calibrate_default, fit_v_for_omega, fit_v_for_omega_with, Calibration};
+pub use chart::ascii_chart;
+pub use svg::svg_chart;
+pub use engine::Engine;
+pub use multicell::{MultiCellResult, MultiCellScenario};
+pub use results::{SimResult, UserResult};
+pub use scenario::{ArrivalSpec, Scenario};
+pub use sweep::{parallel_map, run_scenarios};
+
+// Re-export the pieces callers need to assemble scenarios without extra deps.
+pub use jmso_gateway::bs::CapacitySpec;
+pub use jmso_gateway::{CollectorSpec, OriginModel};
+pub use jmso_media::WorkloadSpec;
+pub use jmso_radio::SignalSpec;
+pub use jmso_sched::{CrossLayerModels, SchedulerSpec, TailPricing};

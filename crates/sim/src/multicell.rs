@@ -1,0 +1,366 @@
+//! Multi-cell simulation with user mobility.
+//!
+//! The paper deploys its framework at the PDN gateway, "managing the
+//! resources of each BS independently" — one Scheduler instance per base
+//! station. This module exercises that claim: `n_cells` cells each run
+//! their own scheduler and serving budget while users roam between them
+//! (a memoryless handover process). A cell's slot context contains *all*
+//! users — non-attached users appear with zero link capacity and
+//! `active = false`, so any policy naturally allocates them nothing and
+//! per-user policy state (EMA queues, watermark phases) survives
+//! handovers without resizing.
+//!
+//! The information collector here is the perfect-pass-through variant
+//! (per-cell staleness tracking across a changing membership is not
+//! meaningful); scenario-level collector settings are ignored and
+//! documented as such.
+
+use crate::results::{SimResult, UserResult};
+use crate::scenario::Scenario;
+use jmso_gateway::{Allocation, Scheduler, SlotContext, UnitParams, UserSnapshot};
+use jmso_media::{generate_sessions, jain_index, ClientPlayback};
+use jmso_radio::signal::SignalModel;
+use jmso_radio::{EnergyMeter, KbPerSec, PowerModel, RrcMachine, ThroughputModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a multi-cell run. Radio/media/scheduler parameters are
+/// borrowed from an embedded single-cell [`Scenario`]; its `capacity` is
+/// interpreted per cell.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct MultiCellScenario {
+    /// The per-cell parameters (capacity = per-cell serving budget;
+    /// `n_users` = total users across all cells; collector settings are
+    /// ignored — see module docs).
+    pub base: Scenario,
+    /// Number of cells, each with its own scheduler instance.
+    pub n_cells: usize,
+    /// Per-slot probability that a user hands over to another
+    /// (uniformly random) cell.
+    pub handover_prob: f64,
+}
+
+/// Outcome of a multi-cell run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiCellResult {
+    /// The familiar per-user/aggregate view.
+    pub result: SimResult,
+    /// Total handovers executed.
+    pub handovers: u64,
+    /// Mean number of attached users per cell (load balance diagnostic).
+    pub mean_cell_occupancy: Vec<f64>,
+}
+
+impl MultiCellScenario {
+    /// Validate and run.
+    pub fn run(&self) -> Result<MultiCellResult, String> {
+        self.base.validate()?;
+        if self.n_cells == 0 {
+            return Err("n_cells must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.handover_prob) {
+            return Err("handover_prob must be in [0, 1]".into());
+        }
+        Ok(self.simulate())
+    }
+
+    fn simulate(&self) -> MultiCellResult {
+        let base = &self.base;
+        let n = base.n_users;
+        let units = UnitParams::new(base.delta_kb);
+        let sessions = generate_sessions(&base.workload, n, base.seed);
+        let mut signals: Vec<Box<dyn SignalModel>> = (0..n)
+            .map(|i| base.signal.build(i, n, base.seed))
+            .collect();
+        let mut playback: Vec<ClientPlayback> = sessions
+            .iter()
+            .map(|s| ClientPlayback::new(s.total_playback_s(), base.tau))
+            .collect();
+        let mut sessions = sessions;
+        let mut rrc: Vec<RrcMachine> = (0..n)
+            .map(|_| RrcMachine::new_idle(base.models.rrc))
+            .collect();
+        let mut meters: Vec<EnergyMeter> = (0..n).map(|_| EnergyMeter::new()).collect();
+        let mut active_slots = vec![0u64; n];
+
+        let mut schedulers: Vec<Box<dyn Scheduler>> = (0..self.n_cells)
+            .map(|_| base.scheduler.build(base.tau, &base.models))
+            .collect();
+        let mut capacities: Vec<_> = (0..self.n_cells).map(|_| base.capacity.build()).collect();
+
+        // Initial attachment spreads users round-robin; mobility is a
+        // seeded memoryless process.
+        let mut attached: Vec<usize> = (0..n).map(|i| i % self.n_cells).collect();
+        let mut mobility = StdRng::seed_from_u64(base.seed ^ 0x0B17_E0CE_1100);
+        let mut handovers = 0u64;
+        let mut occupancy_sums = vec![0.0f64; self.n_cells];
+
+        let mut slots_run = 0;
+        let mut fairness_series = Vec::new();
+        let mut power_series = Vec::new();
+        let scheduler_label = schedulers
+            .first()
+            .map(|s| s.name().to_string())
+            .unwrap_or_default();
+
+        for slot in 0..base.slots {
+            slots_run = slot + 1;
+
+            // Mobility step.
+            if self.n_cells > 1 && self.handover_prob > 0.0 {
+                for cell in attached.iter_mut() {
+                    if mobility.random::<f64>() < self.handover_prob {
+                        let mut next = mobility.random_range(0..self.n_cells - 1);
+                        if next >= *cell {
+                            next += 1;
+                        }
+                        *cell = next;
+                        handovers += 1;
+                    }
+                }
+            }
+            for (c, sum) in occupancy_sums.iter_mut().enumerate() {
+                *sum += attached.iter().filter(|&&a| a == c).count() as f64;
+            }
+
+            // Client-side advance and ground truth.
+            let mut cur_sig = Vec::with_capacity(n);
+            let mut outcomes = Vec::with_capacity(n);
+            for i in 0..n {
+                cur_sig.push(signals[i].sample(slot));
+                let o = playback[i].begin_slot();
+                if o.active {
+                    active_slots[i] += 1;
+                }
+                outcomes.push(o);
+            }
+
+            // Per-cell scheduling: every cell sees all users, non-members
+            // with zero capacity.
+            let mut delivered_kb = vec![0.0f64; n];
+            let mut slot_energy_mj = 0.0;
+            for (cell, scheduler) in schedulers.iter_mut().enumerate() {
+                let cap: KbPerSec = capacities[cell].capacity(slot);
+                let bs_cap_units = units.bs_cap_units(cap, base.tau);
+                let snapshots: Vec<UserSnapshot> = (0..n)
+                    .map(|i| {
+                        let member = attached[i] == cell;
+                        let v = base.models.throughput.throughput(cur_sig[i]);
+                        UserSnapshot {
+                            id: i,
+                            signal: cur_sig[i],
+                            rate_kbps: sessions[i].rate_at(slot),
+                            buffer_s: outcomes[i].occupancy_s,
+                            remaining_kb: if member { sessions[i].remaining_kb() } else { 0.0 },
+                            active: member && outcomes[i].active,
+                            link_cap_units: if member {
+                                units.link_cap_units(v, base.tau)
+                            } else {
+                                0
+                            },
+                            idle_s: rrc[i].idle_seconds(),
+                            rrc_state: rrc[i].state(),
+                        }
+                    })
+                    .collect();
+                let ctx = SlotContext {
+                    slot,
+                    tau: base.tau,
+                    delta_kb: base.delta_kb,
+                    bs_cap_units,
+                    users: &snapshots,
+                };
+                let Allocation(alloc) = scheduler.allocate(&ctx);
+                debug_assert!(Allocation(alloc.clone()).validate(&ctx).is_ok());
+                for (i, units_granted) in alloc.into_iter().enumerate() {
+                    if units_granted > 0 && attached[i] == cell {
+                        let kb = (units_granted as f64 * base.delta_kb)
+                            .min(sessions[i].remaining_kb());
+                        delivered_kb[i] += kb;
+                    }
+                }
+            }
+
+            // Device accounting and delivery.
+            for i in 0..n {
+                if delivered_kb[i] > 0.0 {
+                    let accepted = sessions[i].deliver(delivered_kb[i]);
+                    playback[i].deliver(accepted, sessions[i].rate_at(slot));
+                    let e = base.models.power.transmission_energy(cur_sig[i], accepted);
+                    rrc[i].on_transmit();
+                    meters[i].record_transmission(e);
+                    slot_energy_mj += e.value();
+                } else {
+                    let e = rrc[i].on_idle(base.tau);
+                    meters[i].record_tail(e);
+                    slot_energy_mj += e.value();
+                }
+            }
+
+            if base.record_series {
+                let shares: Vec<f64> = (0..n)
+                    .filter(|&i| sessions[i].remaining_kb() > 0.0 || delivered_kb[i] > 0.0)
+                    .map(|i| {
+                        let need = (base.tau * sessions[i].rate_at(slot))
+                            .min(sessions[i].remaining_kb() + delivered_kb[i]);
+                        if need > 0.0 {
+                            delivered_kb[i] / need
+                        } else {
+                            1.0
+                        }
+                    })
+                    .collect();
+                if !shares.is_empty() {
+                    fairness_series.push(jain_index(&shares));
+                }
+                power_series.push(slot_energy_mj / 1000.0);
+            }
+
+            if (0..n).all(|i| sessions[i].fully_fetched() && playback[i].playback_complete()) {
+                break;
+            }
+        }
+
+        let per_user = (0..n)
+            .map(|i| UserResult {
+                rebuffer_s: playback[i].total_rebuffer_s(),
+                stall_slots: playback[i].stall_slots(),
+                startup_slots: playback[i].startup_slots(),
+                watched_s: playback[i].played_s(),
+                playback_complete: playback[i].playback_complete(),
+                fetched_kb: sessions[i].received_kb(),
+                energy: meters[i].breakdown(),
+                active_slots: active_slots[i],
+                tx_slots: meters[i].slots_transmitting(),
+                idle_slots: meters[i].slots_idle(),
+                rate_kbps: sessions[i].bitrate.mean_rate(),
+                video_kb: sessions[i].total_kb,
+            })
+            .collect();
+
+        MultiCellResult {
+            result: SimResult {
+                scheduler: scheduler_label,
+                per_user,
+                slots_run,
+                slots_configured: base.slots,
+                tau_s: base.tau,
+                fairness_series,
+                fairness_window_series: vec![],
+                power_series_j: power_series,
+            },
+            handovers,
+            mean_cell_occupancy: occupancy_sums
+                .into_iter()
+                .map(|s| s / slots_run as f64)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmso_gateway::bs::CapacitySpec;
+    use jmso_media::WorkloadSpec;
+    use jmso_sched::SchedulerSpec;
+
+    fn base(n_users: usize) -> Scenario {
+        let mut s = Scenario::paper_default(n_users);
+        s.slots = 600;
+        s.capacity = CapacitySpec::Constant { kbps: 2_000.0 };
+        s.workload = WorkloadSpec {
+            size_range_kb: (5_000.0, 10_000.0),
+            rate_range_kbps: (300.0, 600.0),
+            vbr_levels: None,
+            vbr_segment_slots: 30,
+        };
+        s
+    }
+
+    fn multi(n_users: usize, n_cells: usize, p: f64) -> MultiCellScenario {
+        MultiCellScenario {
+            base: base(n_users),
+            n_cells,
+            handover_prob: p,
+        }
+    }
+
+    #[test]
+    fn single_cell_degenerate_matches_shape() {
+        // One cell, no mobility: same machinery as the single-cell engine.
+        let m = multi(4, 1, 0.0).run().unwrap();
+        assert_eq!(m.handovers, 0);
+        assert_eq!(m.result.n_users(), 4);
+        assert_eq!(m.result.completion_rate(), 1.0);
+        assert!((m.mean_cell_occupancy[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mobility_moves_users() {
+        let m = multi(8, 4, 0.05).run().unwrap();
+        assert!(m.handovers > 0, "mobility must trigger handovers");
+        let total_occ: f64 = m.mean_cell_occupancy.iter().sum();
+        assert!((total_occ - 8.0).abs() < 1e-6, "users conserved across cells");
+    }
+
+    #[test]
+    fn sessions_complete_under_roaming() {
+        for spec in [
+            SchedulerSpec::Default,
+            SchedulerSpec::RtmaUnbounded,
+            SchedulerSpec::ema_fast(0.05),
+        ] {
+            let mut mc = multi(6, 3, 0.02);
+            mc.base.scheduler = spec.clone();
+            let m = mc.run().unwrap();
+            assert_eq!(
+                m.result.completion_rate(),
+                1.0,
+                "{spec:?} must complete under roaming"
+            );
+            for u in &m.result.per_user {
+                assert!((u.fetched_kb - u.video_kb).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn more_cells_add_capacity() {
+        // Same users, same per-cell budget: 3 cells should rebuffer less
+        // than 1 (aggregate capacity triples).
+        let one = multi(9, 1, 0.0).run().unwrap();
+        let three = multi(9, 3, 0.01).run().unwrap();
+        assert!(
+            three.result.total_rebuffer_s() < one.result.total_rebuffer_s(),
+            "3 cells {} s vs 1 cell {} s",
+            three.result.total_rebuffer_s(),
+            one.result.total_rebuffer_s()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = multi(6, 3, 0.05).run().unwrap();
+        let b = multi(6, 3, 0.05).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut mc = multi(4, 2, 0.01);
+        mc.n_cells = 0;
+        assert!(mc.run().unwrap_err().contains("n_cells"));
+        let mut mc = multi(4, 2, 0.01);
+        mc.handover_prob = 1.5;
+        assert!(mc.run().unwrap_err().contains("handover_prob"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mc = multi(4, 2, 0.1);
+        let j = serde_json::to_string(&mc).unwrap();
+        assert_eq!(serde_json::from_str::<MultiCellScenario>(&j).unwrap(), mc);
+    }
+}

@@ -1,0 +1,218 @@
+//! Reporting: CSV emission and fixed-width tables for the figure harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular data series: named columns, rows of f64.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major data; every row must match `columns` in length.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Empty table with the given headers.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        Self {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format_cell(*v)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+
+    /// Render as an aligned text table for terminal output.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| format_cell(*v)).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", c, width = widths[i]);
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_cell(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Per-user breakdown of a [`crate::SimResult`] as a [`Table`] — one row
+/// per user, ready for CSV export (`jmso-sim run --per-user out.csv`).
+pub fn per_user_table(result: &crate::SimResult) -> Table {
+    let mut t = Table::new(vec![
+        "user",
+        "video_mb",
+        "rate_kbps",
+        "rebuffer_s",
+        "startup_slots",
+        "stall_slots",
+        "watched_s",
+        "completed",
+        "fetched_mb",
+        "energy_j",
+        "tail_j",
+        "active_slots",
+        "tx_slots",
+    ]);
+    for (i, u) in result.per_user.iter().enumerate() {
+        t.push(vec![
+            i as f64,
+            u.video_kb / 1000.0,
+            u.rate_kbps,
+            u.rebuffer_s,
+            u.startup_slots as f64,
+            u.stall_slots as f64,
+            u.watched_s,
+            if u.playback_complete { 1.0 } else { 0.0 },
+            u.fetched_kb / 1000.0,
+            u.energy.total().joules(),
+            u.energy.tail.joules(),
+            u.active_slots as f64,
+            u.tx_slots as f64,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(vec!["n", "value"]);
+        t.push(vec![20.0, 0.125]);
+        t.push(vec![40.0, 1234.5]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "n,value\n20.000,0.125000\n40.000,1234.5\n");
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let mut t = Table::new(vec!["users", "rebuffer_s"]);
+        t.push(vec![20.0, 1.5]);
+        let txt = t.to_text();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("users"));
+        assert!(lines[1].contains("1.500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push(vec![1.0]);
+    }
+
+    #[test]
+    fn writes_file_with_parents() {
+        let dir = std::env::temp_dir().join("jmso_report_test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("sub/out.csv");
+        let mut t = Table::new(vec!["x"]);
+        t.push(vec![1.0]);
+        t.write_csv(&path).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x\n"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_formats_compactly() {
+        assert_eq!(format_cell(0.0), "0");
+        assert_eq!(format_cell(2.0), "2.000");
+    }
+
+    #[test]
+    fn per_user_table_shape() {
+        use crate::{SimResult, UserResult};
+        use jmso_radio::{EnergyBreakdown, MilliJoules};
+        let r = SimResult {
+            scheduler: "t".into(),
+            per_user: vec![UserResult {
+                rebuffer_s: 3.0,
+                stall_slots: 2,
+                startup_slots: 1,
+                watched_s: 90.0,
+                playback_complete: true,
+                fetched_kb: 45_000.0,
+                energy: EnergyBreakdown {
+                    transmission: MilliJoules(9_000.0),
+                    tail: MilliJoules(1_000.0),
+                },
+                active_slots: 95,
+                tx_slots: 60,
+                idle_slots: 35,
+                rate_kbps: 500.0,
+                video_kb: 45_000.0,
+            }],
+            slots_run: 100,
+            slots_configured: 100,
+            tau_s: 1.0,
+            fairness_series: vec![],
+            fairness_window_series: vec![],
+            power_series_j: vec![],
+        };
+        let t = per_user_table(&r);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.columns.len(), 13);
+        assert_eq!(t.rows[0][3], 3.0); // rebuffer_s
+        assert_eq!(t.rows[0][9], 10.0); // energy_j
+        assert_eq!(t.rows[0][7], 1.0); // completed
+    }
+}

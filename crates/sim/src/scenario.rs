@@ -1,0 +1,393 @@
+//! Scenario configuration: a single serializable description of one
+//! experiment, and the factory that assembles an [`Engine`] from it.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::results::SimResult;
+use jmso_gateway::bs::CapacitySpec;
+use jmso_gateway::{
+    format_segment_request, CollectorSpec, DataReceiver, DpiClassifier, InformationCollector,
+    OriginModel, UnitParams,
+};
+use jmso_media::{generate_sessions, WorkloadSpec};
+use jmso_radio::SignalSpec;
+use jmso_sched::{CrossLayerModels, SchedulerSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// When user sessions begin.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Default)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ArrivalSpec {
+    /// Everyone starts at slot 0 (the paper's setting).
+    #[default]
+    Simultaneous,
+    /// Users arrive one after another with i.i.d. uniform inter-arrival
+    /// gaps in `[0, 2·mean_interval_slots]` (mean as named), seeded.
+    Staggered {
+        /// Mean gap between consecutive arrivals, slots.
+        mean_interval_slots: f64,
+    },
+}
+
+impl ArrivalSpec {
+    /// Draw the per-user arrival slots.
+    pub fn arrival_slots(&self, n_users: usize, seed: u64) -> Vec<u64> {
+        match *self {
+            ArrivalSpec::Simultaneous => vec![0; n_users],
+            ArrivalSpec::Staggered {
+                mean_interval_slots,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xA11_1BA1);
+                let mut t = 0.0f64;
+                (0..n_users)
+                    .map(|_| {
+                        let slot = t as u64;
+                        t += rng.random_range(0.0..=(2.0 * mean_interval_slots).max(f64::MIN_POSITIVE));
+                        slot
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Everything needed to reproduce one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Scenario {
+    /// Number of users N.
+    pub n_users: usize,
+    /// Horizon Γ in slots (paper: 10 000).
+    pub slots: u64,
+    /// Slot length τ in seconds (paper: 1).
+    pub tau: f64,
+    /// Frame length δ in KB (see DESIGN.md §6).
+    pub delta_kb: f64,
+    /// BS serving capacity model (paper: constant 20 MB/s).
+    pub capacity: CapacitySpec,
+    /// Per-user RSSI process (paper: sine + noise with phase shifts).
+    pub signal: SignalSpec,
+    /// Video workload distribution (paper: 250–500 MB, 300–600 KB/s).
+    pub workload: WorkloadSpec,
+    /// Cross-layer models (throughput/power fits, RRC timers).
+    pub models: CrossLayerModels,
+    /// Information-collector fidelity.
+    pub collector: CollectorSpec,
+    /// Origin-server behaviour for video flows.
+    pub origin: OriginModel,
+    /// The policy under test.
+    pub scheduler: SchedulerSpec,
+    /// Master seed (workload, signals, collector noise all derive from it).
+    pub seed: u64,
+    /// Record per-slot series (needed for the CDF figures).
+    pub record_series: bool,
+    /// Session arrival process (paper: simultaneous).
+    #[serde(default)]
+    pub arrivals: ArrivalSpec,
+    /// When true, the gateway learns each flow's rate by DPI-inspecting a
+    /// synthesized segment request (the paper's §III-A collection path)
+    /// instead of reading ground truth: schedulers then see the
+    /// manifest-declared mean rate, which for VBR sessions differs from
+    /// the instantaneous one.
+    #[serde(default)]
+    pub rate_via_dpi: bool,
+}
+
+impl Scenario {
+    /// The paper's §VI setup with `n_users` users and the Default
+    /// scheduler; override fields as needed.
+    pub fn paper_default(n_users: usize) -> Self {
+        Self {
+            n_users,
+            slots: 10_000,
+            tau: 1.0,
+            delta_kb: 50.0,
+            capacity: CapacitySpec::paper_default(),
+            signal: SignalSpec::paper_default(),
+            workload: WorkloadSpec::paper_default(),
+            models: CrossLayerModels::paper(),
+            collector: CollectorSpec::perfect(),
+            origin: OriginModel::Infinite,
+            scheduler: SchedulerSpec::Default,
+            seed: 42,
+            record_series: false,
+            arrivals: ArrivalSpec::Simultaneous,
+            rate_via_dpi: false,
+        }
+    }
+
+    /// Same scenario with a different scheduler (workload/signals/seed
+    /// unchanged, which is how the paper compares policies).
+    pub fn with_scheduler(&self, scheduler: SchedulerSpec) -> Self {
+        Self {
+            scheduler,
+            ..self.clone()
+        }
+    }
+
+    /// Same scenario with a different seed.
+    pub fn with_seed(&self, seed: u64) -> Self {
+        Self {
+            seed,
+            ..self.clone()
+        }
+    }
+
+    /// Validate parameters, assemble the engine, run it.
+    pub fn run(&self) -> Result<SimResult, String> {
+        self.validate()?;
+        Ok(self.build_engine().run())
+    }
+
+    /// Parameter sanity checks with actionable messages.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_users == 0 {
+            return Err("n_users must be positive".into());
+        }
+        if self.slots == 0 {
+            return Err("slots must be positive".into());
+        }
+        if self.tau <= 0.0 || self.tau.is_nan() {
+            return Err("tau must be positive".into());
+        }
+        if self.delta_kb <= 0.0 || self.delta_kb.is_nan() {
+            return Err("delta_kb must be positive".into());
+        }
+        if self.workload.rate_range_kbps.0 <= 0.0 {
+            return Err("required data rates must be positive".into());
+        }
+        if self.workload.size_range_kb.0 <= 0.0 {
+            return Err("video sizes must be positive".into());
+        }
+        Ok(())
+    }
+
+    fn build_engine(&self) -> Engine {
+        let sessions = generate_sessions(&self.workload, self.n_users, self.seed);
+        let signals = (0..self.n_users)
+            .map(|i| self.signal.build(i, self.n_users, self.seed))
+            .collect();
+        let receiver = DataReceiver::new(self.n_users, self.origin.clone(), self.tau);
+        let collector = InformationCollector::new(
+            self.collector,
+            self.models.throughput,
+            UnitParams::new(self.delta_kb),
+            self.tau,
+            self.n_users,
+            self.seed,
+        );
+        let declared_rates: Option<Vec<f64>> = if self.rate_via_dpi {
+            // Synthesize each client's first segment request and let the
+            // DPI middlebox extract the declared bitrate from the wire.
+            let mut dpi = DpiClassifier::new();
+            Some(
+                sessions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, sess)| {
+                        let wire = format_segment_request(
+                            &format!("user{i}"),
+                            0,
+                            sess.bitrate.mean_rate(),
+                            None,
+                        );
+                        dpi.inspect(&wire)
+                            .expect("synthesized request parses")
+                            .bitrate_kbps
+                            .expect("synthesized request declares a rate")
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let mut engine = Engine::with_arrivals(
+            signals,
+            sessions,
+            self.arrivals.arrival_slots(self.n_users, self.seed),
+            self.scheduler.build(self.tau, &self.models),
+            self.capacity.build(),
+            receiver,
+            collector,
+            self.models,
+            EngineConfig {
+                tau: self.tau,
+                delta_kb: self.delta_kb,
+                slots: self.slots,
+                record_series: self.record_series,
+            },
+        );
+        if let Some(rates) = declared_rates {
+            engine.set_declared_rates(&rates);
+        }
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n: usize) -> Scenario {
+        let mut s = Scenario::paper_default(n);
+        s.slots = 300;
+        s.workload = WorkloadSpec {
+            size_range_kb: (500.0, 1500.0),
+            rate_range_kbps: (300.0, 600.0),
+            vbr_levels: None,
+            vbr_segment_slots: 30,
+        };
+        s
+    }
+
+    #[test]
+    fn paper_default_matches_section_vi() {
+        let s = Scenario::paper_default(40);
+        assert_eq!(s.n_users, 40);
+        assert_eq!(s.slots, 10_000);
+        assert_eq!(s.tau, 1.0);
+        assert_eq!(s.capacity, CapacitySpec::Constant { kbps: 20_000.0 });
+        assert_eq!(s.workload.size_range_kb, (250_000.0, 500_000.0));
+        assert_eq!(s.workload.rate_range_kbps, (300.0, 600.0));
+        assert!((s.models.rrc.t1 - 3.29).abs() < 1e-12);
+        assert!((s.models.rrc.t2 - 4.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runs_and_is_deterministic() {
+        let s = quick(4);
+        let a = s.run().unwrap();
+        let b = s.run().unwrap();
+        assert_eq!(a, b, "same seed ⇒ identical result");
+        let c = s.with_seed(7).run().unwrap();
+        assert_ne!(a, c, "different seed ⇒ different result");
+        assert_eq!(a.n_users(), 4);
+    }
+
+    #[test]
+    fn with_scheduler_keeps_workload() {
+        let s = quick(3);
+        let a = s.run().unwrap();
+        let b = s.with_scheduler(SchedulerSpec::RtmaUnbounded).run().unwrap();
+        // Same videos (same sizes) under both policies.
+        for (ua, ub) in a.per_user.iter().zip(&b.per_user) {
+            assert_eq!(ua.video_kb, ub.video_kb);
+            assert_eq!(ua.rate_kbps, ub.rate_kbps);
+        }
+        assert_ne!(a.scheduler, b.scheduler);
+    }
+
+    #[test]
+    fn validation_messages() {
+        let mut s = quick(2);
+        s.n_users = 0;
+        assert!(s.run().unwrap_err().contains("n_users"));
+        let mut s = quick(2);
+        s.slots = 0;
+        assert!(s.run().unwrap_err().contains("slots"));
+        let mut s = quick(2);
+        s.tau = 0.0;
+        assert!(s.run().unwrap_err().contains("tau"));
+        let mut s = quick(2);
+        s.delta_kb = -1.0;
+        assert!(s.run().unwrap_err().contains("delta_kb"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = quick(5);
+        let j = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_are_all_zero() {
+        assert_eq!(
+            ArrivalSpec::Simultaneous.arrival_slots(5, 9),
+            vec![0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn staggered_arrivals_are_sorted_and_seeded() {
+        let spec = ArrivalSpec::Staggered {
+            mean_interval_slots: 20.0,
+        };
+        let a = spec.arrival_slots(10, 3);
+        let b = spec.arrival_slots(10, 3);
+        assert_eq!(a, b, "seeded");
+        assert_eq!(a[0], 0, "first user arrives immediately");
+        for w in a.windows(2) {
+            assert!(w[1] >= w[0], "non-decreasing arrivals");
+        }
+        assert!(*a.last().unwrap() > 0, "stagger actually spreads users");
+        let c = spec.arrival_slots(10, 4);
+        assert_ne!(a, c, "different seed, different arrivals");
+    }
+
+    #[test]
+    fn staggered_scenario_runs_and_late_users_start_late() {
+        let mut s = quick(4);
+        s.arrivals = ArrivalSpec::Staggered {
+            mean_interval_slots: 30.0,
+        };
+        let r = s.run().unwrap();
+        // Late arrivals are unmetered before their slot.
+        let slots = r.slots_run;
+        assert!(r
+            .per_user
+            .iter()
+            .any(|u| u.tx_slots + u.idle_slots < slots));
+        assert_eq!(r.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn dpi_rates_match_ground_truth_for_cbr() {
+        // CBR: the DPI-declared mean rate equals the instantaneous rate,
+        // so scheduling decisions are identical bit-for-bit.
+        let plain = quick(4);
+        let mut dpi = quick(4);
+        dpi.rate_via_dpi = true;
+        assert_eq!(plain.run().unwrap(), dpi.run().unwrap());
+    }
+
+    #[test]
+    fn dpi_rates_diverge_for_vbr() {
+        // VBR + a rate-sensitive policy (Throttling paces at κ·pᵢ): the
+        // gateway schedules on the declared mean while clients play at
+        // the instantaneous rate — behaviour must change. (The Default
+        // policy is rate-oblivious, so it would not show the difference.)
+        let mut plain = quick(4).with_scheduler(SchedulerSpec::throttling_default());
+        plain.workload.vbr_levels = Some(vec![0.6, 1.4]);
+        plain.workload.vbr_segment_slots = 5;
+        plain.slots = 400;
+        let mut dpi = plain.clone();
+        dpi.rate_via_dpi = true;
+        let a = plain.run().unwrap();
+        let b = dpi.run().unwrap();
+        assert_ne!(a, b, "declared-rate scheduling must differ under VBR");
+        // Clients still finish their videos either way.
+        assert_eq!(a.completion_rate(), 1.0);
+        assert_eq!(b.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn every_scheduler_spec_runs() {
+        for spec in [
+            SchedulerSpec::Default,
+            SchedulerSpec::Rtma { phi_mj: 900.0 },
+            SchedulerSpec::RtmaUnbounded,
+            SchedulerSpec::ema_fast(1.0),
+            SchedulerSpec::throttling_default(),
+            SchedulerSpec::onoff_default(),
+            SchedulerSpec::salsa_default(),
+            SchedulerSpec::estreamer_default(),
+        ] {
+            let mut s = quick(3).with_scheduler(spec.clone());
+            s.slots = 120;
+            let r = s.run().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            assert_eq!(r.n_users(), 3, "{spec:?}");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! SVG line charts: render a [`crate::report::Table`] as a
+//! self-contained SVG figure (`repro --svg` writes one per figure next to
+//! the CSV). No external dependencies — the markup is assembled directly.
+//!
+//! Layout: the first column is the x-axis, every further column a polyline
+//! series with a color from a fixed palette, a legend at the top right,
+//! and min/max tick labels on both axes. This is deliberately a plotting
+//! *utility*, not a plotting *library*: enough to eyeball every figure the
+//! harness produces.
+
+use crate::report::Table;
+use std::fmt::Write as _;
+
+/// Series colors (dark-on-white friendly).
+const COLORS: &[&str] = &[
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2", "#17becf",
+];
+
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 30.0;
+const MARGIN_B: f64 = 45.0;
+
+/// Render `table` as an SVG document of `width`×`height` pixels with the
+/// given title. Returns an empty string when there is nothing to draw
+/// (fewer than two rows or no series).
+pub fn svg_chart(table: &Table, title: &str, width: u32, height: u32) -> String {
+    let n_series = table.columns.len().saturating_sub(1);
+    if table.rows.len() < 2 || n_series == 0 {
+        return String::new();
+    }
+    let w = width as f64;
+    let h = height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    if plot_w < 10.0 || plot_h < 10.0 {
+        return String::new();
+    }
+
+    let xs: Vec<f64> = table.rows.iter().map(|r| r[0]).collect();
+    let (x_lo, x_hi) = bounds(&xs);
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = f64::NEG_INFINITY;
+    for row in &table.rows {
+        for v in &row[1..] {
+            y_lo = y_lo.min(*v);
+            y_hi = y_hi.max(*v);
+        }
+    }
+    if !(y_lo.is_finite() && y_hi.is_finite()) {
+        return String::new();
+    }
+    // Pad a flat series so it draws mid-plot instead of on the border.
+    if (y_hi - y_lo).abs() < f64::MIN_POSITIVE {
+        y_lo -= 1.0;
+        y_hi += 1.0;
+    }
+    let x_span = (x_hi - x_lo).max(f64::MIN_POSITIVE);
+    let y_span = y_hi - y_lo;
+
+    let px = |x: f64| MARGIN_L + (x - x_lo) / x_span * plot_w;
+    let py = |y: f64| MARGIN_T + (1.0 - (y - y_lo) / y_span) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="{width}" height="{height}" fill="white"/>"##
+    );
+    // Title.
+    let _ = write!(
+        svg,
+        r##"<text x="{:.1}" y="18" font-family="sans-serif" font-size="13" fill="#222">{}</text>"##,
+        MARGIN_L,
+        escape(title)
+    );
+    // Plot frame.
+    let _ = write!(
+        svg,
+        r##"<rect x="{MARGIN_L:.1}" y="{MARGIN_T:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#999"/>"##
+    );
+    // Axis tick labels (min/max on each axis).
+    let _ = write!(
+        svg,
+        r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" fill="#444" text-anchor="end">{}</text>"##,
+        MARGIN_L - 5.0,
+        MARGIN_T + 10.0,
+        fmt_tick(y_hi)
+    );
+    let _ = write!(
+        svg,
+        r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" fill="#444" text-anchor="end">{}</text>"##,
+        MARGIN_L - 5.0,
+        MARGIN_T + plot_h,
+        fmt_tick(y_lo)
+    );
+    let _ = write!(
+        svg,
+        r##"<text x="{MARGIN_L:.1}" y="{:.1}" font-family="sans-serif" font-size="11" fill="#444">{}</text>"##,
+        h - MARGIN_B + 18.0,
+        fmt_tick(x_lo)
+    );
+    let _ = write!(
+        svg,
+        r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" fill="#444" text-anchor="end">{}</text>"##,
+        MARGIN_L + plot_w,
+        h - MARGIN_B + 18.0,
+        fmt_tick(x_hi)
+    );
+    // X-axis label from the first column name.
+    let _ = write!(
+        svg,
+        r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12" fill="#222" text-anchor="middle">{}</text>"##,
+        MARGIN_L + plot_w / 2.0,
+        h - 8.0,
+        escape(&table.columns[0])
+    );
+
+    // Series polylines + point markers.
+    for s in 0..n_series {
+        let color = COLORS[s % COLORS.len()];
+        let mut points = String::new();
+        for row in &table.rows {
+            let _ = write!(points, "{:.2},{:.2} ", px(row[0]), py(row[1 + s]));
+        }
+        let _ = write!(
+            svg,
+            r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"##,
+            points.trim_end()
+        );
+        for row in &table.rows {
+            let _ = write!(
+                svg,
+                r##"<circle cx="{:.2}" cy="{:.2}" r="2.6" fill="{color}"/>"##,
+                px(row[0]),
+                py(row[1 + s])
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 + 16.0 * s as f64;
+        let lx = MARGIN_L + plot_w - 150.0;
+        let _ = write!(
+            svg,
+            r##"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"##,
+            lx + 18.0
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" fill="#222">{}</text>"##,
+            lx + 24.0,
+            ly + 4.0,
+            escape(&table.columns[1 + s])
+        );
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(*v), hi.max(*v))
+    })
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["users", "default", "rtma"]);
+        t.push(vec![20.0, 80.0, 2.0]);
+        t.push(vec![30.0, 150.0, 5.0]);
+        t.push(vec![40.0, 220.0, 11.0]);
+        t
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let svg = svg_chart(&sample(), "Fig 5a", 640, 360);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2, "one per series");
+        assert_eq!(svg.matches("<circle").count(), 6, "one marker per point");
+        assert!(svg.contains("Fig 5a"));
+        assert!(svg.contains("default"));
+        assert!(svg.contains("rtma"));
+        assert!(svg.contains("users"), "x-axis label");
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut t = Table::new(vec!["x", "a<b&\"c\">"]);
+        t.push(vec![0.0, 1.0]);
+        t.push(vec![1.0, 2.0]);
+        let svg = svg_chart(&t, "T<itle>", 400, 300);
+        assert!(!svg.contains("a<b"), "raw angle bracket must not survive");
+        assert!(svg.contains("a&lt;b&amp;"));
+        assert!(svg.contains("T&lt;itle&gt;"));
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty() {
+        let empty = Table::new(vec!["x", "y"]);
+        assert!(svg_chart(&empty, "t", 640, 360).is_empty());
+        assert!(svg_chart(&sample(), "t", 40, 30).is_empty(), "too small");
+    }
+
+    #[test]
+    fn flat_series_padded_not_panicking() {
+        let mut t = Table::new(vec!["x", "flat"]);
+        t.push(vec![0.0, 7.0]);
+        t.push(vec![1.0, 7.0]);
+        let svg = svg_chart(&t, "flat", 400, 300);
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn coordinates_inside_viewbox() {
+        let svg = svg_chart(&sample(), "t", 640, 360);
+        // Every circle coordinate must be inside the canvas.
+        for cap in svg.split("<circle ").skip(1) {
+            let cx: f64 = cap
+                .split("cx=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            let cy: f64 = cap
+                .split("cy=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!((0.0..=640.0).contains(&cx));
+            assert!((0.0..=360.0).contains(&cy));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Deterministic parallel execution of scenario grids.
+//!
+//! Figure sweeps are embarrassingly parallel (every cell is an independent
+//! seeded simulation), so the runner is a small work queue on crossbeam
+//! scoped threads: an atomic cursor hands out cell indices, workers write
+//! results into an index-addressed slot vector behind a `parking_lot`
+//! mutex, and the output order always equals the input order regardless of
+//! which worker finished first. Rayon would be the idiomatic tool but is
+//! not in the offline crate set (DESIGN.md §6); this queue is ~40 lines
+//! and has no ordering races by construction.
+
+use crate::results::SimResult;
+use crate::scenario::Scenario;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel map with deterministic output ordering.
+///
+/// Spawns `threads` workers (clamped to the item count; 0 means "one per
+/// available CPU") that apply `f` to each item. Panics in `f` propagate.
+///
+/// ```
+/// use jmso_sim::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4], 2, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]); // input order preserved
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+fn effective_threads(requested: usize, items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, items)
+}
+
+/// Run a batch of scenarios in parallel; results align with the input.
+/// Any scenario validation error aborts the whole batch.
+pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Result<Vec<SimResult>, String> {
+    for s in scenarios {
+        s.validate()?;
+    }
+    let results = parallel_map(scenarios, threads, |s| {
+        s.run().expect("validated scenario must run")
+    });
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmso_media::WorkloadSpec;
+    use jmso_sched::SchedulerSpec;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cpus() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, 0, |x| x + 1);
+        assert_eq!(out[31], 32);
+    }
+
+    fn quick(n_users: usize, seed: u64) -> Scenario {
+        let mut s = Scenario::paper_default(n_users);
+        s.slots = 150;
+        s.seed = seed;
+        s.workload = WorkloadSpec {
+            size_range_kb: (1_000.0, 2_000.0),
+            rate_range_kbps: (300.0, 600.0),
+            vbr_levels: None,
+            vbr_segment_slots: 30,
+        };
+        s
+    }
+
+    /// Parallel sweep equals sequential execution cell-for-cell.
+    #[test]
+    fn sweep_matches_sequential() {
+        let grid: Vec<Scenario> = (0..6)
+            .map(|i| quick(2 + i % 3, i as u64).with_scheduler(SchedulerSpec::RtmaUnbounded))
+            .collect();
+        let par = run_scenarios(&grid, 4).unwrap();
+        let seq: Vec<_> = grid.iter().map(|s| s.run().unwrap()).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn sweep_rejects_invalid_cells() {
+        let mut bad = quick(2, 0);
+        bad.n_users = 0;
+        let err = run_scenarios(&[bad], 2).unwrap_err();
+        assert!(err.contains("n_users"));
+    }
+}

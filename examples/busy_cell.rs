@@ -1,0 +1,82 @@
+//! Busy cell: push a cell from light load to saturation and watch how the
+//! four rebuffering-oriented policies (Default, Throttling, ON-OFF, RTMA)
+//! degrade — the experiment behind the paper's Fig. 5, plus per-slot
+//! fairness (Fig. 2).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example busy_cell
+//! ```
+
+use jmso::media::Cdf;
+use jmso::sim::{calibrate_default, parallel_map, Scenario, SchedulerSpec, WorkloadSpec};
+
+fn main() {
+    let user_counts = [6usize, 9, 12, 15];
+
+    println!("Rebuffering per user (s) as the cell fills (6 MB/s BS):\n");
+    println!(
+        "{:>6} {:>10} {:>11} {:>8} {:>8}",
+        "users", "Default", "Throttling", "ON-OFF", "RTMA"
+    );
+
+    let rows = parallel_map(&user_counts, 0, |&n| {
+        let mut scenario = Scenario::paper_default(n);
+        scenario.slots = 2_000;
+        scenario.capacity = jmso::sim::CapacitySpec::Constant { kbps: 6_000.0 };
+        scenario.workload = WorkloadSpec {
+            size_range_kb: (30_000.0, 60_000.0),
+            rate_range_kbps: (300.0, 600.0),
+            vbr_levels: None,
+            vbr_segment_slots: 30,
+        };
+        let cal = calibrate_default(&scenario).expect("calibrate");
+        let run = |spec: SchedulerSpec| {
+            scenario
+                .with_scheduler(spec)
+                .run()
+                .expect("run")
+                .mean_rebuffer_per_user_s()
+        };
+        (
+            n,
+            run(SchedulerSpec::Default),
+            run(SchedulerSpec::throttling_default()),
+            run(SchedulerSpec::onoff_default()),
+            run(SchedulerSpec::Rtma {
+                phi_mj: cal.phi_for_alpha(1.0),
+            }),
+        )
+    });
+
+    for (n, d, t, o, r) in rows {
+        println!("{n:>6} {d:>10.1} {t:>11.1} {o:>8.1} {r:>8.1}");
+    }
+
+    // Fairness under saturation (the paper's Fig. 2 view).
+    let mut scenario = Scenario::paper_default(15);
+    scenario.slots = 2_000;
+    scenario.record_series = true;
+    scenario.capacity = jmso::sim::CapacitySpec::Constant { kbps: 6_000.0 };
+    scenario.workload = WorkloadSpec {
+        size_range_kb: (30_000.0, 60_000.0),
+        rate_range_kbps: (300.0, 600.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    let default = scenario.run().expect("default");
+    let rtma = scenario
+        .with_scheduler(SchedulerSpec::RtmaUnbounded)
+        .run()
+        .expect("rtma");
+
+    println!("\nPer-slot Jain fairness at 15 users (median / 10th percentile):");
+    for (tag, r) in [("Default", &default), ("RTMA", &rtma)] {
+        let cdf = Cdf::new(r.fairness_series.clone());
+        println!(
+            "  {tag:<8} median {:.2}   p10 {:.2}",
+            cdf.median(),
+            cdf.quantile(0.1)
+        );
+    }
+}

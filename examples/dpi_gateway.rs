@@ -1,0 +1,78 @@
+//! DPI gateway: the §III-A collection path end to end — clients emit HTTP
+//! segment requests, the DPI middlebox classifies flows and extracts
+//! declared bitrates off the wire, and a scenario scheduled on those
+//! declared rates is compared against ground-truth collection.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dpi_gateway
+//! ```
+
+use jmso::gateway::{format_segment_request, DpiClassifier};
+use jmso::sim::{Scenario, SchedulerSpec, WorkloadSpec};
+
+fn main() {
+    // 1. The middlebox view: a mixed burst of traffic hits the gateway.
+    let mut dpi = DpiClassifier::new();
+    let wires = vec![
+        format_segment_request("shows/ep1", 0, 450.0, None),
+        bytes::Bytes::from("GET /api/timeline.json HTTP/1.1\r\nHost: social.example\r\n\r\n"),
+        format_segment_request("movies/blockbuster", 14, 600.0, Some(120_000.0)),
+        bytes::Bytes::from("GET /img/avatar.png HTTP/1.1\r\n\r\n"),
+    ];
+    println!("DPI classification of a mixed request burst:");
+    for wire in &wires {
+        match dpi.inspect(wire) {
+            Ok(info) => println!(
+                "  {:<28} {:?}{}",
+                info.path,
+                info.class,
+                info.bitrate_kbps
+                    .map(|b| format!("  declared {b} KB/s"))
+                    .unwrap_or_default()
+            ),
+            Err(e) => println!("  <unparseable>: {e}"),
+        }
+    }
+    println!(
+        "  → {} requests inspected, {} video flows sliced for scheduling\n",
+        dpi.inspected(),
+        dpi.video_flows()
+    );
+
+    // 2. Scheduling on DPI-declared rates vs ground truth, VBR workload.
+    let mut scenario = Scenario::paper_default(12);
+    scenario.slots = 2_000;
+    scenario.capacity = jmso::sim::CapacitySpec::Constant { kbps: 6_000.0 };
+    scenario.workload = WorkloadSpec {
+        size_range_kb: (30_000.0, 60_000.0),
+        rate_range_kbps: (300.0, 600.0),
+        vbr_levels: Some(vec![0.7, 1.3, 1.0]),
+        vbr_segment_slots: 20,
+    };
+    scenario.scheduler = SchedulerSpec::throttling_default(); // rate-sensitive
+
+    let truth = scenario.run().expect("ground-truth run");
+    let mut via_dpi = scenario.clone();
+    via_dpi.rate_via_dpi = true;
+    let dpi_run = via_dpi.run().expect("dpi run");
+
+    println!("Rate-sensitive scheduling under VBR (Throttling, 12 users):");
+    println!(
+        "  ground-truth rates : {:>6.1} s rebuffering/user, {:>5.2} kJ",
+        truth.mean_rebuffer_per_user_s(),
+        truth.total_energy_kj()
+    );
+    println!(
+        "  DPI-declared rates : {:>6.1} s rebuffering/user, {:>5.2} kJ",
+        dpi_run.mean_rebuffer_per_user_s(),
+        dpi_run.total_energy_kj()
+    );
+    println!(
+        "\nThe gap — in either direction — comes from scheduling on the\n\
+         manifest-declared mean instead of the instantaneous VBR rate: the\n\
+         collection-path behaviour a real PDN-gateway deployment lives with.\n\
+         (Steady mean-rate pacing can even beat instantaneous pacing, which\n\
+         over-reacts to VBR peaks.)"
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: simulate one congested cell under the Default strategy and
+//! under RTMA at the same energy budget, and compare.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use jmso::sim::{calibrate_default, Scenario, SchedulerSpec, WorkloadSpec};
+
+fn main() {
+    // A paper-style cell, shortened so the example finishes in seconds:
+    // 12 users share a 6 MB/s base station (same demand:capacity ratio as
+    // the paper's 40 users on 20 MB/s), videos of ~30–60 MB.
+    let mut scenario = Scenario::paper_default(12);
+    scenario.slots = 2_000;
+    scenario.capacity = jmso::sim::CapacitySpec::Constant { kbps: 6_000.0 };
+    scenario.workload = WorkloadSpec {
+        size_range_kb: (30_000.0, 60_000.0),
+        rate_range_kbps: (300.0, 600.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+
+    // 1. Measure the Default strategy (the calibration reference).
+    let cal = calibrate_default(&scenario).expect("calibration run");
+    let default = scenario.run().expect("default run");
+    println!("Default strategy:");
+    println!("  mean rebuffering per user   : {:.1} s", default.mean_rebuffer_per_user_s());
+    println!("  energy per active user-slot : {:.1} mJ", cal.e_default_mj);
+    println!("  total energy                : {:.2} kJ", default.total_energy_kj());
+
+    // 2. RTMA at the same energy budget (α = 1 ⇒ Φ = E_Default).
+    let rtma = scenario
+        .with_scheduler(SchedulerSpec::Rtma {
+            phi_mj: cal.phi_for_alpha(1.0),
+        })
+        .run()
+        .expect("rtma run");
+    println!("\nRTMA (Φ = E_Default):");
+    println!("  mean rebuffering per user   : {:.1} s", rtma.mean_rebuffer_per_user_s());
+    println!(
+        "  energy per active user-slot : {:.1} mJ",
+        rtma.avg_energy_per_active_slot_mj()
+    );
+    println!("  total energy                : {:.2} kJ", rtma.total_energy_kj());
+
+    let reduction = 100.0 * (1.0 - rtma.total_rebuffer_s() / default.total_rebuffer_s().max(1e-9));
+    println!("\nRTMA rebuffering reduction vs Default: {reduction:.0}%");
+}

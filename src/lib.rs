@@ -1,0 +1,41 @@
+//! # jmso — Joint Media Streaming Optimization
+//!
+//! A from-scratch Rust reproduction of *"Joint Media Streaming Optimization
+//! of Energy and Rebuffering Time in Cellular Networks"* (Lai et al.,
+//! ICPP 2015): a gateway-level video-delivery scheduler for cellular
+//! networks with two complementary modes — **RTMA** (minimum rebuffering
+//! under an energy bound) and **EMA** (minimum energy under a rebuffering
+//! bound, via Lyapunov optimization) — together with the full simulation
+//! substrate the paper evaluates on.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! * [`radio`] — RSSI processes, throughput/power fits, RRC state machine,
+//!   tail energy (paper §III-B/C).
+//! * [`media`] — video sessions, client playback buffer, rebuffering model
+//!   (paper §III-D), workloads and QoE metrics.
+//! * [`gateway`] — the framework of Fig. 1: data receiver, information
+//!   collector, scheduler trait, data transmitter, BS capacity.
+//! * [`sched`] — RTMA, EMA (+ the exact fast variant), the Lyapunov
+//!   machinery, the five comparison baselines, and a brute-force oracle.
+//! * [`sim`] — the slotted multi-user engine, scenario configs,
+//!   calibration, parallel sweeps, and reporting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jmso::sim::{Scenario, SchedulerSpec};
+//!
+//! // 8 users on the paper's defaults, shortened to 600 slots for the doctest.
+//! let mut scenario = Scenario::paper_default(8);
+//! scenario.slots = 600;
+//! scenario.scheduler = SchedulerSpec::Rtma { phi_mj: 700.0 };
+//! let result = scenario.run().expect("simulation runs");
+//! assert_eq!(result.per_user.len(), 8);
+//! ```
+
+pub use jmso_gateway as gateway;
+pub use jmso_media as media;
+pub use jmso_radio as radio;
+pub use jmso_sched as sched;
+pub use jmso_sim as sim;

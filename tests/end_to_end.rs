@@ -1,0 +1,303 @@
+//! End-to-end integration tests: the paper's directional results must hold
+//! on scaled-down scenarios (same demand:capacity ratio as §VI, shorter
+//! horizons so debug builds stay fast).
+
+use jmso::media::Cdf;
+use jmso::sim::{
+    calibrate_default, fit_v_for_omega, CapacitySpec, Scenario, SchedulerSpec, WorkloadSpec,
+};
+
+/// A 12-user cell with the paper's 0.9 demand:capacity ratio and ~45 MB
+/// videos; completes well inside 2 000 slots.
+fn cell(n_users: usize, seed: u64) -> Scenario {
+    let mut s = Scenario::paper_default(n_users);
+    s.slots = 2_000;
+    s.seed = seed;
+    s.capacity = CapacitySpec::Constant {
+        kbps: 500.0 * n_users as f64,
+    };
+    s.workload = WorkloadSpec {
+        size_range_kb: (30_000.0, 60_000.0),
+        rate_range_kbps: (300.0, 600.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    s
+}
+
+/// RTMA at the Default energy budget must cut rebuffering drastically
+/// (the paper's core §VI-A result).
+#[test]
+fn rtma_beats_default_on_rebuffering() {
+    let scenario = cell(12, 42);
+    let cal = calibrate_default(&scenario).unwrap();
+    let default = scenario.run().unwrap();
+    let rtma = scenario
+        .with_scheduler(SchedulerSpec::Rtma {
+            phi_mj: cal.phi_for_alpha(1.0),
+        })
+        .run()
+        .unwrap();
+    assert!(
+        rtma.total_rebuffer_s() < 0.4 * default.total_rebuffer_s(),
+        "RTMA {} s vs Default {} s",
+        rtma.total_rebuffer_s(),
+        default.total_rebuffer_s()
+    );
+}
+
+/// RTMA's fairness index stochastically dominates Default's (Fig. 2).
+#[test]
+fn rtma_fairness_dominates_default() {
+    let mut scenario = cell(12, 42);
+    scenario.record_series = true;
+    let default = scenario.run().unwrap();
+    let rtma = scenario
+        .with_scheduler(SchedulerSpec::RtmaUnbounded)
+        .run()
+        .unwrap();
+    let d = Cdf::new(default.fairness_series);
+    let r = Cdf::new(rtma.fairness_series);
+    assert!(r.median() > d.median(), "median {} vs {}", r.median(), d.median());
+    assert!(
+        r.quantile(0.1) > d.quantile(0.1) + 0.2,
+        "worst-decile fairness must improve substantially"
+    );
+}
+
+/// Tightening RTMA's α can only increase rebuffering (Fig. 4 knob).
+#[test]
+fn rtma_alpha_is_monotone() {
+    let scenario = cell(12, 7);
+    let cal = calibrate_default(&scenario).unwrap();
+    let rebuf = |alpha: f64| {
+        scenario
+            .with_scheduler(SchedulerSpec::Rtma {
+                phi_mj: cal.phi_for_alpha(alpha),
+            })
+            .run()
+            .unwrap()
+            .total_rebuffer_s()
+    };
+    let tight = rebuf(0.8);
+    let mid = rebuf(1.0);
+    let loose = rebuf(1.2);
+    assert!(loose <= mid + 1e-9, "α=1.2 ({loose}) vs α=1.0 ({mid})");
+    assert!(mid <= tight + 1e-9, "α=1.0 ({mid}) vs α=0.8 ({tight})");
+    // And the tight budget must spend less energy than the loose one.
+    let energy = |alpha: f64| {
+        scenario
+            .with_scheduler(SchedulerSpec::Rtma {
+                phi_mj: cal.phi_for_alpha(alpha),
+            })
+            .run()
+            .unwrap()
+            .total_energy_kj()
+    };
+    assert!(energy(0.8) < energy(1.2));
+}
+
+/// Raising EMA's V trades rebuffering for energy monotonically
+/// (Theorem 1's direction, Fig. 10's EMA frontier).
+#[test]
+fn ema_v_traces_the_frontier() {
+    let scenario = cell(12, 42);
+    let run = |v: f64| {
+        let r = scenario
+            .with_scheduler(SchedulerSpec::ema_fast(v))
+            .run()
+            .unwrap();
+        (r.total_energy_kj(), r.total_rebuffer_s())
+    };
+    let (e_lo, c_lo) = run(0.05);
+    let (e_hi, c_hi) = run(2.0);
+    assert!(e_hi < e_lo, "more V must save energy: {e_hi} vs {e_lo}");
+    assert!(c_hi > c_lo, "more V must cost rebuffering: {c_hi} vs {c_lo}");
+}
+
+/// The fitted EMA meets its rebuffering bound while saving energy vs the
+/// baselines that ignore signal strength (§VI-B).
+#[test]
+fn ema_meets_bound_and_saves_energy() {
+    let scenario = cell(12, 42);
+    let cal = calibrate_default(&scenario).unwrap();
+    let omega = cal.omega_for_beta(1.0);
+    let (v, measured) = fit_v_for_omega(&scenario, omega, 0.02, 50.0, 7).unwrap();
+    assert!(
+        measured <= omega * 1.05,
+        "fit must meet the bound: {measured} vs Ω={omega}"
+    );
+    let ema = scenario
+        .with_scheduler(SchedulerSpec::ema_fast(v))
+        .run()
+        .unwrap();
+    let estreamer = scenario
+        .with_scheduler(SchedulerSpec::estreamer_default())
+        .run()
+        .unwrap();
+    assert!(
+        ema.total_energy_kj() < estreamer.total_energy_kj(),
+        "EMA {} kJ vs EStreamer {} kJ",
+        ema.total_energy_kj(),
+        estreamer.total_energy_kj()
+    );
+}
+
+/// SALSA's tail-blind deferral burns a larger tail share than Default —
+/// the deficiency the paper attributes to it (§VI-B).
+#[test]
+fn salsa_is_tail_heavy() {
+    let scenario = cell(12, 42);
+    let default = scenario.run().unwrap();
+    let salsa = scenario
+        .with_scheduler(SchedulerSpec::salsa_default())
+        .run()
+        .unwrap();
+    assert!(
+        salsa.tail_fraction() > 1.5 * default.tail_fraction(),
+        "SALSA tail {} vs Default tail {}",
+        salsa.tail_fraction(),
+        default.tail_fraction()
+    );
+}
+
+/// Every user eventually watches their whole video under every policy on
+/// an adequately provisioned cell (liveness across the whole stack).
+#[test]
+fn all_policies_complete_all_sessions() {
+    let scenario = cell(8, 11);
+    for spec in [
+        SchedulerSpec::Default,
+        SchedulerSpec::RtmaUnbounded,
+        SchedulerSpec::ema_fast(0.05),
+        SchedulerSpec::throttling_default(),
+        SchedulerSpec::onoff_default(),
+        SchedulerSpec::salsa_default(),
+        SchedulerSpec::estreamer_default(),
+    ] {
+        let r = scenario.with_scheduler(spec.clone()).run().unwrap();
+        assert_eq!(
+            r.completion_rate(),
+            1.0,
+            "{spec:?} left sessions unfinished"
+        );
+        // Conservation: every user fetched exactly their video.
+        for u in &r.per_user {
+            assert!((u.fetched_kb - u.video_kb).abs() < 1e-6, "{spec:?}");
+            assert!(u.watched_s > 0.0);
+        }
+    }
+}
+
+/// The LTE RRC profile (two-state machine) runs end-to-end and produces
+/// the same directional RTMA result — the paper's "similar results in LTE
+/// networks" remark.
+#[test]
+fn lte_profile_reproduces_direction() {
+    let mut scenario = cell(10, 3);
+    scenario.models.rrc = jmso::radio::RrcConfig::lte();
+    let cal = calibrate_default(&scenario).unwrap();
+    let default = scenario.run().unwrap();
+    // Note: under LTE's higher tail power (Pd = 1210 mW) the Eq. (12)
+    // window shifts so α = 1 binds hard; the mode comparison uses the
+    // unconstrained RTMA, matching how Fig. 5 isolates rebuffering.
+    let rtma = scenario
+        .with_scheduler(SchedulerSpec::RtmaUnbounded)
+        .run()
+        .unwrap();
+    assert!(rtma.total_rebuffer_s() < default.total_rebuffer_s());
+    // And the α knob still works in the LTE window.
+    let tight = scenario
+        .with_scheduler(SchedulerSpec::Rtma {
+            phi_mj: cal.phi_for_alpha(0.9),
+        })
+        .run()
+        .unwrap();
+    let loose = scenario
+        .with_scheduler(SchedulerSpec::Rtma {
+            phi_mj: cal.phi_for_alpha(1.2),
+        })
+        .run()
+        .unwrap();
+    assert!(loose.total_rebuffer_s() <= tight.total_rebuffer_s() + 1e-9);
+}
+
+/// Scenario JSON round-trips through a file and reruns identically —
+/// the reproducibility contract of the figure harness.
+#[test]
+fn scenario_file_roundtrip_reruns_identically() {
+    let scenario = cell(6, 99).with_scheduler(SchedulerSpec::ema_fast(0.1));
+    let json = serde_json::to_string_pretty(&scenario).unwrap();
+    let path = std::env::temp_dir().join("jmso_e2e_scenario.json");
+    std::fs::write(&path, &json).unwrap();
+    let loaded: Scenario = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded, scenario);
+    assert_eq!(loaded.run().unwrap(), scenario.run().unwrap());
+}
+
+/// Different collector fidelity: noisy/stale channel reports degrade RTMA
+/// gracefully (it still beats Default) — robustness of the gateway design.
+#[test]
+fn imperfect_collector_degrades_gracefully() {
+    let mut scenario = cell(12, 5);
+    scenario.collector = jmso::sim::CollectorSpec {
+        staleness_slots: 4,
+        signal_noise_std_db: 4.0,
+    };
+    let default = scenario.run().unwrap();
+    let rtma = scenario
+        .with_scheduler(SchedulerSpec::RtmaUnbounded)
+        .run()
+        .unwrap();
+    assert!(rtma.total_rebuffer_s() < default.total_rebuffer_s());
+}
+
+/// Failure injection: periodic BS outages. Sessions still complete and
+/// RTMA still dominates Default; outage slots show up as tail energy and
+/// rebuffering but never break conservation.
+#[test]
+fn bs_outages_degrade_but_do_not_break() {
+    let mut scenario = cell(10, 21);
+    scenario.capacity = CapacitySpec::Outage {
+        kbps: 500.0 * 10.0,
+        period_slots: 60,
+        outage_slots: 10,
+    };
+    let default = scenario.run().unwrap();
+    let rtma = scenario
+        .with_scheduler(SchedulerSpec::RtmaUnbounded)
+        .run()
+        .unwrap();
+    assert_eq!(default.completion_rate(), 1.0);
+    assert_eq!(rtma.completion_rate(), 1.0);
+    assert!(rtma.total_rebuffer_s() < default.total_rebuffer_s());
+    // A healthy run of the same cell stalls less than the outage run.
+    let healthy = cell(10, 21)
+        .with_scheduler(SchedulerSpec::RtmaUnbounded)
+        .run()
+        .unwrap();
+    assert!(healthy.total_rebuffer_s() <= rtma.total_rebuffer_s());
+}
+
+/// Recorded-trace channels drive the full stack (deployment patterns use
+/// measured RSSI traces instead of synthetic processes).
+#[test]
+fn trace_channel_end_to_end() {
+    let mut scenario = cell(6, 4);
+    // A coarse drive-test-like trace cycling good → bad.
+    let samples: Vec<f64> = (0..120)
+        .map(|i| -50.0 - 60.0 * ((i % 60) as f64 / 59.0))
+        .collect();
+    scenario.signal = jmso::sim::SignalSpec::Trace {
+        samples_dbm: samples,
+        offset_per_user: 17,
+    };
+    let r = scenario.run().unwrap();
+    assert_eq!(r.completion_rate(), 1.0);
+    let rtma = scenario
+        .with_scheduler(SchedulerSpec::RtmaUnbounded)
+        .run()
+        .unwrap();
+    assert!(rtma.total_rebuffer_s() <= r.total_rebuffer_s());
+}

@@ -1,0 +1,152 @@
+//! Pinned-model integration tests: the paper's closed-form quantities must
+//! survive the full stack (scenario → engine → results), not just the unit
+//! level.
+
+use jmso::radio::{Dbm, LinearRssiThroughput, PowerModel, RssiPowerModel, ThroughputModel};
+use jmso::sim::{CapacitySpec, Scenario, SchedulerSpec, SignalSpec, WorkloadSpec};
+
+/// One user, constant −80 dBm channel, Default policy: the whole video is
+/// billed at exactly `P(−80) = −0.167 + 1560/2303` mJ/KB (Eq. 3 ∘ Eq. 24).
+#[test]
+fn transmission_energy_is_eq3_times_eq24() {
+    let mut s = Scenario::paper_default(1);
+    s.slots = 500;
+    s.signal = SignalSpec::Constant { dbm: -80.0 };
+    s.workload = WorkloadSpec {
+        size_range_kb: (10_000.0, 10_000.0),
+        rate_range_kbps: (400.0, 400.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    let r = s.run().unwrap();
+    let u = &r.per_user[0];
+    assert!((u.fetched_kb - 10_000.0).abs() < 1e-6);
+    let p = -0.167 + 1560.0 / 2303.0;
+    assert!(
+        (u.energy.transmission.value() - p * 10_000.0).abs() < 1e-6,
+        "measured {} vs expected {}",
+        u.energy.transmission.value(),
+        p * 10_000.0
+    );
+}
+
+/// Eq. (1): per-slot delivery to one user never exceeds `⌊τ·v(sig)/δ⌋·δ`.
+/// At −90 dBm that is ⌊1645/50⌋·50 = 1600 KB per slot.
+#[test]
+fn link_bound_caps_delivery() {
+    let mut s = Scenario::paper_default(1);
+    s.slots = 100;
+    s.signal = SignalSpec::Constant { dbm: -90.0 };
+    s.workload = WorkloadSpec {
+        size_range_kb: (1_000_000.0, 1_000_000.0),
+        rate_range_kbps: (400.0, 400.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    let r = s.run().unwrap();
+    let v = LinearRssiThroughput::paper().throughput(Dbm(-90.0)).value();
+    let per_slot_cap = (v / 50.0).floor() * 50.0;
+    assert_eq!(per_slot_cap, 1600.0);
+    // 100 slots of exactly 1600 KB each: the bound is both respected and
+    // achieved (Default transmits at the Eq. (1) cap while data remains).
+    assert!((r.per_user[0].fetched_kb - 100.0 * per_slot_cap).abs() < 1e-6);
+}
+
+/// Eq. (2): the sum of deliveries per slot never exceeds `⌊τ·S/δ⌋·δ`
+/// (verified via totals: N users, ample link caps, tight BS).
+#[test]
+fn bs_bound_caps_aggregate_delivery() {
+    let mut s = Scenario::paper_default(8);
+    s.slots = 50;
+    s.signal = SignalSpec::Constant { dbm: -55.0 }; // link cap ≈ 4200 KB each
+    s.capacity = CapacitySpec::Constant { kbps: 2_000.0 };
+    s.workload = WorkloadSpec {
+        size_range_kb: (1e6, 1e6),
+        rate_range_kbps: (400.0, 400.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    let r = s.run().unwrap();
+    let total: f64 = r.per_user.iter().map(|u| u.fetched_kb).sum();
+    assert!(total <= 50.0 * 2_000.0 + 1e-6, "fetched {total}");
+    assert!(total >= 50.0 * 2_000.0 * 0.99, "Default should saturate S(n)");
+}
+
+/// Eq. (4) end-to-end: a user whose video finishes long before the horizon
+/// pays exactly one full tail (Pd·T1 + Pf·T2) after the last byte.
+#[test]
+fn one_full_tail_after_session() {
+    let mut s = Scenario::paper_default(1);
+    s.slots = 1_000;
+    s.signal = SignalSpec::Constant { dbm: -60.0 };
+    s.workload = WorkloadSpec {
+        size_range_kb: (4_000.0, 4_000.0),
+        rate_range_kbps: (400.0, 400.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    let r = s.run().unwrap();
+    let full_tail = 732.83 * 3.29 + 388.88 * 4.02;
+    let tail = r.per_user[0].energy.tail.value();
+    assert!(
+        (tail - full_tail).abs() < 1e-6,
+        "tail {tail} vs full {full_tail}"
+    );
+}
+
+/// The Eq. (24) power fit is the reciprocal of the Eq. (24) throughput fit
+/// wherever the schedulers evaluate it — spot checks across the range.
+#[test]
+fn power_and_throughput_fits_are_consistent() {
+    let thru = LinearRssiThroughput::paper();
+    let power = RssiPowerModel::paper();
+    for sig in [-110.0, -97.3, -80.0, -61.5, -50.0] {
+        let v = thru.throughput(Dbm(sig)).value();
+        let p = power.energy_per_kb(Dbm(sig));
+        assert!((p - (-0.167 + 1560.0 / v)).abs() < 1e-12, "sig {sig}");
+    }
+}
+
+/// Rebuffering accounting end-to-end: a starved user accrues exactly one
+/// slot of rebuffering per slot starved (Eq. 8 with r = 0).
+#[test]
+fn starved_user_accrues_full_slots() {
+    let mut s = Scenario::paper_default(2);
+    s.slots = 40;
+    s.signal = SignalSpec::Constant { dbm: -70.0 };
+    // BS budget equals user 0's Eq. (1) cap (⌊2961/50⌋ = 59 units =
+    // 2 950 KB); Default hands it all to user 0 and starves user 1.
+    s.capacity = CapacitySpec::Constant { kbps: 2_950.0 };
+    s.workload = WorkloadSpec {
+        size_range_kb: (1e6, 1e6),
+        rate_range_kbps: (500.0, 500.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    let r = s.run().unwrap();
+    // User 0 monopolizes the whole budget: user 1 gets nothing.
+    assert_eq!(r.per_user[1].fetched_kb, 0.0);
+    assert!((r.per_user[1].rebuffer_s - 40.0).abs() < 1e-9);
+    assert_eq!(r.per_user[1].stall_slots, 40);
+}
+
+/// The paper's default scenario constants round-trip the whole config
+/// surface (guards against accidental default drift).
+#[test]
+fn paper_constants_pinned() {
+    let s = Scenario::paper_default(40);
+    assert_eq!(s.slots, 10_000);
+    assert_eq!(s.tau, 1.0);
+    assert_eq!(s.capacity, CapacitySpec::Constant { kbps: 20_000.0 });
+    assert_eq!(s.workload.size_range_kb, (250_000.0, 500_000.0));
+    assert_eq!(s.workload.rate_range_kbps, (300.0, 600.0));
+    assert_eq!(s.models.throughput.slope, 65.8);
+    assert_eq!(s.models.throughput.intercept, 7567.0);
+    assert_eq!(s.models.power.base, -0.167);
+    assert_eq!(s.models.power.scale, 1560.0);
+    assert_eq!(s.models.rrc.p_dch.value(), 732.83);
+    assert_eq!(s.models.rrc.p_fach.value(), 388.88);
+    assert_eq!(s.models.rrc.t1, 3.29);
+    assert_eq!(s.models.rrc.t2, 4.02);
+    assert_eq!(s.scheduler, SchedulerSpec::Default);
+}
