@@ -1,16 +1,22 @@
-//! Ablation: the paper's Algorithm 2 DP vs our exact slope-greedy.
+//! Ablation: the paper's Algorithm 2 DP (naive and monotone-deque forms)
+//! vs our exact slope-greedy.
 //!
-//! Both solve the identical per-slot drift-plus-penalty problem (a
-//! property test asserts equal objectives); this bench quantifies the
-//! `O(P·C·φ_max)` → `O(P log P)` structural saving across cell sizes and
-//! BS budgets. DESIGN.md §6 calls this ablation out as the reason large
-//! sweeps run the greedy.
+//! All three solve the identical per-slot drift-plus-penalty problem
+//! (property tests assert equal objectives); this bench quantifies two
+//! structural savings across cell sizes and BS budgets:
+//!
+//! * `dp_reference` → `dp`: the `O(P·C·φ_max)` naive scan (the seed
+//!   implementation) vs the `O(P·C)` sliding-window-minimum DP — the
+//!   speedup the zero-allocation PR is measured by, including the paper
+//!   scale C = 400;
+//! * `dp` → `greedy`: exact DP vs the `O(P log P)` marginal-cost greedy
+//!   that large sweeps run (DESIGN.md §6).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jmso_gateway::{SlotContext, UserSnapshot};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::Dbm;
-use jmso_sched::ema::{slot_users, solve_dp};
+use jmso_sched::ema::{slot_users, solve_dp, solve_dp_reference};
 use jmso_sched::ema_fast::solve_greedy;
 use jmso_sched::{CrossLayerModels, EmaCost, VirtualQueues};
 use std::hint::black_box;
@@ -58,13 +64,16 @@ fn bench_solvers(c: &mut Criterion) {
         };
         let cost = EmaCost::new(0.3, &models, &ctx);
         let q = queues(n);
-        let parts = slot_users(&ctx, &q);
+        let parts = slot_users(&cost, &ctx, &q);
         let label = format!("n{n}_c{budget}");
+        group.bench_with_input(BenchmarkId::new("dp_reference", &label), &(), |b, _| {
+            b.iter(|| black_box(solve_dp_reference(&parts, budget)))
+        });
         group.bench_with_input(BenchmarkId::new("dp", &label), &(), |b, _| {
-            b.iter(|| black_box(solve_dp(&cost, &parts, budget)))
+            b.iter(|| black_box(solve_dp(&parts, budget)))
         });
         group.bench_with_input(BenchmarkId::new("greedy", &label), &(), |b, _| {
-            b.iter(|| black_box(solve_greedy(&cost, &parts, budget)))
+            b.iter(|| black_box(solve_greedy(&parts, budget)))
         });
     }
     group.finish();

@@ -9,7 +9,7 @@ use jmso_gateway::{Scheduler, SlotContext, UserSnapshot};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::Dbm;
 use jmso_sched::{
-    CrossLayerModels, DefaultMax, Ema, EmaFast, EStreamer, OnOff, Rtma, Salsa, Throttling,
+    CrossLayerModels, DefaultMax, EStreamer, Ema, EmaFast, OnOff, Rtma, Salsa, Throttling,
 };
 use std::hint::black_box;
 
@@ -57,11 +57,9 @@ fn bench_policies(c: &mut Criterion) {
             Box::new(EStreamer::new(5.0, 60.0)),
         ];
         for pol in policies.iter_mut() {
-            group.bench_with_input(
-                BenchmarkId::new(pol.name().to_string(), n),
-                &n,
-                |b, _| b.iter(|| black_box(pol.allocate(black_box(&ctx)))),
-            );
+            group.bench_with_input(BenchmarkId::new(pol.name().to_string(), n), &n, |b, _| {
+                b.iter(|| black_box(pol.allocate(black_box(&ctx))))
+            });
         }
     }
     group.finish();

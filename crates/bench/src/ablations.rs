@@ -9,8 +9,7 @@
 use crate::common::{paper_cell, FigureOutput};
 use jmso_sim::report::Table;
 use jmso_sim::{
-    calibrate_default, parallel_map, Scenario, SchedulerSpec, SignalSpec, TailPricing,
-    WorkloadSpec,
+    calibrate_default, parallel_map, Scenario, SchedulerSpec, SignalSpec, TailPricing, WorkloadSpec,
 };
 
 /// Per-cell summary used by most ablations.

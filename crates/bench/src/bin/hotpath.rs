@@ -1,0 +1,47 @@
+//! Criterion-free hot-path smoke bench.
+//!
+//! Runs one paper-default 40-user cell (10 000 slots, τ = 1 s, S = 20 MB/s)
+//! per scheduler and prints one JSON line per row:
+//!
+//! ```text
+//! {"sched": "EMA(V=1)", "slots_per_sec": 123456.7}
+//! ```
+//!
+//! The output is recorded as `BENCH_PR1.json` at the repo root so slot-loop
+//! regressions show up as a diff, without the Criterion machinery (or its
+//! multi-minute runtime). Timings cover the full `Engine::run` hot path —
+//! collector snapshot, scheduler allocate, transmitter delivery, receiver
+//! playback — which is zero-allocation per slot after warm-up.
+
+use jmso_bench::common::paper_cell;
+use jmso_sim::SchedulerSpec;
+use std::time::Instant;
+
+fn main() {
+    let specs = [
+        SchedulerSpec::Default,
+        SchedulerSpec::RtmaUnbounded,
+        SchedulerSpec::Rtma { phi_mj: 900.0 },
+        SchedulerSpec::ema_dp(1.0),
+        SchedulerSpec::ema_fast(1.0),
+        SchedulerSpec::throttling_default(),
+        SchedulerSpec::onoff_default(),
+        SchedulerSpec::salsa_default(),
+        SchedulerSpec::estreamer_default(),
+        SchedulerSpec::RoundRobin,
+        SchedulerSpec::pf_default(),
+    ];
+    for spec in specs {
+        let scenario = paper_cell(40, 375.0)
+            .with_seed(42)
+            .with_scheduler(spec.clone());
+        let start = Instant::now();
+        let result = scenario.run().expect("hotpath run");
+        let elapsed = start.elapsed().as_secs_f64();
+        let slots_per_sec = (result.slots_run as f64 / elapsed * 10.0).round() / 10.0;
+        println!(
+            "{{\"sched\": {}, \"slots_per_sec\": {slots_per_sec}}}",
+            serde_json::to_string(&spec.label()).expect("label serializes"),
+        );
+    }
+}

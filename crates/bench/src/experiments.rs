@@ -12,9 +12,7 @@
 use crate::common::{paper_cell, FigureOutput};
 use jmso_sched::{drift_bound_b, SchedulerSpec};
 use jmso_sim::report::Table;
-use jmso_sim::{
-    calibrate_default, fit_v_for_omega, parallel_map, ArrivalSpec, MultiCellScenario,
-};
+use jmso_sim::{calibrate_default, fit_v_for_omega, parallel_map, ArrivalSpec, MultiCellScenario};
 
 /// Theorem 1 validation: sweep V and report the measured per-slot energy
 /// `E(n)` and queue/rebuffering against the bound terms. Theorem 1 says

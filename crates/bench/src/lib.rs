@@ -24,8 +24,8 @@ pub use figs_rtma::{fig2, fig3, fig4a, fig4b, fig5};
 
 /// All figure ids in paper order.
 pub const ALL_FIGURES: &[&str] = &[
-    "fig2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b",
-    "fig9a", "fig9b", "fig10", "headline",
+    "fig2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "fig9a",
+    "fig9b", "fig10", "headline",
 ];
 
 /// All ablation ids (not in the paper; see EXPERIMENTS.md).

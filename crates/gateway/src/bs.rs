@@ -112,7 +112,9 @@ impl CapacitySpec {
     pub fn build(&self) -> Box<dyn CapacityModel> {
         match self {
             CapacitySpec::Constant { kbps } => Box::new(ConstantCapacity(KbPerSec(*kbps))),
-            CapacitySpec::Trace { values_kbps } => Box::new(TraceCapacity::new(values_kbps.clone())),
+            CapacitySpec::Trace { values_kbps } => {
+                Box::new(TraceCapacity::new(values_kbps.clone()))
+            }
             CapacitySpec::Diurnal {
                 mean_kbps,
                 rel_amplitude,

@@ -115,27 +115,34 @@ impl InformationCollector {
         self.cached_signal[user].expect("populated above")
     }
 
-    /// Assemble snapshots for one slot.
-    pub fn snapshot(&mut self, slot: u64, raw: &[RawUserState]) -> Vec<UserSnapshot> {
+    /// Assemble snapshots for one slot into a caller-owned buffer (the
+    /// engine's zero-allocation hot path).
+    pub fn snapshot_into(&mut self, slot: u64, raw: &[RawUserState], out: &mut Vec<UserSnapshot>) {
         assert_eq!(raw.len(), self.cached_signal.len(), "user count mismatch");
-        raw.iter()
-            .enumerate()
-            .map(|(id, r)| {
-                let signal = self.reported_signal(id, slot, r.signal);
-                let v = self.thru.throughput(signal);
-                UserSnapshot {
-                    id,
-                    signal,
-                    rate_kbps: r.rate_kbps,
-                    buffer_s: r.buffer_s,
-                    remaining_kb: r.remaining_kb,
-                    active: r.active,
-                    link_cap_units: self.units.link_cap_units(v, self.tau),
-                    idle_s: r.idle_s,
-                    rrc_state: r.rrc_state,
-                }
-            })
-            .collect()
+        out.clear();
+        for (id, r) in raw.iter().enumerate() {
+            let signal = self.reported_signal(id, slot, r.signal);
+            let v = self.thru.throughput(signal);
+            out.push(UserSnapshot {
+                id,
+                signal,
+                rate_kbps: r.rate_kbps,
+                buffer_s: r.buffer_s,
+                remaining_kb: r.remaining_kb,
+                active: r.active,
+                link_cap_units: self.units.link_cap_units(v, self.tau),
+                idle_s: r.idle_s,
+                rrc_state: r.rrc_state,
+            });
+        }
+    }
+
+    /// Assemble snapshots for one slot (allocating convenience wrapper
+    /// over [`InformationCollector::snapshot_into`]).
+    pub fn snapshot(&mut self, slot: u64, raw: &[RawUserState]) -> Vec<UserSnapshot> {
+        let mut out = Vec::with_capacity(raw.len());
+        self.snapshot_into(slot, raw, &mut out);
+        out
     }
 }
 

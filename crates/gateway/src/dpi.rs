@@ -145,8 +145,8 @@ impl DpiClassifier {
         }
 
         let lower = path.to_ascii_lowercase();
-        let looks_like_video = VIDEO_EXTENSIONS.iter().any(|ext| lower.ends_with(ext))
-            || bitrate_kbps.is_some();
+        let looks_like_video =
+            VIDEO_EXTENSIONS.iter().any(|ext| lower.ends_with(ext)) || bitrate_kbps.is_some();
         let class = if looks_like_video {
             self.video_flows += 1;
             FlowClass::Video
@@ -240,9 +240,8 @@ mod tests {
     #[test]
     fn negative_or_zero_bitrate_ignored() {
         let mut dpi = DpiClassifier::new();
-        let wire = Bytes::from(
-            "GET /v/a.m4s HTTP/1.1\r\nX-Video-Bitrate-KBps: -5\r\n\r\n".to_string(),
-        );
+        let wire =
+            Bytes::from("GET /v/a.m4s HTTP/1.1\r\nX-Video-Bitrate-KBps: -5\r\n\r\n".to_string());
         let info = dpi.inspect(&wire).unwrap();
         assert_eq!(info.bitrate_kbps, None);
         assert_eq!(info.class, FlowClass::Video, "extension still classifies");
@@ -250,10 +249,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(
-            DpiError::Malformed("x").to_string(),
-            "malformed request: x"
-        );
+        assert_eq!(DpiError::Malformed("x").to_string(), "malformed request: x");
         assert_eq!(
             DpiError::UnsupportedMethod("PUT".into()).to_string(),
             "unsupported method PUT"

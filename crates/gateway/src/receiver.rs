@@ -258,7 +258,8 @@ mod tests {
 
     #[test]
     fn payload_mode_moves_real_bytes() {
-        let mut r = DataReceiver::new(1, OriginModel::RateLimited { kbps: 2.0 }, 1.0).with_payload();
+        let mut r =
+            DataReceiver::new(1, OriginModel::RateLimited { kbps: 2.0 }, 1.0).with_payload();
         r.ingest_slot(0);
         r.ingest_slot(1);
         // 4 KB queued as two 2 KB chunks; take 3 KB → one whole + one split.

@@ -77,6 +77,13 @@ impl Allocation {
         Self(vec![0; n])
     }
 
+    /// Reuse this allocation for a new slot: `n` zeroed entries, keeping
+    /// the existing heap buffer whenever it is already big enough.
+    pub fn reset(&mut self, n: usize) {
+        self.0.clear();
+        self.0.resize(n, 0);
+    }
+
     /// Total units allocated.
     pub fn total_units(&self) -> u64 {
         self.0.iter().sum()
@@ -112,12 +119,29 @@ impl Allocation {
 }
 
 /// A per-slot allocation policy (the paper's Scheduler component).
+///
+/// Policies implement [`Scheduler::allocate_into`], writing into a
+/// caller-owned [`Allocation`] so the per-slot hot path (the engine in
+/// `jmso-sim`) performs no heap allocation in steady state. The
+/// allocating [`Scheduler::allocate`] convenience wrapper is provided for
+/// tests and one-shot callers.
 pub trait Scheduler: Send {
     /// Short policy name used in reports and figure legends.
     fn name(&self) -> &'static str;
 
-    /// Decide `φᵢ(n)` for every user.
-    fn allocate(&mut self, ctx: &SlotContext) -> Allocation;
+    /// Decide `φᵢ(n)` for every user, writing into `out`.
+    ///
+    /// Implementations must [`Allocation::reset`] `out` to
+    /// `ctx.users.len()` entries themselves — `out` may arrive holding a
+    /// previous slot's allocation (possibly of a different length).
+    fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation);
+
+    /// Decide `φᵢ(n)` for every user (allocating convenience wrapper).
+    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+        let mut out = Allocation::zeros(ctx.users.len());
+        self.allocate_into(ctx, &mut out);
+        out
+    }
 }
 
 #[cfg(test)]

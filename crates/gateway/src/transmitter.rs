@@ -35,24 +35,26 @@ impl DataTransmitter {
         self.clamp_events
     }
 
-    /// Enforce constraints and move bytes out of the receiver queues.
+    /// Enforce constraints and move bytes out of the receiver queues,
+    /// writing one [`Delivery`] per user into a caller-owned buffer (the
+    /// engine's zero-allocation hot path).
     ///
-    /// Returns one [`Delivery`] per user. In debug builds an invalid
-    /// allocation also trips a `debug_assert`, because schedulers are
-    /// expected to respect the bounds themselves.
-    pub fn transmit(
+    /// In debug builds an invalid allocation also trips a `debug_assert`,
+    /// because schedulers are expected to respect the bounds themselves.
+    pub fn transmit_into(
         &mut self,
         ctx: &SlotContext,
         alloc: &Allocation,
         receiver: &mut DataReceiver,
-    ) -> Vec<Delivery> {
+        out: &mut Vec<Delivery>,
+    ) {
         debug_assert!(
             alloc.validate(ctx).is_ok(),
             "scheduler produced invalid allocation: {:?}",
             alloc.validate(ctx)
         );
         let mut budget = ctx.bs_cap_units;
-        let mut out = Vec::with_capacity(ctx.users.len());
+        out.clear();
         for (user, &want) in ctx.users.iter().zip(&alloc.0) {
             let mut units = want;
             if units > user.link_cap_units {
@@ -75,6 +77,18 @@ impl DataTransmitter {
                 kb,
             });
         }
+    }
+
+    /// Enforce constraints and move bytes (allocating convenience wrapper
+    /// over [`DataTransmitter::transmit_into`]).
+    pub fn transmit(
+        &mut self,
+        ctx: &SlotContext,
+        alloc: &Allocation,
+        receiver: &mut DataReceiver,
+    ) -> Vec<Delivery> {
+        let mut out = Vec::with_capacity(ctx.users.len());
+        self.transmit_into(ctx, alloc, receiver, &mut out);
         out
     }
 }
@@ -118,8 +132,20 @@ mod tests {
         rx.ingest_slot(0);
         let mut tx = DataTransmitter::new();
         let d = tx.transmit(&ctx(&users, 100), &Allocation(vec![4, 6]), &mut rx);
-        assert_eq!(d[0], Delivery { units: 4, kb: 200.0 });
-        assert_eq!(d[1], Delivery { units: 6, kb: 300.0 });
+        assert_eq!(
+            d[0],
+            Delivery {
+                units: 4,
+                kb: 200.0
+            }
+        );
+        assert_eq!(
+            d[1],
+            Delivery {
+                units: 6,
+                kb: 300.0
+            }
+        );
         assert_eq!(tx.clamp_events(), 0);
     }
 

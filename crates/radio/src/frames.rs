@@ -73,9 +73,7 @@ impl FrameLevelLink {
             } else {
                 0.0
             };
-            let sig = Dbm(
-                sig_start.value() + (sig_end.value() - sig_start.value()) * progress,
-            );
+            let sig = Dbm(sig_start.value() + (sig_end.value() - sig_start.value()) * progress);
             let frame_kb = self.frame_kb.min(kb - sent_kb);
             let v = self.throughput.throughput(sig).value();
             // A frame that cannot move at zero throughput would hang the
@@ -102,10 +100,7 @@ impl FrameLevelLink {
     /// `(d/v(sig), P(sig)·d)` — what Eqs. (1)/(3) charge.
     pub fn slot_model(&self, sig: Dbm, kb: f64) -> (f64, MilliJoules) {
         let v = self.throughput.throughput(sig).value();
-        (
-            kb / v,
-            MilliJoules(self.power.energy_per_kb(sig) * kb),
-        )
+        (kb / v, MilliJoules(self.power.energy_per_kb(sig) * kb))
     }
 
     /// Relative error of the slot model's energy against the frame-level

@@ -9,14 +9,14 @@ use jmso_radio::{
 use proptest::prelude::*;
 
 fn arb_rrc() -> impl Strategy<Value = RrcConfig> {
-    (10.0f64..2000.0, 0.0f64..1000.0, 0.01f64..20.0, 0.0f64..20.0).prop_map(
-        |(pd, pf, t1, t2)| RrcConfig {
+    (10.0f64..2000.0, 0.0f64..1000.0, 0.01f64..20.0, 0.0f64..20.0).prop_map(|(pd, pf, t1, t2)| {
+        RrcConfig {
             p_dch: MilliWatts(pd),
             p_fach: MilliWatts(pf),
             t1,
             t2,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

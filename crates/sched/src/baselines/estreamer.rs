@@ -61,39 +61,33 @@ impl Scheduler for EStreamer {
         "EStreamer"
     }
 
-    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+    fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         if self.phase.len() != ctx.users.len() {
             self.phase = vec![Phase::Bursting; ctx.users.len()];
         }
+        out.reset(ctx.users.len());
         let mut budget = ctx.bs_cap_units;
-        let alloc = ctx
-            .users
-            .iter()
-            .map(|u| {
-                match self.phase[u.id] {
-                    Phase::Bursting if u.buffer_s >= self.target_s => {
-                        self.phase[u.id] = Phase::Draining
-                    }
-                    Phase::Draining if u.buffer_s <= self.refill_s => {
-                        self.phase[u.id] = Phase::Bursting
-                    }
-                    _ => {}
+        for (u, slot) in ctx.users.iter().zip(&mut out.0) {
+            match self.phase[u.id] {
+                Phase::Bursting if u.buffer_s >= self.target_s => {
+                    self.phase[u.id] = Phase::Draining
                 }
-                if self.phase[u.id] == Phase::Draining {
-                    return 0;
+                Phase::Draining if u.buffer_s <= self.refill_s => {
+                    self.phase[u.id] = Phase::Bursting
                 }
-                // Burst: fill toward the target as fast as the link allows,
-                // signal-blind by construction.
-                let room_kb = ((self.target_s - u.buffer_s).max(0.0)) * u.rate_kbps;
-                let room_units = (room_kb / ctx.delta_kb).ceil() as u64;
-                let grant = room_units
-                    .min(u.usable_cap_units(ctx.delta_kb))
-                    .min(budget);
-                budget -= grant;
-                grant
-            })
-            .collect();
-        Allocation(alloc)
+                _ => {}
+            }
+            if self.phase[u.id] == Phase::Draining {
+                continue;
+            }
+            // Burst: fill toward the target as fast as the link allows,
+            // signal-blind by construction.
+            let room_kb = ((self.target_s - u.buffer_s).max(0.0)) * u.rate_kbps;
+            let room_units = (room_kb / ctx.delta_kb).ceil() as u64;
+            let grant = room_units.min(u.usable_cap_units(ctx.delta_kb)).min(budget);
+            budget -= grant;
+            *slot = grant;
+        }
     }
 }
 

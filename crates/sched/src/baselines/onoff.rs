@@ -51,35 +51,29 @@ impl Scheduler for OnOff {
         "ON-OFF"
     }
 
-    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+    fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         if self.phase.len() != ctx.users.len() {
             self.phase = vec![Phase::On; ctx.users.len()];
         }
+        out.reset(ctx.users.len());
         let mut budget = ctx.bs_cap_units;
-        let alloc = ctx
-            .users
-            .iter()
-            .map(|u| {
-                // Watermark transitions on the reported occupancy.
-                match self.phase[u.id] {
-                    Phase::On if u.buffer_s >= self.high_s => self.phase[u.id] = Phase::Off,
-                    Phase::Off if u.buffer_s <= self.low_s => self.phase[u.id] = Phase::On,
-                    _ => {}
-                }
-                if self.phase[u.id] == Phase::Off {
-                    return 0;
-                }
-                // ON: full speed, but never fill past the high watermark.
-                let room_kb = ((self.high_s - u.buffer_s).max(0.0)) * u.rate_kbps;
-                let room_units = (room_kb / ctx.delta_kb).ceil() as u64;
-                let grant = room_units
-                    .min(u.usable_cap_units(ctx.delta_kb))
-                    .min(budget);
-                budget -= grant;
-                grant
-            })
-            .collect();
-        Allocation(alloc)
+        for (u, slot) in ctx.users.iter().zip(&mut out.0) {
+            // Watermark transitions on the reported occupancy.
+            match self.phase[u.id] {
+                Phase::On if u.buffer_s >= self.high_s => self.phase[u.id] = Phase::Off,
+                Phase::Off if u.buffer_s <= self.low_s => self.phase[u.id] = Phase::On,
+                _ => {}
+            }
+            if self.phase[u.id] == Phase::Off {
+                continue;
+            }
+            // ON: full speed, but never fill past the high watermark.
+            let room_kb = ((self.high_s - u.buffer_s).max(0.0)) * u.rate_kbps;
+            let room_units = (room_kb / ctx.delta_kb).ceil() as u64;
+            let grant = room_units.min(u.usable_cap_units(ctx.delta_kb)).min(budget);
+            budget -= grant;
+            *slot = grant;
+        }
     }
 }
 

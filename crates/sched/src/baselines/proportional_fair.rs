@@ -19,18 +19,18 @@ pub struct ProportionalFair {
     /// appropriate).
     pub ewma_alpha: f64,
     avg_served_kb: Vec<f64>,
+    // Reusable ranking scratch so the hot path allocates nothing.
+    order: Vec<usize>,
 }
 
 impl ProportionalFair {
     /// Build with the EWMA factor α ∈ (0, 1].
     pub fn new(ewma_alpha: f64) -> Self {
-        assert!(
-            ewma_alpha > 0.0 && ewma_alpha <= 1.0,
-            "α must be in (0, 1]"
-        );
+        assert!(ewma_alpha > 0.0 && ewma_alpha <= 1.0, "α must be in (0, 1]");
         Self {
             ewma_alpha,
             avg_served_kb: Vec::new(),
+            order: Vec::new(),
         }
     }
 
@@ -45,27 +45,33 @@ impl Scheduler for ProportionalFair {
         "PF"
     }
 
-    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+    fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         let n = ctx.users.len();
         if self.avg_served_kb.len() != n {
             // Seed averages at a nominal rate to avoid divide-by-zero and
             // cold-start lotteries.
             self.avg_served_kb = vec![1.0; n];
         }
-        let mut order: Vec<usize> = (0..n).collect();
+        self.order.clear();
+        self.order.extend(0..n);
+        let avg_served_kb = &self.avg_served_kb;
         let metric = |i: usize| {
             let u = &ctx.users[i];
-            (u.link_cap_units as f64 * ctx.delta_kb) / self.avg_served_kb[i]
+            (u.link_cap_units as f64 * ctx.delta_kb) / avg_served_kb[i]
         };
-        order.sort_by(|&a, &b| {
+        // Descending metric; explicit index tie-break keeps the unstable
+        // (allocation-free) sort deterministic.
+        self.order.sort_unstable_by(|&a, &b| {
             metric(b)
                 .partial_cmp(&metric(a))
                 .expect("PF metrics are finite")
+                .then(a.cmp(&b))
         });
 
-        let mut alloc = vec![0u64; n];
+        out.reset(n);
+        let alloc = &mut out.0;
         let mut budget = ctx.bs_cap_units;
-        for &i in &order {
+        for &i in &self.order {
             if budget == 0 {
                 break;
             }
@@ -75,13 +81,12 @@ impl Scheduler for ProportionalFair {
         }
 
         // EWMA update with what was actually granted.
-        for (avg, granted) in self.avg_served_kb.iter_mut().zip(&alloc) {
+        for (avg, granted) in self.avg_served_kb.iter_mut().zip(alloc.iter()) {
             let served = *granted as f64 * ctx.delta_kb;
             *avg = self.ewma_alpha * served + (1.0 - self.ewma_alpha) * *avg;
             // Keep strictly positive for the metric.
             *avg = avg.max(1e-6);
         }
-        Allocation(alloc)
     }
 }
 
@@ -95,7 +100,11 @@ mod tests {
         let users = vec![user(0, -105.0, 450.0, 8), user(1, -55.0, 450.0, 80)];
         let mut pf = ProportionalFair::paper_default();
         let a = pf.allocate(&ctx(&users, 60));
-        assert!(a.0[1] > a.0[0], "strong channel wins the cold start: {:?}", a.0);
+        assert!(
+            a.0[1] > a.0[0],
+            "strong channel wins the cold start: {:?}",
+            a.0
+        );
     }
 
     #[test]
@@ -118,7 +127,9 @@ mod tests {
 
     #[test]
     fn respects_constraints() {
-        let users: Vec<_> = (0..6).map(|i| user(i, -70.0 - 5.0 * i as f64, 450.0, 30)).collect();
+        let users: Vec<_> = (0..6)
+            .map(|i| user(i, -70.0 - 5.0 * i as f64, 450.0, 30))
+            .collect();
         let mut pf = ProportionalFair::paper_default();
         let c = ctx(&users, 70);
         let a = pf.allocate(&c);

@@ -28,12 +28,13 @@ impl Scheduler for RoundRobin {
         "RoundRobin"
     }
 
-    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+    fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         let n = ctx.users.len();
+        out.reset(n);
         if n == 0 {
-            return Allocation(vec![]);
+            return;
         }
-        let mut alloc = vec![0u64; n];
+        let alloc = &mut out.0;
         let mut budget = ctx.bs_cap_units;
         let start = self.next_start % n;
         self.next_start = (self.next_start + 1) % n;
@@ -64,7 +65,6 @@ impl Scheduler for RoundRobin {
                 }
             }
         }
-        Allocation(alloc)
     }
 }
 

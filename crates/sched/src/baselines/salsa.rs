@@ -54,30 +54,26 @@ impl Scheduler for Salsa {
         "SALSA"
     }
 
-    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+    fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         if self.ewma_cap.len() != ctx.users.len() {
             // Seed the EWMA with the first observation.
             self.ewma_cap = ctx.users.iter().map(|u| u.link_cap_units as f64).collect();
         }
+        out.reset(ctx.users.len());
         let mut budget = ctx.bs_cap_units;
-        let alloc = ctx
-            .users
-            .iter()
-            .map(|u| {
-                let cap_now = u.link_cap_units as f64;
-                let ewma = &mut self.ewma_cap[u.id];
-                let good_channel = cap_now >= self.theta * *ewma;
-                *ewma = self.ewma_alpha * cap_now + (1.0 - self.ewma_alpha) * *ewma;
-                let pressure = u.buffer_s < self.buffer_floor_s;
-                if !(good_channel || pressure) {
-                    return 0;
-                }
-                let grant = u.usable_cap_units(ctx.delta_kb).min(budget);
-                budget -= grant;
-                grant
-            })
-            .collect();
-        Allocation(alloc)
+        for (u, slot) in ctx.users.iter().zip(&mut out.0) {
+            let cap_now = u.link_cap_units as f64;
+            let ewma = &mut self.ewma_cap[u.id];
+            let good_channel = cap_now >= self.theta * *ewma;
+            *ewma = self.ewma_alpha * cap_now + (1.0 - self.ewma_alpha) * *ewma;
+            let pressure = u.buffer_s < self.buffer_floor_s;
+            if !(good_channel || pressure) {
+                continue;
+            }
+            let grant = u.usable_cap_units(ctx.delta_kb).min(budget);
+            budget -= grant;
+            *slot = grant;
+        }
     }
 }
 

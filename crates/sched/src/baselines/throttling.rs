@@ -35,21 +35,15 @@ impl Scheduler for Throttling {
         "Throttling"
     }
 
-    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+    fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
+        out.reset(ctx.users.len());
         let mut budget = ctx.bs_cap_units;
-        let alloc = ctx
-            .users
-            .iter()
-            .map(|u| {
-                let target = ((self.kappa * ctx.tau * u.rate_kbps) / ctx.delta_kb).ceil() as u64;
-                let grant = target
-                    .min(u.usable_cap_units(ctx.delta_kb))
-                    .min(budget);
-                budget -= grant;
-                grant
-            })
-            .collect();
-        Allocation(alloc)
+        for (u, slot) in ctx.users.iter().zip(&mut out.0) {
+            let target = ((self.kappa * ctx.tau * u.rate_kbps) / ctx.delta_kb).ceil() as u64;
+            let grant = target.min(u.usable_cap_units(ctx.delta_kb)).min(budget);
+            budget -= grant;
+            *slot = grant;
+        }
     }
 }
 

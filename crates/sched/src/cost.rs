@@ -55,8 +55,6 @@ impl TailPricing {
     }
 }
 
-
-
 /// The cross-layer models a scheduler prices decisions with: the
 /// throughput fit, the power fit and the RRC (tail-energy) parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]

@@ -11,15 +11,28 @@
 //!
 //! with `g[i][M]` recording the argmin for backtracking and the final
 //! total chosen as `argmin_M a[P][M]` — exactly the recurrence of
-//! Algorithm 2. Complexity is `O(P · C · φ_max)` per slot, where `P` is
-//! the number of participating users and `C = ⌊τS/δ⌋`.
+//! Algorithm 2.
+//!
+//! **Complexity.** Because `f(i, φ)` is affine in φ for φ ≥ 1 (slope
+//! `s = δ·(V·P(sigᵢ) − PCᵢ/pᵢ)`), the inner minimization
+//! `min_{1 ≤ φ ≤ cap} prev[M−φ] + f(i,1) + (φ−1)·s` equals
+//! `min_{M−cap ≤ j < M} (prev[j] − j·s) + f(i,1) + (M−1)·s` — a
+//! sliding-window minimum over the keys `prev[j] − j·s`. [`solve_dp`]
+//! maintains that window with a monotone deque, so each row costs O(C)
+//! and a slot costs **O(P · C)** total, where `P` is the number of
+//! participating users and `C = ⌊τS/δ⌋`. The textbook
+//! O(P · C · φ_max) scan is retained as [`solve_dp_reference`] for
+//! differential testing and as the baseline the speedup is measured
+//! against. All DP state lives in a reusable [`DpScratch`] owned by
+//! [`Ema`], so steady-state slots allocate nothing.
 //!
 //! The Lyapunov virtual queues `PCᵢ` (Eq. (16)) are owned by the policy
 //! and advanced after each allocation.
 
 use crate::cost::{CrossLayerModels, EmaCost, TailPricing};
 use crate::lyapunov::VirtualQueues;
-use jmso_gateway::{Allocation, Scheduler, SlotContext, UserSnapshot};
+use jmso_gateway::{Allocation, Scheduler, SlotContext};
+use std::collections::VecDeque;
 
 /// The EMA policy (exact DP form of Algorithm 2).
 #[derive(Debug, Clone)]
@@ -28,6 +41,8 @@ pub struct Ema {
     models: CrossLayerModels,
     tail_pricing: TailPricing,
     queues: VirtualQueues,
+    parts: Vec<SlotUser>,
+    scratch: DpScratch,
 }
 
 impl Ema {
@@ -40,6 +55,8 @@ impl Ema {
             models,
             tail_pricing: TailPricing::PerSlot,
             queues: VirtualQueues::new(0),
+            parts: Vec::new(),
+            scratch: DpScratch::default(),
         }
     }
 
@@ -66,33 +83,206 @@ impl Ema {
     }
 }
 
-/// Per-user inputs to the per-slot solver.
+/// Per-user inputs to the per-slot solver: the identity, the constraint,
+/// and the three numbers that fully describe the affine cost curve.
 #[derive(Debug, Clone, Copy)]
-pub struct SlotUser<'a> {
-    /// The snapshot.
-    pub user: &'a UserSnapshot,
+pub struct SlotUser {
+    /// Index of this user in `ctx.users` (the engine keeps `users[i].id
+    /// == i`, so this doubles as the user id).
+    pub id: usize,
     /// This user's virtual queue `PCᵢ(n)`.
     pub pc: f64,
     /// Units this user may receive (`min(Eq. 1 bound, remaining bytes)`).
     pub cap: u64,
+    /// Playback rate `pᵢ` in KB/s (used by the oracle objectives).
+    pub rate_kbps: f64,
+    /// `f(i, 0)`: the priced cost of idling this user for the slot.
+    pub f0: f64,
+    /// `f(i, 1)`: cost of the first unit.
+    pub f1: f64,
+    /// `f(i, φ+1) − f(i, φ)` for φ ≥ 1 (the affine slope).
+    pub slope: f64,
+}
+
+impl SlotUser {
+    /// Evaluate `f(i, φ)` from the affine decomposition.
+    #[inline]
+    pub fn f(&self, units: u64) -> f64 {
+        if units == 0 {
+            self.f0
+        } else {
+            self.f1 + (units - 1) as f64 * self.slope
+        }
+    }
+}
+
+/// Gather the participating users (positive capacity) for a slot into a
+/// caller-owned buffer, pricing each with `cost`.
+pub fn slot_users_into(
+    cost: &EmaCost,
+    ctx: &SlotContext,
+    queues: &VirtualQueues,
+    out: &mut Vec<SlotUser>,
+) {
+    out.clear();
+    out.extend(ctx.users.iter().enumerate().filter_map(|(idx, u)| {
+        let cap = u.usable_cap_units(ctx.delta_kb);
+        if cap == 0 {
+            return None;
+        }
+        let pc = queues.get(u.id);
+        Some(SlotUser {
+            id: idx,
+            pc,
+            cap,
+            rate_kbps: u.rate_kbps,
+            f0: cost.f(u, pc, 0),
+            f1: cost.f(u, pc, 1),
+            slope: cost.slope(u, pc),
+        })
+    }));
 }
 
 /// Gather the participating users (positive capacity) for a slot.
-pub fn slot_users<'a>(ctx: &'a SlotContext, queues: &VirtualQueues) -> Vec<SlotUser<'a>> {
-    ctx.users
-        .iter()
-        .map(|u| SlotUser {
-            user: u,
-            pc: queues.get(u.id),
-            cap: u.usable_cap_units(ctx.delta_kb),
-        })
-        .filter(|s| s.cap > 0)
-        .collect()
+pub fn slot_users(cost: &EmaCost, ctx: &SlotContext, queues: &VirtualQueues) -> Vec<SlotUser> {
+    let mut out = Vec::new();
+    slot_users_into(cost, ctx, queues, &mut out);
+    out
 }
 
-/// Solve one slot's problem exactly by the Algorithm 2 DP. Returns the
-/// per-participant unit counts, aligned with `parts`.
-pub fn solve_dp(cost: &EmaCost, parts: &[SlotUser], bs_cap_units: u64) -> Vec<u64> {
+/// Reusable buffers for [`solve_dp`]. Owned by [`Ema`] so steady-state
+/// slots perform zero heap allocation; buffers grow monotonically to the
+/// high-water mark of `(P, C)` seen so far.
+#[derive(Debug, Clone, Default)]
+pub struct DpScratch {
+    /// `a[i−1][·]` row.
+    prev: Vec<f64>,
+    /// `a[i][·]` row under construction.
+    cur: Vec<f64>,
+    /// `g[i][M]` argmin table for backtracking (`p × width`).
+    choice: Vec<u32>,
+    /// `keys[j] = prev[j] − j·slope` for the current row.
+    keys: Vec<f64>,
+    /// Monotone deque of candidate `j` (keys strictly increasing
+    /// front→back).
+    window: VecDeque<usize>,
+    /// Backtracked per-participant unit counts.
+    chosen: Vec<u64>,
+}
+
+/// Solve one slot's problem exactly by the Algorithm 2 DP in O(P·C),
+/// writing into `scratch` and returning the per-participant unit counts
+/// aligned with `parts`.
+///
+/// The monotone deque preserves the reference solver's deterministic
+/// tie-breaking: φ = 0 wins ties against φ ≥ 1 (strict `<` against the
+/// φ = 0 baseline), and among tied φ ≥ 1 candidates the smallest φ wins
+/// (equal keys are evicted from the back of the deque, so the
+/// largest-`j` = smallest-φ candidate survives).
+pub fn solve_dp_with<'s>(
+    parts: &[SlotUser],
+    bs_cap_units: u64,
+    scratch: &'s mut DpScratch,
+) -> &'s [u64] {
+    let p = parts.len();
+    let DpScratch {
+        prev,
+        cur,
+        choice,
+        keys,
+        window,
+        chosen,
+    } = scratch;
+    chosen.clear();
+    chosen.resize(p, 0);
+    if p == 0 {
+        return chosen;
+    }
+    let c = bs_cap_units as usize;
+    let width = c + 1;
+
+    prev.clear();
+    prev.resize(width, f64::INFINITY);
+    prev[0] = 0.0;
+    cur.clear();
+    cur.resize(width, f64::INFINITY);
+    choice.clear();
+    choice.resize(p * width, 0);
+    keys.clear();
+    keys.resize(width, 0.0);
+
+    for (i, part) in parts.iter().enumerate() {
+        let cap = part.cap.min(bs_cap_units) as usize;
+        let SlotUser { f0, f1, slope, .. } = *part;
+        let row = &mut choice[i * width..(i + 1) * width];
+        window.clear();
+        for m in 0..width {
+            // φ = 0 transition (the baseline; wins ties).
+            let mut best = prev[m] + f0;
+            let mut arg = 0u32;
+            if cap > 0 && m >= 1 {
+                // Admit j = m−1 to the window, evicting dominated keys
+                // (`>=` keeps the later, larger-j entry on ties — i.e.
+                // the smaller φ, matching the reference tie-break).
+                let j = m - 1;
+                let key = prev[j] - j as f64 * slope;
+                keys[j] = key;
+                while window.back().is_some_and(|&b| keys[b] >= key) {
+                    window.pop_back();
+                }
+                window.push_back(j);
+                // Retire j < m − cap (φ would exceed this user's cap).
+                while window.front().is_some_and(|&front| front + cap < m) {
+                    window.pop_front();
+                }
+                // prev[j] + f1 + (m−j−1)·slope == keys[j] + f1 + (m−1)·slope.
+                let front = *window.front().expect("window holds at least j = m−1");
+                let cand = keys[front] + f1 + (m - 1) as f64 * slope;
+                if cand < best {
+                    best = cand;
+                    arg = (m - front) as u32;
+                }
+            }
+            cur[m] = best;
+            row[m] = arg;
+        }
+        std::mem::swap(prev, cur);
+    }
+
+    // D = argmin_M a[P][M].
+    let mut best_m = 0usize;
+    let mut best = f64::INFINITY;
+    for (m, &v) in prev.iter().enumerate() {
+        if v < best {
+            best = v;
+            best_m = m;
+        }
+    }
+
+    // Backtrack.
+    let mut m = best_m;
+    for i in (0..p).rev() {
+        let phi = choice[i * width + m] as usize;
+        chosen[i] = phi as u64;
+        m -= phi;
+    }
+    debug_assert_eq!(m, 0, "backtrack must consume exactly best_m units");
+    chosen
+}
+
+/// Solve one slot's problem exactly (allocating convenience wrapper over
+/// [`solve_dp_with`]). Returns the per-participant unit counts, aligned
+/// with `parts`.
+pub fn solve_dp(parts: &[SlotUser], bs_cap_units: u64) -> Vec<u64> {
+    let mut scratch = DpScratch::default();
+    solve_dp_with(parts, bs_cap_units, &mut scratch).to_vec()
+}
+
+/// The textbook O(P·C·φ_max) DP — the seed implementation, retained as
+/// the differential-testing reference for [`solve_dp`] and as the
+/// baseline its speedup is measured against (`cargo bench ema_solver`,
+/// `cargo run --bin hotpath`).
+pub fn solve_dp_reference(parts: &[SlotUser], bs_cap_units: u64) -> Vec<u64> {
     let p = parts.len();
     if p == 0 {
         return vec![];
@@ -100,8 +290,6 @@ pub fn solve_dp(cost: &EmaCost, parts: &[SlotUser], bs_cap_units: u64) -> Vec<u6
     let c = bs_cap_units as usize;
     let width = c + 1;
 
-    // a[i][M]: min cost over the first i participants using exactly M
-    // units; g[i][M]: the argmin φ for backtracking.
     let mut prev = vec![f64::INFINITY; width];
     prev[0] = 0.0;
     let mut choice = vec![0u32; p * width];
@@ -110,14 +298,9 @@ pub fn solve_dp(cost: &EmaCost, parts: &[SlotUser], bs_cap_units: u64) -> Vec<u6
     for (i, part) in parts.iter().enumerate() {
         cur.fill(f64::INFINITY);
         let cap = part.cap.min(bs_cap_units) as usize;
-        // Precompute f(i, φ) for φ in 0..=cap: affine for φ ≥ 1, so only
-        // f(0), f(1) and the slope are needed.
-        let f0 = cost.f(part.user, part.pc, 0);
-        let f1 = cost.f(part.user, part.pc, 1);
-        let slope = cost.slope(part.user, part.pc);
+        let SlotUser { f0, f1, slope, .. } = *part;
         let row = &mut choice[i * width..(i + 1) * width];
         for m in 0..width {
-            // φ = 0 transition.
             let mut best = prev[m] + f0;
             let mut arg = 0u32;
             let phi_max = cap.min(m);
@@ -136,7 +319,6 @@ pub fn solve_dp(cost: &EmaCost, parts: &[SlotUser], bs_cap_units: u64) -> Vec<u6
         std::mem::swap(&mut prev, &mut cur);
     }
 
-    // D = argmin_M a[P][M].
     let mut best_m = 0usize;
     let mut best = f64::INFINITY;
     for (m, &v) in prev.iter().enumerate() {
@@ -146,7 +328,6 @@ pub fn solve_dp(cost: &EmaCost, parts: &[SlotUser], bs_cap_units: u64) -> Vec<u6
         }
     }
 
-    // Backtrack.
     let mut out = vec![0u64; p];
     let mut m = best_m;
     for i in (0..p).rev() {
@@ -159,12 +340,8 @@ pub fn solve_dp(cost: &EmaCost, parts: &[SlotUser], bs_cap_units: u64) -> Vec<u6
 }
 
 /// Objective value `Σ f(i, φᵢ)` of an allocation over the participants.
-pub fn objective(cost: &EmaCost, parts: &[SlotUser], alloc: &[u64]) -> f64 {
-    parts
-        .iter()
-        .zip(alloc)
-        .map(|(s, &phi)| cost.f(s.user, s.pc, phi))
-        .sum()
+pub fn objective(parts: &[SlotUser], alloc: &[u64]) -> f64 {
+    parts.iter().zip(alloc).map(|(s, &phi)| s.f(phi)).sum()
 }
 
 impl Scheduler for Ema {
@@ -172,23 +349,23 @@ impl Scheduler for Ema {
         "EMA"
     }
 
-    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+    fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         self.ensure_queues(ctx.users.len());
+        out.reset(ctx.users.len());
         let cost = EmaCost::with_pricing(self.v, &self.models, ctx, self.tail_pricing);
-        let parts = slot_users(ctx, &self.queues);
-        let chosen = solve_dp(&cost, &parts, ctx.bs_cap_units);
-        let mut alloc = vec![0u64; ctx.users.len()];
-        for (part, &units) in parts.iter().zip(&chosen) {
-            alloc[part.user.id] = units;
+        slot_users_into(&cost, ctx, &self.queues, &mut self.parts);
+        let chosen = solve_dp_with(&self.parts, ctx.bs_cap_units, &mut self.scratch);
+        for (part, &units) in self.parts.iter().zip(chosen) {
+            out.0[part.id] = units;
         }
-        self.queues.apply_allocation(ctx, &alloc);
-        Allocation(alloc)
+        self.queues.apply_allocation(ctx, &out.0);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jmso_gateway::UserSnapshot;
     use jmso_radio::rrc::RrcState;
     use jmso_radio::Dbm;
 
@@ -219,7 +396,9 @@ mod tests {
     /// Allocation always satisfies Eq. (1)/(2).
     #[test]
     fn respects_constraints() {
-        let users: Vec<_> = (0..6).map(|i| user(i, -70.0 - i as f64, 450.0, 30)).collect();
+        let users: Vec<_> = (0..6)
+            .map(|i| user(i, -70.0 - i as f64, 450.0, 30))
+            .collect();
         let mut e = Ema::new(1.0, CrossLayerModels::paper());
         let c = ctx(&users, 70);
         let a = e.allocate(&c);
@@ -302,9 +481,9 @@ mod tests {
         queues.update(0, 1.0, 0.0); // PC₀ = 1
         queues.update(1, 1.0, 3.0); // PC₁ = −2
         queues.update(2, 1.0, 0.5); // PC₂ = 0.5
-        let parts = slot_users(&c, &queues);
-        let dp = solve_dp(&cost, &parts, c.bs_cap_units);
-        let dp_obj = objective(&cost, &parts, &dp);
+        let parts = slot_users(&cost, &c, &queues);
+        let dp = solve_dp(&parts, c.bs_cap_units);
+        let dp_obj = objective(&parts, &dp);
 
         // Exhaustive.
         let mut best = f64::INFINITY;
@@ -312,12 +491,70 @@ mod tests {
             for b in 0..=4u64 {
                 for d in 0..=2u64 {
                     if a + b + d <= 5 {
-                        best = best.min(objective(&cost, &parts, &[a, b, d]));
+                        best = best.min(objective(&parts, &[a, b, d]));
                     }
                 }
             }
         }
         assert!((dp_obj - best).abs() < 1e-9, "dp {dp_obj} vs brute {best}");
+    }
+
+    /// The deque solver and the retained reference agree in objective
+    /// value on a fixed mid-size instance (the proptest in
+    /// `tests/sched_properties.rs` covers random instances).
+    #[test]
+    fn deque_matches_reference_fixed() {
+        let users: Vec<_> = (0..8)
+            .map(|i| {
+                user(
+                    i,
+                    -110.0 + 7.0 * i as f64,
+                    300.0 + 40.0 * i as f64,
+                    5 + i as u64,
+                )
+            })
+            .collect();
+        let c = ctx(&users, 23);
+        let models = CrossLayerModels::paper();
+        let cost = EmaCost::new(0.7, &models, &c);
+        let mut queues = VirtualQueues::new(8);
+        for i in 0..8 {
+            queues.update(i, 1.0, (i as f64) * 0.4 - 1.0);
+        }
+        let parts = slot_users(&cost, &c, &queues);
+        let fast = solve_dp(&parts, c.bs_cap_units);
+        let slow = solve_dp_reference(&parts, c.bs_cap_units);
+        assert!(
+            (objective(&parts, &fast) - objective(&parts, &slow)).abs() < 1e-9,
+            "deque {fast:?} vs reference {slow:?}"
+        );
+        assert!(fast.iter().sum::<u64>() <= 23);
+        for (part, &phi) in parts.iter().zip(&fast) {
+            assert!(phi <= part.cap);
+        }
+    }
+
+    /// Scratch reuse across slots of different sizes gives the same
+    /// answers as fresh solves.
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let models = CrossLayerModels::paper();
+        let mut scratch = DpScratch::default();
+        for (n, cap) in [(5usize, 40u64), (2, 7), (8, 120), (1, 1), (6, 63)] {
+            let users: Vec<_> = (0..n)
+                .map(|i| user(i, -95.0 + 5.0 * i as f64, 450.0, 12))
+                .collect();
+            let c = ctx(&users, cap);
+            let cost = EmaCost::new(1.1, &models, &c);
+            let mut queues = VirtualQueues::new(n);
+            for i in 0..n {
+                queues.update(i, 1.0, if i % 2 == 0 { 0.0 } else { 2.0 });
+            }
+            let parts = slot_users(&cost, &c, &queues);
+            let reused = solve_dp_with(&parts, cap, &mut scratch).to_vec();
+            let fresh = solve_dp(&parts, cap);
+            assert_eq!(reused, fresh, "n={n} cap={cap}");
+        }
     }
 
     /// Queue bookkeeping: only active users update; Eq. (16) holds.

@@ -29,7 +29,9 @@ pub mod rtma;
 pub mod spec;
 pub mod threshold;
 
-pub use baselines::{DefaultMax, EStreamer, OnOff, ProportionalFair, RoundRobin, Salsa, Throttling};
+pub use baselines::{
+    DefaultMax, EStreamer, OnOff, ProportionalFair, RoundRobin, Salsa, Throttling,
+};
 pub use cost::{CrossLayerModels, EmaCost, TailPricing};
 pub use ema::Ema;
 pub use ema_fast::EmaFast;

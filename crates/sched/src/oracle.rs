@@ -10,17 +10,15 @@
 //! The state space is `Π (capᵢ+1)`, so keep instances tiny (≤ ~6 users ×
 //! ≤ ~8 units).
 
-use crate::cost::EmaCost;
 use crate::ema::SlotUser;
 
 /// Minimize `Σ f(i, φᵢ)` subject to `φᵢ ≤ capᵢ`, `Σφᵢ ≤ budget` by
 /// exhaustive enumeration. Returns `(allocation, objective)`.
-pub fn solve_exhaustive(cost: &EmaCost, parts: &[SlotUser], budget: u64) -> (Vec<u64>, f64) {
+pub fn solve_exhaustive(parts: &[SlotUser], budget: u64) -> (Vec<u64>, f64) {
     let mut best_alloc = vec![0u64; parts.len()];
     let mut best = f64::INFINITY;
     let mut current = vec![0u64; parts.len()];
     recurse(
-        cost,
         parts,
         budget,
         0,
@@ -32,9 +30,7 @@ pub fn solve_exhaustive(cost: &EmaCost, parts: &[SlotUser], budget: u64) -> (Vec
     (best_alloc, best)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn recurse(
-    cost: &EmaCost,
     parts: &[SlotUser],
     budget: u64,
     i: usize,
@@ -54,9 +50,9 @@ fn recurse(
     for phi in 0..=cap {
         // f can be negative (queue relief), so partial sums give no sound
         // pruning bound; enumerate fully — instances are tiny by contract.
-        let c = acc + cost.f(parts[i].user, parts[i].pc, phi);
+        let c = acc + parts[i].f(phi);
         current[i] = phi;
-        recurse(cost, parts, budget - phi, i + 1, c, current, best, best_alloc);
+        recurse(parts, budget - phi, i + 1, c, current, best, best_alloc);
     }
     current[i] = 0;
 }
@@ -93,9 +89,18 @@ pub fn min_rebuffer_exhaustive(
         }
         let cap = parts[i].cap.min(budget);
         for phi in 0..=cap {
-            let t = carry_s[i] + delta_kb * phi as f64 / parts[i].user.rate_kbps;
+            let t = carry_s[i] + delta_kb * phi as f64 / parts[i].rate_kbps;
             let c = (tau - t).max(0.0);
-            rec(parts, carry_s, delta_kb, tau, budget - phi, i + 1, acc + c, best);
+            rec(
+                parts,
+                carry_s,
+                delta_kb,
+                tau,
+                budget - phi,
+                i + 1,
+                acc + c,
+                best,
+            );
         }
     }
     let mut best = f64::INFINITY;
@@ -114,7 +119,7 @@ pub fn max_playback_exhaustive(parts: &[SlotUser], delta_kb: f64, budget: u64) -
         }
         let cap = parts[i].cap.min(budget);
         for phi in 0..=cap {
-            let t = delta_kb * phi as f64 / parts[i].user.rate_kbps;
+            let t = delta_kb * phi as f64 / parts[i].rate_kbps;
             rec(parts, delta_kb, budget - phi, i + 1, acc + t, best);
         }
     }
@@ -126,7 +131,7 @@ pub fn max_playback_exhaustive(parts: &[SlotUser], delta_kb: f64, budget: u64) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::CrossLayerModels;
+    use crate::cost::{CrossLayerModels, EmaCost};
     use crate::ema::{objective, slot_users, solve_dp};
     use crate::ema_fast::solve_greedy;
     use crate::lyapunov::VirtualQueues;
@@ -168,13 +173,13 @@ mod tests {
         q.update(0, 1.0, 0.0);
         q.update(1, 1.0, 2.5);
         q.update(2, 1.0, 0.2);
-        let parts = slot_users(&ctx, &q);
-        let (oracle_alloc, oracle_obj) = solve_exhaustive(&cost, &parts, 7);
+        let parts = slot_users(&cost, &ctx, &q);
+        let (oracle_alloc, oracle_obj) = solve_exhaustive(&parts, 7);
         assert!(oracle_alloc.iter().sum::<u64>() <= 7);
-        let dp = solve_dp(&cost, &parts, 7);
-        let fast = solve_greedy(&cost, &parts, 7);
-        assert!((objective(&cost, &parts, &dp) - oracle_obj).abs() < 1e-9);
-        assert!((objective(&cost, &parts, &fast) - oracle_obj).abs() < 1e-9);
+        let dp = solve_dp(&parts, 7);
+        let fast = solve_greedy(&parts, 7);
+        assert!((objective(&parts, &dp) - oracle_obj).abs() < 1e-9);
+        assert!((objective(&parts, &fast) - oracle_obj).abs() < 1e-9);
     }
 
     #[test]
@@ -189,8 +194,10 @@ mod tests {
             bs_cap_units: 2,
             users: &users,
         };
+        let models = CrossLayerModels::paper();
+        let cost = EmaCost::new(1.0, &models, &ctx);
         let q = VirtualQueues::new(2);
-        let parts = slot_users(&ctx, &q);
+        let parts = slot_users(&cost, &ctx, &q);
         let best = max_playback_exhaustive(&parts, 50.0, 2);
         // Both units to user 0: 2·50/300 = 1/3 s.
         assert!((best - 100.0 / 300.0).abs() < 1e-12);
@@ -198,17 +205,7 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let users: Vec<UserSnapshot> = vec![];
-        let ctx = SlotContext {
-            slot: 0,
-            tau: 1.0,
-            delta_kb: 50.0,
-            bs_cap_units: 5,
-            users: &users,
-        };
-        let models = CrossLayerModels::paper();
-        let cost = EmaCost::new(1.0, &models, &ctx);
-        let (alloc, obj) = solve_exhaustive(&cost, &[], 5);
+        let (alloc, obj) = solve_exhaustive(&[], 5);
         assert!(alloc.is_empty());
         assert_eq!(obj, 0.0);
     }

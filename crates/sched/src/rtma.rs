@@ -37,12 +37,22 @@ use jmso_radio::MilliJoules;
 #[derive(Debug, Clone)]
 pub struct Rtma {
     threshold: SignalThreshold,
+    // Reusable per-slot scratch (sorted order, needs, ceilings) so the
+    // engine hot path allocates nothing in steady state.
+    order: Vec<usize>,
+    need: Vec<u64>,
+    ceiling: Vec<u64>,
 }
 
 impl Rtma {
     /// RTMA with an explicit admission threshold.
     pub fn with_threshold(threshold: SignalThreshold) -> Self {
-        Self { threshold }
+        Self {
+            threshold,
+            order: Vec::new(),
+            need: Vec::new(),
+            ceiling: Vec::new(),
+        }
     }
 
     /// RTMA with the threshold derived from a per-slot energy budget `Φ`
@@ -69,37 +79,41 @@ impl Scheduler for Rtma {
         "RTMA"
     }
 
-    fn allocate(&mut self, ctx: &SlotContext) -> Allocation {
+    fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         let n = ctx.users.len();
-        let mut alloc = vec![0u64; n];
+        out.reset(n);
+        let alloc = &mut out.0;
         let mut budget = ctx.bs_cap_units;
 
-        // Step 2: ascending required data rate (stable: ties keep id order).
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
+        // Step 2: ascending required data rate; ties keep id order (the
+        // explicit index tie-break makes the unstable — and allocation-free
+        // — sort deterministic).
+        self.order.clear();
+        self.order.extend(0..n);
+        self.order.sort_unstable_by(|&a, &b| {
             ctx.users[a]
                 .rate_kbps
                 .partial_cmp(&ctx.users[b].rate_kbps)
                 .expect("rates are finite")
+                .then(a.cmp(&b))
         });
 
         // Step 3: per-slot need ⌈τ·pᵢ/δ⌉ and the hard per-user ceiling
         // (link bound ∩ remaining video bytes).
-        let need: Vec<u64> = ctx
-            .users
-            .iter()
-            .map(|u| ((ctx.tau * u.rate_kbps) / ctx.delta_kb).ceil() as u64)
-            .collect();
-        let ceiling: Vec<u64> = ctx
-            .users
-            .iter()
-            .map(|u| u.usable_cap_units(ctx.delta_kb))
-            .collect();
+        self.need.clear();
+        self.need.extend(
+            ctx.users
+                .iter()
+                .map(|u| ((ctx.tau * u.rate_kbps) / ctx.delta_kb).ceil() as u64),
+        );
+        self.ceiling.clear();
+        self.ceiling
+            .extend(ctx.users.iter().map(|u| u.usable_cap_units(ctx.delta_kb)));
 
         // Steps 4–15: sweep until the budget is gone or nothing moves.
         while budget > 0 {
             let mut progressed = false;
-            for &i in &order {
+            for &i in &self.order {
                 if budget == 0 {
                     break;
                 }
@@ -112,12 +126,12 @@ impl Scheduler for Rtma {
                     continue;
                 }
                 // Step 7: φ_sup = remaining headroom under Eq. (1)/(2).
-                let sup = (ceiling[i] - alloc[i]).min(budget);
+                let sup = (self.ceiling[i] - alloc[i]).min(budget);
                 if sup == 0 {
                     continue;
                 }
                 // Steps 8–12: grant one need-tranche, or whatever is left.
-                let grant = need[i].max(1).min(sup);
+                let grant = self.need[i].max(1).min(sup);
                 alloc[i] += grant;
                 budget -= grant;
                 progressed = true;
@@ -126,8 +140,6 @@ impl Scheduler for Rtma {
                 break;
             }
         }
-
-        Allocation(alloc)
     }
 }
 

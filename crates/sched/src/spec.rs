@@ -85,11 +85,9 @@ impl SchedulerSpec {
     pub fn build(&self, tau: f64, models: &CrossLayerModels) -> Box<dyn Scheduler> {
         match *self {
             SchedulerSpec::Default => Box::new(DefaultMax::new()),
-            SchedulerSpec::Rtma { phi_mj } => Box::new(Rtma::with_energy_bound(
-                MilliJoules(phi_mj),
-                tau,
-                models,
-            )),
+            SchedulerSpec::Rtma { phi_mj } => {
+                Box::new(Rtma::with_energy_bound(MilliJoules(phi_mj), tau, models))
+            }
             SchedulerSpec::RtmaUnbounded => {
                 Box::new(Rtma::with_threshold(SignalThreshold::allow_all()))
             }

@@ -8,11 +8,11 @@
 use jmso_gateway::{Allocation, Scheduler, SlotContext, UserSnapshot};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::Dbm;
-use jmso_sched::ema::{objective, slot_users, solve_dp};
+use jmso_sched::ema::{objective, slot_users, solve_dp, solve_dp_reference};
 use jmso_sched::ema_fast::solve_greedy;
 use jmso_sched::oracle::solve_exhaustive;
 use jmso_sched::{
-    CrossLayerModels, DefaultMax, Ema, EmaCost, EmaFast, EStreamer, OnOff, ProportionalFair,
+    CrossLayerModels, DefaultMax, EStreamer, Ema, EmaCost, EmaFast, OnOff, ProportionalFair,
     RoundRobin, Rtma, Salsa, SchedulerSpec, SignalThreshold, Throttling, VirtualQueues,
 };
 use proptest::prelude::*;
@@ -86,12 +86,12 @@ proptest! {
         for (i, u) in users.iter().enumerate() {
             q.update(i, u.pc, 0.0); // sets PCᵢ = pc directly (τ := pc, t := 0)
         }
-        let parts = slot_users(&ctx, &q);
-        let (_, oracle_obj) = solve_exhaustive(&cost, &parts, budget);
-        let dp = solve_dp(&cost, &parts, budget);
-        let fast = solve_greedy(&cost, &parts, budget);
-        let dp_obj = objective(&cost, &parts, &dp);
-        let fast_obj = objective(&cost, &parts, &fast);
+        let parts = slot_users(&cost, &ctx, &q);
+        let (_, oracle_obj) = solve_exhaustive(&parts, budget);
+        let dp = solve_dp(&parts, budget);
+        let fast = solve_greedy(&parts, budget);
+        let dp_obj = objective(&parts, &dp);
+        let fast_obj = objective(&parts, &fast);
         prop_assert!((dp_obj - oracle_obj).abs() < 1e-6, "dp {dp_obj} vs oracle {oracle_obj}");
         prop_assert!((fast_obj - oracle_obj).abs() < 1e-6, "fast {fast_obj} vs oracle {oracle_obj}");
         // Feasibility.
@@ -119,12 +119,49 @@ proptest! {
         for (i, u) in users.iter().enumerate() {
             q.update(i, u.pc, 0.0);
         }
-        let parts = slot_users(&ctx, &q);
-        let dp = solve_dp(&cost, &parts, budget);
-        let fast = solve_greedy(&cost, &parts, budget);
-        let dp_obj = objective(&cost, &parts, &dp);
-        let fast_obj = objective(&cost, &parts, &fast);
+        let parts = slot_users(&cost, &ctx, &q);
+        let dp = solve_dp(&parts, budget);
+        let fast = solve_greedy(&parts, budget);
+        let dp_obj = objective(&parts, &dp);
+        let fast_obj = objective(&parts, &fast);
         prop_assert!((dp_obj - fast_obj).abs() < 1e-6, "dp {dp_obj} vs fast {fast_obj}");
+    }
+
+    /// Differential test for the monotone-deque DP: on random instances
+    /// (P ≤ 8, C ≤ 64) the O(P·C) solver must match the retained naive
+    /// O(P·C·φ_max) reference in objective value, and its allocation must
+    /// pass `Allocation::validate` against the generating context.
+    #[test]
+    fn deque_dp_matches_reference(
+        users in proptest::collection::vec(arb_user(), 1..9),
+        budget in 0u64..65,
+        v in 0.01f64..20.0,
+    ) {
+        let snaps = snapshots(&users);
+        let ctx = SlotContext {
+            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+        };
+        let models = CrossLayerModels::paper();
+        let cost = EmaCost::new(v, &models, &ctx);
+        let mut q = VirtualQueues::new(users.len());
+        for (i, u) in users.iter().enumerate() {
+            q.update(i, u.pc, 0.0);
+        }
+        let parts = slot_users(&cost, &ctx, &q);
+        let fast = solve_dp(&parts, budget);
+        let naive = solve_dp_reference(&parts, budget);
+        let fast_obj = objective(&parts, &fast);
+        let naive_obj = objective(&parts, &naive);
+        prop_assert!(
+            (fast_obj - naive_obj).abs() < 1e-9,
+            "deque {fast_obj} ({fast:?}) vs reference {naive_obj} ({naive:?})"
+        );
+        // Scatter into a full per-user allocation and check Eq. (1)/(2).
+        let mut alloc = Allocation::zeros(snaps.len());
+        for (part, &units) in parts.iter().zip(&fast) {
+            alloc.0[part.id] = units;
+        }
+        prop_assert!(alloc.validate(&ctx).is_ok(), "{:?}", alloc.validate(&ctx));
     }
 
     /// Every policy produces a feasible allocation on random contexts.
@@ -253,8 +290,10 @@ proptest! {
             .map(|(u, &phi)| (1.0 - 50.0 * phi as f64 / u.rate_kbps).max(0.0))
             .sum();
 
+        let models = CrossLayerModels::paper();
+        let cost = EmaCost::new(1.0, &models, &ctx);
         let q = VirtualQueues::new(users.len());
-        let parts = slot_users(&ctx, &q);
+        let parts = slot_users(&cost, &ctx, &q);
         let carry = vec![0.0; parts.len()];
         // Users with zero capacity are excluded from the oracle's search
         // space but still stall a full slot each.

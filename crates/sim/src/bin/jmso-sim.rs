@@ -57,7 +57,10 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
 fn summarize(r: &SimResult) {
     println!("scheduler            : {}", r.scheduler);
     println!("users                : {}", r.n_users());
-    println!("slots run / configured: {} / {}", r.slots_run, r.slots_configured);
+    println!(
+        "slots run / configured: {} / {}",
+        r.slots_run, r.slots_configured
+    );
     println!("completion rate      : {:.2}", r.completion_rate());
     println!(
         "rebuffering          : {:.1} s total, {:.1} s/user, {:.1} ms per active slot",
@@ -119,8 +122,12 @@ fn cmd_calibrate(args: &[String]) -> Result<(), String> {
         "{}",
         serde_json::to_string_pretty(&cal).map_err(|e| e.to_string())?
     );
-    println!("\nΦ for α ∈ {{0.8, 1.0, 1.2}}: {:.1} / {:.1} / {:.1} mJ",
-        cal.phi_for_alpha(0.8), cal.phi_for_alpha(1.0), cal.phi_for_alpha(1.2));
+    println!(
+        "\nΦ for α ∈ {{0.8, 1.0, 1.2}}: {:.1} / {:.1} / {:.1} mJ",
+        cal.phi_for_alpha(0.8),
+        cal.phi_for_alpha(1.0),
+        cal.phi_for_alpha(1.2)
+    );
     println!(
         "Ω for β ∈ {{0.8, 1.0, 1.2}}: {:.4} / {:.4} / {:.4} s per active slot",
         cal.omega_for_beta(0.8),
@@ -138,7 +145,9 @@ fn cmd_fit_v(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("bad --omega: {e}"))?;
     let scenario = load_scenario(path)?;
     let (v, measured) = fit_v_for_omega(&scenario, omega, 0.02, 100.0, 10)?;
-    println!("fitted V = {v:.4} (measured rebuffering {measured:.4} s per active slot, bound {omega})");
+    println!(
+        "fitted V = {v:.4} (measured rebuffering {measured:.4} s per active slot, bound {omega})"
+    );
     if measured > omega {
         println!("warning: even the smallest V violates the bound; Ω is infeasible here");
     }
@@ -168,8 +177,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             r.completion_rate()
         );
     }
-    let mean_rebuf =
-        results.iter().map(|r| r.mean_rebuffer_per_user_s()).sum::<f64>() / results.len() as f64;
+    let mean_rebuf = results
+        .iter()
+        .map(|r| r.mean_rebuffer_per_user_s())
+        .sum::<f64>()
+        / results.len() as f64;
     let mean_kj = results.iter().map(|r| r.total_energy_kj()).sum::<f64>() / results.len() as f64;
     println!("mean  {mean_rebuf:>12.1} {mean_kj:>10.2}");
     Ok(())

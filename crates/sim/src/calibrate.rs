@@ -160,7 +160,10 @@ mod tests {
         // V to the low end.
         let (v_loose, r_loose) = fit_v_for_omega(&s, 10.0, 0.1, 200.0, 6).unwrap();
         assert!(r_loose <= 10.0);
-        assert!(v_loose >= 100.0, "loose bound admits large V, got {v_loose}");
+        assert!(
+            v_loose >= 100.0,
+            "loose bound admits large V, got {v_loose}"
+        );
     }
 
     #[test]

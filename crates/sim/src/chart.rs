@@ -66,12 +66,7 @@ pub fn ascii_chart(table: &Table, width: usize, height: usize) -> String {
         };
         let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "{} +{}",
-        " ".repeat(y_label_w - 1),
-        "-".repeat(width)
-    );
+    let _ = writeln!(out, "{} +{}", " ".repeat(y_label_w - 1), "-".repeat(width));
     let _ = writeln!(
         out,
         "{} {:<w$.3}{:>r$.3}",
@@ -92,9 +87,11 @@ pub fn ascii_chart(table: &Table, width: usize, height: usize) -> String {
 }
 
 fn min_max(values: &[f64]) -> (f64, f64) {
-    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
-        (lo.min(*v), hi.max(*v))
-    })
+    values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(*v), hi.max(*v))
+        })
 }
 
 #[cfg(test)]

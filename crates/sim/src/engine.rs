@@ -25,7 +25,8 @@ use crate::results::{SimResult, UserResult};
 use jmso_gateway::bs::CapacityModel;
 use jmso_gateway::collector::RawUserState;
 use jmso_gateway::{
-    DataReceiver, DataTransmitter, InformationCollector, Scheduler, SlotContext, UnitParams,
+    Allocation, DataReceiver, DataTransmitter, InformationCollector, Scheduler, SlotContext,
+    UnitParams,
 };
 use jmso_media::{jain_index, ClientPlayback, VideoSession};
 use jmso_radio::signal::SignalModel;
@@ -177,17 +178,35 @@ impl Engine {
     }
 
     /// Run to the horizon (or until all sessions complete) and report.
+    ///
+    /// The slot loop reuses every intermediate buffer (`raw`, snapshots,
+    /// the allocation, deliveries, fairness scratch, and — inside the
+    /// stateful policies — their own DP/sort scratch), so after the first
+    /// slot warms the buffers up, a steady-state slot performs zero heap
+    /// allocation (with the default payload-free receiver; series vectors
+    /// are preallocated to the horizon when recording is on).
     pub fn run(mut self) -> SimResult {
         let n_users = self.users.len();
-        let mut fairness_series = Vec::new();
-        let mut fairness_window_series = Vec::new();
-        let mut power_series_j = Vec::new();
+        let series_cap = if self.cfg.record_series {
+            self.cfg.slots as usize
+        } else {
+            0
+        };
+        let mut fairness_series = Vec::with_capacity(series_cap);
+        let mut fairness_window_series = Vec::with_capacity(series_cap.div_ceil(10));
+        let mut power_series_j = Vec::with_capacity(series_cap);
         let mut fairness_scratch: Vec<f64> = Vec::with_capacity(n_users);
         // 10-slot accumulators for the windowed fairness view.
         const FAIR_WINDOW: u64 = 10;
         let mut window_delivered = vec![0.0f64; n_users];
         let mut window_need = vec![0.0f64; n_users];
         let mut slots_run = 0;
+
+        // Per-slot pipeline buffers, hoisted out of the loop and reused.
+        let mut raw: Vec<RawUserState> = Vec::with_capacity(n_users);
+        let mut snapshots = Vec::with_capacity(n_users);
+        let mut alloc = Allocation::zeros(n_users);
+        let mut deliveries = Vec::with_capacity(n_users);
 
         for slot in 0..self.cfg.slots {
             slots_run = slot + 1;
@@ -196,7 +215,7 @@ impl Engine {
             self.receiver.ingest_slot(slot);
 
             // Client-side slot advance (Eq. 7/8) and ground-truth state.
-            let mut raw = Vec::with_capacity(n_users);
+            raw.clear();
             for u in &mut self.users {
                 u.cur_signal = u.signal.sample(slot);
                 if slot < u.arrival_slot {
@@ -219,7 +238,9 @@ impl Engine {
                 }
                 raw.push(RawUserState {
                     signal: u.cur_signal,
-                    rate_kbps: u.declared_rate_kbps.unwrap_or_else(|| u.session.rate_at(slot)),
+                    rate_kbps: u
+                        .declared_rate_kbps
+                        .unwrap_or_else(|| u.session.rate_at(slot)),
                     buffer_s: outcome.occupancy_s,
                     remaining_kb: u.session.remaining_kb(),
                     active: outcome.active,
@@ -228,8 +249,8 @@ impl Engine {
                 });
             }
 
-            // Gateway pipeline.
-            let snapshots = self.collector.snapshot(slot, &raw);
+            // Gateway pipeline (all writes go into the reused buffers).
+            self.collector.snapshot_into(slot, &raw, &mut snapshots);
             let ctx = SlotContext {
                 slot,
                 tau: self.cfg.tau,
@@ -237,13 +258,15 @@ impl Engine {
                 bs_cap_units,
                 users: &snapshots,
             };
-            let alloc = self.scheduler.allocate(&ctx);
-            let deliveries = self.transmitter.transmit(&ctx, &alloc, &mut self.receiver);
+            self.scheduler.allocate_into(&ctx, &mut alloc);
+            self.transmitter
+                .transmit_into(&ctx, &alloc, &mut self.receiver, &mut deliveries);
 
             // Device-side accounting (Eq. 3/4/5) and client delivery.
             let mut slot_energy_mj = 0.0;
             fairness_scratch.clear();
-            for (u_idx, ((u, d), r)) in self.users.iter_mut().zip(&deliveries).zip(&raw).enumerate() {
+            for (u_idx, ((u, d), r)) in self.users.iter_mut().zip(&deliveries).zip(&raw).enumerate()
+            {
                 if slot < u.arrival_slot {
                     // Pre-arrival: the device is off; nothing is charged.
                     continue;
@@ -368,8 +391,9 @@ mod tests {
             slots,
             record_series: true,
         };
-        let signals: Vec<Box<dyn SignalModel>> =
-            (0..n).map(|_| Box::new(ConstantSignal(Dbm(sig))) as _).collect();
+        let signals: Vec<Box<dyn SignalModel>> = (0..n)
+            .map(|_| Box::new(ConstantSignal(Dbm(sig))) as _)
+            .collect();
         let sessions: Vec<VideoSession> =
             (0..n).map(|_| VideoSession::cbr(video_kb, rate)).collect();
         let receiver = DataReceiver::new(n, OriginModel::Infinite, cfg.tau);
@@ -397,8 +421,16 @@ mod tests {
     /// stalls only at startup (shard usable next slot ⇒ exactly 1 s).
     #[test]
     fn single_user_happy_path() {
-        let r = small_engine(1, 5_000.0, 500.0, -70.0, 20_000.0, 200, Box::new(DefaultMax::new()))
-            .run();
+        let r = small_engine(
+            1,
+            5_000.0,
+            500.0,
+            -70.0,
+            20_000.0,
+            200,
+            Box::new(DefaultMax::new()),
+        )
+        .run();
         let u = &r.per_user[0];
         assert!(u.playback_complete, "10 s video in 200 slots");
         assert!((u.fetched_kb - 5_000.0).abs() < 1e-6);
@@ -412,8 +444,16 @@ mod tests {
     /// Byte conservation: fetched ≤ video size; watched ≤ fetched/rate.
     #[test]
     fn conservation() {
-        let r = small_engine(3, 2_000.0, 400.0, -80.0, 1_000.0, 300, Box::new(DefaultMax::new()))
-            .run();
+        let r = small_engine(
+            3,
+            2_000.0,
+            400.0,
+            -80.0,
+            1_000.0,
+            300,
+            Box::new(DefaultMax::new()),
+        )
+        .run();
         for u in &r.per_user {
             assert!(u.fetched_kb <= u.video_kb + 1e-6);
             assert!(u.watched_s <= u.fetched_kb / u.rate_kbps + 1e-6);
@@ -424,8 +464,16 @@ mod tests {
     #[test]
     fn starvation_accrues_rebuffering() {
         // 2 users needing 400 KB/s each through a 300 KB/s BS.
-        let r = small_engine(2, 20_000.0, 400.0, -80.0, 300.0, 150, Box::new(DefaultMax::new()))
-            .run();
+        let r = small_engine(
+            2,
+            20_000.0,
+            400.0,
+            -80.0,
+            300.0,
+            150,
+            Box::new(DefaultMax::new()),
+        )
+        .run();
         assert!(r.total_rebuffer_s() > 10.0, "must stall hard");
         // User order bias: user 0 gets served first every slot.
         assert!(r.per_user[0].rebuffer_s < r.per_user[1].rebuffer_s);
@@ -436,8 +484,16 @@ mod tests {
     /// Energy accounting matches Eq. (3) for a deterministic run.
     #[test]
     fn transmission_energy_matches_eq3() {
-        let r = small_engine(1, 1_000.0, 500.0, -80.0, 20_000.0, 50, Box::new(DefaultMax::new()))
-            .run();
+        let r = small_engine(
+            1,
+            1_000.0,
+            500.0,
+            -80.0,
+            20_000.0,
+            50,
+            Box::new(DefaultMax::new()),
+        )
+        .run();
         let u = &r.per_user[0];
         // All 1000 KB at −80 dBm: P = −0.167 + 1560/2303 mJ/KB.
         let p = -0.167 + 1560.0 / 2303.0;
@@ -448,8 +504,16 @@ mod tests {
     /// full tail (Pd·T1 + Pf·T2 ≈ 3974 mJ).
     #[test]
     fn tail_saturates_after_session() {
-        let r = small_engine(1, 500.0, 500.0, -70.0, 20_000.0, 1_000, Box::new(DefaultMax::new()))
-            .run();
+        let r = small_engine(
+            1,
+            500.0,
+            500.0,
+            -70.0,
+            20_000.0,
+            1_000,
+            Box::new(DefaultMax::new()),
+        )
+        .run();
         let u = &r.per_user[0];
         let full_tail = 732.83 * 3.29 + 388.88 * 4.02;
         assert!(u.energy.tail.value() <= full_tail + 1e-6);
@@ -459,8 +523,16 @@ mod tests {
     /// power samples.
     #[test]
     fn series_are_sane() {
-        let r = small_engine(4, 3_000.0, 450.0, -80.0, 900.0, 100, Box::new(DefaultMax::new()))
-            .run();
+        let r = small_engine(
+            4,
+            3_000.0,
+            450.0,
+            -80.0,
+            900.0,
+            100,
+            Box::new(DefaultMax::new()),
+        )
+        .run();
         assert!(!r.fairness_series.is_empty());
         for f in &r.fairness_series {
             assert!((0.0..=1.0 + 1e-9).contains(f));
@@ -473,8 +545,16 @@ mod tests {
     /// completing user.
     #[test]
     fn active_slots_consistent() {
-        let r = small_engine(1, 5_000.0, 500.0, -70.0, 20_000.0, 200, Box::new(DefaultMax::new()))
-            .run();
+        let r = small_engine(
+            1,
+            5_000.0,
+            500.0,
+            -70.0,
+            20_000.0,
+            200,
+            Box::new(DefaultMax::new()),
+        )
+        .run();
         let u = &r.per_user[0];
         // Active slots cover watching + stalling: ⌈10 s watched + 1 s stall⌉.
         assert_eq!(u.active_slots, 11);

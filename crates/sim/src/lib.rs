@@ -24,17 +24,17 @@ pub mod engine;
 pub mod multicell;
 pub mod report;
 pub mod results;
-pub mod svg;
 pub mod scenario;
+pub mod svg;
 pub mod sweep;
 
 pub use calibrate::{calibrate_default, fit_v_for_omega, fit_v_for_omega_with, Calibration};
 pub use chart::ascii_chart;
-pub use svg::svg_chart;
 pub use engine::Engine;
 pub use multicell::{MultiCellResult, MultiCellScenario};
 pub use results::{SimResult, UserResult};
 pub use scenario::{ArrivalSpec, Scenario};
+pub use svg::svg_chart;
 pub use sweep::{parallel_map, run_scenarios};
 
 // Re-export the pieces callers need to assemble scenarios without extra deps.

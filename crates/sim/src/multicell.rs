@@ -70,9 +70,8 @@ impl MultiCellScenario {
         let n = base.n_users;
         let units = UnitParams::new(base.delta_kb);
         let sessions = generate_sessions(&base.workload, n, base.seed);
-        let mut signals: Vec<Box<dyn SignalModel>> = (0..n)
-            .map(|i| base.signal.build(i, n, base.seed))
-            .collect();
+        let mut signals: Vec<Box<dyn SignalModel>> =
+            (0..n).map(|i| base.signal.build(i, n, base.seed)).collect();
         let mut playback: Vec<ClientPlayback> = sessions
             .iter()
             .map(|s| ClientPlayback::new(s.total_playback_s(), base.tau))
@@ -152,7 +151,11 @@ impl MultiCellScenario {
                             signal: cur_sig[i],
                             rate_kbps: sessions[i].rate_at(slot),
                             buffer_s: outcomes[i].occupancy_s,
-                            remaining_kb: if member { sessions[i].remaining_kb() } else { 0.0 },
+                            remaining_kb: if member {
+                                sessions[i].remaining_kb()
+                            } else {
+                                0.0
+                            },
                             active: member && outcomes[i].active,
                             link_cap_units: if member {
                                 units.link_cap_units(v, base.tau)
@@ -175,8 +178,8 @@ impl MultiCellScenario {
                 debug_assert!(Allocation(alloc.clone()).validate(&ctx).is_ok());
                 for (i, units_granted) in alloc.into_iter().enumerate() {
                     if units_granted > 0 && attached[i] == cell {
-                        let kb = (units_granted as f64 * base.delta_kb)
-                            .min(sessions[i].remaining_kb());
+                        let kb =
+                            (units_granted as f64 * base.delta_kb).min(sessions[i].remaining_kb());
                         delivered_kb[i] += kb;
                     }
                 }
@@ -302,7 +305,10 @@ mod tests {
         let m = multi(8, 4, 0.05).run().unwrap();
         assert!(m.handovers > 0, "mobility must trigger handovers");
         let total_occ: f64 = m.mean_cell_occupancy.iter().sum();
-        assert!((total_occ - 8.0).abs() < 1e-6, "users conserved across cells");
+        assert!(
+            (total_occ - 8.0).abs() < 1e-6,
+            "users conserved across cells"
+        );
     }
 
     #[test]

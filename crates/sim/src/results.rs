@@ -219,7 +219,10 @@ mod tests {
     fn result() -> SimResult {
         SimResult {
             scheduler: "test".into(),
-            per_user: vec![user(10.0, 100, 4000.0, 1000.0), user(30.0, 300, 8000.0, 2000.0)],
+            per_user: vec![
+                user(10.0, 100, 4000.0, 1000.0),
+                user(30.0, 300, 8000.0, 2000.0),
+            ],
             slots_run: 400,
             slots_configured: 1000,
             tau_s: 1.0,

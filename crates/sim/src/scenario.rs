@@ -43,7 +43,8 @@ impl ArrivalSpec {
                 (0..n_users)
                     .map(|_| {
                         let slot = t as u64;
-                        t += rng.random_range(0.0..=(2.0 * mean_interval_slots).max(f64::MIN_POSITIVE));
+                        t += rng
+                            .random_range(0.0..=(2.0 * mean_interval_slots).max(f64::MIN_POSITIVE));
                         slot
                     })
                     .collect()
@@ -268,7 +269,10 @@ mod tests {
     fn with_scheduler_keeps_workload() {
         let s = quick(3);
         let a = s.run().unwrap();
-        let b = s.with_scheduler(SchedulerSpec::RtmaUnbounded).run().unwrap();
+        let b = s
+            .with_scheduler(SchedulerSpec::RtmaUnbounded)
+            .run()
+            .unwrap();
         // Same videos (same sizes) under both policies.
         for (ua, ub) in a.per_user.iter().zip(&b.per_user) {
             assert_eq!(ua.video_kb, ub.video_kb);
@@ -335,10 +339,7 @@ mod tests {
         let r = s.run().unwrap();
         // Late arrivals are unmetered before their slot.
         let slots = r.slots_run;
-        assert!(r
-            .per_user
-            .iter()
-            .any(|u| u.tx_slots + u.idle_slots < slots));
+        assert!(r.per_user.iter().any(|u| u.tx_slots + u.idle_slots < slots));
         assert_eq!(r.completion_rate(), 1.0);
     }
 

@@ -161,9 +161,11 @@ pub fn svg_chart(table: &Table, title: &str, width: u32, height: u32) -> String 
 }
 
 fn bounds(values: &[f64]) -> (f64, f64) {
-    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
-        (lo.min(*v), hi.max(*v))
-    })
+    values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(*v), hi.max(*v))
+        })
 }
 
 fn fmt_tick(v: f64) -> String {

@@ -1,18 +1,53 @@
 //! Deterministic parallel execution of scenario grids.
 //!
 //! Figure sweeps are embarrassingly parallel (every cell is an independent
-//! seeded simulation), so the runner is a small work queue on crossbeam
-//! scoped threads: an atomic cursor hands out cell indices, workers write
-//! results into an index-addressed slot vector behind a `parking_lot`
-//! mutex, and the output order always equals the input order regardless of
+//! seeded simulation), so the runner is a small work queue on `std` scoped
+//! threads: an atomic cursor hands out cell indices and each worker writes
+//! its result into that index's dedicated [`ResultSlot`] — a lock-free,
+//! disjoint-index write, so wide sweeps never serialize on a shared
+//! result mutex. Output order always equals input order regardless of
 //! which worker finished first. Rayon would be the idiomatic tool but is
 //! not in the offline crate set (DESIGN.md §6); this queue is ~40 lines
-//! and has no ordering races by construction.
+//! and has no ordering races by construction: the cursor's `fetch_add`
+//! gives every index to exactly one worker, and `thread::scope` joins all
+//! workers (propagating panics) before any slot is read.
 
 use crate::results::SimResult;
 use crate::scenario::Scenario;
-use parking_lot::Mutex;
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One result cell, written by exactly one worker.
+///
+/// Safety protocol: the index-dispensing cursor guarantees a single writer
+/// per slot, and all writes happen-before the post-join reads (scope join
+/// synchronizes). That makes the unsynchronized interior write sound.
+struct ResultSlot<R>(UnsafeCell<Option<R>>);
+
+// SAFETY: slots are shared across worker threads but each is written by at
+// most one thread (disjoint indices) and only read after those threads are
+// joined. `R: Send` is required to move the value across the join.
+unsafe impl<R: Send> Sync for ResultSlot<R> {}
+
+impl<R> ResultSlot<R> {
+    fn empty() -> Self {
+        ResultSlot(UnsafeCell::new(None))
+    }
+
+    /// Store the result. Must be called at most once, by the single worker
+    /// that owns this index.
+    ///
+    /// # Safety
+    /// Caller must guarantee exclusive access for the duration of the call
+    /// (here: the cursor hands each index to exactly one worker).
+    unsafe fn write(&self, value: R) {
+        *self.0.get() = Some(value);
+    }
+
+    fn into_inner(self) -> Option<R> {
+        self.0.into_inner()
+    }
+}
 
 /// Parallel map with deterministic output ordering.
 ///
@@ -40,26 +75,27 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let slots: Vec<ResultSlot<R>> = (0..items.len()).map(|_| ResultSlot::empty()).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                slots.lock()[i] = Some(r);
+                // SAFETY: `i` came from fetch_add, so this worker is the
+                // only one ever touching slot `i`.
+                unsafe { slots[i].write(r) };
             });
         }
-    })
-    .expect("sweep worker panicked");
+        // Scope exit joins every worker; a worker panic re-raises here.
+    });
 
     slots
-        .into_inner()
         .into_iter()
-        .map(|r| r.expect("every index was processed"))
+        .map(|slot| slot.into_inner().expect("every index was processed"))
         .collect()
 }
 
@@ -91,9 +127,25 @@ mod tests {
 
     #[test]
     fn parallel_map_preserves_order() {
+        // The satellite contract: ordering holds at 1 (sequential path),
+        // 2 and 8 workers under the lock-free slot writes.
         let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(&items, 8, |x| x * x);
-        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 8] {
+            let out = parallel_map(&items, threads, |x| x * x);
+            assert_eq!(out, expect, "order broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_contention() {
+        // More workers than items and a non-trivial payload type.
+        let items: Vec<usize> = (0..17).collect();
+        let out = parallel_map(&items, 8, |&x| vec![x; x % 3]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 3);
+            assert!(v.iter().all(|&e| e == i));
+        }
     }
 
     #[test]
@@ -108,6 +160,20 @@ mod tests {
         let items: Vec<u64> = (0..32).collect();
         let out = parallel_map(&items, 0, |x| x + 1);
         assert_eq!(out[31], 32);
+    }
+
+    #[test]
+    fn panics_propagate_from_workers() {
+        for threads in [1, 2, 8] {
+            let items: Vec<u64> = (0..64).collect();
+            let result = std::panic::catch_unwind(|| {
+                parallel_map(&items, threads, |&x| {
+                    assert!(x != 13, "boom at 13");
+                    x
+                })
+            });
+            assert!(result.is_err(), "panic swallowed at {threads} threads");
+        }
     }
 
     fn quick(n_users: usize, seed: u64) -> Scenario {

@@ -21,13 +21,13 @@ fn arb_spec() -> impl Strategy<Value = SchedulerSpec> {
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
-        1usize..8,            // users
-        50u64..300,           // slots
-        500.0f64..8_000.0,    // capacity KB/s
-        500.0f64..4_000.0,    // video size KB
+        1usize..8,         // users
+        50u64..300,        // slots
+        500.0f64..8_000.0, // capacity KB/s
+        500.0f64..4_000.0, // video size KB
         arb_spec(),
-        0u64..1_000,          // seed
-        prop::bool::ANY,      // markov vs sine
+        0u64..1_000,                    // seed
+        prop::bool::ANY,                // markov vs sine
         prop::option::of(1.0f64..30.0), // staggered arrivals
     )
         .prop_map(|(n, slots, cap, size, spec, seed, markov, stagger)| {

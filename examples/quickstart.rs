@@ -26,9 +26,15 @@ fn main() {
     let cal = calibrate_default(&scenario).expect("calibration run");
     let default = scenario.run().expect("default run");
     println!("Default strategy:");
-    println!("  mean rebuffering per user   : {:.1} s", default.mean_rebuffer_per_user_s());
+    println!(
+        "  mean rebuffering per user   : {:.1} s",
+        default.mean_rebuffer_per_user_s()
+    );
     println!("  energy per active user-slot : {:.1} mJ", cal.e_default_mj);
-    println!("  total energy                : {:.2} kJ", default.total_energy_kj());
+    println!(
+        "  total energy                : {:.2} kJ",
+        default.total_energy_kj()
+    );
 
     // 2. RTMA at the same energy budget (α = 1 ⇒ Φ = E_Default).
     let rtma = scenario
@@ -38,12 +44,18 @@ fn main() {
         .run()
         .expect("rtma run");
     println!("\nRTMA (Φ = E_Default):");
-    println!("  mean rebuffering per user   : {:.1} s", rtma.mean_rebuffer_per_user_s());
+    println!(
+        "  mean rebuffering per user   : {:.1} s",
+        rtma.mean_rebuffer_per_user_s()
+    );
     println!(
         "  energy per active user-slot : {:.1} mJ",
         rtma.avg_energy_per_active_slot_mj()
     );
-    println!("  total energy                : {:.2} kJ", rtma.total_energy_kj());
+    println!(
+        "  total energy                : {:.2} kJ",
+        rtma.total_energy_kj()
+    );
 
     let reduction = 100.0 * (1.0 - rtma.total_rebuffer_s() / default.total_rebuffer_s().max(1e-9));
     println!("\nRTMA rebuffering reduction vs Default: {reduction:.0}%");

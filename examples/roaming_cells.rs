@@ -50,10 +50,14 @@ fn main() {
     }
 
     // Show cell occupancy balance at the highest mobility.
-    let m = build(0.05, SchedulerSpec::RtmaUnbounded).run().expect("run");
-    println!("\nMean users per cell at p=0.05: {:?}",
+    let m = build(0.05, SchedulerSpec::RtmaUnbounded)
+        .run()
+        .expect("run");
+    println!(
+        "\nMean users per cell at p=0.05: {:?}",
         m.mean_cell_occupancy
             .iter()
             .map(|o| (o * 10.0).round() / 10.0)
-            .collect::<Vec<_>>());
+            .collect::<Vec<_>>()
+    );
 }

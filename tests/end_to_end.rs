@@ -58,7 +58,12 @@ fn rtma_fairness_dominates_default() {
         .unwrap();
     let d = Cdf::new(default.fairness_series);
     let r = Cdf::new(rtma.fairness_series);
-    assert!(r.median() > d.median(), "median {} vs {}", r.median(), d.median());
+    assert!(
+        r.median() > d.median(),
+        "median {} vs {}",
+        r.median(),
+        d.median()
+    );
     assert!(
         r.quantile(0.1) > d.quantile(0.1) + 0.2,
         "worst-decile fairness must improve substantially"
@@ -112,7 +117,10 @@ fn ema_v_traces_the_frontier() {
     let (e_lo, c_lo) = run(0.05);
     let (e_hi, c_hi) = run(2.0);
     assert!(e_hi < e_lo, "more V must save energy: {e_hi} vs {e_lo}");
-    assert!(c_hi > c_lo, "more V must cost rebuffering: {c_hi} vs {c_lo}");
+    assert!(
+        c_hi > c_lo,
+        "more V must cost rebuffering: {c_hi} vs {c_lo}"
+    );
 }
 
 /// The fitted EMA meets its rebuffering bound while saving energy vs the

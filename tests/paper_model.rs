@@ -69,7 +69,10 @@ fn bs_bound_caps_aggregate_delivery() {
     let r = s.run().unwrap();
     let total: f64 = r.per_user.iter().map(|u| u.fetched_kb).sum();
     assert!(total <= 50.0 * 2_000.0 + 1e-6, "fetched {total}");
-    assert!(total >= 50.0 * 2_000.0 * 0.99, "Default should saturate S(n)");
+    assert!(
+        total >= 50.0 * 2_000.0 * 0.99,
+        "Default should saturate S(n)"
+    );
 }
 
 /// Eq. (4) end-to-end: a user whose video finishes long before the horizon

@@ -1,0 +1,181 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! The gateway only needs cheaply-cloneable, sliceable byte buffers for
+//! payload-fidelity tests and DPI inspection: construction from owned
+//! buffers, `len`, deref to `[u8]`, and zero-copy `split_to`. This stub
+//! backs `Bytes` with an `Arc<[u8]>` plus a window, which gives exactly
+//! those semantics (clones and splits share one allocation).
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap a static slice (no copy; the allocation is the static data's).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        // Arc<[u8]> requires ownership, so this copies once; callers only
+        // use this for small test fixtures.
+        Self::from_vec(bytes.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    /// Both halves share the original allocation.
+    ///
+    /// # Panics
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// A sub-view of this buffer (zero copy).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from_vec(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Self::from_vec(s.as_bytes().to_vec())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::from_vec(s.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_shares_data() {
+        let mut b = Bytes::from("hello world");
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        assert_eq!(head.len() + b.len(), 11);
+    }
+
+    #[test]
+    fn take_leaves_empty() {
+        let mut b = Bytes::from(vec![1u8, 2, 3]);
+        let taken = std::mem::take(&mut b);
+        assert_eq!(taken.len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn slice_and_eq() {
+        let b = Bytes::from_static(b"abcdef");
+        assert_eq!(b.slice(2..4), Bytes::from("cd"));
+        assert_eq!(format!("{:?}", Bytes::from("a\n")), "b\"a\\n\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn split_past_end_panics() {
+        let mut b = Bytes::from("xy");
+        let _ = b.split_to(3);
+    }
+}

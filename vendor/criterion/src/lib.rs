@@ -1,0 +1,273 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Keeps the bench sources' API shape (`benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`/`criterion_main!`)
+//! but replaces the statistical machinery with a plain
+//! warmup-then-measure loop: each benchmark is auto-calibrated to roughly
+//! `measurement_time`, and the mean time per iteration is printed as
+//!
+//! ```text
+//! group/function/param    time: 12.345 µs/iter (n = 8192)
+//! ```
+//!
+//! A substring filter can be passed on the command line the way cargo
+//! forwards it (`cargo bench -- ema`), which is the only CLI option
+//! honoured.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            default_sample_size: 50,
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Read the substring filter from `std::env::args` (the non-flag
+    /// argument cargo forwards after `--`).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.to_string(), sample_size, &mut f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: String, sample_size: usize, f: &mut F) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            min_samples: sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((total, iters)) => {
+                let per_iter = total.as_secs_f64() / iters as f64;
+                println!(
+                    "{label:<50} time: {} /iter (n = {iters})",
+                    format_seconds(per_iter)
+                );
+            }
+            None => println!("{label:<50} (no measurement: b.iter was never called)"),
+        }
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on measured iterations (kept for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark `f` with an input value, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion
+            .run_one(label, sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`, labelled by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(label, sample_size, &mut f);
+        self
+    }
+
+    /// End the group (printing happens per-benchmark; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` labelling.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only labelling.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    measurement: Duration,
+    min_samples: usize,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling the iteration count: first a short
+    /// calibration pass, then enough iterations to fill the measurement
+    /// window (at least `min_samples`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: one timed call.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let fit = (self.measurement.as_secs_f64() / once.as_secs_f64()).ceil() as u64;
+        let iters = fit.clamp(self.min_samples as u64, 10_000_000);
+
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let total = t1.elapsed();
+        self.result = Some((total, iters));
+    }
+}
+
+/// Re-export for benches that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 10,
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            ..Criterion::default()
+        };
+        // Must not run the closure at all.
+        c.bench_function("other", |_b| panic!("filtered benchmark ran"));
+    }
+
+    #[test]
+    fn labels_format() {
+        let id = BenchmarkId::new("f", 42);
+        assert_eq!(id.label, "f/42");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_seconds(2.0), "2.000 s");
+        assert_eq!(format_seconds(0.0025), "2.500 ms");
+        assert_eq!(format_seconds(2.5e-6), "2.500 µs");
+        assert_eq!(format_seconds(3.0e-9), "3.0 ns");
+    }
+}

@@ -1,0 +1,583 @@
+//! Offline vendored `serde_derive`, hand-rolled on the bare `proc_macro`
+//! API (the offline crate set has neither `syn` nor `quote`).
+//!
+//! Supports exactly the item shapes and `#[serde(...)]` attributes this
+//! workspace uses:
+//!
+//! * named-field structs (field attrs: `default`, `default = "path"`),
+//! * `#[serde(transparent)]` single-field tuple structs (newtypes),
+//! * plain tuple structs (serialized as JSON arrays),
+//! * unit-variant enums (externally tagged, serialized as strings),
+//! * internally tagged enums: `#[serde(tag = "kind", rename_all =
+//!   "snake_case")]` with unit or named-field variants.
+//!
+//! Anything outside that set fails the build with a clear message rather
+//! than silently producing wrong serialization.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    transparent: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `None`: required. `Some(None)`: `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for named-field variants.
+    fields: Option<Vec<Field>>,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        attrs: ContainerAttrs,
+        kind: StructKind,
+    },
+    Enum {
+        name: String,
+        attrs: ContainerAttrs,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum StructKind {
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let attrs = parse_attrs(&toks, &mut i);
+
+    // Visibility: `pub`, `pub(crate)`, `pub(in ...)`.
+    if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let keyword = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported (item `{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                attrs,
+                kind: StructKind::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                attrs,
+                kind: StructKind::Tuple(count_tuple_fields(g.stream())),
+            },
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                attrs,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        kw => panic!("serde derive: unsupported item kind `{kw}`"),
+    }
+}
+
+/// Consume leading `#[...]` attributes, folding `#[serde(...)]` contents
+/// into the result and skipping everything else (docs, `#[default]`, ...).
+fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    while matches!(&toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &toks[*i] else {
+            panic!("serde derive: malformed attribute");
+        };
+        apply_serde_attr(g.stream(), &mut attrs, &mut None);
+        *i += 1;
+    }
+    attrs
+}
+
+/// Like [`parse_attrs`] but for a field position, where only `default`
+/// matters.
+fn parse_field_attrs(toks: &[TokenTree], i: &mut usize) -> Option<Option<String>> {
+    let mut default = None;
+    while matches!(&toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &toks[*i] else {
+            panic!("serde derive: malformed attribute");
+        };
+        apply_serde_attr(g.stream(), &mut ContainerAttrs::default(), &mut default);
+        *i += 1;
+    }
+    default
+}
+
+/// If `attr_body` (the tokens inside `#[...]`) is a serde attribute, apply
+/// its directives to `attrs` / `field_default`.
+fn apply_serde_attr(
+    attr_body: TokenStream,
+    attrs: &mut ContainerAttrs,
+    field_default: &mut Option<Option<String>>,
+) {
+    let toks: Vec<TokenTree> = attr_body.into_iter().collect();
+    let is_serde = matches!(&toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = &toks.get(1) else {
+        panic!("serde derive: malformed #[serde] attribute");
+    };
+    let items: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        let key = match &items[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                j += 1;
+                continue;
+            }
+            other => panic!("serde derive: unexpected token in #[serde(...)]: {other:?}"),
+        };
+        j += 1;
+        let value = if matches!(&items.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            j += 1;
+            let lit = match &items[j] {
+                TokenTree::Literal(l) => unquote(&l.to_string()),
+                other => panic!("serde derive: expected string after `{key} =`, got {other:?}"),
+            };
+            j += 1;
+            Some(lit)
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("tag", Some(t)) => attrs.tag = Some(t),
+            ("rename_all", Some(r)) => {
+                assert!(
+                    r == "snake_case",
+                    "serde derive (vendored): only rename_all = \"snake_case\" is supported"
+                );
+                attrs.rename_all = Some(r);
+            }
+            ("transparent", None) => attrs.transparent = true,
+            ("default", v) => *field_default = Some(v),
+            (k, v) => panic!("serde derive (vendored): unsupported serde attribute `{k}` = {v:?}"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let default = parse_field_attrs(&toks, &mut i);
+        if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: consume until a top-level comma. Generic angle
+        // brackets contain no top-level commas at this token depth only if
+        // we track `<`/`>` nesting.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(toks.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') && angle == 0 {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _ = parse_field_attrs(&toks, &mut i); // skip #[default], docs, ...
+        let name = match &toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde derive (vendored): tuple enum variant `{name}` is not supported; \
+                     use a named-field variant"
+                )
+            }
+            _ => None,
+        };
+        // Skip a discriminant if ever present, then the separating comma.
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// serde's RenameRule::SnakeCase.
+fn snake_case(variant: &str) -> String {
+    let mut out = String::with_capacity(variant.len() + 4);
+    for (k, ch) in variant.chars().enumerate() {
+        if ch.is_uppercase() && k > 0 {
+            out.push('_');
+        }
+        out.extend(ch.to_lowercase());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn field_missing_arm(owner: &str, f: &Field) -> String {
+    match &f.default {
+        None => format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\
+             \"{owner}: missing field `{}`\"))",
+            f.name
+        ),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    }
+}
+
+/// `field: match __find(...) {{ ... }},` initializer for one named field.
+fn field_init(owner: &str, f: &Field) -> String {
+    format!(
+        "{name}: match ::serde::__find(entries, \"{name}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }},\n",
+        name = f.name,
+        missing = field_missing_arm(owner, f)
+    )
+}
+
+fn variant_wire_name(attrs: &ContainerAttrs, variant: &str) -> String {
+    if attrs.rename_all.is_some() {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, attrs, kind } => {
+            let body = match kind {
+                StructKind::Named(fields) => {
+                    assert!(
+                        !attrs.transparent,
+                        "serde derive (vendored): transparent named structs unsupported"
+                    );
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})),",
+                                n = f.name
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{entries}])")
+                }
+                StructKind::Tuple(1) if attrs.transparent => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                StructKind::Tuple(n) => {
+                    let entries: String = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{entries}])")
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let wire = variant_wire_name(attrs, &v.name);
+                    match (&attrs.tag, &v.fields) {
+                        (None, None) => format!(
+                            "{name}::{v} => ::serde::Value::Str(\"{wire}\".to_string()),\n",
+                            v = v.name
+                        ),
+                        (None, Some(_)) => panic!(
+                            "serde derive (vendored): externally tagged data variants \
+                             unsupported (enum `{name}`); add #[serde(tag = ...)]"
+                        ),
+                        (Some(tag), None) => format!(
+                            "{name}::{v} => ::serde::Value::Map(vec![\
+                             (\"{tag}\".to_string(), ::serde::Value::Str(\"{wire}\".to_string()))]),\n",
+                            v = v.name
+                        ),
+                        (Some(tag), Some(fields)) => {
+                            let binds: String = fields
+                                .iter()
+                                .map(|f| format!("{},", f.name))
+                                .collect();
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n})),",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![\
+                                 (\"{tag}\".to_string(), ::serde::Value::Str(\"{wire}\".to_string())),\
+                                 {entries}]),\n",
+                                v = v.name
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, attrs, kind } => {
+            let body = match kind {
+                StructKind::Named(fields) => {
+                    let inits: String = fields.iter().map(|f| field_init(name, f)).collect();
+                    format!(
+                        "let entries = v.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})"
+                    )
+                }
+                StructKind::Tuple(1) if attrs.transparent => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                StructKind::Tuple(n) => {
+                    let inits: String = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}({inits})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"{name}: expected {n}-element array\")),\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            let body = match &attrs.tag {
+                None => {
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| {
+                            assert!(
+                                v.fields.is_none(),
+                                "serde derive (vendored): externally tagged data variants \
+                                 unsupported (enum `{name}`)"
+                            );
+                            let wire = variant_wire_name(attrs, &v.name);
+                            format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                                v = v.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"{name}: expected string\")),\n\
+                         }}"
+                    )
+                }
+                Some(tag) => {
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| {
+                            let wire = variant_wire_name(attrs, &v.name);
+                            match &v.fields {
+                                None => format!(
+                                    "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                                    v = v.name
+                                ),
+                                Some(fields) => {
+                                    let inits: String =
+                                        fields.iter().map(|f| field_init(name, f)).collect();
+                                    format!(
+                                        "\"{wire}\" => ::std::result::Result::Ok(\
+                                         {name}::{v} {{ {inits} }}),\n",
+                                        v = v.name
+                                    )
+                                }
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "let entries = v.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                         let kind = match ::serde::__find(entries, \"{tag}\") {{\n\
+                             ::std::option::Option::Some(::serde::Value::Str(s)) => s.as_str(),\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"{name}: missing `{tag}` tag\")),\n\
+                         }};\n\
+                         match kind {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
