@@ -202,6 +202,13 @@ impl Engine {
         let mut window_need = vec![0.0f64; n_users];
         let mut slots_run = 0;
 
+        // Early-exit bookkeeping: a user counts as unfinished until their
+        // session is fully fetched *and* fully watched. Both predicates
+        // are monotone, so a per-user flag plus a counter replaces the
+        // per-slot O(N) scan over all users.
+        let mut unfinished = n_users;
+        let mut finished = vec![false; n_users];
+
         // Per-slot pipeline buffers, hoisted out of the loop and reused.
         let mut raw: Vec<RawUserState> = Vec::with_capacity(n_users);
         let mut snapshots = Vec::with_capacity(n_users);
@@ -301,6 +308,10 @@ impl Engine {
                         window_need[u_idx] += need_kb;
                     }
                 }
+                if !finished[u_idx] && u.session.fully_fetched() && u.playback.playback_complete() {
+                    finished[u_idx] = true;
+                    unfinished -= 1;
+                }
             }
 
             if self.cfg.record_series {
@@ -324,11 +335,7 @@ impl Engine {
             }
 
             // Early exit: nothing left to schedule, watch, or drain.
-            if self
-                .users
-                .iter()
-                .all(|u| u.session.fully_fetched() && u.playback.playback_complete())
-            {
+            if unfinished == 0 {
                 break;
             }
         }
