@@ -29,6 +29,8 @@ pub use energy::{EnergyBreakdown, EnergyMeter};
 pub use frames::{FrameLevelLink, FrameTransfer};
 pub use power::{PowerModel, RssiPowerModel};
 pub use rrc::{tail_energy, RrcConfig, RrcMachine, RrcState};
-pub use signal::{ConstantSignal, MarkovSignal, SignalModel, SignalSpec, SineSignal, TraceSignal};
+pub use signal::{
+    ConstantSignal, MarkovSignal, SignalKind, SignalModel, SignalSpec, SineSignal, TraceSignal,
+};
 pub use throughput::{LinearRssiThroughput, ThroughputModel};
 pub use types::{Dbm, KbPerSec, MilliJoules, MilliWatts};

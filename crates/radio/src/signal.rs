@@ -29,6 +29,19 @@ pub const PAPER_SIG_MAX: Dbm = Dbm(-50.0);
 pub trait SignalModel: Send {
     /// RSSI for slot `slot`.
     fn sample(&mut self, slot: u64) -> Dbm;
+
+    /// Fill `out` with the samples for slots
+    /// `start_slot .. start_slot + out.len()`.
+    ///
+    /// Semantically identical to calling [`SignalModel::sample`] once per
+    /// slot in order; implementations may override it to amortize
+    /// per-call work across the block, but the produced sample stream
+    /// (RNG draws included) must stay bit-for-bit the same.
+    fn sample_into(&mut self, start_slot: u64, out: &mut [Dbm]) {
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.sample(start_slot + k as u64);
+        }
+    }
 }
 
 /// Draw a standard normal via Box–Muller (rand_distr is not in the offline
@@ -114,6 +127,29 @@ impl SignalModel for SineSignal {
         };
         Dbm(self.mean + self.amplitude * angle.sin() + noise).clamp(self.clamp_min, self.clamp_max)
     }
+
+    fn sample_into(&mut self, start_slot: u64, out: &mut [Dbm]) {
+        // The noise branch is hoisted out of the per-sample loop; the
+        // angle must stay the literal `2πn/period + phase` per sample (no
+        // incremental stepping) so the block path reproduces `sample`'s
+        // values exactly.
+        if self.noise_std > 0.0 {
+            for (k, o) in out.iter_mut().enumerate() {
+                let slot = start_slot + k as u64;
+                let angle = TAU * (slot as f64) / self.period_slots + self.phase;
+                let noise = self.noise_std * standard_normal(&mut self.rng);
+                *o = Dbm(self.mean + self.amplitude * angle.sin() + noise)
+                    .clamp(self.clamp_min, self.clamp_max);
+            }
+        } else {
+            for (k, o) in out.iter_mut().enumerate() {
+                let slot = start_slot + k as u64;
+                let angle = TAU * (slot as f64) / self.period_slots + self.phase;
+                *o = Dbm(self.mean + self.amplitude * angle.sin())
+                    .clamp(self.clamp_min, self.clamp_max);
+            }
+        }
+    }
 }
 
 /// A birth–death Markov chain over equally spaced RSSI levels.
@@ -165,6 +201,17 @@ impl SignalModel for MarkovSignal {
 }
 
 /// Replays a recorded RSSI trace, cycling when it runs out of samples.
+///
+/// ```
+/// use jmso_radio::signal::{SignalModel, TraceSignal};
+///
+/// let mut t = TraceSignal::new(vec![-60.0, -70.0, -80.0]);
+/// assert_eq!(t.sample(1).value(), -70.0);
+/// assert_eq!(t.sample(3).value(), -60.0); // wraps to the start
+/// assert_eq!(t.sample(7).value(), -70.0); // 7 mod 3 == 1
+/// assert_eq!(t.len(), 3);
+/// assert!(!t.is_empty());
+/// ```
 #[derive(Debug, Clone)]
 pub struct TraceSignal {
     samples: Vec<f64>,
@@ -182,9 +229,10 @@ impl TraceSignal {
         self.samples.len()
     }
 
-    /// Always false: construction rejects empty traces.
+    /// Always false — construction rejects empty traces — but derived
+    /// from [`TraceSignal::len`] rather than restating that invariant.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len() == 0
     }
 }
 
@@ -201,6 +249,99 @@ pub struct ConstantSignal(pub Dbm);
 impl SignalModel for ConstantSignal {
     fn sample(&mut self, _slot: u64) -> Dbm {
         self.0
+    }
+
+    fn sample_into(&mut self, _start_slot: u64, out: &mut [Dbm]) {
+        out.fill(self.0);
+    }
+}
+
+/// Enum dispatch over the built-in signal models — the simulation
+/// engine's devirtualized sampling path.
+///
+/// The engine's per-slot sweep touches every live user's signal; through
+/// a `Box<dyn SignalModel>` that is one virtual call (and one pointer
+/// chase) per user per slot. `SignalKind` makes the dispatch a single
+/// inlined `match` and, combined with [`SignalModel::sample_into`],
+/// amortizes it over a whole block of slots. External [`SignalModel`]
+/// implementations remain fully supported via [`SignalKind::Dyn`], which
+/// simply pays the virtual call again.
+pub enum SignalKind {
+    /// The paper's sinusoid-plus-noise process.
+    Sine(SineSignal),
+    /// Birth–death Markov chain.
+    Markov(MarkovSignal),
+    /// Recorded-trace replay.
+    Trace(TraceSignal),
+    /// Constant channel.
+    Constant(ConstantSignal),
+    /// Any other [`SignalModel`] implementation, dispatched virtually.
+    Dyn(Box<dyn SignalModel>),
+}
+
+impl SignalModel for SignalKind {
+    #[inline]
+    fn sample(&mut self, slot: u64) -> Dbm {
+        match self {
+            SignalKind::Sine(s) => s.sample(slot),
+            SignalKind::Markov(m) => m.sample(slot),
+            SignalKind::Trace(t) => t.sample(slot),
+            SignalKind::Constant(c) => c.sample(slot),
+            SignalKind::Dyn(d) => d.sample(slot),
+        }
+    }
+
+    #[inline]
+    fn sample_into(&mut self, start_slot: u64, out: &mut [Dbm]) {
+        match self {
+            SignalKind::Sine(s) => s.sample_into(start_slot, out),
+            SignalKind::Markov(m) => m.sample_into(start_slot, out),
+            SignalKind::Trace(t) => t.sample_into(start_slot, out),
+            SignalKind::Constant(c) => c.sample_into(start_slot, out),
+            SignalKind::Dyn(d) => d.sample_into(start_slot, out),
+        }
+    }
+}
+
+impl std::fmt::Debug for SignalKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignalKind::Sine(s) => f.debug_tuple("Sine").field(s).finish(),
+            SignalKind::Markov(m) => f.debug_tuple("Markov").field(m).finish(),
+            SignalKind::Trace(t) => f.debug_tuple("Trace").field(t).finish(),
+            SignalKind::Constant(c) => f.debug_tuple("Constant").field(c).finish(),
+            SignalKind::Dyn(_) => f.write_str("Dyn(..)"),
+        }
+    }
+}
+
+impl From<SineSignal> for SignalKind {
+    fn from(s: SineSignal) -> Self {
+        SignalKind::Sine(s)
+    }
+}
+
+impl From<MarkovSignal> for SignalKind {
+    fn from(m: MarkovSignal) -> Self {
+        SignalKind::Markov(m)
+    }
+}
+
+impl From<TraceSignal> for SignalKind {
+    fn from(t: TraceSignal) -> Self {
+        SignalKind::Trace(t)
+    }
+}
+
+impl From<ConstantSignal> for SignalKind {
+    fn from(c: ConstantSignal) -> Self {
+        SignalKind::Constant(c)
+    }
+}
+
+impl From<Box<dyn SignalModel>> for SignalKind {
+    fn from(d: Box<dyn SignalModel>) -> Self {
+        SignalKind::Dyn(d)
     }
 }
 
@@ -258,10 +399,11 @@ impl SignalSpec {
         }
     }
 
-    /// Instantiate the model for one user. `user_idx`/`n_users` drive the
-    /// per-user phase shift for the sine model; `seed` is mixed with the
-    /// user index so users get independent noise streams.
-    pub fn build(&self, user_idx: usize, n_users: usize, seed: u64) -> Box<dyn SignalModel> {
+    /// Instantiate the model for one user as an enum-dispatched
+    /// [`SignalKind`] (the engine's hot path). `user_idx`/`n_users` drive
+    /// the per-user phase shift for the sine model; `seed` is mixed with
+    /// the user index so users get independent noise streams.
+    pub fn build_kind(&self, user_idx: usize, n_users: usize, seed: u64) -> SignalKind {
         let user_seed = seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(user_idx as u64);
@@ -274,7 +416,7 @@ impl SignalSpec {
             } => {
                 let n = n_users.max(1) as f64;
                 let phase = TAU * (user_idx as f64) / n;
-                Box::new(SineSignal::new(
+                SignalKind::Sine(SineSignal::new(
                     Dbm(mean_dbm),
                     amplitude_db,
                     period_slots,
@@ -290,14 +432,14 @@ impl SignalSpec {
                 max_dbm,
                 levels,
                 move_prob,
-            } => Box::new(MarkovSignal::new(
+            } => SignalKind::Markov(MarkovSignal::new(
                 Dbm(min_dbm),
                 Dbm(max_dbm),
                 levels,
                 move_prob,
                 user_seed,
             )),
-            SignalSpec::Constant { dbm } => Box::new(ConstantSignal(Dbm(dbm))),
+            SignalSpec::Constant { dbm } => SignalKind::Constant(ConstantSignal(Dbm(dbm))),
             SignalSpec::Trace {
                 ref samples_dbm,
                 offset_per_user,
@@ -305,9 +447,15 @@ impl SignalSpec {
                 let mut rotated = samples_dbm.clone();
                 let n = rotated.len().max(1);
                 rotated.rotate_left((user_idx * offset_per_user) % n);
-                Box::new(TraceSignal::new(rotated))
+                SignalKind::Trace(TraceSignal::new(rotated))
             }
         }
+    }
+
+    /// [`SignalSpec::build_kind`] behind a trait object, for callers that
+    /// want dynamic dispatch. Produces the identical sample stream.
+    pub fn build(&self, user_idx: usize, n_users: usize, seed: u64) -> Box<dyn SignalModel> {
+        Box::new(self.build_kind(user_idx, n_users, seed))
     }
 }
 
@@ -439,6 +587,70 @@ mod tests {
         assert_eq!(u2.sample(2).value(), -60.0, "wraps around");
         let j = serde_json::to_string(&spec).unwrap();
         assert_eq!(serde_json::from_str::<SignalSpec>(&j).unwrap(), spec);
+    }
+
+    /// `sample_into` must reproduce the per-slot `sample` stream exactly
+    /// (RNG draws included) for every model, across arbitrary block cuts.
+    #[test]
+    fn block_sampling_matches_stream() {
+        type MakeKind = fn() -> SignalKind;
+        let kinds: [(&str, MakeKind); 6] = [
+            ("sine+noise", || {
+                SignalKind::Sine(SineSignal::paper_default(3, 40, 8.0, 42))
+            }),
+            ("sine noiseless", || {
+                SignalKind::Sine(SineSignal::paper_default(1, 8, 0.0, 7))
+            }),
+            ("markov", || {
+                SignalKind::Markov(MarkovSignal::new(Dbm(-110.0), Dbm(-50.0), 16, 0.3, 9))
+            }),
+            ("trace", || {
+                SignalKind::Trace(TraceSignal::new(vec![-60.0, -75.0, -90.0]))
+            }),
+            ("constant", || {
+                SignalKind::Constant(ConstantSignal(Dbm(-70.0)))
+            }),
+            ("dyn", || {
+                SignalKind::Dyn(Box::new(SineSignal::paper_default(0, 4, 5.0, 1)))
+            }),
+        ];
+        for (name, make) in kinds {
+            let mut by_slot = make();
+            let reference: Vec<Dbm> = (0..96).map(|n| by_slot.sample(n)).collect();
+            for block in [1usize, 7, 32, 96] {
+                let mut blocked = make();
+                let mut got = vec![Dbm(0.0); 96];
+                for start in (0..96).step_by(block) {
+                    let end = (start + block).min(96);
+                    blocked.sample_into(start as u64, &mut got[start..end]);
+                }
+                assert_eq!(got, reference, "{name} diverges at block size {block}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_kind_matches_build() {
+        for spec in [
+            SignalSpec::paper_default(),
+            SignalSpec::Markov {
+                min_dbm: -110.0,
+                max_dbm: -50.0,
+                levels: 10,
+                move_prob: 0.25,
+            },
+            SignalSpec::Constant { dbm: -65.0 },
+            SignalSpec::Trace {
+                samples_dbm: vec![-60.0, -70.0, -80.0, -90.0],
+                offset_per_user: 1,
+            },
+        ] {
+            let mut boxed = spec.build(2, 5, 77);
+            let mut kind = spec.build_kind(2, 5, 77);
+            for n in 0..200 {
+                assert_eq!(boxed.sample(n), kind.sample(n), "{spec:?} slot {n}");
+            }
+        }
     }
 
     #[test]
