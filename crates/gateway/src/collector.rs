@@ -144,6 +144,51 @@ impl InformationCollector {
         self.snapshot_into(slot, raw, &mut out);
         out
     }
+
+    /// True when snapshots must be rebuilt from every user's raw state
+    /// every slot: reported-signal noise consumes one RNG draw per user
+    /// per slot in user order, so refreshing only a subset would shift
+    /// the noise stream of everyone behind them.
+    pub fn needs_full_pass(&self) -> bool {
+        self.spec.signal_noise_std_db > 0.0
+    }
+
+    /// Refresh only the `live` users' snapshot entries in place, leaving
+    /// the rest frozen — the engine's active-set hot path. A frozen entry
+    /// belongs to a user whose session is over (`remaining_kb == 0`), so
+    /// its stale fields cannot affect any allocation: the usable capacity
+    /// it implies is zero.
+    ///
+    /// Requires a prior [`InformationCollector::snapshot_into`] pass to
+    /// have populated `out`, and a noise-free spec (see
+    /// [`InformationCollector::needs_full_pass`]).
+    pub fn snapshot_refresh(
+        &mut self,
+        slot: u64,
+        raw: &[RawUserState],
+        live: &[usize],
+        out: &mut [UserSnapshot],
+    ) {
+        debug_assert!(!self.needs_full_pass(), "noise needs the full pass");
+        assert_eq!(raw.len(), self.cached_signal.len(), "user count mismatch");
+        assert_eq!(out.len(), raw.len(), "snapshot buffer mismatch");
+        for &id in live {
+            let r = &raw[id];
+            let signal = self.reported_signal(id, slot, r.signal);
+            let v = self.thru.throughput(signal);
+            out[id] = UserSnapshot {
+                id,
+                signal,
+                rate_kbps: r.rate_kbps,
+                buffer_s: r.buffer_s,
+                remaining_kb: r.remaining_kb,
+                active: r.active,
+                link_cap_units: self.units.link_cap_units(v, self.tau),
+                idle_s: r.idle_s,
+                rrc_state: r.rrc_state,
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +270,37 @@ mod tests {
     fn wrong_user_count_panics() {
         let mut c = collector(CollectorSpec::perfect(), 2);
         c.snapshot(0, &[raw(-80.0)]);
+    }
+
+    /// The partial refresh must agree with the full pass on refreshed
+    /// entries and leave the rest untouched, including under staleness.
+    #[test]
+    fn refresh_matches_full_pass_for_live_users() {
+        let spec = CollectorSpec {
+            staleness_slots: 3,
+            signal_noise_std_db: 0.0,
+        };
+        let mut full = collector(spec, 3);
+        let mut part = collector(spec, 3);
+        let mut truth = [raw(-80.0), raw(-70.0), raw(-60.0)];
+        let mut snaps = part.snapshot(0, &truth);
+        let mut expect = full.snapshot(0, &truth);
+        assert_eq!(snaps, expect);
+        // User 1 finishes: its raw entry freezes while 0 and 2 evolve.
+        for slot in 1..8 {
+            truth[0].signal = Dbm(-80.0 - slot as f64);
+            truth[2].signal = Dbm(-60.0 + slot as f64);
+            expect = full.snapshot(slot, &truth);
+            part.snapshot_refresh(slot, &truth, &[0, 2], &mut snaps);
+            assert_eq!(snaps[0], expect[0]);
+            assert_eq!(snaps[2], expect[2]);
+            assert_eq!(snaps[1].signal, Dbm(-70.0), "frozen entry untouched");
+        }
+        assert!(!part.needs_full_pass());
+        let noisy = CollectorSpec {
+            staleness_slots: 0,
+            signal_noise_std_db: 2.0,
+        };
+        assert!(collector(noisy, 1).needs_full_pass());
     }
 }

@@ -79,6 +79,15 @@ impl EnergyMeter {
         self.slots_idle += 1;
     }
 
+    /// Account `n` idle slots whose tail energy is zero because the RRC
+    /// tail has already saturated. Identical to `n` calls of
+    /// `record_tail(MilliJoules(0.0))`; the simulation engine retires
+    /// finished users from its slot loop and settles their trailing idle
+    /// slots in one call here.
+    pub fn record_saturated_idle_slots(&mut self, n: u64) {
+        self.slots_idle += n;
+    }
+
     /// Snapshot of the split so far.
     pub fn breakdown(&self) -> EnergyBreakdown {
         self.acc
@@ -122,6 +131,20 @@ mod tests {
         assert_eq!(m.total(), MilliJoules(180.0));
         assert_eq!(m.slots_transmitting(), 2);
         assert_eq!(m.slots_idle(), 1);
+    }
+
+    #[test]
+    fn saturated_idle_slots_match_zero_tail_records() {
+        let mut a = EnergyMeter::new();
+        let mut b = EnergyMeter::new();
+        a.record_tail(MilliJoules(12.0));
+        b.record_tail(MilliJoules(12.0));
+        for _ in 0..5 {
+            a.record_tail(MilliJoules(0.0));
+        }
+        b.record_saturated_idle_slots(5);
+        assert_eq!(a.breakdown(), b.breakdown());
+        assert_eq!(a.slots_idle(), b.slots_idle());
     }
 
     #[test]

@@ -29,18 +29,25 @@ use jmso_gateway::{
     UnitParams,
 };
 use jmso_media::{jain_index, ClientPlayback, VideoSession};
-use jmso_radio::signal::SignalModel;
+use jmso_radio::rrc::RrcState;
+use jmso_radio::signal::{SignalKind, SignalModel};
 use jmso_radio::{Dbm, EnergyMeter, PowerModel, RrcMachine};
 use jmso_sched::CrossLayerModels;
 
+/// Slots sampled per [`SignalModel::sample_into`] block in the hot loop.
+const SIG_BLOCK_SLOTS: usize = 32;
+
 /// Per-user simulation state.
 struct UserSim {
-    signal: Box<dyn SignalModel>,
+    signal: SignalKind,
     session: VideoSession,
     playback: ClientPlayback,
     rrc: RrcMachine,
     meter: EnergyMeter,
     cur_signal: Dbm,
+    /// Block-sampled RSSI for slots `b·B .. (b+1)·B`; refilled whenever
+    /// the slot index crosses a block boundary while the user is live.
+    sig_block: [Dbm; SIG_BLOCK_SLOTS],
     active_slots: u64,
     /// Slot at which this user's session starts (0 = at the beginning).
     arrival_slot: u64,
@@ -82,7 +89,7 @@ impl Engine {
     /// source bound for each flow.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        signals: Vec<Box<dyn SignalModel>>,
+        signals: Vec<SignalKind>,
         sessions: Vec<VideoSession>,
         scheduler: Box<dyn Scheduler>,
         capacity: Box<dyn CapacityModel>,
@@ -111,7 +118,7 @@ impl Engine {
     /// the all-zeros vector recovers the paper's synchronized start.
     #[allow(clippy::too_many_arguments)]
     pub fn with_arrivals(
-        signals: Vec<Box<dyn SignalModel>>,
+        signals: Vec<SignalKind>,
         sessions: Vec<VideoSession>,
         arrival_slots: Vec<u64>,
         scheduler: Box<dyn Scheduler>,
@@ -147,6 +154,7 @@ impl Engine {
                     rrc: RrcMachine::new_idle(models.rrc),
                     meter: EnergyMeter::new(),
                     cur_signal: Dbm(0.0),
+                    sig_block: [Dbm(0.0); SIG_BLOCK_SLOTS],
                     active_slots: 0,
                     arrival_slot,
                     declared_rate_kbps: None,
@@ -179,12 +187,39 @@ impl Engine {
 
     /// Run to the horizon (or until all sessions complete) and report.
     ///
-    /// The slot loop reuses every intermediate buffer (`raw`, snapshots,
-    /// the allocation, deliveries, fairness scratch, and — inside the
-    /// stateful policies — their own DP/sort scratch), so after the first
-    /// slot warms the buffers up, a steady-state slot performs zero heap
-    /// allocation (with the default payload-free receiver; series vectors
-    /// are preallocated to the horizon when recording is on).
+    /// This is the active-set hot path. The slot loop reuses every
+    /// intermediate buffer (`raw`, snapshots, the allocation, deliveries,
+    /// fairness scratch, and — inside the stateful policies — their own
+    /// DP/sort scratch), so a steady-state slot performs zero heap
+    /// allocation; on top of that it only touches users that can still
+    /// change the outputs:
+    ///
+    /// * Per-user RSSI is drawn in [`SIG_BLOCK_SLOTS`]-slot blocks via
+    ///   [`SignalModel::sample_into`] — one devirtualized dispatch per
+    ///   block instead of one per slot, with the per-user RNG consumed in
+    ///   the same slot order as stream sampling.
+    /// * `live` holds the indices of users whose accounting can still
+    ///   move: everyone starts live (pre-arrival users stay live so their
+    ///   signal RNG advances exactly as in stream sampling) and a user is
+    ///   retired once playback is complete *and* the RRC tail has fully
+    ///   drained — from then on every seed-semantics slot would charge
+    ///   exactly `record_tail(0 mJ)`, which is settled in one
+    ///   [`EnergyMeter::record_saturated_idle_slots`] call at the end.
+    ///   The list is compacted order-preservingly so iteration order (and
+    ///   therefore floating-point summation order) matches the reference
+    ///   loop bit for bit.
+    /// * `raw` and `snapshots` keep full length with stable indices;
+    ///   retired users' frozen entries advertise `remaining_kb == 0`, so
+    ///   every scheduler's usable-capacity clamp grants them nothing and
+    ///   allocations to live users are unaffected. With a noise-free
+    ///   collector only live entries are refreshed
+    ///   ([`InformationCollector::snapshot_refresh`]); reported-signal
+    ///   noise forces the full per-user pass to keep the collector RNG
+    ///   stream aligned.
+    ///
+    /// [`Engine::run_reference`] is the executable specification of these
+    /// claims: it runs the plain all-users loop and must produce an
+    /// identical [`SimResult`].
     pub fn run(mut self) -> SimResult {
         let n_users = self.users.len();
         let series_cap = if self.cfg.record_series {
@@ -202,14 +237,242 @@ impl Engine {
         let mut window_need = vec![0.0f64; n_users];
         let mut slots_run = 0;
 
-        // Early-exit bookkeeping: a user counts as unfinished until their
+        // Early-exit bookkeeping: a user counts as watching until their
         // session is fully fetched *and* fully watched. Both predicates
-        // are monotone, so a per-user flag plus a counter replaces the
+        // are monotone, so a per-user flag plus a counter replaces a
         // per-slot O(N) scan over all users.
+        let mut watching = n_users;
+        let mut done_watching = vec![false; n_users];
+        // Retirement bookkeeping: once retired a user leaves the live set
+        // and their trailing zero-cost idle slots are settled after the
+        // loop.
+        let mut retired = vec![false; n_users];
+        let mut retired_at = vec![0u64; n_users];
+        let mut live: Vec<usize> = (0..n_users).collect();
+
+        // Per-slot pipeline buffers, hoisted out of the loop and reused.
+        // `raw` keeps one stable entry per user; retired users' entries
+        // freeze at their retirement-slot values.
+        let mut raw: Vec<RawUserState> = vec![
+            RawUserState {
+                signal: Dbm(0.0),
+                rate_kbps: 0.0,
+                buffer_s: 0.0,
+                remaining_kb: 0.0,
+                active: false,
+                idle_s: 0.0,
+                rrc_state: RrcState::Idle,
+            };
+            n_users
+        ];
+        let mut snapshots = Vec::with_capacity(n_users);
+        let mut alloc = Allocation::zeros(n_users);
+        let mut deliveries = Vec::with_capacity(n_users);
+        let collector_full_pass = self.collector.needs_full_pass();
+
+        for slot in 0..self.cfg.slots {
+            slots_run = slot + 1;
+            let cap = self.capacity.capacity(slot);
+            let bs_cap_units = self.units.bs_cap_units(cap, self.cfg.tau);
+            self.receiver.ingest_slot(slot);
+
+            // Client-side slot advance (Eq. 7/8) and ground-truth state.
+            // All users are live at slot 0 and the live set only shrinks,
+            // so every live user crosses each block boundary and the
+            // block-sampled signal window is always current.
+            let block_off = (slot % SIG_BLOCK_SLOTS as u64) as usize;
+            for &i in &live {
+                let u = &mut self.users[i];
+                if block_off == 0 {
+                    u.signal.sample_into(slot, &mut u.sig_block);
+                }
+                u.cur_signal = u.sig_block[block_off];
+                if slot < u.arrival_slot {
+                    // Not arrived yet: no playback clock, no fetch demand,
+                    // a cold (saturated-tail) radio.
+                    raw[i] = RawUserState {
+                        signal: u.cur_signal,
+                        rate_kbps: u.session.rate_at(slot),
+                        buffer_s: 0.0,
+                        remaining_kb: 0.0,
+                        active: false,
+                        idle_s: u.rrc.idle_seconds(),
+                        rrc_state: u.rrc.state(),
+                    };
+                    continue;
+                }
+                let outcome = u.playback.begin_slot();
+                if outcome.active {
+                    u.active_slots += 1;
+                }
+                raw[i] = RawUserState {
+                    signal: u.cur_signal,
+                    rate_kbps: u
+                        .declared_rate_kbps
+                        .unwrap_or_else(|| u.session.rate_at(slot)),
+                    buffer_s: outcome.occupancy_s,
+                    remaining_kb: u.session.remaining_kb(),
+                    active: outcome.active,
+                    idle_s: u.rrc.idle_seconds(),
+                    rrc_state: u.rrc.state(),
+                };
+            }
+
+            // Gateway pipeline (all writes go into the reused buffers).
+            // The noise-free collector only recomputes live entries; the
+            // first slot (and a noisy collector, whose RNG stream must
+            // stay per-user aligned) takes the full pass.
+            if collector_full_pass || snapshots.len() != n_users {
+                self.collector.snapshot_into(slot, &raw, &mut snapshots);
+            } else {
+                self.collector
+                    .snapshot_refresh(slot, &raw, &live, &mut snapshots);
+            }
+            let ctx = SlotContext {
+                slot,
+                tau: self.cfg.tau,
+                delta_kb: self.cfg.delta_kb,
+                bs_cap_units,
+                users: &snapshots,
+            };
+            self.scheduler.allocate_into(&ctx, &mut alloc);
+            self.transmitter
+                .transmit_into(&ctx, &alloc, &mut self.receiver, &mut deliveries);
+
+            // Device-side accounting (Eq. 3/4/5) and client delivery.
+            let mut slot_energy_mj = 0.0;
+            fairness_scratch.clear();
+            let mut any_retired = false;
+            for &i in &live {
+                let u = &mut self.users[i];
+                if slot < u.arrival_slot {
+                    // Pre-arrival: the device is off; nothing is charged.
+                    continue;
+                }
+                let d = &deliveries[i];
+                let r = &raw[i];
+                if d.kb > 0.0 {
+                    let accepted = u.session.deliver(d.kb);
+                    debug_assert!(
+                        (accepted - d.kb).abs() < 1e-6,
+                        "transmitter should never over-deliver"
+                    );
+                    // Client playback always advances by the *true*
+                    // encoding rate regardless of what the gateway thinks.
+                    u.playback.deliver(accepted, u.session.rate_at(slot));
+                    let e = self
+                        .models
+                        .power
+                        .transmission_energy(u.cur_signal, accepted);
+                    u.rrc.on_transmit();
+                    u.meter.record_transmission(e);
+                    slot_energy_mj += e.value();
+                } else {
+                    let e = u.rrc.on_idle(self.cfg.tau);
+                    u.meter.record_tail(e);
+                    slot_energy_mj += e.value();
+                }
+                // Fairness sample over users still fetching this slot.
+                if r.remaining_kb > 0.0 {
+                    let need_kb = (self.cfg.tau * r.rate_kbps).min(r.remaining_kb);
+                    if need_kb > 0.0 {
+                        fairness_scratch.push(d.kb / need_kb);
+                        window_delivered[i] += d.kb;
+                        window_need[i] += need_kb;
+                    }
+                }
+                if !done_watching[i] && u.session.fully_fetched() && u.playback.playback_complete()
+                {
+                    done_watching[i] = true;
+                    watching -= 1;
+                }
+                // Retire once nothing remains to account: playback is over
+                // and the RRC tail has fully drained, so every further
+                // slot would charge exactly 0 mJ of tail energy.
+                if done_watching[i] && u.rrc.state() == RrcState::Idle {
+                    retired[i] = true;
+                    retired_at[i] = slot;
+                    any_retired = true;
+                }
+            }
+            if any_retired {
+                // Order-preserving compaction keeps iteration (and FP
+                // summation) order identical to the reference loop.
+                live.retain(|&i| !retired[i]);
+            }
+
+            if self.cfg.record_series {
+                if !fairness_scratch.is_empty() {
+                    fairness_series.push(jain_index(&fairness_scratch));
+                }
+                power_series_j.push(slot_energy_mj / 1000.0);
+                if (slot + 1) % FAIR_WINDOW == 0 {
+                    fairness_scratch.clear();
+                    for i in 0..n_users {
+                        if window_need[i] > 0.0 {
+                            fairness_scratch.push(window_delivered[i] / window_need[i]);
+                        }
+                    }
+                    if !fairness_scratch.is_empty() {
+                        fairness_window_series.push(jain_index(&fairness_scratch));
+                    }
+                    window_delivered.fill(0.0);
+                    window_need.fill(0.0);
+                }
+            }
+
+            // Early exit: nothing left to schedule, watch, or drain.
+            if watching == 0 {
+                break;
+            }
+        }
+
+        // Settle the idle slots the retired users sat out: each would have
+        // recorded a zero-energy tail slot per remaining loop iteration.
+        for i in 0..n_users {
+            if retired[i] {
+                self.users[i]
+                    .meter
+                    .record_saturated_idle_slots(slots_run - 1 - retired_at[i]);
+            }
+        }
+
+        self.finish(
+            slots_run,
+            fairness_series,
+            fairness_window_series,
+            power_series_j,
+        )
+    }
+
+    /// Reference slot loop: every user is visited every slot and signals
+    /// are drawn one slot at a time — the plain transcription of the §III
+    /// pipeline with none of [`Engine::run`]'s active-set machinery.
+    ///
+    /// This is the executable specification for the hot path: on any
+    /// scenario, `run()` and `run_reference()` must return identical
+    /// [`SimResult`]s (pinned by the `active_set_matches_reference`
+    /// property test). It is also the baseline the `hotpath` bench
+    /// compares against.
+    pub fn run_reference(mut self) -> SimResult {
+        let n_users = self.users.len();
+        let series_cap = if self.cfg.record_series {
+            self.cfg.slots as usize
+        } else {
+            0
+        };
+        let mut fairness_series = Vec::with_capacity(series_cap);
+        let mut fairness_window_series = Vec::with_capacity(series_cap.div_ceil(10));
+        let mut power_series_j = Vec::with_capacity(series_cap);
+        let mut fairness_scratch: Vec<f64> = Vec::with_capacity(n_users);
+        const FAIR_WINDOW: u64 = 10;
+        let mut window_delivered = vec![0.0f64; n_users];
+        let mut window_need = vec![0.0f64; n_users];
+        let mut slots_run = 0;
+
         let mut unfinished = n_users;
         let mut finished = vec![false; n_users];
 
-        // Per-slot pipeline buffers, hoisted out of the loop and reused.
         let mut raw: Vec<RawUserState> = Vec::with_capacity(n_users);
         let mut snapshots = Vec::with_capacity(n_users);
         let mut alloc = Allocation::zeros(n_users);
@@ -226,8 +489,6 @@ impl Engine {
             for u in &mut self.users {
                 u.cur_signal = u.signal.sample(slot);
                 if slot < u.arrival_slot {
-                    // Not arrived yet: no playback clock, no fetch demand,
-                    // a cold (saturated-tail) radio.
                     raw.push(RawUserState {
                         signal: u.cur_signal,
                         rate_kbps: u.session.rate_at(slot),
@@ -256,7 +517,7 @@ impl Engine {
                 });
             }
 
-            // Gateway pipeline (all writes go into the reused buffers).
+            // Gateway pipeline.
             self.collector.snapshot_into(slot, &raw, &mut snapshots);
             let ctx = SlotContext {
                 slot,
@@ -275,7 +536,6 @@ impl Engine {
             for (u_idx, ((u, d), r)) in self.users.iter_mut().zip(&deliveries).zip(&raw).enumerate()
             {
                 if slot < u.arrival_slot {
-                    // Pre-arrival: the device is off; nothing is charged.
                     continue;
                 }
                 if d.kb > 0.0 {
@@ -284,8 +544,6 @@ impl Engine {
                         (accepted - d.kb).abs() < 1e-6,
                         "transmitter should never over-deliver"
                     );
-                    // Client playback always advances by the *true*
-                    // encoding rate regardless of what the gateway thinks.
                     u.playback.deliver(accepted, u.session.rate_at(slot));
                     let e = self
                         .models
@@ -299,7 +557,6 @@ impl Engine {
                     u.meter.record_tail(e);
                     slot_energy_mj += e.value();
                 }
-                // Fairness sample over users still fetching this slot.
                 if r.remaining_kb > 0.0 {
                     let need_kb = (self.cfg.tau * r.rate_kbps).min(r.remaining_kb);
                     if need_kb > 0.0 {
@@ -334,12 +591,27 @@ impl Engine {
                 }
             }
 
-            // Early exit: nothing left to schedule, watch, or drain.
             if unfinished == 0 {
                 break;
             }
         }
 
+        self.finish(
+            slots_run,
+            fairness_series,
+            fairness_window_series,
+            power_series_j,
+        )
+    }
+
+    /// Fold the finished per-user state into a [`SimResult`].
+    fn finish(
+        self,
+        slots_run: u64,
+        fairness_series: Vec<f64>,
+        fairness_window_series: Vec<f64>,
+        power_series_j: Vec<f64>,
+    ) -> SimResult {
         let per_user = self
             .users
             .into_iter()
@@ -398,8 +670,8 @@ mod tests {
             slots,
             record_series: true,
         };
-        let signals: Vec<Box<dyn SignalModel>> = (0..n)
-            .map(|_| Box::new(ConstantSignal(Dbm(sig))) as _)
+        let signals: Vec<SignalKind> = (0..n)
+            .map(|_| SignalKind::Constant(ConstantSignal(Dbm(sig))))
             .collect();
         let sessions: Vec<VideoSession> =
             (0..n).map(|_| VideoSession::cbr(video_kb, rate)).collect();

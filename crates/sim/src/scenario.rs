@@ -9,7 +9,7 @@ use jmso_gateway::{
     OriginModel, UnitParams,
 };
 use jmso_media::{generate_sessions, WorkloadSpec};
-use jmso_radio::SignalSpec;
+use jmso_radio::{SignalKind, SignalSpec};
 use jmso_sched::{CrossLayerModels, SchedulerSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -137,7 +137,17 @@ impl Scenario {
     /// Validate parameters, assemble the engine, run it.
     pub fn run(&self) -> Result<SimResult, String> {
         self.validate()?;
-        Ok(self.build_engine().run())
+        Ok(self.build_engine(false).run())
+    }
+
+    /// Validate parameters, then run the reference (non-active-set) slot
+    /// loop with the signals wrapped as trait objects
+    /// ([`SignalKind::Dyn`]) — the executable specification
+    /// [`Engine::run`] is differentially tested against. Must return a
+    /// result identical to [`Scenario::run`].
+    pub fn run_reference(&self) -> Result<SimResult, String> {
+        self.validate()?;
+        Ok(self.build_engine(true).run_reference())
     }
 
     /// Parameter sanity checks with actionable messages.
@@ -163,10 +173,19 @@ impl Scenario {
         Ok(())
     }
 
-    fn build_engine(&self) -> Engine {
+    fn build_engine(&self, dyn_signals: bool) -> Engine {
         let sessions = generate_sessions(&self.workload, self.n_users, self.seed);
+        // `dyn_signals` routes signal sampling through boxed trait objects
+        // to exercise the `SignalKind::Dyn` escape hatch external
+        // `SignalModel` impls use; the enum variants are the fast path.
         let signals = (0..self.n_users)
-            .map(|i| self.signal.build(i, self.n_users, self.seed))
+            .map(|i| {
+                if dyn_signals {
+                    SignalKind::Dyn(self.signal.build(i, self.n_users, self.seed))
+                } else {
+                    self.signal.build_kind(i, self.n_users, self.seed)
+                }
+            })
             .collect();
         let receiver = DataReceiver::new(self.n_users, self.origin.clone(), self.tau);
         let collector = InformationCollector::new(

@@ -110,6 +110,28 @@ proptest! {
         }
     }
 
+    /// Differential: the active-set hot path (`run`, enum-dispatched
+    /// signals, block sampling, retirement of finished users) must produce
+    /// a `SimResult` identical to the reference all-users loop
+    /// (`run_reference`, per-slot `sample()` through boxed
+    /// `SignalKind::Dyn` trait objects) — including the per-slot fairness
+    /// and power series, and under collector staleness and noise (the
+    /// noisy collector forces the full snapshot pass).
+    #[test]
+    fn active_set_matches_reference(
+        scenario in arb_scenario(),
+        staleness in 0u64..5,
+        noisy in prop::bool::ANY,
+    ) {
+        let mut s = scenario;
+        s.record_series = true;
+        s.collector.staleness_slots = staleness;
+        if noisy {
+            s.collector.signal_noise_std_db = 3.0;
+        }
+        prop_assert_eq!(s.run().unwrap(), s.run_reference().unwrap());
+    }
+
     /// Scenario serde round-trip for arbitrary configurations.
     #[test]
     fn scenario_roundtrip(scenario in arb_scenario()) {
