@@ -5,10 +5,19 @@
 //! station. This module exercises that claim: `n_cells` cells each run
 //! their own scheduler and serving budget while users roam between them
 //! (a memoryless handover process). A cell's slot context contains *all*
-//! users — non-attached users appear with zero link capacity and
-//! `active = false`, so any policy naturally allocates them nothing and
-//! per-user policy state (EMA queues, watermark phases) survives
-//! handovers without resizing.
+//! users — non-attached users appear with zero link capacity,
+//! `remaining_kb == 0`, and `active = false`, so any policy naturally
+//! allocates them nothing and per-user policy state (EMA queues,
+//! watermark phases) survives handovers without resizing.
+//!
+//! Each cell keeps a persistent snapshot buffer and a sorted membership
+//! list: per slot, only attached users' entries are refreshed (their
+//! RSSI→throughput mapping and required rate are computed once, not once
+//! per cell), and a handover demotes the user's entry in the old cell in
+//! place. Non-attached entries therefore freeze at their
+//! last-attached-slot fields — which the zero capacity makes invisible
+//! to allocations — turning the per-slot context build from
+//! O(n_cells·n_users) into O(n_users + Σ members).
 //!
 //! The information collector here is the perfect-pass-through variant
 //! (per-cell staleness tracking across a changing membership is not
@@ -19,8 +28,8 @@ use crate::results::{SimResult, UserResult};
 use crate::scenario::Scenario;
 use jmso_gateway::{Allocation, Scheduler, SlotContext, UnitParams, UserSnapshot};
 use jmso_media::{generate_sessions, jain_index, ClientPlayback};
-use jmso_radio::signal::SignalModel;
-use jmso_radio::{EnergyMeter, KbPerSec, PowerModel, RrcMachine, ThroughputModel};
+use jmso_radio::signal::{SignalKind, SignalModel};
+use jmso_radio::{Dbm, EnergyMeter, KbPerSec, PowerModel, RrcMachine, ThroughputModel};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -70,8 +79,9 @@ impl MultiCellScenario {
         let n = base.n_users;
         let units = UnitParams::new(base.delta_kb);
         let sessions = generate_sessions(&base.workload, n, base.seed);
-        let mut signals: Vec<Box<dyn SignalModel>> =
-            (0..n).map(|i| base.signal.build(i, n, base.seed)).collect();
+        let mut signals: Vec<SignalKind> = (0..n)
+            .map(|i| base.signal.build_kind(i, n, base.seed))
+            .collect();
         let mut playback: Vec<ClientPlayback> = sessions
             .iter()
             .map(|s| ClientPlayback::new(s.total_playback_s(), base.tau))
@@ -89,8 +99,13 @@ impl MultiCellScenario {
         let mut capacities: Vec<_> = (0..self.n_cells).map(|_| base.capacity.build()).collect();
 
         // Initial attachment spreads users round-robin; mobility is a
-        // seeded memoryless process.
+        // seeded memoryless process. `members[c]` mirrors `attached` as a
+        // sorted index list so per-cell work scales with cell population.
         let mut attached: Vec<usize> = (0..n).map(|i| i % self.n_cells).collect();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.n_cells];
+        for (i, &c) in attached.iter().enumerate() {
+            members[c].push(i);
+        }
         let mut mobility = StdRng::seed_from_u64(base.seed ^ 0x0B17_E0CE_1100);
         let mut handovers = 0u64;
         let mut occupancy_sums = vec![0.0f64; self.n_cells];
@@ -103,81 +118,142 @@ impl MultiCellScenario {
             .map(|s| s.name().to_string())
             .unwrap_or_default();
 
+        // Early-exit counter, as in the single-cell engine: both
+        // predicates are monotone.
+        let mut unfinished = n;
+        let mut finished = vec![false; n];
+
+        // Reused per-slot buffers: shared per-user ground truth (signal,
+        // rate, link capacity — computed once per user, not once per
+        // cell), one persistent snapshot buffer per cell, one shared
+        // allocation, and the per-user delivery accumulator.
+        let mut cur_sig = vec![Dbm(0.0); n];
+        let mut rates = vec![0.0f64; n];
+        let mut caps = vec![0u64; n];
+        let mut occupancy = vec![0.0f64; n];
+        let mut active_now = vec![false; n];
+        let mut cell_snaps: Vec<Vec<UserSnapshot>> = Vec::new();
+        let mut alloc = Allocation::zeros(n);
+        let mut delivered_kb = vec![0.0f64; n];
+        let mut moved: Vec<(usize, usize)> = Vec::new();
+
         for slot in 0..base.slots {
             slots_run = slot + 1;
 
-            // Mobility step.
+            // Mobility step: update `attached`, the membership lists, and
+            // demote the user's snapshot entry in the cell they left.
             if self.n_cells > 1 && self.handover_prob > 0.0 {
-                for cell in attached.iter_mut() {
+                moved.clear();
+                for (i, cell) in attached.iter_mut().enumerate() {
                     if mobility.random::<f64>() < self.handover_prob {
                         let mut next = mobility.random_range(0..self.n_cells - 1);
                         if next >= *cell {
                             next += 1;
                         }
+                        moved.push((i, *cell));
                         *cell = next;
                         handovers += 1;
                     }
                 }
+                for &(i, from) in &moved {
+                    let pos = members[from].binary_search(&i).expect("member list sync");
+                    members[from].remove(pos);
+                    let to = attached[i];
+                    let pos = members[to].binary_search(&i).unwrap_err();
+                    members[to].insert(pos, i);
+                    if let Some(snaps) = cell_snaps.get_mut(from) {
+                        // Leaving a cell zeroes the fields that gate
+                        // allocations; the rest freeze harmlessly.
+                        snaps[i].remaining_kb = 0.0;
+                        snaps[i].active = false;
+                        snaps[i].link_cap_units = 0;
+                    }
+                }
             }
-            for (c, sum) in occupancy_sums.iter_mut().enumerate() {
-                *sum += attached.iter().filter(|&&a| a == c).count() as f64;
+            for (sum, m) in occupancy_sums.iter_mut().zip(&members) {
+                *sum += m.len() as f64;
             }
 
-            // Client-side advance and ground truth.
-            let mut cur_sig = Vec::with_capacity(n);
-            let mut outcomes = Vec::with_capacity(n);
+            // Client-side advance and shared ground truth, once per user.
             for i in 0..n {
-                cur_sig.push(signals[i].sample(slot));
+                cur_sig[i] = signals[i].sample(slot);
+                rates[i] = sessions[i].rate_at(slot);
+                let v = base.models.throughput.throughput(cur_sig[i]);
+                caps[i] = units.link_cap_units(v, base.tau);
                 let o = playback[i].begin_slot();
                 if o.active {
                     active_slots[i] += 1;
                 }
-                outcomes.push(o);
+                occupancy[i] = o.occupancy_s;
+                active_now[i] = o.active;
             }
 
-            // Per-cell scheduling: every cell sees all users, non-members
-            // with zero capacity.
-            let mut delivered_kb = vec![0.0f64; n];
+            // Refresh each cell's persistent snapshot buffer: the first
+            // slot builds every entry, afterwards only members change.
+            if cell_snaps.is_empty() {
+                cell_snaps = (0..self.n_cells)
+                    .map(|cell| {
+                        (0..n)
+                            .map(|i| {
+                                let member = attached[i] == cell;
+                                UserSnapshot {
+                                    id: i,
+                                    signal: cur_sig[i],
+                                    rate_kbps: rates[i],
+                                    buffer_s: occupancy[i],
+                                    remaining_kb: if member {
+                                        sessions[i].remaining_kb()
+                                    } else {
+                                        0.0
+                                    },
+                                    active: member && active_now[i],
+                                    link_cap_units: if member { caps[i] } else { 0 },
+                                    idle_s: rrc[i].idle_seconds(),
+                                    rrc_state: rrc[i].state(),
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+            } else {
+                for (cell, snaps) in cell_snaps.iter_mut().enumerate() {
+                    for &i in &members[cell] {
+                        snaps[i] = UserSnapshot {
+                            id: i,
+                            signal: cur_sig[i],
+                            rate_kbps: rates[i],
+                            buffer_s: occupancy[i],
+                            remaining_kb: sessions[i].remaining_kb(),
+                            active: active_now[i],
+                            link_cap_units: caps[i],
+                            idle_s: rrc[i].idle_seconds(),
+                            rrc_state: rrc[i].state(),
+                        };
+                    }
+                }
+            }
+
+            // Per-cell scheduling: every cell still sees an all-users
+            // context (stable ids), but only its members carry capacity.
+            delivered_kb.fill(0.0);
             let mut slot_energy_mj = 0.0;
             for (cell, scheduler) in schedulers.iter_mut().enumerate() {
                 let cap: KbPerSec = capacities[cell].capacity(slot);
                 let bs_cap_units = units.bs_cap_units(cap, base.tau);
-                let snapshots: Vec<UserSnapshot> = (0..n)
-                    .map(|i| {
-                        let member = attached[i] == cell;
-                        let v = base.models.throughput.throughput(cur_sig[i]);
-                        UserSnapshot {
-                            id: i,
-                            signal: cur_sig[i],
-                            rate_kbps: sessions[i].rate_at(slot),
-                            buffer_s: outcomes[i].occupancy_s,
-                            remaining_kb: if member {
-                                sessions[i].remaining_kb()
-                            } else {
-                                0.0
-                            },
-                            active: member && outcomes[i].active,
-                            link_cap_units: if member {
-                                units.link_cap_units(v, base.tau)
-                            } else {
-                                0
-                            },
-                            idle_s: rrc[i].idle_seconds(),
-                            rrc_state: rrc[i].state(),
-                        }
-                    })
-                    .collect();
                 let ctx = SlotContext {
                     slot,
                     tau: base.tau,
                     delta_kb: base.delta_kb,
                     bs_cap_units,
-                    users: &snapshots,
+                    users: &cell_snaps[cell],
                 };
-                let Allocation(alloc) = scheduler.allocate(&ctx);
-                debug_assert!(Allocation(alloc.clone()).validate(&ctx).is_ok());
-                for (i, units_granted) in alloc.into_iter().enumerate() {
-                    if units_granted > 0 && attached[i] == cell {
+                scheduler.allocate_into(&ctx, &mut alloc);
+                debug_assert!(alloc.validate(&ctx).is_ok());
+                // Non-members hold zero capacity, so only members can be
+                // granted units (every policy clamps by the link bound).
+                for &i in &members[cell] {
+                    let units_granted = alloc.0[i];
+                    if units_granted > 0 {
                         let kb =
                             (units_granted as f64 * base.delta_kb).min(sessions[i].remaining_kb());
                         delivered_kb[i] += kb;
@@ -189,7 +265,7 @@ impl MultiCellScenario {
             for i in 0..n {
                 if delivered_kb[i] > 0.0 {
                     let accepted = sessions[i].deliver(delivered_kb[i]);
-                    playback[i].deliver(accepted, sessions[i].rate_at(slot));
+                    playback[i].deliver(accepted, rates[i]);
                     let e = base.models.power.transmission_energy(cur_sig[i], accepted);
                     rrc[i].on_transmit();
                     meters[i].record_transmission(e);
@@ -199,14 +275,18 @@ impl MultiCellScenario {
                     meters[i].record_tail(e);
                     slot_energy_mj += e.value();
                 }
+                if !finished[i] && sessions[i].fully_fetched() && playback[i].playback_complete() {
+                    finished[i] = true;
+                    unfinished -= 1;
+                }
             }
 
             if base.record_series {
                 let shares: Vec<f64> = (0..n)
                     .filter(|&i| sessions[i].remaining_kb() > 0.0 || delivered_kb[i] > 0.0)
                     .map(|i| {
-                        let need = (base.tau * sessions[i].rate_at(slot))
-                            .min(sessions[i].remaining_kb() + delivered_kb[i]);
+                        let need =
+                            (base.tau * rates[i]).min(sessions[i].remaining_kb() + delivered_kb[i]);
                         if need > 0.0 {
                             delivered_kb[i] / need
                         } else {
@@ -220,7 +300,7 @@ impl MultiCellScenario {
                 power_series.push(slot_energy_mj / 1000.0);
             }
 
-            if (0..n).all(|i| sessions[i].fully_fetched() && playback[i].playback_complete()) {
+            if unfinished == 0 {
                 break;
             }
         }
