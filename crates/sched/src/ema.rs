@@ -43,6 +43,7 @@ pub struct Ema {
     queues: VirtualQueues,
     parts: Vec<SlotUser>,
     scratch: DpScratch,
+    reference_dp: bool,
 }
 
 impl Ema {
@@ -57,12 +58,22 @@ impl Ema {
             queues: VirtualQueues::new(0),
             parts: Vec::new(),
             scratch: DpScratch::default(),
+            reference_dp: false,
         }
     }
 
     /// Override how idle slots are priced (see [`TailPricing`]).
     pub fn with_tail_pricing(mut self, tail_pricing: TailPricing) -> Self {
         self.tail_pricing = tail_pricing;
+        self
+    }
+
+    /// Solve each slot with [`solve_dp_reference`] instead of the
+    /// monotone-deque [`solve_dp_with`]. The reference DP is
+    /// O(P · C · φ_max) per slot — orders of magnitude slower — and
+    /// exists for differential testing, not production runs.
+    pub fn with_reference_solver(mut self, reference_dp: bool) -> Self {
+        self.reference_dp = reference_dp;
         self
     }
 
@@ -354,9 +365,16 @@ impl Scheduler for Ema {
         out.reset(ctx.users.len());
         let cost = EmaCost::with_pricing(self.v, &self.models, ctx, self.tail_pricing);
         slot_users_into(&cost, ctx, &self.queues, &mut self.parts);
-        let chosen = solve_dp_with(&self.parts, ctx.bs_cap_units, &mut self.scratch);
-        for (part, &units) in self.parts.iter().zip(chosen) {
-            out.0[part.id] = units;
+        if self.reference_dp {
+            let chosen = solve_dp_reference(&self.parts, ctx.bs_cap_units);
+            for (part, units) in self.parts.iter().zip(chosen) {
+                out.0[part.id] = units;
+            }
+        } else {
+            let chosen = solve_dp_with(&self.parts, ctx.bs_cap_units, &mut self.scratch);
+            for (part, &units) in self.parts.iter().zip(chosen) {
+                out.0[part.id] = units;
+            }
         }
         self.queues.apply_allocation(ctx, &out.0);
     }
@@ -554,6 +572,33 @@ mod tests {
             let reused = solve_dp_with(&parts, cap, &mut scratch).to_vec();
             let fresh = solve_dp(&parts, cap);
             assert_eq!(reused, fresh, "n={n} cap={cap}");
+        }
+    }
+
+    /// The `reference_dp` knob routes through the naive solver yet
+    /// produces the exact same allocations across a stateful multi-slot
+    /// run (virtual queues and all).
+    #[test]
+    fn reference_solver_knob_matches_deque() {
+        let mut fast = Ema::new(0.8, CrossLayerModels::paper());
+        let mut slow = Ema::new(0.8, CrossLayerModels::paper()).with_reference_solver(true);
+        for slot in 0..40u64 {
+            let users: Vec<_> = (0..6)
+                .map(|i| {
+                    let wobble = ((slot * 7 + i as u64 * 13) % 20) as f64;
+                    user(
+                        i,
+                        -105.0 + 2.5 * wobble,
+                        300.0 + 50.0 * i as f64,
+                        3 + i as u64,
+                    )
+                })
+                .collect();
+            let mut c = ctx(&users, 14);
+            c.slot = slot;
+            let a = fast.allocate(&c);
+            let b = slow.allocate(&c);
+            assert_eq!(a, b, "slot {slot}");
         }
     }
 

@@ -26,13 +26,19 @@ pub enum SchedulerSpec {
     },
     /// RTMA without an energy constraint.
     RtmaUnbounded,
-    /// EMA (exact DP form of Algorithm 2).
+    /// EMA (exact DP form of Algorithm 2), solved by the monotone-deque
+    /// DP by default.
     Ema {
         /// Lyapunov weight V.
         v: f64,
         /// How idle slots are priced (defaults to the literal Eq. (5)).
         #[serde(default)]
         tail: TailPricing,
+        /// Use the naive O(P · C · φ_max) reference DP instead of the
+        /// monotone-deque solver. Differential-testing escape hatch;
+        /// identical allocations, orders of magnitude slower.
+        #[serde(default)]
+        reference_dp: bool,
     },
     /// EMA solved by the exact fast greedy (identical objective).
     EmaFast {
@@ -91,9 +97,15 @@ impl SchedulerSpec {
             SchedulerSpec::RtmaUnbounded => {
                 Box::new(Rtma::with_threshold(SignalThreshold::allow_all()))
             }
-            SchedulerSpec::Ema { v, tail } => {
-                Box::new(Ema::new(v, *models).with_tail_pricing(tail))
-            }
+            SchedulerSpec::Ema {
+                v,
+                tail,
+                reference_dp,
+            } => Box::new(
+                Ema::new(v, *models)
+                    .with_tail_pricing(tail)
+                    .with_reference_solver(reference_dp),
+            ),
             SchedulerSpec::EmaFast { v, tail } => {
                 Box::new(EmaFast::new(v, *models).with_tail_pricing(tail))
             }
@@ -183,6 +195,17 @@ impl SchedulerSpec {
         SchedulerSpec::Ema {
             v,
             tail: TailPricing::PerSlot,
+            reference_dp: false,
+        }
+    }
+
+    /// [`SchedulerSpec::ema_dp`] forced onto the naive reference DP
+    /// solver (differential tests only).
+    pub fn ema_dp_reference(v: f64) -> Self {
+        SchedulerSpec::Ema {
+            v,
+            tail: TailPricing::PerSlot,
+            reference_dp: true,
         }
     }
 
@@ -227,6 +250,19 @@ mod tests {
         let spec2 = SchedulerSpec::salsa_default();
         let j2 = serde_json::to_string(&spec2).unwrap();
         assert_eq!(serde_json::from_str::<SchedulerSpec>(&j2).unwrap(), spec2);
+    }
+
+    /// Configs written before the `reference_dp` knob existed must keep
+    /// deserializing, defaulting to the monotone-deque solver.
+    #[test]
+    fn ema_reference_dp_defaults_off() {
+        let spec: SchedulerSpec = serde_json::from_str(r#"{"kind":"ema","v":1.0}"#).unwrap();
+        assert_eq!(spec, SchedulerSpec::ema_dp(1.0));
+        let explicit: SchedulerSpec =
+            serde_json::from_str(r#"{"kind":"ema","v":1.0,"reference_dp":true}"#).unwrap();
+        assert_eq!(explicit, SchedulerSpec::ema_dp_reference(1.0));
+        assert_eq!(explicit.label(), "EMA(V=1)");
+        let _ = explicit.build(1.0, &CrossLayerModels::paper());
     }
 
     #[test]
