@@ -7,15 +7,40 @@
 //! {"sched": "EMA(V=1)", "slots_per_sec": 123456.7}
 //! ```
 //!
-//! The output is recorded as `BENCH_PR1.json` at the repo root so slot-loop
+//! The output is recorded as `BENCH_PR2.json` at the repo root so slot-loop
 //! regressions show up as a diff, without the Criterion machinery (or its
-//! multi-minute runtime). Timings cover the full `Engine::run` hot path —
+//! multi-minute runtime); `scripts/bench-regress.sh` diffs a fresh run
+//! against that baseline. Timings cover the full `Engine::run` hot path —
 //! collector snapshot, scheduler allocate, transmitter delivery, receiver
 //! playback — which is zero-allocation per slot after warm-up.
+//!
+//! Beyond the per-scheduler paper cells, three rows target the active-set
+//! engine specifically: a **late-phase** cell whose 8 MB–3.2 GB video mix
+//! retires ~80 % of its 40 sessions in the first half of the horizon
+//! (timed through both `run` and the all-users `run_reference` loop, so
+//! the retirement speedup is visible as a ratio in one file), and a
+//! four-cell multicell run exercising the membership-list context build.
 
 use jmso_bench::common::paper_cell;
-use jmso_sim::SchedulerSpec;
+use jmso_sim::{MultiCellScenario, Scenario, SchedulerSpec};
 use std::time::Instant;
+
+/// The paper cell with a bimodal-ish workload: sizes uniform in
+/// 8 MB–3.2 GB at 300–600 KB/s, so most sessions finish mid-run while
+/// the largest videos keep the cell busy to the end.
+fn late_phase_cell() -> Scenario {
+    let mut s = paper_cell(40, 375.0).with_seed(42);
+    s.workload.size_range_kb = (8_000.0, 3_200_000.0);
+    s
+}
+
+fn report(label: &str, slots_run: u64, elapsed_s: f64) {
+    let slots_per_sec = (slots_run as f64 / elapsed_s * 10.0).round() / 10.0;
+    println!(
+        "{{\"sched\": {}, \"slots_per_sec\": {slots_per_sec}}}",
+        serde_json::to_string(label).expect("label serializes"),
+    );
+}
 
 fn main() {
     let specs = [
@@ -37,11 +62,39 @@ fn main() {
             .with_scheduler(spec.clone());
         let start = Instant::now();
         let result = scenario.run().expect("hotpath run");
-        let elapsed = start.elapsed().as_secs_f64();
-        let slots_per_sec = (result.slots_run as f64 / elapsed * 10.0).round() / 10.0;
-        println!(
-            "{{\"sched\": {}, \"slots_per_sec\": {slots_per_sec}}}",
-            serde_json::to_string(&spec.label()).expect("label serializes"),
+        report(
+            &spec.label(),
+            result.slots_run,
+            start.elapsed().as_secs_f64(),
         );
     }
+
+    let late = late_phase_cell();
+    let start = Instant::now();
+    let result = late.run().expect("late-phase run");
+    report(
+        "late-phase Default",
+        result.slots_run,
+        start.elapsed().as_secs_f64(),
+    );
+    let start = Instant::now();
+    let result = late.run_reference().expect("late-phase reference run");
+    report(
+        "late-phase Default (reference)",
+        result.slots_run,
+        start.elapsed().as_secs_f64(),
+    );
+
+    let mc = MultiCellScenario {
+        base: paper_cell(40, 375.0).with_seed(42),
+        n_cells: 4,
+        handover_prob: 0.05,
+    };
+    let start = Instant::now();
+    let result = mc.run().expect("multicell run");
+    report(
+        "multicell Default x4",
+        result.result.slots_run,
+        start.elapsed().as_secs_f64(),
+    );
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Slot-loop performance gate: run the hotpath bench and compare each
+# row's slots_per_sec against the committed baseline (BENCH_PR2.json by
+# default, or the file given as $1). hotpath numbers swing wildly with
+# machine load, so the gate scores each row by its best of five runs
+# and only a >25% drop on any row fails; new rows missing from the
+# baseline fail too, so the baseline file stays in sync with the bench.
+#
+# Refresh the baseline after a deliberate perf change with a per-row
+# median over a few quiet runs of ./target/release/hotpath.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_PR2.json}"
+runs=5
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== cargo build --release -p jmso-bench --bin hotpath"
+cargo build --release -p jmso-bench --bin hotpath
+
+echo "== hotpath best-of-$runs vs $baseline (fail on >25% regression)"
+for i in $(seq "$runs"); do
+    ./target/release/hotpath >"$tmpdir/run_$i.json"
+done
+
+python3 - "$baseline" "$tmpdir"/run_*.json <<'EOF'
+import json
+import sys
+
+load = lambda p: {r["sched"]: r["slots_per_sec"] for r in map(json.loads, open(p))}
+base = load(sys.argv[1])
+best = {}
+for path in sys.argv[2:]:
+    for sched, v in load(path).items():
+        best[sched] = max(best.get(sched, 0.0), v)
+fail = False
+for sched, now in best.items():
+    if sched not in base:
+        print(f"MISSING   {sched}: no baseline row — refresh the baseline")
+        fail = True
+        continue
+    ratio = now / base[sched]
+    verdict = "REGRESSED" if ratio < 0.75 else "ok"
+    fail |= ratio < 0.75
+    print(f"{verdict:9s} {sched}: {now:.1f} vs {base[sched]:.1f} ({ratio:.2f}x)")
+for sched in base.keys() - best.keys():
+    print(f"MISSING   {sched}: baseline row not produced by hotpath")
+    fail = True
+sys.exit(1 if fail else 0)
+EOF
+echo "Bench gate passed."

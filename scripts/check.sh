@@ -13,4 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q
 
+# Opt-in perf gate: BENCH=1 scripts/check.sh additionally runs the
+# hotpath bench and diffs it against the committed BENCH_PR2.json
+# baseline (too noisy for every pre-commit run, so off by default).
+if [[ "${BENCH:-0}" == "1" ]]; then
+    scripts/bench-regress.sh
+fi
+
 echo "All checks passed."
