@@ -7,7 +7,7 @@
 //! {"sched": "EMA(V=1)", "slots_per_sec": 123456.7}
 //! ```
 //!
-//! The output is recorded as `BENCH_PR2.json` at the repo root so slot-loop
+//! The output is recorded as `BENCH_PR3.json` at the repo root so slot-loop
 //! regressions show up as a diff, without the Criterion machinery (or its
 //! multi-minute runtime); `scripts/bench-regress.sh` diffs a fresh run
 //! against that baseline. Timings cover the full `Engine::run` hot path —
@@ -20,9 +20,12 @@
 //! (timed through both `run` and the all-users `run_reference` loop, so
 //! the retirement speedup is visible as a ratio in one file), and a
 //! four-cell multicell run exercising the membership-list context build.
+//! A **traced** Default row runs the same cell under a capturing
+//! `TraceRecorder`, so the telemetry subsystem's overhead is visible as a
+//! ratio against the plain Default row.
 
 use jmso_bench::common::paper_cell;
-use jmso_sim::{MultiCellScenario, Scenario, SchedulerSpec};
+use jmso_sim::{MultiCellScenario, Scenario, SchedulerSpec, TraceRecorder};
 use std::time::Instant;
 
 /// The paper cell with a bimodal-ish workload: sizes uniform in
@@ -81,6 +84,20 @@ fn main() {
     let result = late.run_reference().expect("late-phase reference run");
     report(
         "late-phase Default (reference)",
+        result.slots_run,
+        start.elapsed().as_secs_f64(),
+    );
+
+    // Telemetry overhead row: the same Default cell with a capturing
+    // TraceRecorder attached (every slot). The per-scheduler rows above
+    // all run the NullRecorder path, so the traced/untraced ratio bounds
+    // the recorder's cost on the hot loop.
+    let scenario = paper_cell(40, 375.0).with_seed(42);
+    let mut rec = TraceRecorder::new();
+    let start = Instant::now();
+    let result = scenario.run_with(&mut rec).expect("traced run");
+    report(
+        "Default (traced)",
         result.slots_run,
         start.elapsed().as_secs_f64(),
     );

@@ -202,6 +202,7 @@ mod tests {
             fairness_series: vec![],
             fairness_window_series: vec![],
             power_series_j: vec![],
+            telemetry: None,
         };
         let s = RunStats::from_result(&r);
         assert!((s.rebuf_per_user_s - 5.0).abs() < 1e-12);

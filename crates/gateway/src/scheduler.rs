@@ -142,6 +142,17 @@ pub trait Scheduler: Send {
         self.allocate_into(ctx, &mut out);
         out
     }
+
+    /// Per-user internal queue/backlog values after the latest
+    /// [`Scheduler::allocate_into`] call, for observability layers.
+    ///
+    /// Lyapunov policies expose their virtual rebuffering queues `PCᵢ(n+1)`
+    /// here; RTMA exposes its per-user need estimate. Stateless policies
+    /// keep the default `None`, and callers must treat the values as
+    /// diagnostic only — nothing in the allocation pipeline reads them.
+    fn queue_values(&self) -> Option<&[f64]> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -208,6 +208,35 @@ impl RrcMachine {
     pub fn peek_idle_cost(&self, dt: f64) -> MilliJoules {
         tail_energy_between(&self.cfg, self.idle_s, self.idle_s + dt)
     }
+
+    /// [`RrcMachine::on_transmit`], firing `observer(from, to)` if the
+    /// promotion actually changes the protocol state.
+    pub fn on_transmit_observed<F: FnMut(RrcState, RrcState)>(&mut self, mut observer: F) {
+        let from = self.state();
+        self.on_transmit();
+        let to = self.state();
+        if from != to {
+            observer(from, to);
+        }
+    }
+
+    /// [`RrcMachine::on_idle`], firing `observer(from, to)` if a demotion
+    /// timer expires inside the interval. A `dt` spanning both `T1` and
+    /// `T2` reports the one net `Dch → Idle` transition, matching the
+    /// slot-granular view the telemetry layer records.
+    pub fn on_idle_observed<F: FnMut(RrcState, RrcState)>(
+        &mut self,
+        dt: f64,
+        mut observer: F,
+    ) -> MilliJoules {
+        let from = self.state();
+        let spent = self.on_idle(dt);
+        let to = self.state();
+        if from != to {
+            observer(from, to);
+        }
+        spent
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +338,38 @@ mod tests {
         assert_eq!(c.state_after_idle(11.5), RrcState::Idle);
         // Full tail = Pd·T1 only.
         assert!((c.full_tail_energy().value() - 1210.0 * 11.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_fires_only_on_change() {
+        let c = cfg();
+        let mut m = RrcMachine::new(c);
+        let mut seen = Vec::new();
+        // Within T1: no demotion, no callback, same energy as unobserved.
+        let e = m.on_idle_observed(1.0, |f, t| seen.push((f, t)));
+        assert_eq!(e, tail_energy_between(&c, 0.0, 1.0));
+        assert!(seen.is_empty());
+        // Crossing T1 fires Dch → Fach.
+        m.on_idle_observed(3.0, |f, t| seen.push((f, t)));
+        assert_eq!(seen, vec![(RrcState::Dch, RrcState::Fach)]);
+        // Crossing T2 fires Fach → Idle.
+        m.on_idle_observed(10.0, |f, t| seen.push((f, t)));
+        assert_eq!(seen.last(), Some(&(RrcState::Fach, RrcState::Idle)));
+        // Transmit from Idle promotes back to Dch…
+        m.on_transmit_observed(|f, t| seen.push((f, t)));
+        assert_eq!(seen.last(), Some(&(RrcState::Idle, RrcState::Dch)));
+        // …and a second transmit from Dch is silent.
+        let n = seen.len();
+        m.on_transmit_observed(|f, t| seen.push((f, t)));
+        assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn observed_spanning_both_timers_reports_net_transition() {
+        let mut m = RrcMachine::new(cfg());
+        let mut seen = Vec::new();
+        m.on_idle_observed(100.0, |f, t| seen.push((f, t)));
+        assert_eq!(seen, vec![(RrcState::Dch, RrcState::Idle)]);
     }
 
     #[test]

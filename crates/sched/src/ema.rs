@@ -378,6 +378,10 @@ impl Scheduler for Ema {
         }
         self.queues.apply_allocation(ctx, &out.0);
     }
+
+    fn queue_values(&self) -> Option<&[f64]> {
+        Some(self.queues.values())
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,8 @@ pub struct Rtma {
     order: Vec<usize>,
     need: Vec<u64>,
     ceiling: Vec<u64>,
+    // f64 mirror of `need`, kept after the slot for `queue_values`.
+    need_f64: Vec<f64>,
 }
 
 impl Rtma {
@@ -52,6 +54,7 @@ impl Rtma {
             order: Vec::new(),
             need: Vec::new(),
             ceiling: Vec::new(),
+            need_f64: Vec::new(),
         }
     }
 
@@ -109,6 +112,18 @@ impl Scheduler for Rtma {
         self.ceiling.clear();
         self.ceiling
             .extend(ctx.users.iter().map(|u| u.usable_cap_units(ctx.delta_kb)));
+        // Queue view: outstanding per-slot demand. A user whose ceiling is
+        // zero (fetch complete or link down) has no outstanding demand, so
+        // mask their raw need to 0 — this also keeps the exported values
+        // independent of stale rate snapshots for finished users.
+        self.need_f64.clear();
+        self.need_f64
+            .extend(
+                self.need
+                    .iter()
+                    .zip(&self.ceiling)
+                    .map(|(&n, &c)| if c == 0 { 0.0 } else { n as f64 }),
+            );
 
         // Steps 4–15: sweep until the budget is gone or nothing moves.
         while budget > 0 {
@@ -140,6 +155,10 @@ impl Scheduler for Rtma {
                 break;
             }
         }
+    }
+
+    fn queue_values(&self) -> Option<&[f64]> {
+        Some(&self.need_f64)
     }
 }
 

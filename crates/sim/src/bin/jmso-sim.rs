@@ -3,7 +3,10 @@
 //! ```text
 //! jmso-sim template [N]                         print a paper-default scenario (N users)
 //! jmso-sim run <scenario.json> [--out r.json] [--per-user u.csv]
-//!                                               run one scenario, print a summary
+//!              [--trace t.jsonl] [--trace-every N]
+//!                                               run one scenario, print a summary;
+//!                                               --trace records per-slot telemetry
+//!                                               (JSONL, downsampled to every Nth slot)
 //! jmso-sim calibrate <scenario.json>            measure the Default reference points
 //! jmso-sim fit-v <scenario.json> --omega <s>    fit EMA's V to a rebuffering bound
 //! jmso-sim sweep <scenario.json> --seeds 1,2,3 [--threads T]
@@ -26,7 +29,8 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         _ => {
             eprintln!(
-                "usage: jmso-sim template [N] | run <scenario.json> [--out r.json] | \
+                "usage: jmso-sim template [N] | run <scenario.json> [--out r.json] \
+                 [--trace t.jsonl] [--trace-every N] | \
                  calibrate <scenario.json> | fit-v <scenario.json> --omega <s> | \
                  sweep <scenario.json> --seeds 1,2,3 [--threads T]"
             );
@@ -98,8 +102,23 @@ fn cmd_template(args: &[String]) -> Result<(), String> {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run: missing <scenario.json>")?;
     let scenario = load_scenario(path)?;
-    let result = scenario.run()?;
+    let trace_path = flag_value(args, "--trace");
+    let every: u64 = flag_value(args, "--trace-every")
+        .map(|s| s.parse().map_err(|e| format!("bad --trace-every: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let result = if let Some(out) = trace_path {
+        let (result, trace) = scenario.run_traced(every)?;
+        std::fs::write(out, trace.to_jsonl()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out} ({} records)", trace.records.len());
+        result
+    } else {
+        scenario.run()?
+    };
     summarize(&result);
+    if let Some(t) = &result.telemetry {
+        println!("{}", jmso_sim::report::telemetry_text(t));
+    }
     if let Some(out) = flag_value(args, "--out") {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
         std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;

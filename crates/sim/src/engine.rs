@@ -22,6 +22,7 @@
 //! aggregates are unaffected; `slots_configured` still reflects Γ.
 
 use crate::results::{SimResult, UserResult};
+use crate::telemetry::{NullRecorder, SlotRecorder};
 use jmso_gateway::bs::CapacityModel;
 use jmso_gateway::collector::RawUserState;
 use jmso_gateway::{
@@ -220,8 +221,20 @@ impl Engine {
     /// [`Engine::run_reference`] is the executable specification of these
     /// claims: it runs the plain all-users loop and must produce an
     /// identical [`SimResult`].
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        self.run_with(&mut NullRecorder)
+    }
+
+    /// [`Engine::run`] with a [`SlotRecorder`] observing every slot.
+    ///
+    /// Generic over the recorder so the [`NullRecorder`] instantiation
+    /// monomorphizes every hook into a no-op — `run()` pays nothing for
+    /// the instrumentation (pinned by the `hotpath` bench). The recorder
+    /// only ever sees simulation state; wall-clock scheduler timing is
+    /// gated on [`SlotRecorder::enabled`] and reported separately.
+    pub fn run_with<R: SlotRecorder>(mut self, rec: &mut R) -> SimResult {
         let n_users = self.users.len();
+        rec.begin_run(n_users, self.cfg.tau);
         let series_cap = if self.cfg.record_series {
             self.cfg.slots as usize
         } else {
@@ -274,6 +287,7 @@ impl Engine {
             slots_run = slot + 1;
             let cap = self.capacity.capacity(slot);
             let bs_cap_units = self.units.bs_cap_units(cap, self.cfg.tau);
+            rec.begin_slot(slot, bs_cap_units);
             self.receiver.ingest_slot(slot);
 
             // Client-side slot advance (Eq. 7/8) and ground-truth state.
@@ -335,7 +349,17 @@ impl Engine {
                 bs_cap_units,
                 users: &snapshots,
             };
-            self.scheduler.allocate_into(&ctx, &mut alloc);
+            if rec.enabled() {
+                let t0 = std::time::Instant::now();
+                self.scheduler.allocate_into(&ctx, &mut alloc);
+                rec.record_sched_latency_ns(t0.elapsed().as_nanos() as u64);
+                rec.record_alloc(&alloc.0);
+                if let Some(q) = self.scheduler.queue_values() {
+                    rec.record_queues(q);
+                }
+            } else {
+                self.scheduler.allocate_into(&ctx, &mut alloc);
+            }
             self.transmitter
                 .transmit_into(&ctx, &alloc, &mut self.receiver, &mut deliveries);
 
@@ -351,7 +375,7 @@ impl Engine {
                 }
                 let d = &deliveries[i];
                 let r = &raw[i];
-                if d.kb > 0.0 {
+                let slot_e = if d.kb > 0.0 {
                     let accepted = u.session.deliver(d.kb);
                     debug_assert!(
                         (accepted - d.kb).abs() < 1e-6,
@@ -364,14 +388,27 @@ impl Engine {
                         .models
                         .power
                         .transmission_energy(u.cur_signal, accepted);
-                    u.rrc.on_transmit();
+                    if rec.enabled() {
+                        u.rrc
+                            .on_transmit_observed(|f, t| rec.record_rrc_transition(i, f, t));
+                    } else {
+                        u.rrc.on_transmit();
+                    }
                     u.meter.record_transmission(e);
-                    slot_energy_mj += e.value();
+                    e.value()
                 } else {
-                    let e = u.rrc.on_idle(self.cfg.tau);
+                    let e = if rec.enabled() {
+                        u.rrc.on_idle_observed(self.cfg.tau, |f, t| {
+                            rec.record_rrc_transition(i, f, t)
+                        })
+                    } else {
+                        u.rrc.on_idle(self.cfg.tau)
+                    };
                     u.meter.record_tail(e);
-                    slot_energy_mj += e.value();
-                }
+                    e.value()
+                };
+                slot_energy_mj += slot_e;
+                rec.record_user(i, slot_e, u.playback.total_rebuffer_s());
                 // Fairness sample over users still fetching this slot.
                 if r.remaining_kb > 0.0 {
                     let need_kb = (self.cfg.tau * r.rate_kbps).min(r.remaining_kb);
@@ -420,12 +457,14 @@ impl Engine {
                     window_need.fill(0.0);
                 }
             }
+            rec.end_slot();
 
             // Early exit: nothing left to schedule, watch, or drain.
             if watching == 0 {
                 break;
             }
         }
+        rec.end_run();
 
         // Settle the idle slots the retired users sat out: each would have
         // recorded a zero-energy tail slot per remaining loop iteration.
@@ -437,12 +476,14 @@ impl Engine {
             }
         }
 
-        self.finish(
+        let mut result = self.finish(
             slots_run,
             fairness_series,
             fairness_window_series,
             power_series_j,
-        )
+        );
+        result.telemetry = rec.summary();
+        result
     }
 
     /// Reference slot loop: every user is visited every slot and signals
@@ -454,8 +495,18 @@ impl Engine {
     /// [`SimResult`]s (pinned by the `active_set_matches_reference`
     /// property test). It is also the baseline the `hotpath` bench
     /// compares against.
-    pub fn run_reference(mut self) -> SimResult {
+    pub fn run_reference(self) -> SimResult {
+        self.run_reference_with(&mut NullRecorder)
+    }
+
+    /// [`Engine::run_reference`] with a [`SlotRecorder`] observing every
+    /// slot. Produces a trace identical to [`Engine::run_with`]'s on any
+    /// scenario: per-user records land at stable indices, and the users
+    /// the active-set loop skips would only ever contribute zero-energy,
+    /// zero-delta records (pinned by the trace-equality property test).
+    pub fn run_reference_with<R: SlotRecorder>(mut self, rec: &mut R) -> SimResult {
         let n_users = self.users.len();
+        rec.begin_run(n_users, self.cfg.tau);
         let series_cap = if self.cfg.record_series {
             self.cfg.slots as usize
         } else {
@@ -482,6 +533,7 @@ impl Engine {
             slots_run = slot + 1;
             let cap = self.capacity.capacity(slot);
             let bs_cap_units = self.units.bs_cap_units(cap, self.cfg.tau);
+            rec.begin_slot(slot, bs_cap_units);
             self.receiver.ingest_slot(slot);
 
             // Client-side slot advance (Eq. 7/8) and ground-truth state.
@@ -526,7 +578,17 @@ impl Engine {
                 bs_cap_units,
                 users: &snapshots,
             };
-            self.scheduler.allocate_into(&ctx, &mut alloc);
+            if rec.enabled() {
+                let t0 = std::time::Instant::now();
+                self.scheduler.allocate_into(&ctx, &mut alloc);
+                rec.record_sched_latency_ns(t0.elapsed().as_nanos() as u64);
+                rec.record_alloc(&alloc.0);
+                if let Some(q) = self.scheduler.queue_values() {
+                    rec.record_queues(q);
+                }
+            } else {
+                self.scheduler.allocate_into(&ctx, &mut alloc);
+            }
             self.transmitter
                 .transmit_into(&ctx, &alloc, &mut self.receiver, &mut deliveries);
 
@@ -538,7 +600,7 @@ impl Engine {
                 if slot < u.arrival_slot {
                     continue;
                 }
-                if d.kb > 0.0 {
+                let slot_e = if d.kb > 0.0 {
                     let accepted = u.session.deliver(d.kb);
                     debug_assert!(
                         (accepted - d.kb).abs() < 1e-6,
@@ -549,14 +611,27 @@ impl Engine {
                         .models
                         .power
                         .transmission_energy(u.cur_signal, accepted);
-                    u.rrc.on_transmit();
+                    if rec.enabled() {
+                        u.rrc
+                            .on_transmit_observed(|f, t| rec.record_rrc_transition(u_idx, f, t));
+                    } else {
+                        u.rrc.on_transmit();
+                    }
                     u.meter.record_transmission(e);
-                    slot_energy_mj += e.value();
+                    e.value()
                 } else {
-                    let e = u.rrc.on_idle(self.cfg.tau);
+                    let e = if rec.enabled() {
+                        u.rrc.on_idle_observed(self.cfg.tau, |f, t| {
+                            rec.record_rrc_transition(u_idx, f, t)
+                        })
+                    } else {
+                        u.rrc.on_idle(self.cfg.tau)
+                    };
                     u.meter.record_tail(e);
-                    slot_energy_mj += e.value();
-                }
+                    e.value()
+                };
+                slot_energy_mj += slot_e;
+                rec.record_user(u_idx, slot_e, u.playback.total_rebuffer_s());
                 if r.remaining_kb > 0.0 {
                     let need_kb = (self.cfg.tau * r.rate_kbps).min(r.remaining_kb);
                     if need_kb > 0.0 {
@@ -590,18 +665,22 @@ impl Engine {
                     window_need.fill(0.0);
                 }
             }
+            rec.end_slot();
 
             if unfinished == 0 {
                 break;
             }
         }
+        rec.end_run();
 
-        self.finish(
+        let mut result = self.finish(
             slots_run,
             fairness_series,
             fairness_window_series,
             power_series_j,
-        )
+        );
+        result.telemetry = rec.summary();
+        result
     }
 
     /// Fold the finished per-user state into a [`SimResult`].
@@ -640,6 +719,7 @@ impl Engine {
             fairness_series,
             fairness_window_series,
             power_series_j,
+            telemetry: None,
         }
     }
 }

@@ -17,6 +17,10 @@
 //! * [`sweep`] — deterministic parallel execution of scenario grids on
 //!   crossbeam scoped threads.
 //! * [`report`] — CSV and table output for the figure harness.
+//! * [`telemetry`] — slot-level recorders: a zero-overhead-when-disabled
+//!   [`SlotRecorder`] hook in the engine loop, a capturing
+//!   [`TraceRecorder`] with JSONL export, and the run summary merged
+//!   into [`SimResult`].
 
 pub mod calibrate;
 pub mod chart;
@@ -27,6 +31,7 @@ pub mod results;
 pub mod scenario;
 pub mod svg;
 pub mod sweep;
+pub mod telemetry;
 
 pub use calibrate::{calibrate_default, fit_v_for_omega, fit_v_for_omega_with, Calibration};
 pub use chart::ascii_chart;
@@ -35,7 +40,11 @@ pub use multicell::{MultiCellResult, MultiCellScenario};
 pub use results::{SimResult, UserResult};
 pub use scenario::{ArrivalSpec, Scenario};
 pub use svg::svg_chart;
-pub use sweep::{parallel_map, run_scenarios};
+pub use sweep::{parallel_map, run_scenarios, run_scenarios_traced};
+pub use telemetry::{
+    LatencyHistogram, NullRecorder, SlotRecord, SlotRecorder, SlotTrace, TelemetrySummary,
+    TraceRecorder,
+};
 
 // Re-export the pieces callers need to assemble scenarios without extra deps.
 pub use jmso_gateway::bs::CapacitySpec;

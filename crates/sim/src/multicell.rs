@@ -26,6 +26,7 @@
 
 use crate::results::{SimResult, UserResult};
 use crate::scenario::Scenario;
+use crate::telemetry::{NullRecorder, SlotRecorder, SlotTrace, TraceRecorder};
 use jmso_gateway::{Allocation, Scheduler, SlotContext, UnitParams, UserSnapshot};
 use jmso_media::{generate_sessions, jain_index, ClientPlayback};
 use jmso_radio::signal::{SignalKind, SignalModel};
@@ -64,6 +65,16 @@ pub struct MultiCellResult {
 impl MultiCellScenario {
     /// Validate and run.
     pub fn run(&self) -> Result<MultiCellResult, String> {
+        self.run_with(&mut NullRecorder)
+    }
+
+    /// [`MultiCellScenario::run`] with a [`SlotRecorder`] observing every
+    /// slot. Per-slot telemetry aggregates over cells: the capacity is
+    /// the sum of per-cell budgets, the allocation is the combined
+    /// per-user grant, and the scheduler latency covers all cells'
+    /// decisions. Queue values are not recorded (each cell has its own
+    /// scheduler, so no single queue vector describes the slot).
+    pub fn run_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<MultiCellResult, String> {
         self.base.validate()?;
         if self.n_cells == 0 {
             return Err("n_cells must be positive".into());
@@ -71,10 +82,19 @@ impl MultiCellScenario {
         if !(0.0..=1.0).contains(&self.handover_prob) {
             return Err("handover_prob must be in [0, 1]".into());
         }
-        Ok(self.simulate())
+        Ok(self.simulate(rec))
     }
 
-    fn simulate(&self) -> MultiCellResult {
+    /// Run with a capturing [`TraceRecorder`] (one record per `every`
+    /// slots); returns the result plus the trace.
+    pub fn run_traced(&self, every: u64) -> Result<(MultiCellResult, SlotTrace), String> {
+        let mut rec = TraceRecorder::new().with_every(every);
+        let result = self.run_with(&mut rec)?;
+        let trace = rec.into_trace(&result.result.scheduler);
+        Ok((result, trace))
+    }
+
+    fn simulate<R: SlotRecorder>(&self, rec: &mut R) -> MultiCellResult {
         let base = &self.base;
         let n = base.n_users;
         let units = UnitParams::new(base.delta_kb);
@@ -136,7 +156,13 @@ impl MultiCellScenario {
         let mut alloc = Allocation::zeros(n);
         let mut delivered_kb = vec![0.0f64; n];
         let mut moved: Vec<(usize, usize)> = Vec::new();
+        // Telemetry scratch: per-cell Eq. (2) budgets (capacity models may
+        // be stateful, so each is sampled exactly once per slot regardless
+        // of tracing) and the cross-cell combined allocation.
+        let mut cell_caps = vec![0u64; self.n_cells];
+        let mut combined_units = vec![0u64; n];
 
+        rec.begin_run(n, base.tau);
         for slot in 0..base.slots {
             slots_run = slot + 1;
 
@@ -235,24 +261,40 @@ impl MultiCellScenario {
 
             // Per-cell scheduling: every cell still sees an all-users
             // context (stable ids), but only its members carry capacity.
+            for (cap_units, capacity) in cell_caps.iter_mut().zip(capacities.iter_mut()) {
+                let cap: KbPerSec = capacity.capacity(slot);
+                *cap_units = units.bs_cap_units(cap, base.tau);
+            }
+            rec.begin_slot(slot, cell_caps.iter().sum());
+            if rec.enabled() {
+                combined_units.fill(0);
+            }
             delivered_kb.fill(0.0);
             let mut slot_energy_mj = 0.0;
+            let mut sched_ns = 0u64;
             for (cell, scheduler) in schedulers.iter_mut().enumerate() {
-                let cap: KbPerSec = capacities[cell].capacity(slot);
-                let bs_cap_units = units.bs_cap_units(cap, base.tau);
                 let ctx = SlotContext {
                     slot,
                     tau: base.tau,
                     delta_kb: base.delta_kb,
-                    bs_cap_units,
+                    bs_cap_units: cell_caps[cell],
                     users: &cell_snaps[cell],
                 };
-                scheduler.allocate_into(&ctx, &mut alloc);
+                if rec.enabled() {
+                    let t0 = std::time::Instant::now();
+                    scheduler.allocate_into(&ctx, &mut alloc);
+                    sched_ns += t0.elapsed().as_nanos() as u64;
+                } else {
+                    scheduler.allocate_into(&ctx, &mut alloc);
+                }
                 debug_assert!(alloc.validate(&ctx).is_ok());
                 // Non-members hold zero capacity, so only members can be
                 // granted units (every policy clamps by the link bound).
                 for &i in &members[cell] {
                     let units_granted = alloc.0[i];
+                    if rec.enabled() {
+                        combined_units[i] = units_granted;
+                    }
                     if units_granted > 0 {
                         let kb =
                             (units_granted as f64 * base.delta_kb).min(sessions[i].remaining_kb());
@@ -260,21 +302,35 @@ impl MultiCellScenario {
                     }
                 }
             }
+            if rec.enabled() {
+                rec.record_sched_latency_ns(sched_ns);
+                rec.record_alloc(&combined_units);
+            }
 
             // Device accounting and delivery.
             for i in 0..n {
-                if delivered_kb[i] > 0.0 {
+                let slot_e = if delivered_kb[i] > 0.0 {
                     let accepted = sessions[i].deliver(delivered_kb[i]);
                     playback[i].deliver(accepted, rates[i]);
                     let e = base.models.power.transmission_energy(cur_sig[i], accepted);
-                    rrc[i].on_transmit();
+                    if rec.enabled() {
+                        rrc[i].on_transmit_observed(|f, t| rec.record_rrc_transition(i, f, t));
+                    } else {
+                        rrc[i].on_transmit();
+                    }
                     meters[i].record_transmission(e);
-                    slot_energy_mj += e.value();
+                    e.value()
                 } else {
-                    let e = rrc[i].on_idle(base.tau);
+                    let e = if rec.enabled() {
+                        rrc[i].on_idle_observed(base.tau, |f, t| rec.record_rrc_transition(i, f, t))
+                    } else {
+                        rrc[i].on_idle(base.tau)
+                    };
                     meters[i].record_tail(e);
-                    slot_energy_mj += e.value();
-                }
+                    e.value()
+                };
+                slot_energy_mj += slot_e;
+                rec.record_user(i, slot_e, playback[i].total_rebuffer_s());
                 if !finished[i] && sessions[i].fully_fetched() && playback[i].playback_complete() {
                     finished[i] = true;
                     unfinished -= 1;
@@ -299,11 +355,13 @@ impl MultiCellScenario {
                 }
                 power_series.push(slot_energy_mj / 1000.0);
             }
+            rec.end_slot();
 
             if unfinished == 0 {
                 break;
             }
         }
+        rec.end_run();
 
         let per_user = (0..n)
             .map(|i| UserResult {
@@ -332,6 +390,7 @@ impl MultiCellScenario {
                 fairness_series,
                 fairness_window_series: vec![],
                 power_series_j: power_series,
+                telemetry: rec.summary(),
             },
             handovers,
             mean_cell_occupancy: occupancy_sums

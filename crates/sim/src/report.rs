@@ -128,6 +128,47 @@ pub fn per_user_table(result: &crate::SimResult) -> Table {
     t
 }
 
+/// Cumulative energy/rebuffering curves from a run's telemetry summary —
+/// one row per emitted trace record, ready for CSV export or
+/// [`crate::svg_chart`]. The first column is the number of slots elapsed
+/// at that record (the end of its downsampling window).
+pub fn telemetry_curves_table(t: &crate::TelemetrySummary) -> Table {
+    let mut table = Table::new(vec!["slots", "cum_energy_j", "cum_rebuffer_s"]);
+    for (i, (e, r)) in t.cum_energy_mj.iter().zip(&t.cum_rebuffer_s).enumerate() {
+        let slots_elapsed = ((i as u64 + 1) * t.every).min(t.slots);
+        table.push(vec![slots_elapsed as f64, e / 1000.0, *r]);
+    }
+    table
+}
+
+/// Human-readable telemetry block for terminal output: scheduler latency
+/// quantiles, RRC dwell split and run totals.
+pub fn telemetry_text(t: &crate::TelemetrySummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "telemetry            : {} records over {} slots (every {})",
+        t.records, t.slots, t.every
+    );
+    let _ = writeln!(
+        out,
+        "  sched latency      : p50 {} ns, p95 {} ns, p99 {} ns, max {} ns",
+        t.sched_ns_p50, t.sched_ns_p95, t.sched_ns_p99, t.sched_ns_max
+    );
+    let _ = writeln!(
+        out,
+        "  rrc dwell          : DCH {:.1} s, FACH {:.1} s, IDLE {:.1} s ({} transitions)",
+        t.dwell_dch_s, t.dwell_fach_s, t.dwell_idle_s, t.rrc_transitions
+    );
+    let _ = write!(
+        out,
+        "  totals             : {:.2} kJ energy, {:.1} s rebuffering",
+        t.energy_mj_total / 1e6,
+        t.rebuffer_s_total
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +219,47 @@ mod tests {
         assert_eq!(format_cell(2.0), "2.000");
     }
 
+    fn sample_summary() -> crate::TelemetrySummary {
+        crate::TelemetrySummary {
+            slots: 10,
+            every: 4,
+            records: 3,
+            sched_ns_p50: 511,
+            sched_ns_p95: 1023,
+            sched_ns_p99: 1023,
+            sched_ns_max: 900,
+            dwell_dch_s: 12.0,
+            dwell_fach_s: 5.0,
+            dwell_idle_s: 3.0,
+            rrc_transitions: 4,
+            energy_mj_total: 6_000.0,
+            rebuffer_s_total: 2.5,
+            cum_energy_mj: vec![2_000.0, 4_000.0, 6_000.0],
+            cum_rebuffer_s: vec![1.0, 2.0, 2.5],
+        }
+    }
+
+    #[test]
+    fn telemetry_curves_table_tracks_windows() {
+        let t = telemetry_curves_table(&sample_summary());
+        assert_eq!(t.columns, vec!["slots", "cum_energy_j", "cum_rebuffer_s"]);
+        // Windows end at slots 4, 8 and (clamped) 10.
+        assert_eq!(t.rows[0][0], 4.0);
+        assert_eq!(t.rows[1][0], 8.0);
+        assert_eq!(t.rows[2][0], 10.0);
+        assert_eq!(t.rows[2][1], 6.0); // mJ → J
+        assert_eq!(t.rows[2][2], 2.5);
+    }
+
+    #[test]
+    fn telemetry_text_mentions_key_figures() {
+        let txt = telemetry_text(&sample_summary());
+        assert!(txt.contains("p50 511 ns"));
+        assert!(txt.contains("DCH 12.0 s"));
+        assert!(txt.contains("4 transitions"));
+        assert!(txt.contains("2.5 s rebuffering"));
+    }
+
     #[test]
     fn per_user_table_shape() {
         use crate::{SimResult, UserResult};
@@ -207,6 +289,7 @@ mod tests {
             fairness_series: vec![],
             fairness_window_series: vec![],
             power_series_j: vec![],
+            telemetry: None,
         };
         let t = per_user_table(&r);
         assert_eq!(t.rows.len(), 1);

@@ -6,6 +6,7 @@
 //! the raw totals and derives each view, so harness code never re-derives
 //! them inconsistently.
 
+use crate::telemetry::TelemetrySummary;
 use jmso_radio::EnergyBreakdown;
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +69,11 @@ pub struct SimResult {
     pub fairness_window_series: Vec<f64>,
     /// Per-slot total energy across users, joules (drives Fig. 7).
     pub power_series_j: Vec<f64>,
+    /// Telemetry digest (present when the run was traced; `None` under
+    /// the zero-overhead `NullRecorder`, so untraced results — and their
+    /// equality comparisons — are unaffected).
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl SimResult {
@@ -229,6 +235,7 @@ mod tests {
             fairness_series: vec![],
             fairness_window_series: vec![],
             power_series_j: vec![],
+            telemetry: None,
         }
     }
 
@@ -268,6 +275,7 @@ mod tests {
             fairness_series: vec![],
             fairness_window_series: vec![],
             power_series_j: vec![],
+            telemetry: None,
         };
         assert_eq!(r.pc_paper(), 0.0);
         assert_eq!(r.pe_paper_mj(), 0.0);

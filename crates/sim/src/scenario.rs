@@ -3,6 +3,7 @@
 
 use crate::engine::{Engine, EngineConfig};
 use crate::results::SimResult;
+use crate::telemetry::{SlotRecorder, SlotTrace, TraceRecorder};
 use jmso_gateway::bs::CapacitySpec;
 use jmso_gateway::{
     format_segment_request, CollectorSpec, DataReceiver, DpiClassifier, InformationCollector,
@@ -148,6 +149,30 @@ impl Scenario {
     pub fn run_reference(&self) -> Result<SimResult, String> {
         self.validate()?;
         Ok(self.build_engine(true).run_reference())
+    }
+
+    /// [`Scenario::run`] with a caller-supplied [`SlotRecorder`].
+    pub fn run_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<SimResult, String> {
+        self.validate()?;
+        Ok(self.build_engine(false).run_with(rec))
+    }
+
+    /// [`Scenario::run_reference`] with a caller-supplied
+    /// [`SlotRecorder`].
+    pub fn run_reference_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<SimResult, String> {
+        self.validate()?;
+        Ok(self.build_engine(true).run_reference_with(rec))
+    }
+
+    /// Run with a capturing [`TraceRecorder`] emitting one record per
+    /// `every` slots (see the downsampling contract in
+    /// [`crate::telemetry`]); returns the result (telemetry summary
+    /// attached) together with the trace.
+    pub fn run_traced(&self, every: u64) -> Result<(SimResult, SlotTrace), String> {
+        let mut rec = TraceRecorder::new().with_every(every);
+        let result = self.run_with(&mut rec)?;
+        let trace = rec.into_trace(&result.scheduler);
+        Ok((result, trace))
     }
 
     /// Parameter sanity checks with actionable messages.

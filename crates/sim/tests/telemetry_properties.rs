@@ -1,0 +1,195 @@
+//! Property tests for the telemetry subsystem: the trace is a *ledger* of
+//! the run, so its entries must reconcile exactly with the end-of-run
+//! aggregates in [`jmso_sim::SimResult`], survive downsampling, and be
+//! identical no matter which engine loop (active-set `run` or all-users
+//! `run_reference`) or EMA solver (deque DP or reference table DP)
+//! produced them.
+
+use jmso_sim::{
+    ArrivalSpec, CapacitySpec, Scenario, SchedulerSpec, SignalSpec, TraceRecorder, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SchedulerSpec> {
+    prop_oneof![
+        Just(SchedulerSpec::Default),
+        Just(SchedulerSpec::RtmaUnbounded),
+        (700.0f64..1300.0).prop_map(|phi_mj| SchedulerSpec::Rtma { phi_mj }),
+        (0.05f64..5.0).prop_map(SchedulerSpec::ema_fast),
+        (0.05f64..5.0).prop_map(SchedulerSpec::ema_dp),
+        Just(SchedulerSpec::RoundRobin),
+        Just(SchedulerSpec::pf_default()),
+    ]
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        1usize..6,         // users
+        50u64..250,        // slots
+        500.0f64..8_000.0, // capacity KB/s
+        500.0f64..4_000.0, // video size KB
+        arb_spec(),
+        0u64..1_000,                    // seed
+        prop::bool::ANY,                // markov vs sine signal
+        prop::bool::ANY,                // VBR vs CBR ladder
+        prop::option::of(1.0f64..30.0), // staggered arrivals
+    )
+        .prop_map(|(n, slots, cap, size, spec, seed, markov, vbr, stagger)| {
+            let mut s = Scenario::paper_default(n);
+            s.slots = slots;
+            s.capacity = CapacitySpec::Constant { kbps: cap };
+            s.workload = WorkloadSpec {
+                size_range_kb: (size, size * 1.5),
+                rate_range_kbps: (300.0, 600.0),
+                vbr_levels: vbr.then(|| vec![0.7, 1.0, 1.4]),
+                vbr_segment_slots: 20,
+            };
+            if markov {
+                s.signal = SignalSpec::Markov {
+                    min_dbm: -110.0,
+                    max_dbm: -50.0,
+                    levels: 16,
+                    move_prob: 0.3,
+                };
+            }
+            s.scheduler = spec;
+            s.seed = seed;
+            if let Some(mean) = stagger {
+                s.arrivals = ArrivalSpec::Staggered {
+                    mean_interval_slots: mean,
+                };
+            }
+            s
+        })
+}
+
+/// Relative float reconciliation: the trace sums per-slot charges in a
+/// different association order than the engine's running accumulators.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The four accounting invariants, under arbitrary downsampling:
+    ///
+    /// 1. per-user trace energy sums to the result's per-user totals;
+    /// 2. per-user rebuffering deltas telescope to the result's totals;
+    /// 3. every record's allocation fits the Eq. (2) budget it was cut
+    ///    from (`Σᵢ φᵢ ≤ cap`);
+    /// 4. the record count is exactly `⌈slots_run / every⌉`.
+    #[test]
+    fn trace_reconciles_with_result(scenario in arb_scenario(), every in 1u64..8) {
+        let (result, trace) = scenario.run_traced(every).unwrap();
+
+        prop_assert_eq!(trace.meta.slots, result.slots_run);
+        prop_assert_eq!(trace.meta.n_users, scenario.n_users);
+        prop_assert_eq!(
+            trace.records.len() as u64,
+            result.slots_run.div_ceil(every),
+            "one record per window, partial window flushed"
+        );
+
+        for r in &trace.records {
+            prop_assert_eq!(r.alloc.len(), scenario.n_users);
+            prop_assert!(r.alloc.iter().sum::<u64>() <= r.cap,
+                "slot {}: allocation exceeds BS budget", r.slot);
+            prop_assert!(r.q.is_empty() || r.q.len() == scenario.n_users);
+            prop_assert!(r.e_mj.iter().all(|&e| e >= 0.0));
+            prop_assert!(r.reb_s.iter().all(|&d| d >= -1e-12));
+        }
+
+        let e_by_user = trace.energy_by_user_mj();
+        let reb_by_user = trace.rebuffer_by_user_s();
+        for (i, u) in result.per_user.iter().enumerate() {
+            prop_assert!(close(e_by_user[i], u.energy.total().value()),
+                "user {i}: trace energy {} mJ vs result {} mJ",
+                e_by_user[i], u.energy.total().value());
+            prop_assert!(close(reb_by_user[i], u.rebuffer_s),
+                "user {i}: trace rebuffer {} s vs result {} s",
+                reb_by_user[i], u.rebuffer_s);
+        }
+
+        // The summary's run totals and cumulative curves agree too.
+        let t = result.telemetry.as_ref().unwrap();
+        prop_assert_eq!(t.records, trace.records.len() as u64);
+        prop_assert!(close(t.energy_mj_total, result.total_energy_kj() * 1e6));
+        prop_assert!(close(t.rebuffer_s_total, result.total_rebuffer_s()));
+        prop_assert_eq!(t.cum_energy_mj.len(), trace.records.len());
+        prop_assert!(close(*t.cum_energy_mj.last().unwrap(), t.energy_mj_total));
+        prop_assert!(close(*t.cum_rebuffer_s.last().unwrap(), t.rebuffer_s_total));
+        prop_assert!(t.cum_energy_mj.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        prop_assert!(t.cum_rebuffer_s.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        // Dwell covers every post-arrival user-slot exactly once; with
+        // immediate arrivals that's the full n·slots·τ rectangle.
+        let dwell = t.dwell_dch_s + t.dwell_fach_s + t.dwell_idle_s;
+        prop_assert!(close(
+            dwell,
+            scenario.n_users as f64 * result.slots_run as f64 * scenario.tau
+        ));
+    }
+
+    /// The active-set hot path and the all-users reference loop emit
+    /// bit-identical traces — per-slot allocations, queue values, energy,
+    /// rebuffering deltas and RRC transitions, not just end aggregates —
+    /// including under collector staleness and noise.
+    #[test]
+    fn run_and_reference_traces_identical(
+        scenario in arb_scenario(),
+        staleness in 0u64..5,
+        noisy in prop::bool::ANY,
+    ) {
+        let mut s = scenario;
+        s.collector.staleness_slots = staleness;
+        if noisy {
+            s.collector.signal_noise_std_db = 3.0;
+        }
+        let mut rec_a = TraceRecorder::new();
+        let mut rec_b = TraceRecorder::new();
+        let ra = s.run_with(&mut rec_a).unwrap();
+        let rb = s.run_reference_with(&mut rec_b).unwrap();
+        prop_assert_eq!(ra.per_user, rb.per_user);
+        prop_assert_eq!(rec_a.into_trace("x"), rec_b.into_trace("x"));
+    }
+
+    /// `reference_dp: true` (the O(states²) table solver) must produce the
+    /// exact per-slot trace of the deque-DP production solver.
+    #[test]
+    fn ema_dp_solvers_trace_identically(
+        scenario in arb_scenario(),
+        v in 0.05f64..5.0,
+    ) {
+        let mut fast = scenario;
+        fast.scheduler = SchedulerSpec::ema_dp(v);
+        let mut reference = fast.clone();
+        reference.scheduler = SchedulerSpec::ema_dp_reference(v);
+        let (rf, tf) = fast.run_traced(1).unwrap();
+        let (rr, tr) = reference.run_traced(1).unwrap();
+        prop_assert_eq!(rf.per_user, rr.per_user);
+        prop_assert_eq!(tf.records, tr.records);
+    }
+
+    /// Downsampling is lossless for the accounting fields: window sums at
+    /// `every = k` add up to the same per-user totals as the full trace,
+    /// and the run totals are bit-identical (they bypass the windows).
+    #[test]
+    fn downsampling_preserves_totals(scenario in arb_scenario(), every in 2u64..16) {
+        let (full_r, full) = scenario.run_traced(1).unwrap();
+        let (down_r, down) = scenario.run_traced(every).unwrap();
+        let tf = full_r.telemetry.as_ref().unwrap();
+        let td = down_r.telemetry.as_ref().unwrap();
+        prop_assert_eq!(tf.energy_mj_total, td.energy_mj_total);
+        prop_assert_eq!(tf.rebuffer_s_total, td.rebuffer_s_total);
+        prop_assert_eq!(tf.rrc_transitions, td.rrc_transitions);
+        prop_assert_eq!(tf.dwell_dch_s, td.dwell_dch_s);
+        for i in 0..scenario.n_users {
+            prop_assert!(close(full.energy_by_user_mj()[i], down.energy_by_user_mj()[i]));
+            prop_assert!(close(full.rebuffer_by_user_s()[i], down.rebuffer_by_user_s()[i]));
+        }
+        // Transition lists window-concatenate to the full sequence.
+        let full_rrc: Vec<_> = full.records.iter().flat_map(|r| r.rrc.clone()).collect();
+        let down_rrc: Vec<_> = down.records.iter().flat_map(|r| r.rrc.clone()).collect();
+        prop_assert_eq!(full_rrc, down_rrc);
+    }
+}

@@ -13,8 +13,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q
 
+# Golden-trace drift gate: the byte-equality tests above already diff
+# the committed traces; TRACE=1 additionally *regenerates* them from the
+# current engine and fails if the files changed, catching traces that
+# were hand-edited or left stale after an intentional model change.
+if [[ "${TRACE:-0}" == "1" ]]; then
+    echo "== golden trace regeneration (TRACE=1)"
+    scripts/regen-golden.sh
+    git diff --exit-code -- tests/golden
+fi
+
 # Opt-in perf gate: BENCH=1 scripts/check.sh additionally runs the
-# hotpath bench and diffs it against the committed BENCH_PR2.json
+# hotpath bench and diffs it against the committed BENCH_PR3.json
 # baseline (too noisy for every pre-commit run, so off by default).
 if [[ "${BENCH:-0}" == "1" ]]; then
     scripts/bench-regress.sh

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden slot traces under tests/golden/ from
+# the current engine. The scenario definitions live in
+# tests/golden_trace.rs (this script just reruns that harness with
+# REGEN_GOLDEN=1, so harness and generator can never disagree).
+#
+# Review the diff before committing: a golden change means the simulation
+# output changed, which is either an intentional model change or a bug.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REGEN_GOLDEN=1 cargo test -q --test golden_trace
+git --no-pager diff --stat -- tests/golden
+echo "Golden traces regenerated (diff above; empty means no drift)."

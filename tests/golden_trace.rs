@@ -1,0 +1,90 @@
+//! Golden-trace snapshot tests: two small contended scenarios (RTMA and
+//! EMA-DP, 3 users, 200 slots, seed 42) are traced every slot and the
+//! JSONL export is diffed byte-for-byte against committed files under
+//! `tests/golden/`.
+//!
+//! Any engine, scheduler, RRC or serialization change that shifts a
+//! single allocation unit, millijoule, queue value or float formatting
+//! decision shows up here as a line-level diff. To bless intentional
+//! changes run `scripts/regen-golden.sh` (which reruns this harness with
+//! `REGEN_GOLDEN=1` so the scenario definitions live in exactly one
+//! place) and review the diff before committing.
+
+use jmso_sim::{CapacitySpec, Scenario, SchedulerSpec, SlotTrace, WorkloadSpec};
+use std::path::PathBuf;
+
+/// The golden cell: 3 users at 300–600 KB/s competing for a constant
+/// 900 KB/s — undersized on purpose so allocation, rebuffering deltas and
+/// RRC transitions all stay busy for the whole 200-slot horizon.
+fn golden_scenario(spec: SchedulerSpec) -> Scenario {
+    let mut s = Scenario::paper_default(3);
+    s.slots = 200;
+    s.seed = 42;
+    s.capacity = CapacitySpec::Constant { kbps: 900.0 };
+    s.workload = WorkloadSpec {
+        size_range_kb: (60_000.0, 120_000.0),
+        rate_range_kbps: (300.0, 600.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    s.scheduler = spec;
+    s
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, spec: SchedulerSpec) {
+    let (result, trace) = golden_scenario(spec).run_traced(1).unwrap();
+    assert_eq!(trace.meta.slots, result.slots_run);
+    assert_eq!(trace.meta.n_users, 3);
+    let jsonl = trace.to_jsonl();
+
+    let path = golden_path(name);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &jsonl).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; run scripts/regen-golden.sh",
+            path.display()
+        )
+    });
+    if golden != jsonl {
+        // Point at the first diverging line instead of dumping both files.
+        for (i, (want, got)) in golden.lines().zip(jsonl.lines()).enumerate() {
+            assert_eq!(
+                want,
+                got,
+                "{name}: trace diverges from golden at line {} \
+                 (run scripts/regen-golden.sh to bless intentional changes)",
+                i + 1
+            );
+        }
+        panic!(
+            "{name}: trace length changed: golden has {} lines, new trace has {}",
+            golden.lines().count(),
+            jsonl.lines().count()
+        );
+    }
+
+    // The committed bytes must also parse back to the exact trace the run
+    // produced (guards the parser against schema drift the diff can't see).
+    assert_eq!(SlotTrace::from_jsonl(&golden).unwrap(), trace);
+}
+
+#[test]
+fn rtma_trace_matches_golden() {
+    check_golden("rtma.trace.jsonl", SchedulerSpec::RtmaUnbounded);
+}
+
+#[test]
+fn ema_trace_matches_golden() {
+    check_golden("ema.trace.jsonl", SchedulerSpec::ema_dp(1.0));
+}
