@@ -24,9 +24,7 @@ fn measure(scenario: &Scenario) -> Row {
     let cal = calibrate_default(scenario).expect("calibration");
     let default = scenario.run().expect("default");
     let rtma = scenario
-        .with_scheduler(SchedulerSpec::Rtma {
-            phi_mj: cal.phi_for_alpha(1.0),
-        })
+        .with_scheduler(SchedulerSpec::rtma(cal.phi_for_alpha(1.0)))
         .run()
         .expect("rtma");
     let ema = scenario
@@ -167,7 +165,11 @@ pub fn abl_tail() -> FigureOutput {
         .collect();
     let results = parallel_map(&cells, 0, |(v, tail)| {
         scenario
-            .with_scheduler(SchedulerSpec::EmaFast { v: *v, tail: *tail })
+            .with_scheduler(SchedulerSpec::EmaFast {
+                v: *v,
+                tail: *tail,
+                pc_clamp: None,
+            })
             .run()
             .expect("ema run")
     });

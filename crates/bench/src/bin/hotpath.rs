@@ -7,7 +7,7 @@
 //! {"sched": "EMA(V=1)", "slots_per_sec": 123456.7}
 //! ```
 //!
-//! The output is recorded as `BENCH_PR3.json` at the repo root so slot-loop
+//! The output is recorded as `BENCH_PR4.json` at the repo root so slot-loop
 //! regressions show up as a diff, without the Criterion machinery (or its
 //! multi-minute runtime); `scripts/bench-regress.sh` diffs a fresh run
 //! against that baseline. Timings cover the full `Engine::run` hot path —
@@ -25,7 +25,7 @@
 //! ratio against the plain Default row.
 
 use jmso_bench::common::paper_cell;
-use jmso_sim::{MultiCellScenario, Scenario, SchedulerSpec, TraceRecorder};
+use jmso_sim::{FaultEvent, FaultSpec, MultiCellScenario, Scenario, SchedulerSpec, TraceRecorder};
 use std::time::Instant;
 
 /// The paper cell with a bimodal-ish workload: sizes uniform in
@@ -49,7 +49,7 @@ fn main() {
     let specs = [
         SchedulerSpec::Default,
         SchedulerSpec::RtmaUnbounded,
-        SchedulerSpec::Rtma { phi_mj: 900.0 },
+        SchedulerSpec::rtma(900.0),
         SchedulerSpec::ema_dp(1.0),
         SchedulerSpec::ema_fast(1.0),
         SchedulerSpec::throttling_default(),
@@ -98,6 +98,48 @@ fn main() {
     let result = scenario.run_with(&mut rec).expect("traced run");
     report(
         "Default (traced)",
+        result.slots_run,
+        start.elapsed().as_secs_f64(),
+    );
+
+    // Fault-injection overhead row: the same Default cell with an active
+    // declared fault plan (deep fade, link outage, a capacity dip, one
+    // departure, one late arrival). The rows above all run the NoFaults
+    // path — which monomorphizes to the plain loop — so the faulted /
+    // plain ratio bounds the enabled FaultHook's cost on the hot loop.
+    let mut scenario = paper_cell(40, 375.0).with_seed(42);
+    scenario.faults = FaultSpec::Declared {
+        events: vec![
+            FaultEvent::DeepFade {
+                user: 3,
+                from_slot: 1_000,
+                until_slot: 3_000,
+                depth_db: 20.0,
+            },
+            FaultEvent::LinkOutage {
+                user: 7,
+                from_slot: 2_000,
+                until_slot: 4_000,
+            },
+            FaultEvent::CapDegradation {
+                from_slot: 5_000,
+                until_slot: 7_000,
+                factor: 0.6,
+            },
+            FaultEvent::Departure {
+                user: 11,
+                slot: 6_000,
+            },
+            FaultEvent::LateArrival {
+                user: 5,
+                delay_slots: 500,
+            },
+        ],
+    };
+    let start = Instant::now();
+    let result = scenario.run().expect("faulted run");
+    report(
+        "Default + faults",
         result.slots_run,
         start.elapsed().as_secs_f64(),
     );

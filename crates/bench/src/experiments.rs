@@ -76,9 +76,7 @@ pub fn exp_baselines() -> FigureOutput {
         let run = |spec: SchedulerSpec| scenario.with_scheduler(spec).run().expect("run");
         let rr = run(SchedulerSpec::RoundRobin);
         let pf = run(SchedulerSpec::pf_default());
-        let rtma = run(SchedulerSpec::Rtma {
-            phi_mj: cal.phi_for_alpha(1.0),
-        });
+        let rtma = run(SchedulerSpec::rtma(cal.phi_for_alpha(1.0)));
         let (v, _) =
             fit_v_for_omega(&scenario, cal.omega_for_beta(1.0), 0.02, 100.0, 9).expect("fit");
         let ema = run(SchedulerSpec::ema_fast(v));
@@ -174,9 +172,7 @@ pub fn exp_arrivals() -> FigureOutput {
         let cal = calibrate_default(&scenario).expect("calibration");
         let run = |spec: SchedulerSpec| scenario.with_scheduler(spec).run().expect("run");
         let default = run(SchedulerSpec::Default);
-        let rtma = run(SchedulerSpec::Rtma {
-            phi_mj: cal.phi_for_alpha(1.0),
-        });
+        let rtma = run(SchedulerSpec::rtma(cal.phi_for_alpha(1.0)));
         let ema = run(SchedulerSpec::ema_fast(0.5));
         vec![
             gap,
@@ -209,12 +205,7 @@ pub fn exp_startup() -> FigureOutput {
     let cal = calibrate_default(&scenario).expect("calibration");
     let specs: Vec<(f64, SchedulerSpec)> = vec![
         (0.0, SchedulerSpec::Default),
-        (
-            1.0,
-            SchedulerSpec::Rtma {
-                phi_mj: cal.phi_for_alpha(1.0),
-            },
-        ),
+        (1.0, SchedulerSpec::rtma(cal.phi_for_alpha(1.0))),
         (2.0, SchedulerSpec::ema_fast(0.5)),
         (3.0, SchedulerSpec::onoff_default()),
         (4.0, SchedulerSpec::estreamer_default()),

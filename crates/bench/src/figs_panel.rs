@@ -16,9 +16,7 @@ pub fn fig10() -> FigureOutput {
         let cal = calibrate_default(&scenario).expect("calibration");
         let run = |spec: SchedulerSpec| scenario.with_scheduler(spec).run().expect("fig10 run");
         let default = run(SchedulerSpec::Default);
-        let rtma = run(SchedulerSpec::Rtma {
-            phi_mj: cal.phi_for_alpha(1.0),
-        });
+        let rtma = run(SchedulerSpec::rtma(cal.phi_for_alpha(1.0)));
         let (v, _) =
             fit_v_for_omega(&scenario, cal.omega_for_beta(1.0), 0.02, 100.0, 9).expect("fit V");
         let ema = run(SchedulerSpec::ema_fast(v));
@@ -69,9 +67,7 @@ pub fn headline() -> FigureOutput {
     let onoff = run(SchedulerSpec::onoff_default());
     let salsa = run(SchedulerSpec::salsa_default());
     let estreamer = run(SchedulerSpec::estreamer_default());
-    let rtma = run(SchedulerSpec::Rtma {
-        phi_mj: cal.phi_for_alpha(1.0),
-    });
+    let rtma = run(SchedulerSpec::rtma(cal.phi_for_alpha(1.0)));
     // The paper's two EMA claims use two different bounds: the ≥48 % vs
     // Default/SALSA claim is at β = 1 (Ω = Default's rebuffering, §VI-B
     // Fig. 8); the ≥27 % vs EStreamer claim sets Ω to EStreamer's

@@ -15,9 +15,7 @@ fn cdf_cell() -> Scenario {
 
 fn rtma_spec(scenario: &Scenario, alpha: f64) -> SchedulerSpec {
     let cal = calibrate_default(scenario).expect("calibration");
-    SchedulerSpec::Rtma {
-        phi_mj: cal.phi_for_alpha(alpha),
-    }
+    SchedulerSpec::rtma(cal.phi_for_alpha(alpha))
 }
 
 fn run_pair(scenario: &Scenario, spec: SchedulerSpec) -> (SimResult, SimResult) {
@@ -81,15 +79,9 @@ fn fig4_body(
         vec![
             *x,
             run(SchedulerSpec::Default),
-            run(SchedulerSpec::Rtma {
-                phi_mj: cal.phi_for_alpha(1.2),
-            }),
-            run(SchedulerSpec::Rtma {
-                phi_mj: cal.phi_for_alpha(1.0),
-            }),
-            run(SchedulerSpec::Rtma {
-                phi_mj: cal.phi_for_alpha(0.8),
-            }),
+            run(SchedulerSpec::rtma(cal.phi_for_alpha(1.2))),
+            run(SchedulerSpec::rtma(cal.phi_for_alpha(1.0))),
+            run(SchedulerSpec::rtma(cal.phi_for_alpha(0.8))),
         ]
     });
     let mut table = Table::new(vec![
@@ -149,9 +141,7 @@ pub fn fig5() -> (FigureOutput, FigureOutput) {
             stats(SchedulerSpec::Default),
             stats(SchedulerSpec::throttling_default()),
             stats(SchedulerSpec::onoff_default()),
-            stats(SchedulerSpec::Rtma {
-                phi_mj: cal.phi_for_alpha(1.0),
-            }),
+            stats(SchedulerSpec::rtma(cal.phi_for_alpha(1.0))),
         )
     });
 

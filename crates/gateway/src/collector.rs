@@ -21,7 +21,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Ground-truth per-user state the simulator hands to the collector.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RawUserState {
     /// True RSSI this slot.
     pub signal: Dbm,
@@ -189,6 +189,40 @@ impl InformationCollector {
             };
         }
     }
+
+    /// Snapshot the collector's mutable state (signal cache + noise RNG)
+    /// for a checkpoint.
+    pub fn export_state(&self) -> CollectorState {
+        let [a, b, c, d] = self.rng.state();
+        CollectorState {
+            cached_signal: self.cached_signal.clone(),
+            rng: (a, b, c, d),
+        }
+    }
+
+    /// Restore state captured by [`InformationCollector::export_state`].
+    pub fn import_state(&mut self, state: &CollectorState) -> Result<(), String> {
+        if state.cached_signal.len() != self.cached_signal.len() {
+            return Err(format!(
+                "collector checkpoint has {} users, collector has {}",
+                state.cached_signal.len(),
+                self.cached_signal.len()
+            ));
+        }
+        self.cached_signal.clone_from(&state.cached_signal);
+        let (a, b, c, d) = state.rng;
+        self.rng = StdRng::from_state([a, b, c, d]);
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of an [`InformationCollector`]'s mutable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectorState {
+    /// Last reported signal per user.
+    pub cached_signal: Vec<Option<Dbm>>,
+    /// Noise generator position (xoshiro256++ state words).
+    pub rng: (u64, u64, u64, u64),
 }
 
 #[cfg(test)]

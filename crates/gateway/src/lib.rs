@@ -23,9 +23,9 @@ pub mod shard;
 pub mod transmitter;
 
 pub use bs::{CapacityModel, ConstantCapacity, DiurnalCapacity, OutageCapacity, TraceCapacity};
-pub use collector::{CollectorSpec, InformationCollector};
+pub use collector::{CollectorSpec, CollectorState, InformationCollector};
 pub use dpi::{format_segment_request, DpiClassifier, DpiError, FlowInfo};
-pub use receiver::{DataReceiver, FlowClass, OriginModel};
-pub use scheduler::{Allocation, Scheduler, SlotContext, UserSnapshot};
+pub use receiver::{DataReceiver, FlowClass, FlowState, OriginModel};
+pub use scheduler::{Allocation, DegradationEvent, Scheduler, SlotContext, UserSnapshot};
 pub use shard::UnitParams;
 pub use transmitter::{DataTransmitter, Delivery};

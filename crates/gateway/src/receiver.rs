@@ -198,6 +198,44 @@ impl DataReceiver {
         }
         (take, chunks)
     }
+
+    /// Snapshot every flow's queue state for a checkpoint. Payload chunks
+    /// are not captured: payload mode is a test fixture, not a simulation
+    /// mode, and resuming it would require shipping raw bytes.
+    pub fn export_state(&self) -> Vec<FlowState> {
+        self.flows
+            .iter()
+            .map(|f| FlowState {
+                backlog_kb: f.backlog_kb,
+                remaining_source_kb: f.remaining_source_kb,
+            })
+            .collect()
+    }
+
+    /// Restore queue state captured by [`DataReceiver::export_state`].
+    pub fn import_state(&mut self, state: &[FlowState]) -> Result<(), String> {
+        if state.len() != self.flows.len() {
+            return Err(format!(
+                "receiver checkpoint has {} flows, receiver has {}",
+                state.len(),
+                self.flows.len()
+            ));
+        }
+        for (f, s) in self.flows.iter_mut().zip(state) {
+            f.backlog_kb = s.backlog_kb;
+            f.remaining_source_kb = s.remaining_source_kb;
+        }
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of one flow's queue state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowState {
+    /// KB buffered at the gateway.
+    pub backlog_kb: f64,
+    /// KB the origin will still supply (`None` = unbounded).
+    pub remaining_source_kb: Option<f64>,
 }
 
 #[cfg(test)]

@@ -10,9 +10,10 @@
 
 use jmso_radio::rrc::RrcState;
 use jmso_radio::Dbm;
+use serde::{Deserialize, Serialize};
 
 /// Per-user cross-layer state visible to the gateway in one slot.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UserSnapshot {
     /// Stable user index in `[0, N)`.
     pub id: usize,
@@ -118,6 +119,38 @@ impl Allocation {
     }
 }
 
+/// A graceful-degradation decision a scheduler took because its nominal
+/// policy was infeasible under the slot's (possibly faulted) conditions.
+///
+/// Events are diagnostic: the allocation pipeline never reads them, but
+/// the engine forwards them to the telemetry recorder so traces show when
+/// and why a policy departed from its paper-exact behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum DegradationEvent {
+    /// RTMA's Eq. (12) threshold left demand unserved under a degraded
+    /// cap, and the policy re-ran a best-effort sweep ignoring the
+    /// threshold.
+    RtmaBestEffort {
+        /// Slot on which the fallback fired.
+        slot: u64,
+        /// Units the threshold-respecting sweep left unallocated.
+        units_recovered: u64,
+    },
+    /// EMA clamped a virtual queue `PCᵢ(n)` that exceeded the configured
+    /// saturation bound under prolonged outage.
+    QueueClamped {
+        /// Slot on which the clamp fired.
+        slot: u64,
+        /// User whose queue was clamped.
+        user: usize,
+        /// The unclamped queue value.
+        pc_before: f64,
+        /// The bound it was clamped to.
+        pc_after: f64,
+    },
+}
+
 /// A per-slot allocation policy (the paper's Scheduler component).
 ///
 /// Policies implement [`Scheduler::allocate_into`], writing into a
@@ -152,6 +185,33 @@ pub trait Scheduler: Send {
     /// diagnostic only — nothing in the allocation pipeline reads them.
     fn queue_values(&self) -> Option<&[f64]> {
         None
+    }
+
+    /// Degradation events emitted by the latest
+    /// [`Scheduler::allocate_into`] call (cleared at the start of each
+    /// call). Policies without fallback behaviour keep the default empty
+    /// slice.
+    fn degradations(&self) -> &[DegradationEvent] {
+        &[]
+    }
+
+    /// Serialize the policy's mutable state (virtual queues, …) for a
+    /// checkpoint. Stateless policies return `Some(String::new())`; a
+    /// policy that cannot be checkpointed returns `None`.
+    fn export_state(&self) -> Option<String> {
+        Some(String::new())
+    }
+
+    /// Restore state captured by [`Scheduler::export_state`].
+    fn import_state(&mut self, state: &str) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "scheduler {} holds no state but checkpoint carries some",
+                self.name()
+            ))
+        }
     }
 }
 

@@ -35,6 +35,11 @@ impl DataTransmitter {
         self.clamp_events
     }
 
+    /// Overwrite the clamp counter (checkpoint restore).
+    pub fn restore_clamp_events(&mut self, n: u64) {
+        self.clamp_events = n;
+    }
+
     /// Enforce constraints and move bytes out of the receiver queues,
     /// writing one [`Delivery`] per user into a caller-owned buffer (the
     /// engine's zero-allocation hot path).

@@ -186,6 +186,15 @@ impl ClientPlayback {
     pub fn tau(&self) -> f64 {
         self.tau
     }
+
+    /// Abandon the session mid-stream (user churn): truncate `Mᵢ` to the
+    /// seconds already watched, so playback is complete from the next
+    /// [`Self::begin_slot`] on and no further rebuffering accrues.
+    pub fn abandon(&mut self) {
+        self.total_playback_s = self.played_s;
+        self.occupancy_s = 0.0;
+        self.pending_s = 0.0;
+    }
 }
 
 #[cfg(test)]

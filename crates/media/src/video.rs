@@ -113,6 +113,13 @@ impl VideoSession {
     pub fn rate_at(&self, slot: u64) -> f64 {
         self.bitrate.rate_at(slot)
     }
+
+    /// Cancel the unfetched remainder (user churn): truncate `total_kb` to
+    /// what has been received, so the session is fully fetched and the
+    /// gateway stops scheduling data for it.
+    pub fn cancel_remaining(&mut self) {
+        self.total_kb = self.received_kb;
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,7 @@ impl std::iter::Sum for EnergyBreakdown {
 }
 
 /// Accumulating per-device meter.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyMeter {
     acc: EnergyBreakdown,
     slots_transmitting: u64,

@@ -153,7 +153,7 @@ pub fn tail_energy_between(cfg: &RrcConfig, from: f64, to: f64) -> MilliJoules {
 /// radio.on_transmit(); // any data promotes straight back to DCH
 /// assert_eq!(radio.state(), RrcState::Dch);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RrcMachine {
     cfg: RrcConfig,
     /// Seconds since the end of the last transmission.

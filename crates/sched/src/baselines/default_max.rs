@@ -47,7 +47,7 @@ mod tests {
         let c = ctx(&users, 400);
         let a = d.allocate(&c);
         assert_eq!(a.0, vec![30, 30]);
-        a.validate(&c).unwrap();
+        a.validate(&c).expect("valid allocation");
     }
 
     #[test]

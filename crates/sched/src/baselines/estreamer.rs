@@ -140,7 +140,7 @@ mod tests {
         let mut e = EStreamer::paper_default();
         let c = ctx(&users, 120);
         let a = e.allocate(&c);
-        a.validate(&c).unwrap();
+        a.validate(&c).expect("valid allocation");
         assert_eq!(a.total_units(), 120, "bursting users saturate the BS");
     }
 

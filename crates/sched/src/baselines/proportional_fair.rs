@@ -133,7 +133,7 @@ mod tests {
         let mut pf = ProportionalFair::paper_default();
         let c = ctx(&users, 70);
         let a = pf.allocate(&c);
-        a.validate(&c).unwrap();
+        a.validate(&c).expect("valid allocation");
         assert_eq!(a.total_units(), 70, "work conserving under load");
     }
 

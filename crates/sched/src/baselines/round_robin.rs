@@ -108,7 +108,7 @@ mod tests {
         let c = ctx(&users, 100);
         let a = rr.allocate(&c);
         assert_eq!(a.total_units(), 60, "both users at link cap");
-        a.validate(&c).unwrap();
+        a.validate(&c).expect("valid allocation");
     }
 
     #[test]

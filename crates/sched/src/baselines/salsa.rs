@@ -126,6 +126,6 @@ mod tests {
         let c = ctx(&users, 60);
         let a = s.allocate(&c);
         assert!(a.total_units() <= 60);
-        a.validate(&c).unwrap();
+        a.validate(&c).expect("valid allocation");
     }
 }

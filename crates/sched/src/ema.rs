@@ -31,7 +31,7 @@
 
 use crate::cost::{CrossLayerModels, EmaCost, TailPricing};
 use crate::lyapunov::VirtualQueues;
-use jmso_gateway::{Allocation, Scheduler, SlotContext};
+use jmso_gateway::{Allocation, DegradationEvent, Scheduler, SlotContext};
 use std::collections::VecDeque;
 
 /// The EMA policy (exact DP form of Algorithm 2).
@@ -44,6 +44,8 @@ pub struct Ema {
     parts: Vec<SlotUser>,
     scratch: DpScratch,
     reference_dp: bool,
+    pc_clamp: Option<f64>,
+    events: Vec<DegradationEvent>,
 }
 
 impl Ema {
@@ -59,6 +61,8 @@ impl Ema {
             parts: Vec::new(),
             scratch: DpScratch::default(),
             reference_dp: false,
+            pc_clamp: None,
+            events: Vec::new(),
         }
     }
 
@@ -77,6 +81,19 @@ impl Ema {
         self
     }
 
+    /// Saturate every virtual queue at `bound` seconds (graceful
+    /// degradation under prolonged outage). `None` (the default) keeps
+    /// the paper-exact unbounded queues; each clamp firing emits a
+    /// [`DegradationEvent::QueueClamped`].
+    pub fn with_pc_clamp(mut self, pc_clamp: Option<f64>) -> Self {
+        assert!(
+            pc_clamp.is_none_or(|b| b > 0.0),
+            "PC clamp must be positive"
+        );
+        self.pc_clamp = pc_clamp;
+        self
+    }
+
     /// The Lyapunov weight `V`.
     pub fn v(&self) -> f64 {
         self.v
@@ -90,6 +107,27 @@ impl Ema {
     fn ensure_queues(&mut self, n: usize) {
         if self.queues.len() != n {
             self.queues = VirtualQueues::new(n);
+        }
+    }
+}
+
+/// Shared post-allocation step for both EMA solvers: saturate queues at
+/// `bound` and record one [`DegradationEvent::QueueClamped`] per firing.
+pub(crate) fn clamp_queues(
+    queues: &mut VirtualQueues,
+    bound: Option<f64>,
+    slot: u64,
+    events: &mut Vec<DegradationEvent>,
+) {
+    let Some(bound) = bound else { return };
+    for user in 0..queues.len() {
+        if let Some(pc_before) = queues.clamp(user, bound) {
+            events.push(DegradationEvent::QueueClamped {
+                slot,
+                user,
+                pc_before,
+                pc_after: bound,
+            });
         }
     }
 }
@@ -362,6 +400,7 @@ impl Scheduler for Ema {
 
     fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         self.ensure_queues(ctx.users.len());
+        self.events.clear();
         out.reset(ctx.users.len());
         let cost = EmaCost::with_pricing(self.v, &self.models, ctx, self.tail_pricing);
         slot_users_into(&cost, ctx, &self.queues, &mut self.parts);
@@ -377,10 +416,24 @@ impl Scheduler for Ema {
             }
         }
         self.queues.apply_allocation(ctx, &out.0);
+        clamp_queues(&mut self.queues, self.pc_clamp, ctx.slot, &mut self.events);
     }
 
     fn queue_values(&self) -> Option<&[f64]> {
         Some(self.queues.values())
+    }
+
+    fn degradations(&self) -> &[DegradationEvent] {
+        &self.events
+    }
+
+    fn export_state(&self) -> Option<String> {
+        serde_json::to_string(&self.queues).ok()
+    }
+
+    fn import_state(&mut self, state: &str) -> Result<(), String> {
+        self.queues = serde_json::from_str(state).map_err(|e| format!("EMA queues: {e}"))?;
+        Ok(())
     }
 }
 
@@ -424,7 +477,7 @@ mod tests {
         let mut e = Ema::new(1.0, CrossLayerModels::paper());
         let c = ctx(&users, 70);
         let a = e.allocate(&c);
-        a.validate(&c).unwrap();
+        a.validate(&c).expect("valid allocation");
     }
 
     /// First slot, all queues zero: transmitting costs energy and buys no
@@ -620,6 +673,47 @@ mod tests {
         assert_eq!(e.queues().get(0), 0.0, "inactive user's queue frozen");
         let t1 = c.playback_seconds(a.0[1], 500.0);
         assert!((e.queues().get(1) - (1.0 - t1)).abs() < 1e-12);
+    }
+
+    /// The PC clamp saturates a starving user's queue and reports it; the
+    /// default (no clamp) lets the queue grow without bound.
+    #[test]
+    fn pc_clamp_saturates_and_reports() {
+        let users = vec![user(0, -70.0, 450.0, 40)];
+        let starving = ctx(&users, 0); // outage: zero BS capacity
+        let mut unclamped = Ema::new(1.0, CrossLayerModels::paper());
+        let mut clamped = Ema::new(1.0, CrossLayerModels::paper()).with_pc_clamp(Some(5.0));
+        for _ in 0..12 {
+            let _ = unclamped.allocate(&starving);
+            let _ = clamped.allocate(&starving);
+        }
+        assert_eq!(unclamped.queues().get(0), 12.0);
+        assert_eq!(clamped.queues().get(0), 5.0);
+        assert_eq!(
+            clamped.degradations(),
+            &[DegradationEvent::QueueClamped {
+                slot: 0,
+                user: 0,
+                pc_before: 6.0,
+                pc_after: 5.0,
+            }]
+        );
+    }
+
+    /// Exported queue state round-trips through `import_state`.
+    #[test]
+    fn queue_state_roundtrip() {
+        let users = vec![user(0, -70.0, 450.0, 40), user(1, -85.0, 300.0, 20)];
+        let c = ctx(&users, 8);
+        let mut a = Ema::new(1.0, CrossLayerModels::paper());
+        for _ in 0..5 {
+            let _ = a.allocate(&c);
+        }
+        let state = a.export_state().expect("EMA exports state");
+        let mut b = Ema::new(1.0, CrossLayerModels::paper());
+        b.import_state(&state).expect("state imports");
+        assert_eq!(a.queues(), b.queues());
+        assert_eq!(a.allocate(&c), b.allocate(&c));
     }
 
     /// Empty context works.

@@ -15,9 +15,9 @@
 //! and how much wall-clock the structure saves.
 
 use crate::cost::{CrossLayerModels, EmaCost, TailPricing};
-use crate::ema::{slot_users_into, SlotUser};
+use crate::ema::{clamp_queues, slot_users_into, SlotUser};
 use crate::lyapunov::VirtualQueues;
-use jmso_gateway::{Allocation, Scheduler, SlotContext};
+use jmso_gateway::{Allocation, DegradationEvent, Scheduler, SlotContext};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -142,6 +142,8 @@ pub struct EmaFast {
     queues: VirtualQueues,
     parts: Vec<SlotUser>,
     scratch: GreedyScratch,
+    pc_clamp: Option<f64>,
+    events: Vec<DegradationEvent>,
 }
 
 impl EmaFast {
@@ -155,12 +157,25 @@ impl EmaFast {
             queues: VirtualQueues::new(0),
             parts: Vec::new(),
             scratch: GreedyScratch::default(),
+            pc_clamp: None,
+            events: Vec::new(),
         }
     }
 
     /// Override how idle slots are priced (see [`TailPricing`]).
     pub fn with_tail_pricing(mut self, tail_pricing: TailPricing) -> Self {
         self.tail_pricing = tail_pricing;
+        self
+    }
+
+    /// Saturate every virtual queue at `bound` seconds (see
+    /// [`crate::Ema::with_pc_clamp`]).
+    pub fn with_pc_clamp(mut self, pc_clamp: Option<f64>) -> Self {
+        assert!(
+            pc_clamp.is_none_or(|b| b > 0.0),
+            "PC clamp must be positive"
+        );
+        self.pc_clamp = pc_clamp;
         self
     }
 
@@ -184,6 +199,7 @@ impl Scheduler for EmaFast {
         if self.queues.len() != ctx.users.len() {
             self.queues = VirtualQueues::new(ctx.users.len());
         }
+        self.events.clear();
         out.reset(ctx.users.len());
         let cost = EmaCost::with_pricing(self.v, &self.models, ctx, self.tail_pricing);
         slot_users_into(&cost, ctx, &self.queues, &mut self.parts);
@@ -192,10 +208,24 @@ impl Scheduler for EmaFast {
             out.0[part.id] = units;
         }
         self.queues.apply_allocation(ctx, &out.0);
+        clamp_queues(&mut self.queues, self.pc_clamp, ctx.slot, &mut self.events);
     }
 
     fn queue_values(&self) -> Option<&[f64]> {
         Some(self.queues.values())
+    }
+
+    fn degradations(&self) -> &[DegradationEvent] {
+        &self.events
+    }
+
+    fn export_state(&self) -> Option<String> {
+        serde_json::to_string(&self.queues).ok()
+    }
+
+    fn import_state(&mut self, state: &str) -> Result<(), String> {
+        self.queues = serde_json::from_str(state).map_err(|e| format!("EMA queues: {e}"))?;
+        Ok(())
     }
 }
 
@@ -309,8 +339,8 @@ mod tests {
             c.slot = slot;
             let a_dp = dp_pol.allocate(&c);
             let a_fast = fast_pol.allocate(&c);
-            a_dp.validate(&c).unwrap();
-            a_fast.validate(&c).unwrap();
+            a_dp.validate(&c).expect("valid allocation");
+            a_fast.validate(&c).expect("valid allocation");
             assert!(
                 (dp_pol.queues().total() - fast_pol.queues().total()).abs() < 1e-6,
                 "queue trajectories diverged at slot {slot}"

@@ -86,6 +86,21 @@ impl VirtualQueues {
         }
     }
 
+    /// Saturate user `i`'s queue at `bound` (graceful degradation under
+    /// prolonged outage: unbounded `PCᵢ` growth would otherwise make EMA
+    /// over-serve one user for many slots once the link returns). Returns
+    /// the pre-clamp value when the clamp actually fired.
+    #[inline]
+    pub fn clamp(&mut self, i: usize, bound: f64) -> Option<f64> {
+        let before = self.pc[i];
+        if before > bound {
+            self.pc[i] = bound;
+            Some(before)
+        } else {
+            None
+        }
+    }
+
     /// The Lyapunov function `L(n) = ½ Σ PCᵢ²` (Eq. (17)).
     pub fn lyapunov(&self) -> f64 {
         0.5 * self.pc.iter().map(|x| x * x).sum::<f64>()

@@ -13,10 +13,19 @@
 //!
 //! The tranche-per-sweep structure is what produces RTMA's fairness
 //! (Fig. 2): early users cannot seize the whole BS budget in one pass.
+//!
+//! **Degraded-cap fallback.** When every remaining demander sits below the
+//! Eq. (12) threshold (a deep fade or cell degradation can push the whole
+//! population there), the paper-exact policy starves everyone. With
+//! [`Rtma::with_best_effort`] enabled, RTMA instead re-runs the tranche
+//! sweep ignoring the threshold on whatever budget is left, and reports
+//! the departure from nominal behaviour as a
+//! [`DegradationEvent::RtmaBestEffort`]. The fallback is off by default so
+//! the threshold semantics (and every golden trace) are unchanged.
 
 use crate::cost::CrossLayerModels;
 use crate::threshold::SignalThreshold;
-use jmso_gateway::{Allocation, Scheduler, SlotContext};
+use jmso_gateway::{Allocation, DegradationEvent, Scheduler, SlotContext};
 use jmso_radio::MilliJoules;
 
 /// The RTMA policy.
@@ -37,6 +46,10 @@ use jmso_radio::MilliJoules;
 #[derive(Debug, Clone)]
 pub struct Rtma {
     threshold: SignalThreshold,
+    /// When the threshold leaves budget unservable, re-sweep ignoring it.
+    best_effort: bool,
+    /// Degradation events of the latest slot.
+    events: Vec<DegradationEvent>,
     // Reusable per-slot scratch (sorted order, needs, ceilings) so the
     // engine hot path allocates nothing in steady state.
     order: Vec<usize>,
@@ -51,6 +64,8 @@ impl Rtma {
     pub fn with_threshold(threshold: SignalThreshold) -> Self {
         Self {
             threshold,
+            best_effort: false,
+            events: Vec::new(),
             order: Vec::new(),
             need: Vec::new(),
             ceiling: Vec::new(),
@@ -71,9 +86,62 @@ impl Rtma {
         Self::with_threshold(SignalThreshold::allow_all())
     }
 
+    /// Enable (or disable) the best-effort fallback sweep that ignores the
+    /// Eq. (12) threshold when budget would otherwise go unserved. Off by
+    /// default; each firing emits a [`DegradationEvent::RtmaBestEffort`].
+    pub fn with_best_effort(mut self, best_effort: bool) -> Self {
+        self.best_effort = best_effort;
+        self
+    }
+
     /// The admission threshold in force.
     pub fn threshold(&self) -> SignalThreshold {
         self.threshold
+    }
+}
+
+/// Steps 4–15 of Algorithm 1: sweep the sorted users granting one
+/// need-tranche each until `budget` is exhausted or nothing moves.
+/// `threshold: None` runs the best-effort variant with no admission rule.
+fn sweep_tranches(
+    order: &[usize],
+    need: &[u64],
+    ceiling: &[u64],
+    ctx: &SlotContext,
+    threshold: Option<SignalThreshold>,
+    alloc: &mut [u64],
+    budget: &mut u64,
+) {
+    while *budget > 0 {
+        let mut progressed = false;
+        for &i in order {
+            if *budget == 0 {
+                break;
+            }
+            let u = &ctx.users[i];
+            if !u.active && u.remaining_kb <= 0.0 {
+                continue;
+            }
+            // Step 6: the Eq. (12) energy admission rule.
+            if let Some(t) = threshold {
+                if !t.allows(u.signal) {
+                    continue;
+                }
+            }
+            // Step 7: φ_sup = remaining headroom under Eq. (1)/(2).
+            let sup = (ceiling[i] - alloc[i]).min(*budget);
+            if sup == 0 {
+                continue;
+            }
+            // Steps 8–12: grant one need-tranche, or whatever is left.
+            let grant = need[i].max(1).min(sup);
+            alloc[i] += grant;
+            *budget -= grant;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
     }
 }
 
@@ -85,6 +153,7 @@ impl Scheduler for Rtma {
     fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         let n = ctx.users.len();
         out.reset(n);
+        self.events.clear();
         let alloc = &mut out.0;
         let mut budget = ctx.bs_cap_units;
 
@@ -125,40 +194,47 @@ impl Scheduler for Rtma {
                     .map(|(&n, &c)| if c == 0 { 0.0 } else { n as f64 }),
             );
 
-        // Steps 4–15: sweep until the budget is gone or nothing moves.
-        while budget > 0 {
-            let mut progressed = false;
-            for &i in &self.order {
-                if budget == 0 {
-                    break;
-                }
-                let u = &ctx.users[i];
-                if !u.active && u.remaining_kb <= 0.0 {
-                    continue;
-                }
-                // Step 6: the Eq. (12) energy admission rule.
-                if !self.threshold.allows(u.signal) {
-                    continue;
-                }
-                // Step 7: φ_sup = remaining headroom under Eq. (1)/(2).
-                let sup = (self.ceiling[i] - alloc[i]).min(budget);
-                if sup == 0 {
-                    continue;
-                }
-                // Steps 8–12: grant one need-tranche, or whatever is left.
-                let grant = self.need[i].max(1).min(sup);
-                alloc[i] += grant;
-                budget -= grant;
-                progressed = true;
-            }
-            if !progressed {
-                break;
+        sweep_tranches(
+            &self.order,
+            &self.need,
+            &self.ceiling,
+            ctx,
+            Some(self.threshold),
+            alloc,
+            &mut budget,
+        );
+
+        // Degraded-cap fallback: budget is left, and the only reason can
+        // be the admission threshold (the nominal sweep only stops with
+        // budget when no admitted user can take more). Serve the blocked
+        // demand best-effort and report the departure from Alg. 1.
+        if self.best_effort && budget > 0 {
+            let before = budget;
+            sweep_tranches(
+                &self.order,
+                &self.need,
+                &self.ceiling,
+                ctx,
+                None,
+                alloc,
+                &mut budget,
+            );
+            let units_recovered = before - budget;
+            if units_recovered > 0 {
+                self.events.push(DegradationEvent::RtmaBestEffort {
+                    slot: ctx.slot,
+                    units_recovered,
+                });
             }
         }
     }
 
     fn queue_values(&self) -> Option<&[f64]> {
         Some(&self.need_f64)
+    }
+
+    fn degradations(&self) -> &[DegradationEvent] {
+        &self.events
     }
 }
 
@@ -204,7 +280,7 @@ mod tests {
         let a = r.allocate(&ctx(&users, 400));
         assert!(a.0[0] >= 6);
         assert!(a.0[1] >= 12);
-        a.validate(&ctx(&users, 400)).unwrap();
+        a.validate(&ctx(&users, 400)).expect("valid allocation");
     }
 
     /// Under scarcity, the low-rate user's need is served first.
@@ -261,7 +337,7 @@ mod tests {
         let c = ctx(&users, 55);
         let a = r.allocate(&c);
         assert_eq!(a.total_units(), 55);
-        a.validate(&c).unwrap();
+        a.validate(&c).expect("valid allocation");
     }
 
     /// Users with nothing left to fetch get nothing.
@@ -294,6 +370,53 @@ mod tests {
         let mut r = Rtma::with_threshold(SignalThreshold { min_dbm: -60.0 });
         let a = r.allocate(&ctx(&users, 400));
         assert_eq!(a.total_units(), 0);
+        assert!(r.degradations().is_empty(), "fallback is opt-in");
+    }
+
+    /// Best-effort fallback serves threshold-blocked users and reports a
+    /// degradation event; admitted users are unaffected.
+    #[test]
+    fn best_effort_serves_blocked_users() {
+        let users = vec![user(0, -100.0, 300.0, 50), user(1, -105.0, 450.0, 50)];
+        let mut r = Rtma::with_threshold(SignalThreshold { min_dbm: -60.0 }).with_best_effort(true);
+        let c = ctx(&users, 400);
+        let a = r.allocate(&c);
+        assert_eq!(a.total_units(), 100, "blocked demand served best-effort");
+        a.validate(&c).expect("valid allocation");
+        assert_eq!(
+            r.degradations(),
+            &[DegradationEvent::RtmaBestEffort {
+                slot: 0,
+                units_recovered: 100,
+            }]
+        );
+    }
+
+    /// When the nominal sweep already uses the whole budget, the fallback
+    /// stays silent — no event, identical allocation.
+    #[test]
+    fn best_effort_silent_when_nominal_feasible() {
+        let users = vec![user(0, -70.0, 300.0, 40), user(1, -72.0, 300.0, 40)];
+        let mut nominal = Rtma::with_threshold(SignalThreshold { min_dbm: -80.0 });
+        let mut fallback =
+            Rtma::with_threshold(SignalThreshold { min_dbm: -80.0 }).with_best_effort(true);
+        let c = ctx(&users, 60);
+        let a = nominal.allocate(&c);
+        let b = fallback.allocate(&c);
+        assert_eq!(a, b);
+        assert!(fallback.degradations().is_empty());
+    }
+
+    /// Events are cleared between slots.
+    #[test]
+    fn events_reset_each_slot() {
+        let blocked = vec![user(0, -100.0, 300.0, 50)];
+        let fine = vec![user(0, -60.0, 300.0, 50)];
+        let mut r = Rtma::with_threshold(SignalThreshold { min_dbm: -80.0 }).with_best_effort(true);
+        let _ = r.allocate(&ctx(&blocked, 10));
+        assert_eq!(r.degradations().len(), 1);
+        let _ = r.allocate(&ctx(&fine, 10));
+        assert!(r.degradations().is_empty());
     }
 
     /// Zero users: empty allocation.

@@ -23,6 +23,11 @@ pub enum SchedulerSpec {
     Rtma {
         /// Energy budget Φ in mJ.
         phi_mj: f64,
+        /// Best-effort fallback: when the threshold leaves BS budget
+        /// unservable (degraded cap, deep fades), re-sweep ignoring it
+        /// and emit a `DegradationEvent`. Off by default (paper-exact).
+        #[serde(default)]
+        best_effort: bool,
     },
     /// RTMA without an energy constraint.
     RtmaUnbounded,
@@ -39,6 +44,11 @@ pub enum SchedulerSpec {
         /// identical allocations, orders of magnitude slower.
         #[serde(default)]
         reference_dp: bool,
+        /// Saturate virtual queues `PCᵢ(n)` at this bound, seconds
+        /// (graceful degradation under prolonged outage). `None` keeps
+        /// the paper-exact unbounded queues.
+        #[serde(default)]
+        pc_clamp: Option<f64>,
     },
     /// EMA solved by the exact fast greedy (identical objective).
     EmaFast {
@@ -47,6 +57,9 @@ pub enum SchedulerSpec {
         /// How idle slots are priced (defaults to the literal Eq. (5)).
         #[serde(default)]
         tail: TailPricing,
+        /// Saturate virtual queues `PCᵢ(n)` at this bound, seconds.
+        #[serde(default)]
+        pc_clamp: Option<f64>,
     },
     /// Server-side pacing at κ·pᵢ.
     Throttling {
@@ -91,9 +104,13 @@ impl SchedulerSpec {
     pub fn build(&self, tau: f64, models: &CrossLayerModels) -> Box<dyn Scheduler> {
         match *self {
             SchedulerSpec::Default => Box::new(DefaultMax::new()),
-            SchedulerSpec::Rtma { phi_mj } => {
-                Box::new(Rtma::with_energy_bound(MilliJoules(phi_mj), tau, models))
-            }
+            SchedulerSpec::Rtma {
+                phi_mj,
+                best_effort,
+            } => Box::new(
+                Rtma::with_energy_bound(MilliJoules(phi_mj), tau, models)
+                    .with_best_effort(best_effort),
+            ),
             SchedulerSpec::RtmaUnbounded => {
                 Box::new(Rtma::with_threshold(SignalThreshold::allow_all()))
             }
@@ -101,14 +118,18 @@ impl SchedulerSpec {
                 v,
                 tail,
                 reference_dp,
+                pc_clamp,
             } => Box::new(
                 Ema::new(v, *models)
                     .with_tail_pricing(tail)
-                    .with_reference_solver(reference_dp),
+                    .with_reference_solver(reference_dp)
+                    .with_pc_clamp(pc_clamp),
             ),
-            SchedulerSpec::EmaFast { v, tail } => {
-                Box::new(EmaFast::new(v, *models).with_tail_pricing(tail))
-            }
+            SchedulerSpec::EmaFast { v, tail, pc_clamp } => Box::new(
+                EmaFast::new(v, *models)
+                    .with_tail_pricing(tail)
+                    .with_pc_clamp(pc_clamp),
+            ),
             SchedulerSpec::Throttling { kappa } => Box::new(Throttling::new(kappa)),
             SchedulerSpec::OnOff { low_s, high_s } => Box::new(OnOff::new(low_s, high_s)),
             SchedulerSpec::Salsa {
@@ -130,7 +151,7 @@ impl SchedulerSpec {
     pub fn label(&self) -> String {
         match self {
             SchedulerSpec::Default => "Default".into(),
-            SchedulerSpec::Rtma { phi_mj } => format!("RTMA(Φ={phi_mj:.0}mJ)"),
+            SchedulerSpec::Rtma { phi_mj, .. } => format!("RTMA(Φ={phi_mj:.0}mJ)"),
             SchedulerSpec::RtmaUnbounded => "RTMA(∞)".into(),
             SchedulerSpec::Ema { v, .. } => format!("EMA(V={v})"),
             SchedulerSpec::EmaFast { v, .. } => format!("EMA-fast(V={v})"),
@@ -173,11 +194,20 @@ impl SchedulerSpec {
         }
     }
 
+    /// RTMA with the given energy budget and no fallback (paper-exact).
+    pub fn rtma(phi_mj: f64) -> Self {
+        SchedulerSpec::Rtma {
+            phi_mj,
+            best_effort: false,
+        }
+    }
+
     /// EMA-fast with the literal Eq. (5) per-slot tail pricing.
     pub fn ema_fast(v: f64) -> Self {
         SchedulerSpec::EmaFast {
             v,
             tail: TailPricing::PerSlot,
+            pc_clamp: None,
         }
     }
 
@@ -187,6 +217,7 @@ impl SchedulerSpec {
         SchedulerSpec::EmaFast {
             v,
             tail: TailPricing::amortized_default(),
+            pc_clamp: None,
         }
     }
 
@@ -196,6 +227,7 @@ impl SchedulerSpec {
             v,
             tail: TailPricing::PerSlot,
             reference_dp: false,
+            pc_clamp: None,
         }
     }
 
@@ -206,6 +238,7 @@ impl SchedulerSpec {
             v,
             tail: TailPricing::PerSlot,
             reference_dp: true,
+            pc_clamp: None,
         }
     }
 
@@ -224,7 +257,7 @@ mod tests {
         let models = CrossLayerModels::paper();
         let specs = [
             SchedulerSpec::Default,
-            SchedulerSpec::Rtma { phi_mj: 900.0 },
+            SchedulerSpec::rtma(900.0),
             SchedulerSpec::RtmaUnbounded,
             SchedulerSpec::ema_dp(1.0),
             SchedulerSpec::ema_fast(1.0),
@@ -244,32 +277,62 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let spec = SchedulerSpec::Rtma { phi_mj: 850.5 };
-        let j = serde_json::to_string(&spec).unwrap();
-        assert_eq!(serde_json::from_str::<SchedulerSpec>(&j).unwrap(), spec);
+        let spec = SchedulerSpec::rtma(850.5);
+        let j = serde_json::to_string(&spec).expect("serializes");
+        assert_eq!(
+            serde_json::from_str::<SchedulerSpec>(&j).expect("parses"),
+            spec
+        );
         let spec2 = SchedulerSpec::salsa_default();
-        let j2 = serde_json::to_string(&spec2).unwrap();
-        assert_eq!(serde_json::from_str::<SchedulerSpec>(&j2).unwrap(), spec2);
+        let j2 = serde_json::to_string(&spec2).expect("serializes");
+        assert_eq!(
+            serde_json::from_str::<SchedulerSpec>(&j2).expect("parses"),
+            spec2
+        );
     }
 
     /// Configs written before the `reference_dp` knob existed must keep
     /// deserializing, defaulting to the monotone-deque solver.
     #[test]
     fn ema_reference_dp_defaults_off() {
-        let spec: SchedulerSpec = serde_json::from_str(r#"{"kind":"ema","v":1.0}"#).unwrap();
+        let spec: SchedulerSpec =
+            serde_json::from_str(r#"{"kind":"ema","v":1.0}"#).expect("parses");
         assert_eq!(spec, SchedulerSpec::ema_dp(1.0));
         let explicit: SchedulerSpec =
-            serde_json::from_str(r#"{"kind":"ema","v":1.0,"reference_dp":true}"#).unwrap();
+            serde_json::from_str(r#"{"kind":"ema","v":1.0,"reference_dp":true}"#).expect("parses");
         assert_eq!(explicit, SchedulerSpec::ema_dp_reference(1.0));
         assert_eq!(explicit.label(), "EMA(V=1)");
         let _ = explicit.build(1.0, &CrossLayerModels::paper());
+    }
+
+    /// Configs written before the degradation knobs existed must keep
+    /// deserializing, with fallback and clamping off (paper-exact).
+    #[test]
+    fn degradation_knobs_default_off() {
+        let rtma: SchedulerSpec =
+            serde_json::from_str(r#"{"kind":"rtma","phi_mj":900.0}"#).expect("parses");
+        assert_eq!(rtma, SchedulerSpec::rtma(900.0));
+        let fast: SchedulerSpec =
+            serde_json::from_str(r#"{"kind":"ema_fast","v":2.0}"#).expect("parses");
+        assert_eq!(fast, SchedulerSpec::ema_fast(2.0));
+        let on: SchedulerSpec =
+            serde_json::from_str(r#"{"kind":"rtma","phi_mj":900.0,"best_effort":true}"#)
+                .expect("parses");
+        assert_eq!(
+            on,
+            SchedulerSpec::Rtma {
+                phi_mj: 900.0,
+                best_effort: true,
+            }
+        );
+        let _ = on.build(1.0, &CrossLayerModels::paper());
     }
 
     #[test]
     fn labels_are_distinct() {
         let labels: std::collections::BTreeSet<String> = [
             SchedulerSpec::Default,
-            SchedulerSpec::Rtma { phi_mj: 900.0 },
+            SchedulerSpec::rtma(900.0),
             SchedulerSpec::RtmaUnbounded,
             SchedulerSpec::ema_dp(1.0),
             SchedulerSpec::ema_fast(1.0),

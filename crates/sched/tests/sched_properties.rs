@@ -235,7 +235,7 @@ proptest! {
         let phi = (phi_raw * 4.0).round() / 4.0;
         let v = (v_raw * 4.0).round() / 4.0;
         for spec in [
-            SchedulerSpec::Rtma { phi_mj: phi },
+            SchedulerSpec::rtma(phi),
             SchedulerSpec::ema_dp(v),
             SchedulerSpec::ema_fast(v),
         ] {

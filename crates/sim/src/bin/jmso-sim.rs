@@ -4,9 +4,13 @@
 //! jmso-sim template [N]                         print a paper-default scenario (N users)
 //! jmso-sim run <scenario.json> [--out r.json] [--per-user u.csv]
 //!              [--trace t.jsonl] [--trace-every N]
+//!              [--ckpt c.json --ckpt-every K] [--resume c.json]
 //!                                               run one scenario, print a summary;
 //!                                               --trace records per-slot telemetry
-//!                                               (JSONL, downsampled to every Nth slot)
+//!                                               (JSONL, downsampled to every Nth slot);
+//!                                               --ckpt writes a resumable checkpoint
+//!                                               sidecar every K slots; --resume
+//!                                               continues from such a sidecar
 //! jmso-sim calibrate <scenario.json>            measure the Default reference points
 //! jmso-sim fit-v <scenario.json> --omega <s>    fit EMA's V to a rebuffering bound
 //! jmso-sim sweep <scenario.json> --seeds 1,2,3 [--threads T]
@@ -15,9 +19,78 @@
 //!
 //! Scenarios are the serde `Scenario` structure (see `jmso-sim` docs);
 //! `template` emits a valid starting point.
+//!
+//! Exit codes: 0 on success, **2** for invalid input (usage errors,
+//! unparseable files, scenario/fault-plan validation — the message names
+//! the offending field), **1** for runtime failures (trace/checkpoint
+//! I/O, restore mismatches).
 
-use jmso_sim::{calibrate_default, fit_v_for_omega, run_scenarios, Scenario, SimResult};
+use jmso_sim::{
+    calibrate_default, fit_v_for_omega, run_scenarios, CheckpointError, EngineCheckpoint,
+    NullRecorder, Scenario, SimError, SimResult, TraceError, TraceRecorder,
+};
+use std::fmt;
+use std::path::Path;
 use std::process::ExitCode;
+
+/// CLI-level error: invalid input exits 2, runtime failure exits 1.
+enum CliError {
+    /// Bad flags, missing arguments, unreadable/unparseable input files.
+    Usage(String),
+    /// Typed simulation error (validation, trace I/O, checkpointing).
+    Sim(SimError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            // Invalid input — the scenario itself (or the command line)
+            // is at fault, and the message names the field.
+            CliError::Usage(_) | CliError::Sim(SimError::Scenario(_)) => 2,
+            // Runtime failure (I/O, checkpoint restore).
+            CliError::Sim(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::Sim(e) => e.fmt(f),
+        }
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<TraceError> for CliError {
+    fn from(e: TraceError) -> Self {
+        CliError::Sim(SimError::Trace(e))
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        CliError::Sim(SimError::Checkpoint(e))
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,7 +103,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: jmso-sim template [N] | run <scenario.json> [--out r.json] \
-                 [--trace t.jsonl] [--trace-every N] | \
+                 [--trace t.jsonl] [--trace-every N] [--ckpt c.json --ckpt-every K] \
+                 [--resume c.json] | \
                  calibrate <scenario.json> | fit-v <scenario.json> --omega <s> | \
                  sweep <scenario.json> --seeds 1,2,3 [--threads T]"
             );
@@ -41,7 +115,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -53,9 +127,9 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn load_scenario(path: &str) -> Result<Scenario, String> {
+fn load_scenario(path: &str) -> Result<Scenario, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+    serde_json::from_str(&text).map_err(|e| CliError::Usage(format!("parsing {path}: {e:?}")))
 }
 
 fn summarize(r: &SimResult) {
@@ -85,7 +159,7 @@ fn summarize(r: &SimResult) {
     );
 }
 
-fn cmd_template(args: &[String]) -> Result<(), String> {
+fn cmd_template(args: &[String]) -> Result<(), CliError> {
     let n: usize = args
         .first()
         .map(|s| s.parse().map_err(|e| format!("bad N: {e}")))
@@ -94,12 +168,12 @@ fn cmd_template(args: &[String]) -> Result<(), String> {
     let scenario = Scenario::paper_default(n);
     println!(
         "{}",
-        serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?
+        serde_json::to_string_pretty(&scenario).map_err(|e| format!("{e:?}"))?
     );
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or("run: missing <scenario.json>")?;
     let scenario = load_scenario(path)?;
     let trace_path = flag_value(args, "--trace");
@@ -107,20 +181,61 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --trace-every: {e}")))
         .transpose()?
         .unwrap_or(1);
+    let ckpt_path = flag_value(args, "--ckpt");
+    let ckpt_every: Option<u64> = flag_value(args, "--ckpt-every")
+        .map(|s| s.parse().map_err(|e| format!("bad --ckpt-every: {e}")))
+        .transpose()?;
+    if ckpt_path.is_some() != ckpt_every.is_some() {
+        return Err("run: --ckpt and --ckpt-every must be given together".into());
+    }
+    let resume_path = flag_value(args, "--resume");
+    if resume_path.is_some() && ckpt_path.is_some() {
+        return Err("run: --resume cannot be combined with --ckpt".into());
+    }
+
     let result = if let Some(out) = trace_path {
-        let (result, trace) = scenario.run_traced(every)?;
-        std::fs::write(out, trace.to_jsonl()).map_err(|e| format!("writing {out}: {e}"))?;
+        // Traced runs use the same recorder for checkpointing, so a
+        // checkpoint taken here resumes (with --trace) seamlessly.
+        let mut rec = TraceRecorder::new().with_every(every);
+        let result = match (resume_path, ckpt_path) {
+            (Some(ckpt), _) => {
+                let ck = EngineCheckpoint::read_file(Path::new(ckpt))?;
+                println!("resuming from {ckpt} (slot {})", ck.slot());
+                scenario.resume_from(&mut rec, &ck)?
+            }
+            (None, Some(ckpt)) => scenario.run_checkpointed_with(
+                &mut rec,
+                ckpt_every.expect("flag pair checked above"),
+                Path::new(ckpt),
+            )?,
+            (None, None) => scenario.run_with(&mut rec)?,
+        };
+        let trace = rec.into_trace(&result.scheduler);
+        trace.write_jsonl(Path::new(out))?;
         println!("wrote {out} ({} records)", trace.records.len());
         result
     } else {
-        scenario.run()?
+        let mut rec = NullRecorder;
+        match (resume_path, ckpt_path) {
+            (Some(ckpt), _) => {
+                let ck = EngineCheckpoint::read_file(Path::new(ckpt))?;
+                println!("resuming from {ckpt} (slot {})", ck.slot());
+                scenario.resume_from(&mut rec, &ck)?
+            }
+            (None, Some(ckpt)) => scenario.run_checkpointed_with(
+                &mut rec,
+                ckpt_every.expect("flag pair checked above"),
+                Path::new(ckpt),
+            )?,
+            (None, None) => scenario.run()?,
+        }
     };
     summarize(&result);
     if let Some(t) = &result.telemetry {
         println!("{}", jmso_sim::report::telemetry_text(t));
     }
     if let Some(out) = flag_value(args, "--out") {
-        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&result).map_err(|e| format!("{e:?}"))?;
         std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
     }
@@ -133,13 +248,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_calibrate(args: &[String]) -> Result<(), String> {
+fn cmd_calibrate(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or("calibrate: missing <scenario.json>")?;
     let scenario = load_scenario(path)?;
     let cal = calibrate_default(&scenario)?;
     println!(
         "{}",
-        serde_json::to_string_pretty(&cal).map_err(|e| e.to_string())?
+        serde_json::to_string_pretty(&cal).map_err(|e| format!("{e:?}"))?
     );
     println!(
         "\nΦ for α ∈ {{0.8, 1.0, 1.2}}: {:.1} / {:.1} / {:.1} mJ",
@@ -156,7 +271,7 @@ fn cmd_calibrate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fit_v(args: &[String]) -> Result<(), String> {
+fn cmd_fit_v(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or("fit-v: missing <scenario.json>")?;
     let omega: f64 = flag_value(args, "--omega")
         .ok_or("fit-v: missing --omega <seconds per active slot>")?
@@ -173,13 +288,13 @@ fn cmd_fit_v(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or("sweep: missing <scenario.json>")?;
     let seeds: Vec<u64> = flag_value(args, "--seeds")
         .ok_or("sweep: missing --seeds 1,2,3")?
         .split(',')
         .map(|s| s.trim().parse().map_err(|e| format!("bad seed: {e}")))
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<_, String>>()?;
     let threads: usize = flag_value(args, "--threads")
         .map(|s| s.parse().map_err(|e| format!("bad --threads: {e}")))
         .transpose()?

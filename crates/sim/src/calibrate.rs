@@ -13,6 +13,7 @@
 //!   rebuffering), so [`fit_v_for_omega`] bisects on `V` to find the most
 //!   energy-saving weight whose measured rebuffering still meets Ω.
 
+use crate::error::SimError;
 use crate::results::SimResult;
 use crate::scenario::Scenario;
 use jmso_sched::{SchedulerSpec, TailPricing};
@@ -38,7 +39,7 @@ pub struct Calibration {
 
 /// Run the Default strategy on the scenario's workload and extract the
 /// reference points.
-pub fn calibrate_default(scenario: &Scenario) -> Result<Calibration, String> {
+pub fn calibrate_default(scenario: &Scenario) -> Result<Calibration, SimError> {
     let result = scenario.with_scheduler(SchedulerSpec::Default).run()?;
     Ok(Calibration::from_result(&result))
 }
@@ -84,7 +85,7 @@ pub fn fit_v_for_omega(
     v_lo: f64,
     v_hi: f64,
     iters: u32,
-) -> Result<(f64, f64), String> {
+) -> Result<(f64, f64), SimError> {
     fit_v_for_omega_with(scenario, omega_s, v_lo, v_hi, iters, TailPricing::PerSlot)
 }
 
@@ -97,11 +98,15 @@ pub fn fit_v_for_omega_with(
     v_hi: f64,
     iters: u32,
     tail: TailPricing,
-) -> Result<(f64, f64), String> {
+) -> Result<(f64, f64), SimError> {
     assert!(v_lo > 0.0 && v_hi > v_lo, "need 0 < v_lo < v_hi");
-    let measure = |v: f64| -> Result<f64, String> {
+    let measure = |v: f64| -> Result<f64, SimError> {
         let r = scenario
-            .with_scheduler(SchedulerSpec::EmaFast { v, tail })
+            .with_scheduler(SchedulerSpec::EmaFast {
+                v,
+                tail,
+                pc_clamp: None,
+            })
             .run()?;
         Ok(r.avg_rebuffer_per_active_slot())
     };
@@ -145,7 +150,7 @@ mod tests {
 
     #[test]
     fn calibration_extracts_positive_references() {
-        let cal = calibrate_default(&quick()).unwrap();
+        let cal = calibrate_default(&quick()).expect("quick scenario calibrates");
         assert!(cal.e_default_mj > 0.0);
         assert!(cal.e_default_total_kj > 0.0);
         // Bounds scale linearly with the knobs.
@@ -158,7 +163,7 @@ mod tests {
         let s = quick();
         // A generous bound should admit a large V; a zero-ish bound forces
         // V to the low end.
-        let (v_loose, r_loose) = fit_v_for_omega(&s, 10.0, 0.1, 200.0, 6).unwrap();
+        let (v_loose, r_loose) = fit_v_for_omega(&s, 10.0, 0.1, 200.0, 6).expect("fit runs");
         assert!(r_loose <= 10.0);
         assert!(
             v_loose >= 100.0,

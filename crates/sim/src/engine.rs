@@ -20,20 +20,42 @@
 //! watched — remaining slots can contribute neither rebuffering (Eq. (8)'s
 //! `mᵢ ≥ Mᵢ` branch) nor energy (the tail has saturated), so all
 //! aggregates are unaffected; `slots_configured` still reflects Γ.
+//!
+//! Two orthogonal extensions thread through the same loop without
+//! touching the fault-free hot path:
+//!
+//! * **Fault injection** — every run variant is generic over a
+//!   [`FaultHook`]; the [`NoFaults`] instantiation monomorphizes every
+//!   hook into a no-op, while a compiled
+//!   [`FaultPlan`](crate::faults::FaultPlan) perturbs *state* (signals,
+//!   capacity, sessions) strictly after the RNG streams have been drawn,
+//!   so a faulted run consumes bit-identical random sequences to its
+//!   fault-free twin.
+//! * **Checkpoint/resume** — [`Engine::run_core`] can capture the full
+//!   simulation state at the top of any slot into an
+//!   [`EngineCheckpoint`] (periodically to a sidecar file, or once via
+//!   [`CkptMode::PauseAt`]) and later resume from it bit-identically:
+//!   signal RNGs are fast-forwarded by replaying the recorded number of
+//!   samples, and every stateful component restores through its
+//!   `export_state`/`import_state` pair.
 
+use crate::error::{atomic_write, CheckpointError, SimError};
+use crate::faults::{FaultHook, NoFaults};
 use crate::results::{SimResult, UserResult};
 use crate::telemetry::{NullRecorder, SlotRecorder};
 use jmso_gateway::bs::CapacityModel;
 use jmso_gateway::collector::RawUserState;
 use jmso_gateway::{
-    Allocation, DataReceiver, DataTransmitter, InformationCollector, Scheduler, SlotContext,
-    UnitParams,
+    Allocation, CollectorState, DataReceiver, DataTransmitter, FlowState, InformationCollector,
+    Scheduler, SlotContext, UnitParams, UserSnapshot,
 };
 use jmso_media::{jain_index, ClientPlayback, VideoSession};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::signal::{SignalKind, SignalModel};
 use jmso_radio::{Dbm, EnergyMeter, PowerModel, RrcMachine};
 use jmso_sched::CrossLayerModels;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Slots sampled per [`SignalModel::sample_into`] block in the hot loop.
 const SIG_BLOCK_SLOTS: usize = 32;
@@ -55,6 +77,10 @@ struct UserSim {
     /// Rate the gateway believes (e.g. DPI-extracted manifest rate); when
     /// set it overrides the instantaneous session rate in snapshots.
     declared_rate_kbps: Option<f64>,
+    /// Signal-model samples drawn so far. Checkpoint restore fast-forwards
+    /// the per-user RNG by replaying exactly this many samples (the
+    /// block-sampling contract makes replay order irrelevant).
+    sig_samples: u64,
 }
 
 /// Engine-level knobs.
@@ -69,6 +95,138 @@ pub struct EngineConfig {
     /// Record per-slot fairness / power series (needed for CDF figures;
     /// off for plain sweeps to save memory).
     pub record_series: bool,
+}
+
+/// Checkpoint cadence for [`Engine::run_core`].
+#[derive(Debug, Clone, Copy)]
+pub enum CkptMode<'a> {
+    /// No checkpointing — the plain hot path.
+    Off,
+    /// Atomically (re)write a sidecar checkpoint every `every` slots.
+    EveryToFile {
+        /// Checkpoint period in slots (0 disables).
+        every: u64,
+        /// Sidecar file the checkpoint JSON is atomically renamed into.
+        path: &'a Path,
+    },
+    /// Capture state at the top of the given slot and return
+    /// [`RunOutcome::Paused`] instead of finishing the run.
+    PauseAt {
+        /// Slot to pause at (state is captured before the slot executes).
+        slot: u64,
+    },
+}
+
+/// What a checkpoint-aware run produced.
+// `Done` carries the full `SimResult` by value on purpose: it is the
+// common case and every caller immediately consumes it.
+#[allow(clippy::large_enum_variant)]
+pub enum RunOutcome {
+    /// The run reached the horizon (or early exit) and finished.
+    Done(SimResult),
+    /// The run stopped at [`CkptMode::PauseAt`]; feed the checkpoint to a
+    /// freshly built engine to continue bit-identically.
+    Paused(Box<EngineCheckpoint>),
+}
+
+/// Serializable snapshot of one user's mid-run state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct UserCkpt {
+    session: VideoSession,
+    playback: ClientPlayback,
+    rrc: RrcMachine,
+    meter: EnergyMeter,
+    cur_signal: Dbm,
+    sig_block: Vec<f64>,
+    active_slots: u64,
+    arrival_slot: u64,
+    declared_rate_kbps: Option<f64>,
+    sig_samples: u64,
+}
+
+/// Loop-local accumulators that live outside the engine components.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LoopCkpt {
+    fairness_series: Vec<f64>,
+    fairness_window_series: Vec<f64>,
+    power_series_j: Vec<f64>,
+    window_delivered: Vec<f64>,
+    window_need: Vec<f64>,
+    slots_run: u64,
+    watching: usize,
+    done_watching: Vec<bool>,
+    retired: Vec<bool>,
+    retired_at: Vec<u64>,
+    live: Vec<usize>,
+    raw: Vec<RawUserState>,
+    snapshots: Vec<UserSnapshot>,
+}
+
+/// Full engine state captured at the top of a slot.
+///
+/// A checkpoint taken at slot `k` plus a freshly built engine for the
+/// same scenario reproduces the straight run exactly: same
+/// [`SimResult`], same telemetry trace bytes (pinned by the
+/// checkpoint-resume property test).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    version: u32,
+    slot: u64,
+    users: Vec<UserCkpt>,
+    receiver: Vec<FlowState>,
+    collector: CollectorState,
+    scheduler: String,
+    transmitter_clamps: u64,
+    recorder: String,
+    loop_state: LoopCkpt,
+}
+
+/// Checkpoint format version this build writes and accepts.
+const CKPT_VERSION: u32 = 1;
+
+impl EngineCheckpoint {
+    /// Slot the resumed run will execute next.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Serialize to the sidecar JSON payload.
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        serde_json::to_string(self).map_err(|e| CheckpointError::Corrupt {
+            reason: format!("serialize: {e:?}"),
+        })
+    }
+
+    /// Parse a sidecar JSON payload (version-checked).
+    pub fn from_json(s: &str) -> Result<Self, CheckpointError> {
+        let ck: Self = serde_json::from_str(s).map_err(|e| CheckpointError::Corrupt {
+            reason: format!("parse: {e:?}"),
+        })?;
+        if ck.version != CKPT_VERSION {
+            return Err(CheckpointError::Corrupt {
+                reason: format!("version {} (this build reads {CKPT_VERSION})", ck.version),
+            });
+        }
+        Ok(ck)
+    }
+
+    /// Atomically write the checkpoint to `path`.
+    pub fn write_file(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = self.to_json()?;
+        atomic_write(path, json.as_bytes()).map_err(|source| CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        })
+    }
+
+    /// Read and parse a checkpoint sidecar.
+    pub fn read_file(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(|source| CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Self::from_json(&text)
+    }
 }
 
 /// The assembled simulator for one scenario.
@@ -159,6 +317,7 @@ impl Engine {
                     active_slots: 0,
                     arrival_slot,
                     declared_rate_kbps: None,
+                    sig_samples: 0,
                 }
             })
             .collect();
@@ -184,6 +343,118 @@ impl Engine {
             assert!(r > 0.0, "declared rate must be positive");
             u.declared_rate_kbps = Some(r);
         }
+    }
+
+    /// Capture full engine state at the top of `slot`.
+    fn capture<R: SlotRecorder>(
+        &self,
+        slot: u64,
+        rec: &R,
+        loop_state: LoopCkpt,
+    ) -> Result<EngineCheckpoint, CheckpointError> {
+        let recorder = rec.export_state().ok_or(CheckpointError::Unsupported {
+            reason: "recorder cannot export its state".into(),
+        })?;
+        let scheduler =
+            self.scheduler
+                .export_state()
+                .ok_or_else(|| CheckpointError::Unsupported {
+                    reason: format!(
+                        "scheduler {} cannot export its state",
+                        self.scheduler.name()
+                    ),
+                })?;
+        Ok(EngineCheckpoint {
+            version: CKPT_VERSION,
+            slot,
+            users: self
+                .users
+                .iter()
+                .map(|u| UserCkpt {
+                    session: u.session.clone(),
+                    playback: u.playback.clone(),
+                    rrc: u.rrc.clone(),
+                    meter: u.meter.clone(),
+                    cur_signal: u.cur_signal,
+                    sig_block: u.sig_block.iter().map(|d| d.0).collect(),
+                    active_slots: u.active_slots,
+                    arrival_slot: u.arrival_slot,
+                    declared_rate_kbps: u.declared_rate_kbps,
+                    sig_samples: u.sig_samples,
+                })
+                .collect(),
+            receiver: self.receiver.export_state(),
+            collector: self.collector.export_state(),
+            scheduler,
+            transmitter_clamps: self.transmitter.clamp_events(),
+            recorder,
+            loop_state,
+        })
+    }
+
+    /// Restore component state from a checkpoint (everything except the
+    /// loop-local accumulators, which [`Engine::run_core`] reinstalls).
+    fn restore(&mut self, ck: &EngineCheckpoint) -> Result<(), CheckpointError> {
+        if ck.users.len() != self.users.len() {
+            return Err(CheckpointError::Restore {
+                component: "users",
+                reason: format!(
+                    "checkpoint has {} users, engine has {}",
+                    ck.users.len(),
+                    self.users.len()
+                ),
+            });
+        }
+        for (u, s) in self.users.iter_mut().zip(&ck.users) {
+            if s.sig_block.len() != SIG_BLOCK_SLOTS {
+                return Err(CheckpointError::Restore {
+                    component: "signal",
+                    reason: format!(
+                        "sig_block has {} entries, expected {SIG_BLOCK_SLOTS}",
+                        s.sig_block.len()
+                    ),
+                });
+            }
+            // Fast-forward the freshly seeded signal RNG by replaying the
+            // recorded number of samples. The block-sampling contract
+            // (`sample_into` consumes the stream in slot order) makes
+            // one-at-a-time replay equivalent to the original block cuts.
+            for replay_slot in 0..s.sig_samples {
+                let _ = u.signal.sample(replay_slot);
+            }
+            for (dst, &v) in u.sig_block.iter_mut().zip(&s.sig_block) {
+                *dst = Dbm(v);
+            }
+            u.session = s.session.clone();
+            u.playback = s.playback.clone();
+            u.rrc = s.rrc.clone();
+            u.meter = s.meter.clone();
+            u.cur_signal = s.cur_signal;
+            u.active_slots = s.active_slots;
+            u.arrival_slot = s.arrival_slot;
+            u.declared_rate_kbps = s.declared_rate_kbps;
+            u.sig_samples = s.sig_samples;
+        }
+        self.receiver
+            .import_state(&ck.receiver)
+            .map_err(|reason| CheckpointError::Restore {
+                component: "receiver",
+                reason,
+            })?;
+        self.collector
+            .import_state(&ck.collector)
+            .map_err(|reason| CheckpointError::Restore {
+                component: "collector",
+                reason,
+            })?;
+        self.scheduler
+            .import_state(&ck.scheduler)
+            .map_err(|reason| CheckpointError::Restore {
+                component: "scheduler",
+                reason,
+            })?;
+        self.transmitter.restore_clamp_events(ck.transmitter_clamps);
+        Ok(())
     }
 
     /// Run to the horizon (or until all sessions complete) and report.
@@ -232,9 +503,61 @@ impl Engine {
     /// the instrumentation (pinned by the `hotpath` bench). The recorder
     /// only ever sees simulation state; wall-clock scheduler timing is
     /// gated on [`SlotRecorder::enabled`] and reported separately.
-    pub fn run_with<R: SlotRecorder>(mut self, rec: &mut R) -> SimResult {
+    pub fn run_with<R: SlotRecorder>(self, rec: &mut R) -> SimResult {
+        self.run_faulted_with(rec, &NoFaults)
+    }
+
+    /// [`Engine::run_with`] under a [`FaultHook`]. [`NoFaults`]
+    /// monomorphizes to exactly the fault-free loop; a compiled
+    /// [`FaultPlan`](crate::faults::FaultPlan) perturbs signals, BS
+    /// capacity, and sessions after all RNG draws.
+    pub fn run_faulted_with<R: SlotRecorder, F: FaultHook>(
+        self,
+        rec: &mut R,
+        faults: &F,
+    ) -> SimResult {
+        match self.run_core(rec, faults, None, CkptMode::Off) {
+            Ok(RunOutcome::Done(r)) => r,
+            // `Off` mode performs no I/O, imports no state, never pauses.
+            Ok(RunOutcome::Paused(_)) | Err(_) => {
+                unreachable!("CkptMode::Off cannot pause or fail")
+            }
+        }
+    }
+
+    /// Resume a run from a checkpoint captured by [`Engine::run_core`].
+    /// `self` must be freshly built for the same scenario (same users,
+    /// seeds, scheduler kind); the recorder must be of the same kind that
+    /// captured the checkpoint.
+    pub fn resume_with<R: SlotRecorder, F: FaultHook>(
+        self,
+        rec: &mut R,
+        faults: &F,
+        ckpt: &EngineCheckpoint,
+    ) -> Result<SimResult, SimError> {
+        match self.run_core(rec, faults, Some(ckpt), CkptMode::Off)? {
+            RunOutcome::Done(r) => Ok(r),
+            RunOutcome::Paused(_) => unreachable!("CkptMode::Off never pauses"),
+        }
+    }
+
+    /// The one true hot loop: fault-aware, checkpoint-aware, generic over
+    /// recorder and fault hook so the plain `run()` instantiation compiles
+    /// to the same code as before either subsystem existed.
+    ///
+    /// * `resume` — restore this checkpoint (captured by an earlier run of
+    ///   the same scenario) and continue from its slot.
+    /// * `mode` — periodic sidecar checkpointing, a one-shot pause, or
+    ///   neither. Checkpoints are captured at the *top* of a slot, before
+    ///   any of that slot's state changes.
+    pub fn run_core<R: SlotRecorder, F: FaultHook>(
+        mut self,
+        rec: &mut R,
+        faults: &F,
+        resume: Option<&EngineCheckpoint>,
+        mode: CkptMode<'_>,
+    ) -> Result<RunOutcome, SimError> {
         let n_users = self.users.len();
-        rec.begin_run(n_users, self.cfg.tau);
         let series_cap = if self.cfg.record_series {
             self.cfg.slots as usize
         } else {
@@ -281,13 +604,98 @@ impl Engine {
         let mut snapshots = Vec::with_capacity(n_users);
         let mut alloc = Allocation::zeros(n_users);
         let mut deliveries = Vec::with_capacity(n_users);
+        let mut fault_notes: Vec<String> = Vec::new();
         let collector_full_pass = self.collector.needs_full_pass();
 
-        for slot in 0..self.cfg.slots {
+        let mut start_slot = 0;
+        if let Some(ck) = resume {
+            self.restore(ck).map_err(SimError::Checkpoint)?;
+            rec.import_state(&ck.recorder)
+                .map_err(|reason| CheckpointError::Restore {
+                    component: "recorder",
+                    reason,
+                })
+                .map_err(SimError::Checkpoint)?;
+            let ls = &ck.loop_state;
+            if ls.done_watching.len() != n_users || ls.live.iter().any(|&i| i >= n_users) {
+                return Err(CheckpointError::Restore {
+                    component: "loop state",
+                    reason: "user indices out of range".into(),
+                }
+                .into());
+            }
+            fairness_series = ls.fairness_series.clone();
+            fairness_window_series = ls.fairness_window_series.clone();
+            power_series_j = ls.power_series_j.clone();
+            window_delivered = ls.window_delivered.clone();
+            window_need = ls.window_need.clone();
+            slots_run = ls.slots_run;
+            watching = ls.watching;
+            done_watching = ls.done_watching.clone();
+            retired = ls.retired.clone();
+            retired_at = ls.retired_at.clone();
+            live = ls.live.clone();
+            raw = ls.raw.clone();
+            snapshots = ls.snapshots.clone();
+            start_slot = ck.slot;
+        } else {
+            rec.begin_run(n_users, self.cfg.tau);
+        }
+
+        // Clone the loop-local accumulators into a serializable snapshot.
+        macro_rules! snapshot_loop {
+            () => {
+                LoopCkpt {
+                    fairness_series: fairness_series.clone(),
+                    fairness_window_series: fairness_window_series.clone(),
+                    power_series_j: power_series_j.clone(),
+                    window_delivered: window_delivered.clone(),
+                    window_need: window_need.clone(),
+                    slots_run,
+                    watching,
+                    done_watching: done_watching.clone(),
+                    retired: retired.clone(),
+                    retired_at: retired_at.clone(),
+                    live: live.clone(),
+                    raw: raw.clone(),
+                    snapshots: snapshots.clone(),
+                }
+            };
+        }
+
+        for slot in start_slot..self.cfg.slots {
+            match mode {
+                CkptMode::Off => {}
+                CkptMode::EveryToFile { every, path } => {
+                    if every > 0 && slot != start_slot && slot.is_multiple_of(every) {
+                        let ck = self
+                            .capture(slot, rec, snapshot_loop!())
+                            .map_err(SimError::Checkpoint)?;
+                        ck.write_file(path).map_err(SimError::Checkpoint)?;
+                    }
+                }
+                CkptMode::PauseAt { slot: pause } => {
+                    if slot == pause && (resume.is_none() || slot > start_slot) {
+                        let ck = self
+                            .capture(slot, rec, snapshot_loop!())
+                            .map_err(SimError::Checkpoint)?;
+                        return Ok(RunOutcome::Paused(Box::new(ck)));
+                    }
+                }
+            }
+
             slots_run = slot + 1;
             let cap = self.capacity.capacity(slot);
-            let bs_cap_units = self.units.bs_cap_units(cap, self.cfg.tau);
+            let bs_cap_units =
+                faults.adjust_cap_units(slot, self.units.bs_cap_units(cap, self.cfg.tau));
             rec.begin_slot(slot, bs_cap_units);
+            if faults.enabled() && rec.enabled() {
+                fault_notes.clear();
+                faults.notes_into(slot, &mut fault_notes);
+                for note in &fault_notes {
+                    rec.record_fault(note);
+                }
+            }
             self.receiver.ingest_slot(slot);
 
             // Client-side slot advance (Eq. 7/8) and ground-truth state.
@@ -299,8 +707,14 @@ impl Engine {
                 let u = &mut self.users[i];
                 if block_off == 0 {
                     u.signal.sample_into(slot, &mut u.sig_block);
+                    u.sig_samples += SIG_BLOCK_SLOTS as u64;
                 }
                 u.cur_signal = u.sig_block[block_off];
+                if faults.enabled() {
+                    // Faults perturb state, never RNG streams: the raw
+                    // sample above already advanced the generator.
+                    u.cur_signal = faults.adjust_signal(slot, i, u.cur_signal);
+                }
                 if slot < u.arrival_slot {
                     // Not arrived yet: no playback clock, no fetch demand,
                     // a cold (saturated-tail) radio.
@@ -314,6 +728,14 @@ impl Engine {
                         rrc_state: u.rrc.state(),
                     };
                     continue;
+                }
+                if faults.enabled() && faults.departed(slot, i) {
+                    // Mid-stream departure: the client abandons playback
+                    // and the origin stops fetching for them. Both calls
+                    // are idempotent, so the latched window check is safe
+                    // to re-apply every slot.
+                    u.session.cancel_remaining();
+                    u.playback.abandon();
                 }
                 let outcome = u.playback.begin_slot();
                 if outcome.active {
@@ -356,6 +778,10 @@ impl Engine {
                 rec.record_alloc(&alloc.0);
                 if let Some(q) = self.scheduler.queue_values() {
                     rec.record_queues(q);
+                }
+                let deg = self.scheduler.degradations();
+                if !deg.is_empty() {
+                    rec.record_degradations(deg);
                 }
             } else {
                 self.scheduler.allocate_into(&ctx, &mut alloc);
@@ -483,7 +909,7 @@ impl Engine {
             power_series_j,
         );
         result.telemetry = rec.summary();
-        result
+        Ok(RunOutcome::Done(result))
     }
 
     /// Reference slot loop: every user is visited every slot and signals
@@ -504,7 +930,19 @@ impl Engine {
     /// scenario: per-user records land at stable indices, and the users
     /// the active-set loop skips would only ever contribute zero-energy,
     /// zero-delta records (pinned by the trace-equality property test).
-    pub fn run_reference_with<R: SlotRecorder>(mut self, rec: &mut R) -> SimResult {
+    pub fn run_reference_with<R: SlotRecorder>(self, rec: &mut R) -> SimResult {
+        self.run_reference_faulted_with(rec, &NoFaults)
+    }
+
+    /// [`Engine::run_reference_with`] under a [`FaultHook`] — the
+    /// executable specification for [`Engine::run_faulted_with`]: both
+    /// must produce identical results and traces under any fault plan
+    /// (checkpointing stays exclusive to the hot path).
+    pub fn run_reference_faulted_with<R: SlotRecorder, F: FaultHook>(
+        mut self,
+        rec: &mut R,
+        faults: &F,
+    ) -> SimResult {
         let n_users = self.users.len();
         rec.begin_run(n_users, self.cfg.tau);
         let series_cap = if self.cfg.record_series {
@@ -528,18 +966,31 @@ impl Engine {
         let mut snapshots = Vec::with_capacity(n_users);
         let mut alloc = Allocation::zeros(n_users);
         let mut deliveries = Vec::with_capacity(n_users);
+        let mut fault_notes: Vec<String> = Vec::new();
 
         for slot in 0..self.cfg.slots {
             slots_run = slot + 1;
             let cap = self.capacity.capacity(slot);
-            let bs_cap_units = self.units.bs_cap_units(cap, self.cfg.tau);
+            let bs_cap_units =
+                faults.adjust_cap_units(slot, self.units.bs_cap_units(cap, self.cfg.tau));
             rec.begin_slot(slot, bs_cap_units);
+            if faults.enabled() && rec.enabled() {
+                fault_notes.clear();
+                faults.notes_into(slot, &mut fault_notes);
+                for note in &fault_notes {
+                    rec.record_fault(note);
+                }
+            }
             self.receiver.ingest_slot(slot);
 
             // Client-side slot advance (Eq. 7/8) and ground-truth state.
             raw.clear();
-            for u in &mut self.users {
+            for (i, u) in self.users.iter_mut().enumerate() {
                 u.cur_signal = u.signal.sample(slot);
+                u.sig_samples += 1;
+                if faults.enabled() {
+                    u.cur_signal = faults.adjust_signal(slot, i, u.cur_signal);
+                }
                 if slot < u.arrival_slot {
                     raw.push(RawUserState {
                         signal: u.cur_signal,
@@ -551,6 +1002,10 @@ impl Engine {
                         rrc_state: u.rrc.state(),
                     });
                     continue;
+                }
+                if faults.enabled() && faults.departed(slot, i) {
+                    u.session.cancel_remaining();
+                    u.playback.abandon();
                 }
                 let outcome = u.playback.begin_slot();
                 if outcome.active {
@@ -585,6 +1040,10 @@ impl Engine {
                 rec.record_alloc(&alloc.0);
                 if let Some(q) = self.scheduler.queue_values() {
                     rec.record_queues(q);
+                }
+                let deg = self.scheduler.degradations();
+                if !deg.is_empty() {
+                    rec.record_degradations(deg);
                 }
             } else {
                 self.scheduler.allocate_into(&ctx, &mut alloc);
@@ -917,5 +1376,88 @@ mod tests {
         let u = &r.per_user[0];
         // Active slots cover watching + stalling: ⌈10 s watched + 1 s stall⌉.
         assert_eq!(u.active_slots, 11);
+    }
+
+    /// Pause-and-resume at a mid-run slot reproduces the straight run's
+    /// per-user results exactly.
+    #[test]
+    fn pause_resume_matches_straight_run() {
+        let mk = || {
+            small_engine(
+                2,
+                10_000.0,
+                400.0,
+                -80.0,
+                700.0,
+                150,
+                Box::new(DefaultMax::new()),
+            )
+        };
+        let straight = mk().run();
+        let paused = mk()
+            .run_core(
+                &mut NullRecorder,
+                &NoFaults,
+                None,
+                CkptMode::PauseAt { slot: 17 },
+            )
+            .expect("pause run");
+        let ck = match paused {
+            RunOutcome::Paused(ck) => ck,
+            RunOutcome::Done(_) => unreachable!("must pause before the early exit"),
+        };
+        assert_eq!(ck.slot(), 17);
+        // Round-trip through JSON like the sidecar file would.
+        let ck = EngineCheckpoint::from_json(&ck.to_json().expect("serialize")).expect("parse");
+        let resumed = mk()
+            .resume_with(&mut NullRecorder, &NoFaults, &ck)
+            .expect("resume run");
+        assert_eq!(straight.slots_run, resumed.slots_run);
+        for (a, b) in straight.per_user.iter().zip(&resumed.per_user) {
+            assert_eq!(a.rebuffer_s, b.rebuffer_s);
+            assert_eq!(a.fetched_kb, b.fetched_kb);
+            assert_eq!(a.energy.total().value(), b.energy.total().value());
+            assert_eq!(a.idle_slots, b.idle_slots);
+        }
+        assert_eq!(straight.power_series_j, resumed.power_series_j);
+        assert_eq!(straight.fairness_series, resumed.fairness_series);
+    }
+
+    /// A rejected checkpoint (wrong user count) surfaces a typed restore
+    /// error instead of panicking.
+    #[test]
+    fn resume_rejects_wrong_shape() {
+        let paused = small_engine(
+            2,
+            3_000.0,
+            400.0,
+            -80.0,
+            700.0,
+            120,
+            Box::new(DefaultMax::new()),
+        )
+        .run_core(
+            &mut NullRecorder,
+            &NoFaults,
+            None,
+            CkptMode::PauseAt { slot: 5 },
+        )
+        .expect("pause run");
+        let ck = match paused {
+            RunOutcome::Paused(ck) => ck,
+            RunOutcome::Done(_) => unreachable!("must pause"),
+        };
+        let err = small_engine(
+            3,
+            3_000.0,
+            400.0,
+            -80.0,
+            700.0,
+            120,
+            Box::new(DefaultMax::new()),
+        )
+        .resume_with(&mut NullRecorder, &NoFaults, &ck)
+        .expect_err("shape mismatch must be rejected");
+        assert!(err.to_string().contains("restore"));
     }
 }

@@ -21,10 +21,19 @@
 //!   [`SlotRecorder`] hook in the engine loop, a capturing
 //!   [`TraceRecorder`] with JSONL export, and the run summary merged
 //!   into [`SimResult`].
+//! * [`faults`] — timed fault injection ([`FaultSpec`] → [`FaultPlan`]):
+//!   deep fades, link outages, capacity degradation, cell outages, and
+//!   user churn, threaded through every run path via the zero-cost
+//!   [`FaultHook`] trait.
+//! * [`error`] — typed errors ([`ScenarioError`], [`TraceError`],
+//!   [`CheckpointError`], umbrella [`SimError`]) replacing panics on
+//!   input-handling and I/O paths.
 
 pub mod calibrate;
 pub mod chart;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod multicell;
 pub mod report;
 pub mod results;
@@ -35,7 +44,9 @@ pub mod telemetry;
 
 pub use calibrate::{calibrate_default, fit_v_for_omega, fit_v_for_omega_with, Calibration};
 pub use chart::ascii_chart;
-pub use engine::Engine;
+pub use engine::{CkptMode, Engine, EngineCheckpoint, RunOutcome};
+pub use error::{atomic_write, CheckpointError, ScenarioError, SimError, TraceError};
+pub use faults::{FaultEvent, FaultHook, FaultPlan, FaultSpec, NoFaults};
 pub use multicell::{MultiCellResult, MultiCellScenario};
 pub use results::{SimResult, UserResult};
 pub use scenario::{ArrivalSpec, Scenario};

@@ -24,6 +24,8 @@
 //! meaningful); scenario-level collector settings are ignored and
 //! documented as such.
 
+use crate::error::{ScenarioError, SimError};
+use crate::faults::{FaultHook, NoFaults};
 use crate::results::{SimResult, UserResult};
 use crate::scenario::Scenario;
 use crate::telemetry::{NullRecorder, SlotRecorder, SlotTrace, TraceRecorder};
@@ -64,7 +66,7 @@ pub struct MultiCellResult {
 
 impl MultiCellScenario {
     /// Validate and run.
-    pub fn run(&self) -> Result<MultiCellResult, String> {
+    pub fn run(&self) -> Result<MultiCellResult, SimError> {
         self.run_with(&mut NullRecorder)
     }
 
@@ -74,27 +76,42 @@ impl MultiCellScenario {
     /// per-user grant, and the scheduler latency covers all cells'
     /// decisions. Queue values are not recorded (each cell has its own
     /// scheduler, so no single queue vector describes the slot).
-    pub fn run_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<MultiCellResult, String> {
+    ///
+    /// The base scenario's `faults` apply here with per-cell semantics:
+    /// `CellOutage`/`CellDegradation` hit their own cell's budget, deep
+    /// fades and link outages follow the user across cells, and
+    /// departures abandon the session. Late-arrival churn is a
+    /// single-cell feature (all multicell users attach at slot 0) and is
+    /// ignored.
+    pub fn run_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<MultiCellResult, SimError> {
         self.base.validate()?;
         if self.n_cells == 0 {
-            return Err("n_cells must be positive".into());
+            return Err(ScenarioError::new("n_cells", "must be positive").into());
         }
         if !(0.0..=1.0).contains(&self.handover_prob) {
-            return Err("handover_prob must be in [0, 1]".into());
+            return Err(ScenarioError::new("handover_prob", "must be in [0, 1]").into());
         }
-        Ok(self.simulate(rec))
+        if self.base.faults.is_none() {
+            Ok(self.simulate(rec, &NoFaults))
+        } else {
+            let plan =
+                self.base
+                    .faults
+                    .compile(self.base.n_users, self.base.slots, self.n_cells)?;
+            Ok(self.simulate(rec, &plan))
+        }
     }
 
     /// Run with a capturing [`TraceRecorder`] (one record per `every`
     /// slots); returns the result plus the trace.
-    pub fn run_traced(&self, every: u64) -> Result<(MultiCellResult, SlotTrace), String> {
+    pub fn run_traced(&self, every: u64) -> Result<(MultiCellResult, SlotTrace), SimError> {
         let mut rec = TraceRecorder::new().with_every(every);
         let result = self.run_with(&mut rec)?;
         let trace = rec.into_trace(&result.result.scheduler);
         Ok((result, trace))
     }
 
-    fn simulate<R: SlotRecorder>(&self, rec: &mut R) -> MultiCellResult {
+    fn simulate<R: SlotRecorder, F: FaultHook>(&self, rec: &mut R, faults: &F) -> MultiCellResult {
         let base = &self.base;
         let n = base.n_users;
         let units = UnitParams::new(base.delta_kb);
@@ -161,6 +178,7 @@ impl MultiCellScenario {
         // of tracing) and the cross-cell combined allocation.
         let mut cell_caps = vec![0u64; self.n_cells];
         let mut combined_units = vec![0u64; n];
+        let mut fault_notes: Vec<String> = Vec::new();
 
         rec.begin_run(n, base.tau);
         for slot in 0..base.slots {
@@ -185,7 +203,10 @@ impl MultiCellScenario {
                     let pos = members[from].binary_search(&i).expect("member list sync");
                     members[from].remove(pos);
                     let to = attached[i];
-                    let pos = members[to].binary_search(&i).unwrap_err();
+                    let pos = match members[to].binary_search(&i) {
+                        Err(pos) => pos,
+                        Ok(_) => unreachable!("user cannot already be a member"),
+                    };
                     members[to].insert(pos, i);
                     if let Some(snaps) = cell_snaps.get_mut(from) {
                         // Leaving a cell zeroes the fields that gate
@@ -203,6 +224,15 @@ impl MultiCellScenario {
             // Client-side advance and shared ground truth, once per user.
             for i in 0..n {
                 cur_sig[i] = signals[i].sample(slot);
+                if faults.enabled() {
+                    // Signal faults follow the user across cells; applied
+                    // after the RNG draw so streams stay aligned.
+                    cur_sig[i] = faults.adjust_signal(slot, i, cur_sig[i]);
+                    if faults.departed(slot, i) {
+                        sessions[i].cancel_remaining();
+                        playback[i].abandon();
+                    }
+                }
                 rates[i] = sessions[i].rate_at(slot);
                 let v = base.models.throughput.throughput(cur_sig[i]);
                 caps[i] = units.link_cap_units(v, base.tau);
@@ -261,11 +291,23 @@ impl MultiCellScenario {
 
             // Per-cell scheduling: every cell still sees an all-users
             // context (stable ids), but only its members carry capacity.
-            for (cap_units, capacity) in cell_caps.iter_mut().zip(capacities.iter_mut()) {
-                let cap: KbPerSec = capacity.capacity(slot);
+            for (cell, (cap_units, capacity)) in
+                cell_caps.iter_mut().zip(capacities.iter_mut()).enumerate()
+            {
+                let mut cap: KbPerSec = capacity.capacity(slot);
+                if faults.enabled() {
+                    cap = KbPerSec(faults.scale_cell_cap(slot, cell, cap.0));
+                }
                 *cap_units = units.bs_cap_units(cap, base.tau);
             }
             rec.begin_slot(slot, cell_caps.iter().sum());
+            if faults.enabled() && rec.enabled() {
+                fault_notes.clear();
+                faults.notes_into(slot, &mut fault_notes);
+                for note in &fault_notes {
+                    rec.record_fault(note);
+                }
+            }
             if rec.enabled() {
                 combined_units.fill(0);
             }
@@ -284,6 +326,10 @@ impl MultiCellScenario {
                     let t0 = std::time::Instant::now();
                     scheduler.allocate_into(&ctx, &mut alloc);
                     sched_ns += t0.elapsed().as_nanos() as u64;
+                    let deg = scheduler.degradations();
+                    if !deg.is_empty() {
+                        rec.record_degradations(deg);
+                    }
                 } else {
                     scheduler.allocate_into(&ctx, &mut alloc);
                 }
@@ -404,6 +450,7 @@ impl MultiCellScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultEvent, FaultSpec};
     use jmso_gateway::bs::CapacitySpec;
     use jmso_media::WorkloadSpec;
     use jmso_sched::SchedulerSpec;
@@ -432,7 +479,7 @@ mod tests {
     #[test]
     fn single_cell_degenerate_matches_shape() {
         // One cell, no mobility: same machinery as the single-cell engine.
-        let m = multi(4, 1, 0.0).run().unwrap();
+        let m = multi(4, 1, 0.0).run().expect("runs");
         assert_eq!(m.handovers, 0);
         assert_eq!(m.result.n_users(), 4);
         assert_eq!(m.result.completion_rate(), 1.0);
@@ -441,7 +488,7 @@ mod tests {
 
     #[test]
     fn mobility_moves_users() {
-        let m = multi(8, 4, 0.05).run().unwrap();
+        let m = multi(8, 4, 0.05).run().expect("runs");
         assert!(m.handovers > 0, "mobility must trigger handovers");
         let total_occ: f64 = m.mean_cell_occupancy.iter().sum();
         assert!(
@@ -459,7 +506,7 @@ mod tests {
         ] {
             let mut mc = multi(6, 3, 0.02);
             mc.base.scheduler = spec.clone();
-            let m = mc.run().unwrap();
+            let m = mc.run().expect("runs");
             assert_eq!(
                 m.result.completion_rate(),
                 1.0,
@@ -475,8 +522,8 @@ mod tests {
     fn more_cells_add_capacity() {
         // Same users, same per-cell budget: 3 cells should rebuffer less
         // than 1 (aggregate capacity triples).
-        let one = multi(9, 1, 0.0).run().unwrap();
-        let three = multi(9, 3, 0.01).run().unwrap();
+        let one = multi(9, 1, 0.0).run().expect("runs");
+        let three = multi(9, 3, 0.01).run().expect("runs");
         assert!(
             three.result.total_rebuffer_s() < one.result.total_rebuffer_s(),
             "3 cells {} s vs 1 cell {} s",
@@ -487,25 +534,87 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = multi(6, 3, 0.05).run().unwrap();
-        let b = multi(6, 3, 0.05).run().unwrap();
+        let a = multi(6, 3, 0.05).run().expect("runs");
+        let b = multi(6, 3, 0.05).run().expect("runs");
         assert_eq!(a, b);
+    }
+
+    fn run_err(mc: &MultiCellScenario) -> String {
+        match mc.run() {
+            Err(e) => e.to_string(),
+            Ok(_) => unreachable!("scenario must be rejected"),
+        }
     }
 
     #[test]
     fn validation_errors() {
         let mut mc = multi(4, 2, 0.01);
         mc.n_cells = 0;
-        assert!(mc.run().unwrap_err().contains("n_cells"));
+        assert!(run_err(&mc).contains("n_cells"));
         let mut mc = multi(4, 2, 0.01);
         mc.handover_prob = 1.5;
-        assert!(mc.run().unwrap_err().contains("handover_prob"));
+        assert!(run_err(&mc).contains("handover_prob"));
+    }
+
+    #[test]
+    fn cell_fault_must_name_a_real_cell() {
+        let mut mc = multi(4, 2, 0.0);
+        mc.base.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::CellOutage {
+                cell: 2,
+                from_slot: 0,
+                until_slot: 50,
+            }],
+        };
+        let msg = run_err(&mc);
+        assert!(msg.contains("cell") && msg.contains("n_cells (2)"), "{msg}");
+    }
+
+    #[test]
+    fn cell_outage_slows_the_affected_cell() {
+        // No mobility: users 0/2 sit in cell 0, users 1/3 in cell 1. An
+        // outage on cell 1 must add rebuffering there and leave cell 0
+        // untouched.
+        let clean = multi(4, 2, 0.0);
+        let mut faulted = clean.clone();
+        faulted.base.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::CellOutage {
+                cell: 1,
+                from_slot: 0,
+                until_slot: 100,
+            }],
+        };
+        let a = clean.run().expect("clean run");
+        let b = faulted.run().expect("faulted run");
+        assert!(
+            b.result.per_user[1].rebuffer_s > a.result.per_user[1].rebuffer_s,
+            "cell-1 user must stall during the outage"
+        );
+        assert_eq!(
+            a.result.per_user[0].rebuffer_s, b.result.per_user[0].rebuffer_s,
+            "cell-0 user unaffected without mobility"
+        );
+    }
+
+    #[test]
+    fn multicell_faults_are_deterministic() {
+        let mut mc = multi(6, 3, 0.05);
+        mc.base.faults = FaultSpec::Generated {
+            seed: 11,
+            n_events: 5,
+        };
+        let a = mc.run().expect("run a");
+        let b = mc.run().expect("run b");
+        assert_eq!(a, b);
     }
 
     #[test]
     fn serde_roundtrip() {
         let mc = multi(4, 2, 0.1);
-        let j = serde_json::to_string(&mc).unwrap();
-        assert_eq!(serde_json::from_str::<MultiCellScenario>(&j).unwrap(), mc);
+        let j = serde_json::to_string(&mc).expect("serializes");
+        assert_eq!(
+            serde_json::from_str::<MultiCellScenario>(&j).expect("parses"),
+            mc
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Scenario configuration: a single serializable description of one
 //! experiment, and the factory that assembles an [`Engine`] from it.
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{CkptMode, Engine, EngineCheckpoint, EngineConfig, RunOutcome};
+use crate::error::{ScenarioError, SimError};
+use crate::faults::{FaultPlan, FaultSpec, NoFaults};
 use crate::results::SimResult;
 use crate::telemetry::{SlotRecorder, SlotTrace, TraceRecorder};
 use jmso_gateway::bs::CapacitySpec;
@@ -15,6 +17,7 @@ use jmso_sched::{CrossLayerModels, SchedulerSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// When user sessions begin.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Default)]
@@ -93,6 +96,11 @@ pub struct Scenario {
     /// the instantaneous one.
     #[serde(default)]
     pub rate_via_dpi: bool,
+    /// Timed fault injection (deep fades, outages, capacity loss, churn).
+    /// The default [`FaultSpec::None`] keeps every run bit-identical to a
+    /// scenario without this field.
+    #[serde(default)]
+    pub faults: FaultSpec,
 }
 
 impl Scenario {
@@ -115,6 +123,7 @@ impl Scenario {
             record_series: false,
             arrivals: ArrivalSpec::Simultaneous,
             rate_via_dpi: false,
+            faults: FaultSpec::None,
         }
     }
 
@@ -135,10 +144,26 @@ impl Scenario {
         }
     }
 
+    /// Compile the scenario's fault spec against a single cell (`None`
+    /// when no faults are configured, so fault-free runs monomorphize on
+    /// [`NoFaults`] and stay bit-identical to the pre-fault engine).
+    fn compiled_faults(&self) -> Result<Option<FaultPlan>, ScenarioError> {
+        if self.faults.is_none() {
+            Ok(None)
+        } else {
+            Ok(Some(self.faults.compile(self.n_users, self.slots, 1)?))
+        }
+    }
+
     /// Validate parameters, assemble the engine, run it.
-    pub fn run(&self) -> Result<SimResult, String> {
+    pub fn run(&self) -> Result<SimResult, SimError> {
         self.validate()?;
-        Ok(self.build_engine(false).run())
+        match self.compiled_faults()? {
+            None => Ok(self.build_engine(false, None)?.run()),
+            Some(plan) => Ok(self
+                .build_engine(false, Some(&plan))?
+                .run_faulted_with(&mut crate::telemetry::NullRecorder, &plan)),
+        }
     }
 
     /// Validate parameters, then run the reference (non-active-set) slot
@@ -146,59 +171,141 @@ impl Scenario {
     /// ([`SignalKind::Dyn`]) — the executable specification
     /// [`Engine::run`] is differentially tested against. Must return a
     /// result identical to [`Scenario::run`].
-    pub fn run_reference(&self) -> Result<SimResult, String> {
-        self.validate()?;
-        Ok(self.build_engine(true).run_reference())
+    pub fn run_reference(&self) -> Result<SimResult, SimError> {
+        self.run_reference_with(&mut crate::telemetry::NullRecorder)
     }
 
     /// [`Scenario::run`] with a caller-supplied [`SlotRecorder`].
-    pub fn run_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<SimResult, String> {
+    pub fn run_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<SimResult, SimError> {
         self.validate()?;
-        Ok(self.build_engine(false).run_with(rec))
+        match self.compiled_faults()? {
+            None => Ok(self.build_engine(false, None)?.run_with(rec)),
+            Some(plan) => Ok(self
+                .build_engine(false, Some(&plan))?
+                .run_faulted_with(rec, &plan)),
+        }
     }
 
     /// [`Scenario::run_reference`] with a caller-supplied
     /// [`SlotRecorder`].
-    pub fn run_reference_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<SimResult, String> {
+    pub fn run_reference_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<SimResult, SimError> {
         self.validate()?;
-        Ok(self.build_engine(true).run_reference_with(rec))
+        match self.compiled_faults()? {
+            None => Ok(self.build_engine(true, None)?.run_reference_with(rec)),
+            Some(plan) => Ok(self
+                .build_engine(true, Some(&plan))?
+                .run_reference_faulted_with(rec, &plan)),
+        }
     }
 
     /// Run with a capturing [`TraceRecorder`] emitting one record per
     /// `every` slots (see the downsampling contract in
     /// [`crate::telemetry`]); returns the result (telemetry summary
     /// attached) together with the trace.
-    pub fn run_traced(&self, every: u64) -> Result<(SimResult, SlotTrace), String> {
+    pub fn run_traced(&self, every: u64) -> Result<(SimResult, SlotTrace), SimError> {
         let mut rec = TraceRecorder::new().with_every(every);
         let result = self.run_with(&mut rec)?;
         let trace = rec.into_trace(&result.scheduler);
         Ok((result, trace))
     }
 
-    /// Parameter sanity checks with actionable messages.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Run, atomically (re)writing a resumable [`EngineCheckpoint`]
+    /// sidecar to `path` every `every` slots.
+    pub fn run_checkpointed_with<R: SlotRecorder>(
+        &self,
+        rec: &mut R,
+        every: u64,
+        path: &Path,
+    ) -> Result<SimResult, SimError> {
+        self.validate()?;
+        let mode = CkptMode::EveryToFile { every, path };
+        let outcome = match self.compiled_faults()? {
+            None => self
+                .build_engine(false, None)?
+                .run_core(rec, &NoFaults, None, mode)?,
+            Some(plan) => self
+                .build_engine(false, Some(&plan))?
+                .run_core(rec, &plan, None, mode)?,
+        };
+        match outcome {
+            RunOutcome::Done(r) => Ok(r),
+            RunOutcome::Paused(_) => unreachable!("EveryToFile never pauses"),
+        }
+    }
+
+    /// Run up to the top of `slot` and return the captured checkpoint
+    /// ([`RunOutcome::Done`] if the run finishes first).
+    pub fn run_until<R: SlotRecorder>(
+        &self,
+        rec: &mut R,
+        slot: u64,
+    ) -> Result<RunOutcome, SimError> {
+        self.validate()?;
+        let mode = CkptMode::PauseAt { slot };
+        match self.compiled_faults()? {
+            None => self
+                .build_engine(false, None)?
+                .run_core(rec, &NoFaults, None, mode),
+            Some(plan) => self
+                .build_engine(false, Some(&plan))?
+                .run_core(rec, &plan, None, mode),
+        }
+    }
+
+    /// Resume a run from a checkpoint captured on this same scenario
+    /// (same seed, users, scheduler kind and recorder kind).
+    pub fn resume_from<R: SlotRecorder>(
+        &self,
+        rec: &mut R,
+        ckpt: &EngineCheckpoint,
+    ) -> Result<SimResult, SimError> {
+        self.validate()?;
+        match self.compiled_faults()? {
+            None => self
+                .build_engine(false, None)?
+                .resume_with(rec, &NoFaults, ckpt),
+            Some(plan) => self
+                .build_engine(false, Some(&plan))?
+                .resume_with(rec, &plan, ckpt),
+        }
+    }
+
+    /// Parameter sanity checks with actionable, field-named messages.
+    /// Fault events are validated separately, against the actual cell
+    /// count, when the run path compiles them into a [`FaultPlan`].
+    pub fn validate(&self) -> Result<(), ScenarioError> {
         if self.n_users == 0 {
-            return Err("n_users must be positive".into());
+            return Err(ScenarioError::new("n_users", "must be positive"));
         }
         if self.slots == 0 {
-            return Err("slots must be positive".into());
+            return Err(ScenarioError::new("slots", "must be positive"));
         }
         if self.tau <= 0.0 || self.tau.is_nan() {
-            return Err("tau must be positive".into());
+            return Err(ScenarioError::new("tau", "must be positive"));
         }
         if self.delta_kb <= 0.0 || self.delta_kb.is_nan() {
-            return Err("delta_kb must be positive".into());
+            return Err(ScenarioError::new("delta_kb", "must be positive"));
         }
         if self.workload.rate_range_kbps.0 <= 0.0 {
-            return Err("required data rates must be positive".into());
+            return Err(ScenarioError::new(
+                "workload.rate_range_kbps",
+                "required data rates must be positive",
+            ));
         }
         if self.workload.size_range_kb.0 <= 0.0 {
-            return Err("video sizes must be positive".into());
+            return Err(ScenarioError::new(
+                "workload.size_range_kb",
+                "video sizes must be positive",
+            ));
         }
         Ok(())
     }
 
-    fn build_engine(&self, dyn_signals: bool) -> Engine {
+    fn build_engine(
+        &self,
+        dyn_signals: bool,
+        faults: Option<&FaultPlan>,
+    ) -> Result<Engine, ScenarioError> {
         let sessions = generate_sessions(&self.workload, self.n_users, self.seed);
         // `dyn_signals` routes signal sampling through boxed trait objects
         // to exercise the `SignalKind::Dyn` escape hatch external
@@ -225,31 +332,34 @@ impl Scenario {
             // Synthesize each client's first segment request and let the
             // DPI middlebox extract the declared bitrate from the wire.
             let mut dpi = DpiClassifier::new();
-            Some(
-                sessions
-                    .iter()
-                    .enumerate()
-                    .map(|(i, sess)| {
-                        let wire = format_segment_request(
-                            &format!("user{i}"),
-                            0,
-                            sess.bitrate.mean_rate(),
-                            None,
-                        );
-                        dpi.inspect(&wire)
-                            .expect("synthesized request parses")
-                            .bitrate_kbps
-                            .expect("synthesized request declares a rate")
-                    })
-                    .collect(),
-            )
+            let mut rates = Vec::with_capacity(sessions.len());
+            for (i, sess) in sessions.iter().enumerate() {
+                let wire =
+                    format_segment_request(&format!("user{i}"), 0, sess.bitrate.mean_rate(), None);
+                let info = dpi.inspect(&wire).map_err(|e| {
+                    ScenarioError::new("rate_via_dpi", format!("synthesized request rejected: {e}"))
+                })?;
+                let rate = info.bitrate_kbps.ok_or_else(|| {
+                    ScenarioError::new("rate_via_dpi", "synthesized request declared no rate")
+                })?;
+                rates.push(rate);
+            }
+            Some(rates)
         } else {
             None
         };
+        let mut arrival_slots = self.arrivals.arrival_slots(self.n_users, self.seed);
+        if let Some(plan) = faults {
+            // Late-arrival churn: push the affected users' session starts
+            // back by the declared delay.
+            for (i, slot) in arrival_slots.iter_mut().enumerate() {
+                *slot = slot.saturating_add(plan.arrival_delay(i));
+            }
+        }
         let mut engine = Engine::with_arrivals(
             signals,
             sessions,
-            self.arrivals.arrival_slots(self.n_users, self.seed),
+            arrival_slots,
             self.scheduler.build(self.tau, &self.models),
             self.capacity.build(),
             receiver,
@@ -265,13 +375,14 @@ impl Scenario {
         if let Some(rates) = declared_rates {
             engine.set_declared_rates(&rates);
         }
-        engine
+        Ok(engine)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultEvent;
 
     fn quick(n: usize) -> Scenario {
         let mut s = Scenario::paper_default(n);
@@ -301,10 +412,10 @@ mod tests {
     #[test]
     fn runs_and_is_deterministic() {
         let s = quick(4);
-        let a = s.run().unwrap();
-        let b = s.run().unwrap();
+        let a = s.run().expect("runs");
+        let b = s.run().expect("runs");
         assert_eq!(a, b, "same seed ⇒ identical result");
-        let c = s.with_seed(7).run().unwrap();
+        let c = s.with_seed(7).run().expect("runs");
         assert_ne!(a, c, "different seed ⇒ different result");
         assert_eq!(a.n_users(), 4);
     }
@@ -312,11 +423,11 @@ mod tests {
     #[test]
     fn with_scheduler_keeps_workload() {
         let s = quick(3);
-        let a = s.run().unwrap();
+        let a = s.run().expect("runs");
         let b = s
             .with_scheduler(SchedulerSpec::RtmaUnbounded)
             .run()
-            .unwrap();
+            .expect("reference runs");
         // Same videos (same sizes) under both policies.
         for (ua, ub) in a.per_user.iter().zip(&b.per_user) {
             assert_eq!(ua.video_kb, ub.video_kb);
@@ -325,27 +436,173 @@ mod tests {
         assert_ne!(a.scheduler, b.scheduler);
     }
 
+    fn run_err(s: &Scenario) -> String {
+        match s.run() {
+            Err(e) => e.to_string(),
+            Ok(_) => unreachable!("scenario must be rejected"),
+        }
+    }
+
     #[test]
     fn validation_messages() {
         let mut s = quick(2);
         s.n_users = 0;
-        assert!(s.run().unwrap_err().contains("n_users"));
+        assert!(run_err(&s).contains("n_users"));
         let mut s = quick(2);
         s.slots = 0;
-        assert!(s.run().unwrap_err().contains("slots"));
+        assert!(run_err(&s).contains("slots"));
         let mut s = quick(2);
         s.tau = 0.0;
-        assert!(s.run().unwrap_err().contains("tau"));
+        assert!(run_err(&s).contains("tau"));
         let mut s = quick(2);
         s.delta_kb = -1.0;
-        assert!(s.run().unwrap_err().contains("delta_kb"));
+        assert!(run_err(&s).contains("delta_kb"));
+        let mut s = quick(2);
+        s.workload.rate_range_kbps = (0.0, 0.0);
+        assert!(run_err(&s).contains("rate_range_kbps"));
+        let mut s = quick(2);
+        s.workload.size_range_kb = (-5.0, 10.0);
+        assert!(run_err(&s).contains("size_range_kb"));
+    }
+
+    #[test]
+    fn invalid_fault_events_name_the_field() {
+        // User index out of range.
+        let mut s = quick(2);
+        s.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::LinkOutage {
+                user: 5,
+                from_slot: 10,
+                until_slot: 20,
+            }],
+        };
+        let msg = run_err(&s);
+        assert!(msg.contains("faults.events[0].user"), "{msg}");
+
+        // Empty window.
+        let mut s = quick(2);
+        s.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::DeepFade {
+                user: 0,
+                from_slot: 20,
+                until_slot: 20,
+                depth_db: 10.0,
+            }],
+        };
+        let msg = run_err(&s);
+        assert!(msg.contains("faults.events[0]"), "{msg}");
+
+        // Degradation factor outside (0, 1].
+        let mut s = quick(2);
+        s.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::CapDegradation {
+                from_slot: 0,
+                until_slot: 50,
+                factor: 1.5,
+            }],
+        };
+        let msg = run_err(&s);
+        assert!(msg.contains("factor"), "{msg}");
+
+        // Cell index out of range for a single-cell run.
+        let mut s = quick(2);
+        s.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::CellOutage {
+                cell: 3,
+                from_slot: 0,
+                until_slot: 50,
+            }],
+        };
+        let msg = run_err(&s);
+        assert!(msg.contains("cell"), "{msg}");
+
+        // Departure past the horizon.
+        let mut s = quick(2);
+        s.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::Departure {
+                user: 0,
+                slot: 10_000,
+            }],
+        };
+        let msg = run_err(&s);
+        assert!(msg.contains("slot"), "{msg}");
+    }
+
+    #[test]
+    fn declared_faults_change_the_outcome() {
+        let clean = quick(3);
+        let mut faulted = clean.clone();
+        faulted.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::LinkOutage {
+                user: 0,
+                from_slot: 0,
+                until_slot: 60,
+            }],
+        };
+        let a = clean.run().expect("clean run");
+        let b = faulted.run().expect("faulted run");
+        assert!(
+            b.per_user[0].rebuffer_s > a.per_user[0].rebuffer_s,
+            "an early link outage must add rebuffering for the victim"
+        );
+    }
+
+    #[test]
+    fn generated_faults_are_deterministic() {
+        let mut s = quick(3);
+        s.faults = FaultSpec::Generated {
+            seed: 7,
+            n_events: 4,
+        };
+        let a = s.run().expect("run a");
+        let b = s.run().expect("run b");
+        assert_eq!(a, b, "same fault seed ⇒ identical result");
+    }
+
+    #[test]
+    fn departure_fault_truncates_watch_time() {
+        let clean = quick(2);
+        let mut faulted = clean.clone();
+        faulted.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::Departure { user: 1, slot: 3 }],
+        };
+        let a = clean.run().expect("clean run");
+        let b = faulted.run().expect("faulted run");
+        assert!(
+            b.per_user[1].watched_s < a.per_user[1].watched_s,
+            "a departing user stops watching"
+        );
+        assert!(
+            b.per_user[1].fetched_kb <= a.per_user[1].fetched_kb,
+            "a departing user stops fetching"
+        );
+    }
+
+    #[test]
+    fn late_arrival_fault_delays_session_start() {
+        let clean = quick(2);
+        let mut faulted = clean.clone();
+        faulted.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::LateArrival {
+                user: 0,
+                delay_slots: 40,
+            }],
+        };
+        let a = clean.run().expect("clean run");
+        let b = faulted.run().expect("faulted run");
+        // The late user is unmetered for the delay window.
+        assert!(
+            b.per_user[0].tx_slots + b.per_user[0].idle_slots
+                < a.per_user[0].tx_slots + a.per_user[0].idle_slots,
+            "delayed arrival shortens the metered span"
+        );
     }
 
     #[test]
     fn serde_roundtrip() {
         let s = quick(5);
-        let j = serde_json::to_string_pretty(&s).unwrap();
-        let back: Scenario = serde_json::from_str(&j).unwrap();
+        let j = serde_json::to_string_pretty(&s).expect("serializes");
+        let back: Scenario = serde_json::from_str(&j).expect("parses");
         assert_eq!(back, s);
     }
 
@@ -369,7 +626,10 @@ mod tests {
         for w in a.windows(2) {
             assert!(w[1] >= w[0], "non-decreasing arrivals");
         }
-        assert!(*a.last().unwrap() > 0, "stagger actually spreads users");
+        assert!(
+            a.last().is_some_and(|&l| l > 0),
+            "stagger actually spreads users"
+        );
         let c = spec.arrival_slots(10, 4);
         assert_ne!(a, c, "different seed, different arrivals");
     }
@@ -380,7 +640,7 @@ mod tests {
         s.arrivals = ArrivalSpec::Staggered {
             mean_interval_slots: 30.0,
         };
-        let r = s.run().unwrap();
+        let r = s.run().expect("runs");
         // Late arrivals are unmetered before their slot.
         let slots = r.slots_run;
         assert!(r.per_user.iter().any(|u| u.tx_slots + u.idle_slots < slots));
@@ -394,7 +654,7 @@ mod tests {
         let plain = quick(4);
         let mut dpi = quick(4);
         dpi.rate_via_dpi = true;
-        assert_eq!(plain.run().unwrap(), dpi.run().unwrap());
+        assert_eq!(plain.run().expect("runs"), dpi.run().expect("runs"));
     }
 
     #[test]
@@ -409,8 +669,8 @@ mod tests {
         plain.slots = 400;
         let mut dpi = plain.clone();
         dpi.rate_via_dpi = true;
-        let a = plain.run().unwrap();
-        let b = dpi.run().unwrap();
+        let a = plain.run().expect("runs");
+        let b = dpi.run().expect("runs");
         assert_ne!(a, b, "declared-rate scheduling must differ under VBR");
         // Clients still finish their videos either way.
         assert_eq!(a.completion_rate(), 1.0);
@@ -421,7 +681,7 @@ mod tests {
     fn every_scheduler_spec_runs() {
         for spec in [
             SchedulerSpec::Default,
-            SchedulerSpec::Rtma { phi_mj: 900.0 },
+            SchedulerSpec::rtma(900.0),
             SchedulerSpec::RtmaUnbounded,
             SchedulerSpec::ema_fast(1.0),
             SchedulerSpec::throttling_default(),
@@ -431,7 +691,10 @@ mod tests {
         ] {
             let mut s = quick(3).with_scheduler(spec.clone());
             s.slots = 120;
-            let r = s.run().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            let r = match s.run() {
+                Ok(r) => r,
+                Err(e) => unreachable!("{spec:?}: {e}"),
+            };
             assert_eq!(r.n_users(), 3, "{spec:?}");
         }
     }

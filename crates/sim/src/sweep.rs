@@ -12,6 +12,7 @@
 //! gives every index to exactly one worker, and `thread::scope` joins all
 //! workers (propagating panics) before any slot is read.
 
+use crate::error::SimError;
 use crate::results::SimResult;
 use crate::scenario::Scenario;
 use crate::telemetry::SlotTrace;
@@ -109,10 +110,12 @@ fn effective_threads(requested: usize, items: usize) -> usize {
 }
 
 /// Run a batch of scenarios in parallel; results align with the input.
-/// Any scenario validation error aborts the whole batch.
-pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Result<Vec<SimResult>, String> {
+/// Any scenario validation or fault-plan error aborts the whole batch
+/// before any cell runs.
+pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Result<Vec<SimResult>, SimError> {
     for s in scenarios {
         s.validate()?;
+        s.faults.compile(s.n_users, s.slots, 1)?;
     }
     let results = parallel_map(scenarios, threads, |s| {
         s.run().expect("validated scenario must run")
@@ -128,9 +131,10 @@ pub fn run_scenarios_traced(
     scenarios: &[Scenario],
     threads: usize,
     every: u64,
-) -> Result<Vec<(SimResult, SlotTrace)>, String> {
+) -> Result<Vec<(SimResult, SlotTrace)>, SimError> {
     for s in scenarios {
         s.validate()?;
+        s.faults.compile(s.n_users, s.slots, 1)?;
     }
     let results = parallel_map(scenarios, threads, |s| {
         s.run_traced(every).expect("validated scenario must run")
@@ -240,7 +244,24 @@ mod tests {
     fn sweep_rejects_invalid_cells() {
         let mut bad = quick(2, 0);
         bad.n_users = 0;
-        let err = run_scenarios(&[bad], 2).unwrap_err();
+        let err = match run_scenarios(&[bad], 2) {
+            Err(e) => e.to_string(),
+            Ok(_) => unreachable!("invalid cell must abort the sweep"),
+        };
         assert!(err.contains("n_users"));
+    }
+
+    #[test]
+    fn sweep_rejects_invalid_fault_plans_before_running() {
+        use crate::faults::{FaultEvent, FaultSpec};
+        let mut bad = quick(2, 0);
+        bad.faults = FaultSpec::Declared {
+            events: vec![FaultEvent::Departure { user: 9, slot: 10 }],
+        };
+        let err = match run_scenarios(&[quick(2, 1), bad], 2) {
+            Err(e) => e.to_string(),
+            Ok(_) => unreachable!("invalid fault plan must abort the sweep"),
+        };
+        assert!(err.contains("faults.events[0].user"), "{err}");
     }
 }

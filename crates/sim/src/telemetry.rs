@@ -31,8 +31,11 @@
 //! totals), while the allocation, capacity, and queue fields are sampled
 //! at the emitted slot. A final partial window is flushed by `end_run`.
 
+use crate::error::{atomic_write, TraceError};
+use jmso_gateway::DegradationEvent;
 use jmso_radio::rrc::RrcState;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Observer of the engine's per-slot pipeline.
 ///
@@ -94,6 +97,18 @@ pub trait SlotRecorder {
         let _ = (id, from, to);
     }
 
+    /// The scheduler degraded gracefully this slot (RTMA best-effort
+    /// fallback, EMA virtual-queue clamp, ...).
+    fn record_degradations(&mut self, events: &[DegradationEvent]) {
+        let _ = events;
+    }
+
+    /// A fault window opened or closed (or a departure fired) this slot.
+    /// `note` is byte-deterministic, derived from the fault plan alone.
+    fn record_fault(&mut self, note: &str) {
+        let _ = note;
+    }
+
     /// Slot ends (all per-user accounting for it has been reported).
     fn end_slot(&mut self) {}
 
@@ -103,6 +118,23 @@ pub trait SlotRecorder {
     /// The run's summary, if this recorder produces one.
     fn summary(&mut self) -> Option<TelemetrySummary> {
         None
+    }
+
+    /// Serialize this recorder's full state for a checkpoint. Stateless
+    /// recorders return an empty string; `None` means the recorder cannot
+    /// be checkpointed.
+    fn export_state(&self) -> Option<String> {
+        Some(String::new())
+    }
+
+    /// Restore state exported by [`SlotRecorder::export_state`]. The
+    /// default accepts only the stateless (empty) form.
+    fn import_state(&mut self, state: &str) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err("this recorder carries no state to import".to_string())
+        }
     }
 }
 
@@ -148,6 +180,15 @@ pub struct SlotRecord {
     /// RRC transitions inside the window.
     #[serde(default)]
     pub rrc: Vec<RrcTransition>,
+    /// Scheduler degradation events inside the window (RTMA best-effort
+    /// fallback, EMA queue clamps). Omitted from the JSONL form when
+    /// empty, so fault-free traces are byte-identical to older ones.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub deg: Vec<DegradationEvent>,
+    /// Fault-window transitions inside the window (deterministic notes
+    /// from the fault plan). Omitted when empty.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub faults: Vec<String>,
 }
 
 /// Header line of a JSONL trace.
@@ -182,24 +223,65 @@ impl SlotTrace {
     /// the shortest round-tripping form), which is what the golden-trace
     /// tests rely on.
     pub fn to_jsonl(&self) -> String {
-        let mut out = serde_json::to_string(&self.meta).expect("meta serializes");
+        match self.try_to_jsonl() {
+            Ok(s) => s,
+            // Trace records hold only finite numbers, strings, and maps
+            // with string keys, all of which serialize infallibly.
+            Err(e) => unreachable!("trace serialization cannot fail: {e}"),
+        }
+    }
+
+    /// [`SlotTrace::to_jsonl`] with the serialization error surfaced.
+    pub fn try_to_jsonl(&self) -> Result<String, TraceError> {
+        let ser = |line: usize, v: String| TraceError::Parse { line, reason: v };
+        let mut out =
+            serde_json::to_string(&self.meta).map_err(|e| ser(0, format!("meta: {e:?}")))?;
         out.push('\n');
-        for r in &self.records {
-            out.push_str(&serde_json::to_string(r).expect("record serializes"));
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(
+                &serde_json::to_string(r).map_err(|e| ser(i + 1, format!("record: {e:?}")))?,
+            );
             out.push('\n');
         }
-        out
+        Ok(out)
+    }
+
+    /// Write the JSONL form to `path` durably: serialize, write a `.tmp`
+    /// sibling, fsync, and atomically rename it over the target.
+    pub fn write_jsonl(&self, path: &Path) -> Result<(), TraceError> {
+        let text = self.try_to_jsonl()?;
+        atomic_write(path, text.as_bytes()).map_err(|source| TraceError::Io {
+            path: path.to_path_buf(),
+            source,
+        })
+    }
+
+    /// Read and parse a JSONL trace file.
+    pub fn read_jsonl(path: &Path) -> Result<Self, TraceError> {
+        let text = std::fs::read_to_string(path).map_err(|source| TraceError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Self::from_jsonl(&text)
     }
 
     /// Parse a JSONL trace produced by [`SlotTrace::to_jsonl`].
-    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceError> {
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-        let meta_line = lines.next().ok_or("empty trace")?;
-        let meta: TraceMeta =
-            serde_json::from_str(meta_line).map_err(|e| format!("bad meta line: {e:?}"))?;
+        let meta_line = lines.next().ok_or(TraceError::Parse {
+            line: 0,
+            reason: "empty trace".to_string(),
+        })?;
+        let meta: TraceMeta = serde_json::from_str(meta_line).map_err(|e| TraceError::Parse {
+            line: 0,
+            reason: format!("bad meta line: {e:?}"),
+        })?;
         let mut records = Vec::new();
         for (i, line) in lines.enumerate() {
-            records.push(serde_json::from_str(line).map_err(|e| format!("bad record {i}: {e:?}"))?);
+            records.push(serde_json::from_str(line).map_err(|e| TraceError::Parse {
+                line: i + 1,
+                reason: format!("bad record: {e:?}"),
+            })?);
         }
         Ok(Self { meta, records })
     }
@@ -340,6 +422,69 @@ pub struct TelemetrySummary {
     pub cum_rebuffer_s: Vec<f64>,
 }
 
+/// Serde mirror of [`LatencyHistogram`]: the vendored serde has no
+/// fixed-size-array impls, so the 64 bins travel as a `Vec`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LatencyHistogramState {
+    counts: Vec<u64>,
+    n: u64,
+    max_ns: u64,
+}
+
+impl From<&LatencyHistogram> for LatencyHistogramState {
+    fn from(h: &LatencyHistogram) -> Self {
+        Self {
+            counts: h.counts.to_vec(),
+            n: h.n,
+            max_ns: h.max_ns,
+        }
+    }
+}
+
+impl LatencyHistogramState {
+    fn restore(&self) -> Result<LatencyHistogram, String> {
+        let counts: [u64; 64] =
+            self.counts.as_slice().try_into().map_err(|_| {
+                format!("latency histogram needs 64 bins, got {}", self.counts.len())
+            })?;
+        Ok(LatencyHistogram {
+            counts,
+            n: self.n,
+            max_ns: self.max_ns,
+        })
+    }
+}
+
+/// Serde mirror of [`TraceRecorder`] for checkpoint export (the dwell
+/// array travels as a tuple for the same vendored-serde reason).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TraceRecorderState {
+    every: u64,
+    n_users: usize,
+    tau: f64,
+    slots_seen: u64,
+    cur_slot: u64,
+    cur_cap: u64,
+    cur_alloc: Vec<u64>,
+    cur_q: Vec<f64>,
+    win_e: Vec<f64>,
+    win_reb: Vec<f64>,
+    win_rrc: Vec<RrcTransition>,
+    win_deg: Vec<DegradationEvent>,
+    win_faults: Vec<String>,
+    win_slots: u64,
+    prev_reb: Vec<f64>,
+    cur_state: Vec<RrcState>,
+    dwell_s: (f64, f64, f64),
+    rrc_transitions: u64,
+    total_e_mj: f64,
+    total_reb_s: f64,
+    cum_e: Vec<f64>,
+    cum_reb: Vec<f64>,
+    hist: LatencyHistogramState,
+    records: Vec<SlotRecord>,
+}
+
 /// The capturing recorder.
 ///
 /// Reusable across runs: `begin_run` fully resets per-run state, so
@@ -360,6 +505,8 @@ pub struct TraceRecorder {
     win_e: Vec<f64>,
     win_reb: Vec<f64>,
     win_rrc: Vec<RrcTransition>,
+    win_deg: Vec<DegradationEvent>,
+    win_faults: Vec<String>,
     win_slots: u64,
     // Per-user caches.
     prev_reb: Vec<f64>,
@@ -396,6 +543,8 @@ impl TraceRecorder {
             win_e: Vec::new(),
             win_reb: Vec::new(),
             win_rrc: Vec::new(),
+            win_deg: Vec::new(),
+            win_faults: Vec::new(),
             win_slots: 0,
             prev_reb: Vec::new(),
             cur_state: Vec::new(),
@@ -435,6 +584,8 @@ impl TraceRecorder {
             reb_s: self.win_reb.clone(),
             q: self.cur_q.clone(),
             rrc: std::mem::take(&mut self.win_rrc),
+            deg: std::mem::take(&mut self.win_deg),
+            faults: std::mem::take(&mut self.win_faults),
         });
         self.win_e.fill(0.0);
         self.win_reb.fill(0.0);
@@ -489,6 +640,8 @@ impl SlotRecorder for TraceRecorder {
         self.win_reb.clear();
         self.win_reb.resize(n_users, 0.0);
         self.win_rrc.clear();
+        self.win_deg.clear();
+        self.win_faults.clear();
         self.win_slots = 0;
         self.prev_reb.clear();
         self.prev_reb.resize(n_users, 0.0);
@@ -538,6 +691,14 @@ impl SlotRecorder for TraceRecorder {
         self.rrc_transitions += 1;
     }
 
+    fn record_degradations(&mut self, events: &[DegradationEvent]) {
+        self.win_deg.extend_from_slice(events);
+    }
+
+    fn record_fault(&mut self, note: &str) {
+        self.win_faults.push(note.to_string());
+    }
+
     fn end_slot(&mut self) {
         self.slots_seen += 1;
         self.win_slots += 1;
@@ -553,6 +714,68 @@ impl SlotRecorder for TraceRecorder {
         if self.win_slots > 0 {
             self.emit();
         }
+    }
+
+    /// Full state export: a resumed run continues the trace (records,
+    /// window accumulators, run aggregates) exactly where it left off.
+    fn export_state(&self) -> Option<String> {
+        let state = TraceRecorderState {
+            every: self.every,
+            n_users: self.n_users,
+            tau: self.tau,
+            slots_seen: self.slots_seen,
+            cur_slot: self.cur_slot,
+            cur_cap: self.cur_cap,
+            cur_alloc: self.cur_alloc.clone(),
+            cur_q: self.cur_q.clone(),
+            win_e: self.win_e.clone(),
+            win_reb: self.win_reb.clone(),
+            win_rrc: self.win_rrc.clone(),
+            win_deg: self.win_deg.clone(),
+            win_faults: self.win_faults.clone(),
+            win_slots: self.win_slots,
+            prev_reb: self.prev_reb.clone(),
+            cur_state: self.cur_state.clone(),
+            dwell_s: (self.dwell_s[0], self.dwell_s[1], self.dwell_s[2]),
+            rrc_transitions: self.rrc_transitions,
+            total_e_mj: self.total_e_mj,
+            total_reb_s: self.total_reb_s,
+            cum_e: self.cum_e.clone(),
+            cum_reb: self.cum_reb.clone(),
+            hist: (&self.hist).into(),
+            records: self.records.clone(),
+        };
+        serde_json::to_string(&state).ok()
+    }
+
+    fn import_state(&mut self, state: &str) -> Result<(), String> {
+        let s: TraceRecorderState =
+            serde_json::from_str(state).map_err(|e| format!("bad recorder state: {e:?}"))?;
+        self.hist = s.hist.restore()?;
+        self.every = s.every;
+        self.n_users = s.n_users;
+        self.tau = s.tau;
+        self.slots_seen = s.slots_seen;
+        self.cur_slot = s.cur_slot;
+        self.cur_cap = s.cur_cap;
+        self.cur_alloc = s.cur_alloc;
+        self.cur_q = s.cur_q;
+        self.win_e = s.win_e;
+        self.win_reb = s.win_reb;
+        self.win_rrc = s.win_rrc;
+        self.win_deg = s.win_deg;
+        self.win_faults = s.win_faults;
+        self.win_slots = s.win_slots;
+        self.prev_reb = s.prev_reb;
+        self.cur_state = s.cur_state;
+        self.dwell_s = [s.dwell_s.0, s.dwell_s.1, s.dwell_s.2];
+        self.rrc_transitions = s.rrc_transitions;
+        self.total_e_mj = s.total_e_mj;
+        self.total_reb_s = s.total_reb_s;
+        self.cum_e = s.cum_e;
+        self.cum_reb = s.cum_reb;
+        self.records = s.records;
+        Ok(())
     }
 
     fn summary(&mut self) -> Option<TelemetrySummary> {

@@ -1,0 +1,241 @@
+//! Property-based tests for the fault-injection and checkpoint/resume
+//! subsystems.
+//!
+//! Two contracts are load-bearing enough to fuzz:
+//!
+//! 1. **Fault-off is free**: a scenario with an *empty* declared fault
+//!    plan must be byte-identical (full per-slot trace, both engine
+//!    loops) to the same scenario with `FaultSpec::None`. This is the
+//!    zero-overhead-when-disabled guarantee — threading the hooks
+//!    through the hot loop must not perturb a single sample.
+//! 2. **Checkpoints are exact**: pausing at an arbitrary slot and
+//!    resuming from the serialized checkpoint must reproduce the
+//!    straight run's per-user results *and* its full per-slot trace,
+//!    including under active fault plans.
+
+use jmso_sim::{
+    ArrivalSpec, CapacitySpec, EngineCheckpoint, FaultEvent, FaultSpec, RunOutcome, Scenario,
+    SchedulerSpec, SignalSpec, SimResult, SlotTrace, TraceRecorder, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SchedulerSpec> {
+    prop_oneof![
+        Just(SchedulerSpec::Default),
+        Just(SchedulerSpec::RtmaUnbounded),
+        (700.0f64..1300.0).prop_map(SchedulerSpec::rtma),
+        (0.05f64..5.0).prop_map(SchedulerSpec::ema_fast),
+        Just(SchedulerSpec::RoundRobin),
+        Just(SchedulerSpec::pf_default()),
+    ]
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        1usize..6,           // users
+        60u64..250,          // slots
+        500.0f64..6_000.0,   // capacity KB/s
+        1_000.0f64..6_000.0, // video size KB
+        arb_spec(),
+        0u64..1_000,                    // seed
+        prop::bool::ANY,                // markov vs sine
+        prop::option::of(1.0f64..20.0), // staggered arrivals
+    )
+        .prop_map(|(n, slots, cap, size, spec, seed, markov, stagger)| {
+            let mut s = Scenario::paper_default(n);
+            s.slots = slots;
+            s.capacity = CapacitySpec::Constant { kbps: cap };
+            s.workload = WorkloadSpec {
+                size_range_kb: (size, size * 1.5),
+                rate_range_kbps: (300.0, 600.0),
+                vbr_levels: None,
+                vbr_segment_slots: 30,
+            };
+            if markov {
+                s.signal = SignalSpec::Markov {
+                    min_dbm: -110.0,
+                    max_dbm: -50.0,
+                    levels: 16,
+                    move_prob: 0.3,
+                };
+            }
+            s.scheduler = spec;
+            s.seed = seed;
+            if let Some(mean) = stagger {
+                s.arrivals = ArrivalSpec::Staggered {
+                    mean_interval_slots: mean,
+                };
+            }
+            s
+        })
+}
+
+/// An optional, always-valid fault plan for the scenario: events are
+/// clamped to the scenario's user/slot ranges after generation.
+fn arb_faults() -> impl Strategy<Value = Option<(u64, usize)>> {
+    prop::option::of((0u64..500, 1usize..5))
+}
+
+fn apply_faults(s: &mut Scenario, faults: Option<(u64, usize)>) {
+    if let Some((seed, n_events)) = faults {
+        s.faults = FaultSpec::Generated { seed, n_events };
+    }
+}
+
+/// Run fully traced (every slot) and return the deterministic pieces:
+/// the result and the trace serialized to JSONL bytes.
+fn traced(s: &Scenario) -> (SimResult, String) {
+    let mut rec = TraceRecorder::new();
+    let r = s.run_with(&mut rec).expect("valid scenario runs");
+    let trace = rec.into_trace(&r.scheduler);
+    let bytes = trace.to_jsonl();
+    (r, bytes)
+}
+
+fn traced_reference(s: &Scenario) -> (SimResult, String) {
+    let mut rec = TraceRecorder::new();
+    let r = s.run_reference_with(&mut rec).expect("valid scenario runs");
+    let trace = rec.into_trace(&r.scheduler);
+    (r, trace.to_jsonl())
+}
+
+/// Deterministic subset of a `SimResult` (telemetry latency quantiles
+/// are wall-clock, so full equality is not meaningful under tracing).
+fn deterministic_parts(r: &SimResult) -> (Vec<jmso_sim::UserResult>, u64, Vec<f64>, Vec<f64>) {
+    (
+        r.per_user.clone(),
+        r.slots_run,
+        r.fairness_series.clone(),
+        r.power_series_j.clone(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// An empty declared fault plan is indistinguishable from no plan:
+    /// both engine loops produce byte-identical traces and identical
+    /// deterministic results.
+    #[test]
+    fn empty_fault_plan_is_byte_identical(scenario in arb_scenario()) {
+        let mut with_empty = scenario.clone();
+        with_empty.faults = FaultSpec::Declared { events: vec![] };
+
+        let (r_none, t_none) = traced(&scenario);
+        let (r_empty, t_empty) = traced(&with_empty);
+        prop_assert_eq!(t_none, t_empty, "hot-path trace diverged");
+        prop_assert_eq!(deterministic_parts(&r_none), deterministic_parts(&r_empty));
+
+        let (rr_none, tr_none) = traced_reference(&scenario);
+        let (rr_empty, tr_empty) = traced_reference(&with_empty);
+        prop_assert_eq!(tr_none, tr_empty, "reference-path trace diverged");
+        prop_assert_eq!(deterministic_parts(&rr_none), deterministic_parts(&rr_empty));
+    }
+
+    /// Pause at a random slot, serialize the checkpoint through JSON,
+    /// resume — the stitched run must equal the straight run exactly
+    /// (per-user results, series, and the full per-slot trace), with or
+    /// without an active fault plan.
+    #[test]
+    fn checkpoint_resume_reproduces_straight_run(
+        scenario in arb_scenario(),
+        faults in arb_faults(),
+        pause_frac in 0.0f64..1.0,
+    ) {
+        let mut s = scenario;
+        apply_faults(&mut s, faults);
+        let pause = ((s.slots as f64 * pause_frac) as u64).min(s.slots - 1);
+
+        let (straight, straight_trace) = traced(&s);
+
+        let mut rec = TraceRecorder::new();
+        let outcome = s.run_until(&mut rec, pause).expect("valid scenario runs");
+        let (stitched, stitched_trace) = match outcome {
+            // Run finished (or went idle-complete) before the pause slot.
+            RunOutcome::Done(r) => {
+                let trace = rec.into_trace(&r.scheduler);
+                (r, trace.to_jsonl())
+            }
+            RunOutcome::Paused(ck) => {
+                // Round-trip the checkpoint through its JSON form so the
+                // serialized representation is what gets tested.
+                let json = ck.to_json().expect("checkpoint serializes");
+                let ck2 = EngineCheckpoint::from_json(&json).expect("checkpoint parses");
+                prop_assert_eq!(ck2.slot(), pause);
+                let mut rec2 = TraceRecorder::new();
+                let r = s.resume_from(&mut rec2, &ck2).expect("resume runs");
+                let trace = rec2.into_trace(&r.scheduler);
+                (r, trace.to_jsonl())
+            }
+        };
+        prop_assert_eq!(
+            deterministic_parts(&straight),
+            deterministic_parts(&stitched),
+            "resume diverged from straight run"
+        );
+        prop_assert_eq!(straight_trace, stitched_trace, "trace diverged across resume");
+    }
+
+    /// Fault plans themselves are deterministic and serde-stable: a
+    /// generated plan rerun from its JSON form yields identical results.
+    #[test]
+    fn faulted_runs_are_serde_stable(
+        scenario in arb_scenario(),
+        seed in 0u64..500,
+        n_events in 1usize..5,
+    ) {
+        let mut s = scenario;
+        s.faults = FaultSpec::Generated { seed, n_events };
+        let j = serde_json::to_string(&s).expect("scenario serializes");
+        let back: Scenario = serde_json::from_str(&j).expect("scenario parses");
+        let (a, ta) = traced(&s);
+        let (b, tb) = traced(&back);
+        prop_assert_eq!(deterministic_parts(&a), deterministic_parts(&b));
+        prop_assert_eq!(ta, tb);
+    }
+}
+
+/// Declared fault events survive a scenario serde round-trip untouched.
+#[test]
+fn declared_fault_events_roundtrip() {
+    let mut s = Scenario::paper_default(3);
+    s.faults = FaultSpec::Declared {
+        events: vec![
+            FaultEvent::DeepFade {
+                user: 0,
+                from_slot: 5,
+                until_slot: 20,
+                depth_db: 18.0,
+            },
+            FaultEvent::LinkOutage {
+                user: 1,
+                from_slot: 10,
+                until_slot: 30,
+            },
+            FaultEvent::CapDegradation {
+                from_slot: 0,
+                until_slot: 50,
+                factor: 0.5,
+            },
+            FaultEvent::Departure { user: 2, slot: 40 },
+            FaultEvent::LateArrival {
+                user: 1,
+                delay_slots: 12,
+            },
+        ],
+    };
+    let j = serde_json::to_string(&s).expect("serializes");
+    let back: Scenario = serde_json::from_str(&j).expect("parses");
+    assert_eq!(back.faults, s.faults);
+    let _ = SlotTrace::from_jsonl(&{
+        let (r, t) = {
+            let mut rec = TraceRecorder::new();
+            let r = s.run_with(&mut rec).expect("runs");
+            let trace = rec.into_trace(&r.scheduler);
+            (r, trace.to_jsonl())
+        };
+        assert!(r.slots_run > 0);
+        t
+    })
+    .expect("faulted trace parses back");
+}

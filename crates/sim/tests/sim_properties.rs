@@ -8,7 +8,7 @@ fn arb_spec() -> impl Strategy<Value = SchedulerSpec> {
     prop_oneof![
         Just(SchedulerSpec::Default),
         Just(SchedulerSpec::RtmaUnbounded),
-        (700.0f64..1300.0).prop_map(|phi_mj| SchedulerSpec::Rtma { phi_mj }),
+        (700.0f64..1300.0).prop_map(SchedulerSpec::rtma),
         (0.05f64..5.0).prop_map(SchedulerSpec::ema_fast),
         Just(SchedulerSpec::throttling_default()),
         Just(SchedulerSpec::onoff_default()),

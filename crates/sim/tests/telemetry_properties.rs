@@ -14,7 +14,7 @@ fn arb_spec() -> impl Strategy<Value = SchedulerSpec> {
     prop_oneof![
         Just(SchedulerSpec::Default),
         Just(SchedulerSpec::RtmaUnbounded),
-        (700.0f64..1300.0).prop_map(|phi_mj| SchedulerSpec::Rtma { phi_mj }),
+        (700.0f64..1300.0).prop_map(SchedulerSpec::rtma),
         (0.05f64..5.0).prop_map(SchedulerSpec::ema_fast),
         (0.05f64..5.0).prop_map(SchedulerSpec::ema_dp),
         Just(SchedulerSpec::RoundRobin),

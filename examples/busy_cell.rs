@@ -43,9 +43,7 @@ fn main() {
             run(SchedulerSpec::Default),
             run(SchedulerSpec::throttling_default()),
             run(SchedulerSpec::onoff_default()),
-            run(SchedulerSpec::Rtma {
-                phi_mj: cal.phi_for_alpha(1.0),
-            }),
+            run(SchedulerSpec::rtma(cal.phi_for_alpha(1.0))),
         )
     });
 

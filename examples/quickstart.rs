@@ -38,9 +38,7 @@ fn main() {
 
     // 2. RTMA at the same energy budget (α = 1 ⇒ Φ = E_Default).
     let rtma = scenario
-        .with_scheduler(SchedulerSpec::Rtma {
-            phi_mj: cal.phi_for_alpha(1.0),
-        })
+        .with_scheduler(SchedulerSpec::rtma(cal.phi_for_alpha(1.0)))
         .run()
         .expect("rtma run");
     println!("\nRTMA (Φ = E_Default):");

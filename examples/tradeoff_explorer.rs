@@ -32,9 +32,7 @@ fn main() {
     let alphas = [0.8, 0.9, 1.0, 1.1, 1.2];
     let rtma_specs: Vec<SchedulerSpec> = alphas
         .iter()
-        .map(|&a| SchedulerSpec::Rtma {
-            phi_mj: cal.phi_for_alpha(a),
-        })
+        .map(|&a| SchedulerSpec::rtma(cal.phi_for_alpha(a)))
         .collect();
     let rtma_results = parallel_map(&rtma_specs, 0, |spec| {
         scenario.with_scheduler(spec.clone()).run().expect("rtma")

@@ -23,8 +23,19 @@ if [[ "${TRACE:-0}" == "1" ]]; then
     git diff --exit-code -- tests/golden
 fi
 
+# Fault-injection gate: FAULT=1 reruns the fault/checkpoint property
+# suite and regenerates the faulted golden trace, failing if the
+# committed tests/golden/faulted.trace.jsonl drifted. Separate from
+# TRACE=1 so a blessed fault-model change can be reviewed on its own.
+if [[ "${FAULT:-0}" == "1" ]]; then
+    echo "== fault-injection gate (FAULT=1)"
+    cargo test -q -p jmso-sim --test fault_properties
+    REGEN_GOLDEN=1 cargo test -q --test golden_trace faulted
+    git diff --exit-code -- tests/golden/faulted.trace.jsonl
+fi
+
 # Opt-in perf gate: BENCH=1 scripts/check.sh additionally runs the
-# hotpath bench and diffs it against the committed BENCH_PR3.json
+# hotpath bench and diffs it against the committed BENCH_PR4.json
 # baseline (too noisy for every pre-commit run, so off by default).
 if [[ "${BENCH:-0}" == "1" ]]; then
     scripts/bench-regress.sh

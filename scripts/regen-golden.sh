@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Regenerate the committed golden slot traces under tests/golden/ from
-# the current engine. The scenario definitions live in
-# tests/golden_trace.rs (this script just reruns that harness with
-# REGEN_GOLDEN=1, so harness and generator can never disagree).
+# Regenerate the committed golden slot traces under tests/golden/
+# (rtma, ema, and the fault-injected `faulted` trace) from the current
+# engine. The scenario definitions live in tests/golden_trace.rs (this
+# script just reruns that harness with REGEN_GOLDEN=1, so harness and
+# generator can never disagree).
 #
 # Review the diff before committing: a golden change means the simulation
 # output changed, which is either an intentional model change or a bug.

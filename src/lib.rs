@@ -29,7 +29,7 @@
 //! // 8 users on the paper's defaults, shortened to 600 slots for the doctest.
 //! let mut scenario = Scenario::paper_default(8);
 //! scenario.slots = 600;
-//! scenario.scheduler = SchedulerSpec::Rtma { phi_mj: 700.0 };
+//! scenario.scheduler = SchedulerSpec::rtma(700.0);
 //! let result = scenario.run().expect("simulation runs");
 //! assert_eq!(result.per_user.len(), 8);
 //! ```

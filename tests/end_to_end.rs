@@ -33,9 +33,7 @@ fn rtma_beats_default_on_rebuffering() {
     let cal = calibrate_default(&scenario).unwrap();
     let default = scenario.run().unwrap();
     let rtma = scenario
-        .with_scheduler(SchedulerSpec::Rtma {
-            phi_mj: cal.phi_for_alpha(1.0),
-        })
+        .with_scheduler(SchedulerSpec::rtma(cal.phi_for_alpha(1.0)))
         .run()
         .unwrap();
     assert!(
@@ -77,9 +75,7 @@ fn rtma_alpha_is_monotone() {
     let cal = calibrate_default(&scenario).unwrap();
     let rebuf = |alpha: f64| {
         scenario
-            .with_scheduler(SchedulerSpec::Rtma {
-                phi_mj: cal.phi_for_alpha(alpha),
-            })
+            .with_scheduler(SchedulerSpec::rtma(cal.phi_for_alpha(alpha)))
             .run()
             .unwrap()
             .total_rebuffer_s()
@@ -92,9 +88,7 @@ fn rtma_alpha_is_monotone() {
     // And the tight budget must spend less energy than the loose one.
     let energy = |alpha: f64| {
         scenario
-            .with_scheduler(SchedulerSpec::Rtma {
-                phi_mj: cal.phi_for_alpha(alpha),
-            })
+            .with_scheduler(SchedulerSpec::rtma(cal.phi_for_alpha(alpha)))
             .run()
             .unwrap()
             .total_energy_kj()
@@ -216,15 +210,11 @@ fn lte_profile_reproduces_direction() {
     assert!(rtma.total_rebuffer_s() < default.total_rebuffer_s());
     // And the α knob still works in the LTE window.
     let tight = scenario
-        .with_scheduler(SchedulerSpec::Rtma {
-            phi_mj: cal.phi_for_alpha(0.9),
-        })
+        .with_scheduler(SchedulerSpec::rtma(cal.phi_for_alpha(0.9)))
         .run()
         .unwrap();
     let loose = scenario
-        .with_scheduler(SchedulerSpec::Rtma {
-            phi_mj: cal.phi_for_alpha(1.2),
-        })
+        .with_scheduler(SchedulerSpec::rtma(cal.phi_for_alpha(1.2)))
         .run()
         .unwrap();
     assert!(loose.total_rebuffer_s() <= tight.total_rebuffer_s() + 1e-9);

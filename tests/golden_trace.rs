@@ -10,7 +10,10 @@
 //! `REGEN_GOLDEN=1` so the scenario definitions live in exactly one
 //! place) and review the diff before committing.
 
-use jmso_sim::{CapacitySpec, Scenario, SchedulerSpec, SlotTrace, WorkloadSpec};
+use jmso_sim::{
+    CapacitySpec, FaultEvent, FaultSpec, Scenario, SchedulerSpec, SlotTrace, TailPricing,
+    WorkloadSpec,
+};
 use std::path::PathBuf;
 
 /// The golden cell: 3 users at 300–600 KB/s competing for a constant
@@ -31,14 +34,50 @@ fn golden_scenario(spec: SchedulerSpec) -> Scenario {
     s
 }
 
+/// The faulted golden cell: the same contended scenario under EMA with a
+/// clamped virtual queue, plus a declared fault plan that exercises every
+/// single-cell event kind. The trace must carry the injected fault notes
+/// and the scheduler's degradation events, so this file pins both the
+/// fault semantics and their telemetry encoding.
+fn faulted_golden_scenario() -> Scenario {
+    let mut s = golden_scenario(SchedulerSpec::Ema {
+        v: 1.0,
+        tail: TailPricing::PerSlot,
+        reference_dp: false,
+        pc_clamp: Some(5.0),
+    });
+    s.faults = FaultSpec::Declared {
+        events: vec![
+            FaultEvent::DeepFade {
+                user: 0,
+                from_slot: 20,
+                until_slot: 60,
+                depth_db: 25.0,
+            },
+            FaultEvent::LinkOutage {
+                user: 1,
+                from_slot: 80,
+                until_slot: 120,
+            },
+            FaultEvent::CapDegradation {
+                from_slot: 100,
+                until_slot: 150,
+                factor: 0.4,
+            },
+            FaultEvent::Departure { user: 2, slot: 160 },
+        ],
+    };
+    s
+}
+
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
         .join(name)
 }
 
-fn check_golden(name: &str, spec: SchedulerSpec) {
-    let (result, trace) = golden_scenario(spec).run_traced(1).unwrap();
+fn check_golden_scenario(name: &str, scenario: &Scenario) {
+    let (result, trace) = scenario.run_traced(1).unwrap();
     assert_eq!(trace.meta.slots, result.slots_run);
     assert_eq!(trace.meta.n_users, 3);
     let jsonl = trace.to_jsonl();
@@ -81,10 +120,35 @@ fn check_golden(name: &str, spec: SchedulerSpec) {
 
 #[test]
 fn rtma_trace_matches_golden() {
-    check_golden("rtma.trace.jsonl", SchedulerSpec::RtmaUnbounded);
+    check_golden_scenario(
+        "rtma.trace.jsonl",
+        &golden_scenario(SchedulerSpec::RtmaUnbounded),
+    );
 }
 
 #[test]
 fn ema_trace_matches_golden() {
-    check_golden("ema.trace.jsonl", SchedulerSpec::ema_dp(1.0));
+    check_golden_scenario(
+        "ema.trace.jsonl",
+        &golden_scenario(SchedulerSpec::ema_dp(1.0)),
+    );
+}
+
+#[test]
+fn faulted_trace_matches_golden() {
+    let scenario = faulted_golden_scenario();
+    check_golden_scenario("faulted.trace.jsonl", &scenario);
+
+    // Beyond byte equality: the fault plan must actually leave its marks
+    // in the trace — injected fault notes and scheduler degradations.
+    let (_, trace) = scenario.run_traced(1).unwrap();
+    let jsonl = trace.to_jsonl();
+    assert!(
+        jsonl.contains("\"faults\""),
+        "faulted golden carries no fault notes — injection is not reaching telemetry"
+    );
+    assert!(
+        jsonl.contains("\"deg\""),
+        "faulted golden carries no degradation events — pc_clamp never fired"
+    );
 }

@@ -4,7 +4,8 @@
 //! Supports exactly the item shapes and `#[serde(...)]` attributes this
 //! workspace uses:
 //!
-//! * named-field structs (field attrs: `default`, `default = "path"`),
+//! * named-field structs (field attrs: `default`, `default = "path"`,
+//!   `skip_serializing_if = "path"`),
 //! * `#[serde(transparent)]` single-field tuple structs (newtypes),
 //! * plain tuple structs (serialized as JSON arrays),
 //! * unit-variant enums (externally tagged, serialized as strings),
@@ -27,12 +28,20 @@ struct ContainerAttrs {
     transparent: bool,
 }
 
-#[derive(Debug)]
-struct Field {
-    name: String,
+#[derive(Debug, Default)]
+struct FieldAttrs {
     /// `None`: required. `Some(None)`: `#[serde(default)]`.
     /// `Some(Some(path))`: `#[serde(default = "path")]`.
     default: Option<Option<String>>,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the field from the
+    /// serialized map when `path(&value)` is true.
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
 }
 
 #[derive(Debug)]
@@ -131,33 +140,33 @@ fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> ContainerAttrs {
         let TokenTree::Group(g) = &toks[*i] else {
             panic!("serde derive: malformed attribute");
         };
-        apply_serde_attr(g.stream(), &mut attrs, &mut None);
+        apply_serde_attr(g.stream(), &mut attrs, &mut FieldAttrs::default());
         *i += 1;
     }
     attrs
 }
 
-/// Like [`parse_attrs`] but for a field position, where only `default`
-/// matters.
-fn parse_field_attrs(toks: &[TokenTree], i: &mut usize) -> Option<Option<String>> {
-    let mut default = None;
+/// Like [`parse_attrs`] but for a field position, where only the field
+/// attrs (`default`, `skip_serializing_if`) matter.
+fn parse_field_attrs(toks: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut field_attrs = FieldAttrs::default();
     while matches!(&toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         *i += 1;
         let TokenTree::Group(g) = &toks[*i] else {
             panic!("serde derive: malformed attribute");
         };
-        apply_serde_attr(g.stream(), &mut ContainerAttrs::default(), &mut default);
+        apply_serde_attr(g.stream(), &mut ContainerAttrs::default(), &mut field_attrs);
         *i += 1;
     }
-    default
+    field_attrs
 }
 
 /// If `attr_body` (the tokens inside `#[...]`) is a serde attribute, apply
-/// its directives to `attrs` / `field_default`.
+/// its directives to `attrs` / `field_attrs`.
 fn apply_serde_attr(
     attr_body: TokenStream,
     attrs: &mut ContainerAttrs,
-    field_default: &mut Option<Option<String>>,
+    field_attrs: &mut FieldAttrs,
 ) {
     let toks: Vec<TokenTree> = attr_body.into_iter().collect();
     let is_serde = matches!(&toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
@@ -200,7 +209,10 @@ fn apply_serde_attr(
                 attrs.rename_all = Some(r);
             }
             ("transparent", None) => attrs.transparent = true,
-            ("default", v) => *field_default = Some(v),
+            ("default", v) => field_attrs.default = Some(v),
+            ("skip_serializing_if", Some(path)) => {
+                field_attrs.skip_serializing_if = Some(path);
+            }
             (k, v) => panic!("serde derive (vendored): unsupported serde attribute `{k}` = {v:?}"),
         }
     }
@@ -215,7 +227,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        let default = parse_field_attrs(&toks, &mut i);
+        let attrs = parse_field_attrs(&toks, &mut i);
         if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
             i += 1;
             if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
@@ -247,7 +259,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             i += 1;
         }
         i += 1; // past the comma (or end)
-        fields.push(Field { name, default });
+        fields.push(Field { name, attrs });
     }
     fields
 }
@@ -325,7 +337,7 @@ fn snake_case(variant: &str) -> String {
 // ---------------------------------------------------------------------------
 
 fn field_missing_arm(owner: &str, f: &Field) -> String {
-    match &f.default {
+    match &f.attrs.default {
         None => format!(
             "return ::std::result::Result::Err(::serde::Error::custom(\
              \"{owner}: missing field `{}`\"))",
@@ -333,6 +345,19 @@ fn field_missing_arm(owner: &str, f: &Field) -> String {
         ),
         Some(None) => "::std::default::Default::default()".to_string(),
         Some(Some(path)) => format!("{path}()"),
+    }
+}
+
+/// `__entries.push((name, value))` statement for one named field, honouring
+/// `skip_serializing_if`. `value_expr` must evaluate to a reference.
+fn field_push_stmt(f: &Field, value_expr: &str) -> String {
+    let push = format!(
+        "__entries.push((\"{n}\".to_string(), ::serde::Serialize::to_value({value_expr})));\n",
+        n = f.name
+    );
+    match &f.attrs.skip_serializing_if {
+        None => push,
+        Some(path) => format!("if !{path}({value_expr}) {{ {push} }}\n"),
     }
 }
 
@@ -365,16 +390,16 @@ fn gen_serialize(item: &Item) -> String {
                         !attrs.transparent,
                         "serde derive (vendored): transparent named structs unsupported"
                     );
-                    let entries: String = fields
+                    let pushes: String = fields
                         .iter()
-                        .map(|f| {
-                            format!(
-                                "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})),",
-                                n = f.name
-                            )
-                        })
+                        .map(|f| field_push_stmt(f, &format!("&self.{}", f.name)))
                         .collect();
-                    format!("::serde::Value::Map(vec![{entries}])")
+                    format!(
+                        "{{ let mut __entries: ::std::vec::Vec<(::std::string::String, \
+                         ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(__entries) }}"
+                    )
                 }
                 StructKind::Tuple(1) if attrs.transparent => {
                     "::serde::Serialize::to_value(&self.0)".to_string()
@@ -420,19 +445,17 @@ fn gen_serialize(item: &Item) -> String {
                                 .iter()
                                 .map(|f| format!("{},", f.name))
                                 .collect();
-                            let entries: String = fields
+                            let pushes: String = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n})),",
-                                        n = f.name
-                                    )
-                                })
+                                .map(|f| field_push_stmt(f, &f.name.clone()))
                                 .collect();
                             format!(
-                                "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![\
-                                 (\"{tag}\".to_string(), ::serde::Value::Str(\"{wire}\".to_string())),\
-                                 {entries}]),\n",
+                                "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut __entries: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = vec![\
+                                 (\"{tag}\".to_string(), ::serde::Value::Str(\"{wire}\".to_string()))];\n\
+                                 {pushes}\
+                                 ::serde::Value::Map(__entries) }}\n",
                                 v = v.name
                             )
                         }
