@@ -61,6 +61,7 @@ fn bench_solvers(c: &mut Criterion) {
             delta_kb: 50.0,
             bs_cap_units: budget,
             users: &snaps,
+            soa: None,
         };
         let cost = EmaCost::new(0.3, &models, &ctx);
         let q = queues(n);

@@ -45,6 +45,7 @@ fn bench_policies(c: &mut Criterion) {
             delta_kb: 50.0,
             bs_cap_units: 400,
             users: &snaps,
+            soa: None,
         };
         let mut policies: Vec<Box<dyn Scheduler>> = vec![
             Box::new(DefaultMax::new()),

@@ -7,7 +7,7 @@
 //! {"sched": "EMA(V=1)", "slots_per_sec": 123456.7}
 //! ```
 //!
-//! The output is recorded as `BENCH_PR4.json` at the repo root so slot-loop
+//! The output is recorded as `BENCH_PR5.json` at the repo root so slot-loop
 //! regressions show up as a diff, without the Criterion machinery (or its
 //! multi-minute runtime); `scripts/bench-regress.sh` diffs a fresh run
 //! against that baseline. Timings cover the full `Engine::run` hot path —
@@ -156,4 +156,30 @@ fn main() {
         result.result.slots_run,
         start.elapsed().as_secs_f64(),
     );
+
+    // The same four-cell run on the lockstep worker-pool stepper (one
+    // participant per cell, clamped to the machine): the serial/parallel
+    // ratio shows what the per-slot barrier protocol buys on this host.
+    let start = Instant::now();
+    let result = mc.run_parallel(4).expect("parallel multicell run");
+    report(
+        "multicell Default x4 (parallel)",
+        result.result.slots_run,
+        start.elapsed().as_secs_f64(),
+    );
+
+    // Sweep-runner row: a 32-cell Default grid on 8 worker-pool threads.
+    // Slots aggregate over every cell, so this prices the persistent
+    // pool's dispatch plus the chunked-cursor queue, not just one run.
+    let grid: Vec<Scenario> = (0..32)
+        .map(|i| {
+            let mut s = paper_cell(10, 375.0).with_seed(42 + i as u64);
+            s.slots = 2_000;
+            s
+        })
+        .collect();
+    let start = Instant::now();
+    let results = jmso_sim::run_scenarios(&grid, 8).expect("sweep run");
+    let total_slots: u64 = results.iter().map(|r| r.slots_run).sum();
+    report("sweep 8-thread", total_slots, start.elapsed().as_secs_f64());
 }

@@ -14,8 +14,9 @@
 
 use crate::scheduler::UserSnapshot;
 use crate::shard::UnitParams;
+use crate::soa::SnapshotSoA;
 use jmso_radio::rrc::RrcState;
-use jmso_radio::{Dbm, LinearRssiThroughput, ThroughputModel};
+use jmso_radio::{Dbm, KbPerSec, LinearRssiThroughput, ThroughputModel};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -153,6 +154,44 @@ impl InformationCollector {
         self.spec.signal_noise_std_db > 0.0
     }
 
+    /// True when the reported signal equals the ground truth on every
+    /// slot — no staleness hold, no noise. Only then may a caller derive
+    /// link caps ahead of time from raw signal blocks (the engine's
+    /// precomputed cap tables): with staleness > 1 the report read this
+    /// slot can be a *cached* signal, which no per-block table knows.
+    ///
+    /// Strictly stronger than `!needs_full_pass()`.
+    pub fn is_pass_through(&self) -> bool {
+        self.spec.staleness_slots <= 1 && self.spec.signal_noise_std_db == 0.0
+    }
+
+    /// Batch Eq. (1): `out[k] = ⌊τ·v(sigs[k])/δ⌋` via the vectorized
+    /// throughput kernel. `v_scratch` receives the intermediate
+    /// throughputs and must match `sigs` in length. Computed by the
+    /// collector (not the caller) so the caps use the *same* `v`-fit,
+    /// `δ` and `τ` as the per-slot snapshot path — bit-identical by
+    /// construction.
+    pub fn link_caps_into(&self, sigs: &[Dbm], v_scratch: &mut [f64], out: &mut [u64]) {
+        assert_eq!(sigs.len(), out.len(), "cap table slice length mismatch");
+        self.thru.throughput_into(sigs, v_scratch);
+        for (o, &v) in out.iter_mut().zip(v_scratch.iter()) {
+            *o = self.units.link_cap_units(KbPerSec(v), self.tau);
+        }
+    }
+
+    /// [`InformationCollector::snapshot_into`] plus a rebuild of the
+    /// structure-of-arrays mirror from the freshly written snapshots.
+    pub fn snapshot_into_soa(
+        &mut self,
+        slot: u64,
+        raw: &[RawUserState],
+        out: &mut Vec<UserSnapshot>,
+        soa: &mut SnapshotSoA,
+    ) {
+        self.snapshot_into(slot, raw, out);
+        soa.fill_from(out, self.tau, self.units.delta_kb);
+    }
+
     /// Refresh only the `live` users' snapshot entries in place, leaving
     /// the rest frozen — the engine's active-set hot path. A frozen entry
     /// belongs to a user whose session is over (`remaining_kb == 0`), so
@@ -187,6 +226,91 @@ impl InformationCollector {
                 idle_s: r.idle_s,
                 rrc_state: r.rrc_state,
             };
+        }
+    }
+
+    /// [`InformationCollector::snapshot_refresh`] that optionally keeps a
+    /// structure-of-arrays mirror in sync (frozen rows stay frozen in
+    /// both layouts), optionally short-circuiting the per-user
+    /// RSSI→throughput conversion with precomputed link caps.
+    ///
+    /// `caps`, when given, must hold the Eq. (1) bound for the *true*
+    /// signal of every user id (the engine's per-block cap tables, built
+    /// by [`InformationCollector::link_caps_into`]); it is only sound
+    /// when [`InformationCollector::is_pass_through`] holds, because the
+    /// reported signal is then the true signal by definition. The signal
+    /// cache is still maintained so collector state (and checkpoints)
+    /// never depend on which path ran.
+    ///
+    /// `soa` is `None` when the consuming scheduler never reads the
+    /// mirror (`Scheduler::wants_soa` in this crate returns `false`):
+    /// the column upkeep re-derives unit quantities per refreshed user,
+    /// so skipping it is the engine's way of not charging row-walking
+    /// policies for a layout they ignore.
+    pub fn snapshot_refresh_soa(
+        &mut self,
+        slot: u64,
+        raw: &[RawUserState],
+        live: &[usize],
+        caps: Option<&[u64]>,
+        out: &mut [UserSnapshot],
+        mut soa: Option<&mut SnapshotSoA>,
+    ) {
+        debug_assert!(!self.needs_full_pass(), "noise needs the full pass");
+        assert_eq!(raw.len(), self.cached_signal.len(), "user count mismatch");
+        assert_eq!(out.len(), raw.len(), "snapshot buffer mismatch");
+        if let Some(soa) = &soa {
+            assert_eq!(soa.len(), raw.len(), "SoA mirror mismatch");
+        }
+        let tau = self.tau;
+        let delta_kb = self.units.delta_kb;
+        match caps {
+            Some(caps) => {
+                debug_assert!(
+                    self.is_pass_through(),
+                    "cap tables need pass-through reports"
+                );
+                assert_eq!(caps.len(), raw.len(), "cap table length mismatch");
+                for &id in live {
+                    let r = &raw[id];
+                    self.cached_signal[id] = Some(r.signal);
+                    out[id] = UserSnapshot {
+                        id,
+                        signal: r.signal,
+                        rate_kbps: r.rate_kbps,
+                        buffer_s: r.buffer_s,
+                        remaining_kb: r.remaining_kb,
+                        active: r.active,
+                        link_cap_units: caps[id],
+                        idle_s: r.idle_s,
+                        rrc_state: r.rrc_state,
+                    };
+                    if let Some(soa) = soa.as_deref_mut() {
+                        soa.set_row(&out[id], tau, delta_kb);
+                    }
+                }
+            }
+            None => {
+                for &id in live {
+                    let r = &raw[id];
+                    let signal = self.reported_signal(id, slot, r.signal);
+                    let v = self.thru.throughput(signal);
+                    out[id] = UserSnapshot {
+                        id,
+                        signal,
+                        rate_kbps: r.rate_kbps,
+                        buffer_s: r.buffer_s,
+                        remaining_kb: r.remaining_kb,
+                        active: r.active,
+                        link_cap_units: self.units.link_cap_units(v, self.tau),
+                        idle_s: r.idle_s,
+                        rrc_state: r.rrc_state,
+                    };
+                    if let Some(soa) = soa.as_deref_mut() {
+                        soa.set_row(&out[id], tau, delta_kb);
+                    }
+                }
+            }
         }
     }
 
@@ -304,6 +428,63 @@ mod tests {
     fn wrong_user_count_panics() {
         let mut c = collector(CollectorSpec::perfect(), 2);
         c.snapshot(0, &[raw(-80.0)]);
+    }
+
+    /// The SoA-maintaining refresh must agree with the plain refresh on
+    /// the AoS buffer, keep the mirror in sync, and produce identical
+    /// results whether caps come from the batch table or the per-user
+    /// conversion.
+    #[test]
+    fn soa_refresh_matches_plain_refresh_and_cap_tables() {
+        let spec = CollectorSpec::perfect();
+        assert!(collector(spec, 1).is_pass_through());
+        let mut plain = collector(spec, 3);
+        let mut tabled = collector(spec, 3);
+        let mut computed = collector(spec, 3);
+        let mut truth = [raw(-80.0), raw(-70.0), raw(-60.0)];
+        let mut snaps_plain = plain.snapshot(0, &truth);
+        let mut snaps_tab = Vec::new();
+        let mut soa_tab = SnapshotSoA::new();
+        tabled.snapshot_into_soa(0, &truth, &mut snaps_tab, &mut soa_tab);
+        let mut snaps_cmp = Vec::new();
+        let mut soa_cmp = SnapshotSoA::new();
+        computed.snapshot_into_soa(0, &truth, &mut snaps_cmp, &mut soa_cmp);
+        assert_eq!(snaps_plain, snaps_tab);
+        for slot in 1..6 {
+            truth[0].signal = Dbm(-80.0 - slot as f64);
+            truth[2].signal = Dbm(-60.0 + 0.5 * slot as f64);
+            let live = [0usize, 2];
+            plain.snapshot_refresh(slot, &truth, &live, &mut snaps_plain);
+            // Batch cap table over the true signals, as the engine does.
+            let sigs: Vec<Dbm> = truth.iter().map(|r| r.signal).collect();
+            let mut vs = vec![0.0; sigs.len()];
+            let mut caps = vec![0u64; sigs.len()];
+            tabled.link_caps_into(&sigs, &mut vs, &mut caps);
+            tabled.snapshot_refresh_soa(
+                slot,
+                &truth,
+                &live,
+                Some(&caps),
+                &mut snaps_tab,
+                Some(&mut soa_tab),
+            );
+            computed.snapshot_refresh_soa(
+                slot,
+                &truth,
+                &live,
+                None,
+                &mut snaps_cmp,
+                Some(&mut soa_cmp),
+            );
+            assert_eq!(snaps_plain, snaps_tab, "table path diverged at {slot}");
+            assert_eq!(snaps_plain, snaps_cmp, "computed path diverged at {slot}");
+            let mut mirror = SnapshotSoA::new();
+            mirror.fill_from(&snaps_plain, 1.0, 50.0);
+            assert_eq!(soa_tab, mirror, "SoA mirror drifted at {slot}");
+            assert_eq!(soa_cmp, mirror);
+        }
+        assert_eq!(tabled.export_state(), plain.export_state());
+        assert_eq!(computed.export_state(), plain.export_state());
     }
 
     /// The partial refresh must agree with the full pass on refreshed

@@ -20,6 +20,7 @@ pub mod dpi;
 pub mod receiver;
 pub mod scheduler;
 pub mod shard;
+pub mod soa;
 pub mod transmitter;
 
 pub use bs::{CapacityModel, ConstantCapacity, DiurnalCapacity, OutageCapacity, TraceCapacity};
@@ -28,4 +29,5 @@ pub use dpi::{format_segment_request, DpiClassifier, DpiError, FlowInfo};
 pub use receiver::{DataReceiver, FlowClass, FlowState, OriginModel};
 pub use scheduler::{Allocation, DegradationEvent, Scheduler, SlotContext, UserSnapshot};
 pub use shard::UnitParams;
+pub use soa::SnapshotSoA;
 pub use transmitter::{DataTransmitter, Delivery};

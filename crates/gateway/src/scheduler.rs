@@ -57,6 +57,11 @@ pub struct SlotContext<'a> {
     pub bs_cap_units: u64,
     /// Per-user snapshots, indexed by `UserSnapshot::id`.
     pub users: &'a [UserSnapshot],
+    /// Optional structure-of-arrays mirror of `users` (same reported
+    /// values, contiguous per-field columns — see [`crate::soa`]).
+    /// Schedulers may index it instead of `users` for their hot loops;
+    /// allocations must be bit-identical either way.
+    pub soa: Option<&'a crate::soa::SnapshotSoA>,
 }
 
 impl SlotContext<'_> {
@@ -176,6 +181,20 @@ pub trait Scheduler: Send {
         out
     }
 
+    /// True when [`Scheduler::allocate_into`] reads [`SlotContext::soa`].
+    ///
+    /// Engines maintain the structure-of-arrays snapshot mirror only for
+    /// policies that declare they consume it: keeping the columns in sync
+    /// re-derives the unit quantities per live user every slot, which is
+    /// pure overhead for policies that walk the [`UserSnapshot`] rows.
+    /// Defaults to `false`. A policy overriding this must still handle
+    /// `soa: None` — reference loops and external callers build contexts
+    /// without the mirror, and the two layouts are interchangeable by
+    /// contract.
+    fn wants_soa(&self) -> bool {
+        false
+    }
+
     /// Per-user internal queue/backlog values after the latest
     /// [`Scheduler::allocate_into`] call, for observability layers.
     ///
@@ -242,6 +261,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: 100,
             users: &users,
+            soa: None,
         };
         assert!(Allocation(vec![5, 5]).validate(&ctx).is_ok());
         let err = Allocation(vec![6, 0]).validate(&ctx).unwrap_err();
@@ -257,6 +277,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: 60,
             users: &users,
+            soa: None,
         };
         let err = Allocation(vec![40, 40]).validate(&ctx).unwrap_err();
         assert!(err.contains("Eq. 2"), "{err}");
@@ -271,6 +292,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: 10,
             users: &users,
+            soa: None,
         };
         assert!(Allocation(vec![1, 2]).validate(&ctx).is_err());
     }
@@ -295,6 +317,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: 0,
             users: &users,
+            soa: None,
         };
         // 9 units × 50 KB / 450 KB/s = 1 s.
         assert!((ctx.playback_seconds(9, 450.0) - 1.0).abs() < 1e-12);

@@ -127,6 +127,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: bs_cap,
             users,
+            soa: None,
         }
     }
 

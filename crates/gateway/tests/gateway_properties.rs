@@ -76,7 +76,7 @@ proptest! {
             tau: 1.0,
             delta_kb: 50.0,
             bs_cap_units: bs_cap,
-            users: &users,
+            users: &users, soa: None,
         };
         let mut rx = DataReceiver::new(n, OriginModel::RateLimited { kbps: backlog_kbps }, 1.0);
         rx.ingest_slot(0);

@@ -24,13 +24,28 @@ impl Scheduler for DefaultMax {
         "Default"
     }
 
+    fn wants_soa(&self) -> bool {
+        true
+    }
+
     fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         out.reset(ctx.users.len());
         let mut budget = ctx.bs_cap_units;
-        for (u, slot) in ctx.users.iter().zip(&mut out.0) {
-            let grant = u.usable_cap_units(ctx.delta_kb).min(budget);
-            budget -= grant;
-            *slot = grant;
+        if let Some(soa) = ctx.soa {
+            // The ceiling column is `usable_cap_units(δ)` precomputed by
+            // the collector — one contiguous u64 stream instead of a
+            // strided gather, same grants bit-for-bit.
+            for (&c, slot) in soa.ceiling_units.iter().zip(&mut out.0) {
+                let grant = c.min(budget);
+                budget -= grant;
+                *slot = grant;
+            }
+        } else {
+            for (u, slot) in ctx.users.iter().zip(&mut out.0) {
+                let grant = u.usable_cap_units(ctx.delta_kb).min(budget);
+                budget -= grant;
+                *slot = grant;
+            }
         }
     }
 }

@@ -64,6 +64,7 @@ pub(crate) mod test_support {
             delta_kb: 50.0,
             bs_cap_units: bs_cap,
             users,
+            soa: None,
         }
     }
 }

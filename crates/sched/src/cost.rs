@@ -19,7 +19,7 @@
 
 use jmso_gateway::{SlotContext, UserSnapshot};
 use jmso_radio::rrc::tail_energy_between;
-use jmso_radio::{LinearRssiThroughput, PowerModel, RrcConfig, RssiPowerModel};
+use jmso_radio::{Dbm, LinearRssiThroughput, PowerModel, RrcConfig, RssiPowerModel};
 use serde::{Deserialize, Serialize};
 
 /// How `f(i, 0)` prices the tail energy of an idle slot.
@@ -121,44 +121,65 @@ impl<'a> EmaCost<'a> {
         }
     }
 
-    /// The priced cost of idling this user for one more slot (φ = 0).
-    pub fn idle_slot_energy(&self, user: &UserSnapshot) -> f64 {
+    /// The priced cost of one more idle slot given the radio's idle time
+    /// (the field-level core shared by the AoS and SoA entry points, so
+    /// the two are bit-identical by construction).
+    pub fn idle_slot_energy_at(&self, idle_s: f64) -> f64 {
         match self.tail_pricing {
             TailPricing::PerSlot => {
-                tail_energy_between(&self.models.rrc, user.idle_s, user.idle_s + self.tau).value()
+                tail_energy_between(&self.models.rrc, idle_s, idle_s + self.tau).value()
             }
             TailPricing::Amortized { horizon_slots } => {
                 let h = horizon_slots.max(1) as f64;
-                tail_energy_between(&self.models.rrc, user.idle_s, user.idle_s + h * self.tau)
-                    .value()
-                    / h
+                tail_energy_between(&self.models.rrc, idle_s, idle_s + h * self.tau).value() / h
             }
         }
     }
 
-    /// Transmission energy for `units` frames (Eq. (3)).
-    pub fn transmission_energy(&self, user: &UserSnapshot, units: u64) -> f64 {
+    /// The priced cost of idling this user for one more slot (φ = 0).
+    pub fn idle_slot_energy(&self, user: &UserSnapshot) -> f64 {
+        self.idle_slot_energy_at(user.idle_s)
+    }
+
+    /// Transmission energy for `units` frames at signal `sig` (Eq. (3);
+    /// field-level core).
+    pub fn transmission_energy_at(&self, sig: Dbm, units: u64) -> f64 {
         self.models
             .power
-            .transmission_energy(user.signal, self.delta_kb * units as f64)
+            .transmission_energy(sig, self.delta_kb * units as f64)
             .value()
+    }
+
+    /// Transmission energy for `units` frames (Eq. (3)).
+    pub fn transmission_energy(&self, user: &UserSnapshot, units: u64) -> f64 {
+        self.transmission_energy_at(user.signal, units)
+    }
+
+    /// `f(i, φ)` from the three fields it depends on (field-level core).
+    pub fn f_at(&self, sig: Dbm, rate_kbps: f64, idle_s: f64, pc: f64, units: u64) -> f64 {
+        let energy = if units == 0 {
+            self.idle_slot_energy_at(idle_s)
+        } else {
+            self.transmission_energy_at(sig, units)
+        };
+        let t_i = self.delta_kb * units as f64 / rate_kbps;
+        self.v * energy + pc * (self.tau - t_i)
     }
 
     /// `f(i, φ)` for user `user` with virtual queue `pc` (Eq. (22)).
     pub fn f(&self, user: &UserSnapshot, pc: f64, units: u64) -> f64 {
-        let energy = if units == 0 {
-            self.idle_slot_energy(user)
-        } else {
-            self.transmission_energy(user, units)
-        };
-        let t_i = self.delta_kb * units as f64 / user.rate_kbps;
-        self.v * energy + pc * (self.tau - t_i)
+        self.f_at(user.signal, user.rate_kbps, user.idle_s, pc, units)
     }
 
-    /// Slope of `f` in φ for φ ≥ 1: `δ·(V·P(sig) − PC/p)`.
+    /// Slope of `f` in φ for φ ≥ 1 from its fields (field-level core).
+    pub fn slope_at(&self, sig: Dbm, rate_kbps: f64, pc: f64) -> f64 {
+        let p_kb = self.models.power.energy_per_kb(sig);
+        self.delta_kb * (self.v * p_kb - pc / rate_kbps)
+    }
+
+    /// Slope of `f` in φ for φ ≥ 1: `s = δ·(V·P(sig) − PC/p)`.
     pub fn slope(&self, user: &UserSnapshot, pc: f64) -> f64 {
-        let p_kb = self.models.power.energy_per_kb(user.signal);
-        self.delta_kb * (self.v * p_kb - pc / user.rate_kbps)
+        self.slope_at(user.signal, user.rate_kbps, pc)
     }
 
     /// Marginal cost of the first unit: `f(1) − f(0) = slope − V·E_tail_slot`.

@@ -31,7 +31,8 @@
 
 use crate::cost::{CrossLayerModels, EmaCost, TailPricing};
 use crate::lyapunov::VirtualQueues;
-use jmso_gateway::{Allocation, DegradationEvent, Scheduler, SlotContext};
+use jmso_gateway::{Allocation, DegradationEvent, Scheduler, SlotContext, SnapshotSoA};
+use jmso_radio::Dbm;
 use std::collections::VecDeque;
 
 /// The EMA policy (exact DP form of Algorithm 2).
@@ -188,6 +189,40 @@ pub fn slot_users_into(
             f0: cost.f(u, pc, 0),
             f1: cost.f(u, pc, 1),
             slope: cost.slope(u, pc),
+        })
+    }));
+}
+
+/// [`slot_users_into`] over the contiguous [`SnapshotSoA`] mirror: the
+/// capacity filter and the three cost curves stream column arrays instead
+/// of gathering from ~90-byte snapshot structs. Rows are identified by
+/// index (the engine keeps `users[i].id == i`, which is also how the
+/// mirror is laid out), and every number comes from the same field-level
+/// cost cores the AoS path calls, so the participant set is bit-identical.
+pub fn slot_users_soa_into(
+    cost: &EmaCost,
+    soa: &SnapshotSoA,
+    queues: &VirtualQueues,
+    out: &mut Vec<SlotUser>,
+) {
+    out.clear();
+    out.extend((0..soa.len()).filter_map(|i| {
+        let cap = soa.ceiling_units[i];
+        if cap == 0 {
+            return None;
+        }
+        let pc = queues.get(i);
+        let sig = Dbm(soa.signal_dbm[i]);
+        let rate = soa.rate_kbps[i];
+        let idle = soa.idle_s[i];
+        Some(SlotUser {
+            id: i,
+            pc,
+            cap,
+            rate_kbps: rate,
+            f0: cost.f_at(sig, rate, idle, pc, 0),
+            f1: cost.f_at(sig, rate, idle, pc, 1),
+            slope: cost.slope_at(sig, rate, pc),
         })
     }));
 }
@@ -398,12 +433,19 @@ impl Scheduler for Ema {
         "EMA"
     }
 
+    fn wants_soa(&self) -> bool {
+        true
+    }
+
     fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         self.ensure_queues(ctx.users.len());
         self.events.clear();
         out.reset(ctx.users.len());
         let cost = EmaCost::with_pricing(self.v, &self.models, ctx, self.tail_pricing);
-        slot_users_into(&cost, ctx, &self.queues, &mut self.parts);
+        match ctx.soa {
+            Some(soa) => slot_users_soa_into(&cost, soa, &self.queues, &mut self.parts),
+            None => slot_users_into(&cost, ctx, &self.queues, &mut self.parts),
+        }
         if self.reference_dp {
             let chosen = solve_dp_reference(&self.parts, ctx.bs_cap_units);
             for (part, units) in self.parts.iter().zip(chosen) {
@@ -465,6 +507,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: bs_cap,
             users,
+            soa: None,
         }
     }
 

@@ -15,7 +15,7 @@
 //! and how much wall-clock the structure saves.
 
 use crate::cost::{CrossLayerModels, EmaCost, TailPricing};
-use crate::ema::{clamp_queues, slot_users_into, SlotUser};
+use crate::ema::{clamp_queues, slot_users_into, slot_users_soa_into, SlotUser};
 use crate::lyapunov::VirtualQueues;
 use jmso_gateway::{Allocation, DegradationEvent, Scheduler, SlotContext};
 use std::cmp::Reverse;
@@ -195,6 +195,10 @@ impl Scheduler for EmaFast {
         "EMA-fast"
     }
 
+    fn wants_soa(&self) -> bool {
+        true
+    }
+
     fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         if self.queues.len() != ctx.users.len() {
             self.queues = VirtualQueues::new(ctx.users.len());
@@ -202,7 +206,10 @@ impl Scheduler for EmaFast {
         self.events.clear();
         out.reset(ctx.users.len());
         let cost = EmaCost::with_pricing(self.v, &self.models, ctx, self.tail_pricing);
-        slot_users_into(&cost, ctx, &self.queues, &mut self.parts);
+        match ctx.soa {
+            Some(soa) => slot_users_soa_into(&cost, soa, &self.queues, &mut self.parts),
+            None => slot_users_into(&cost, ctx, &self.queues, &mut self.parts),
+        }
         let chosen = solve_greedy_with(&self.parts, ctx.bs_cap_units, &mut self.scratch);
         for (part, &units) in self.parts.iter().zip(chosen) {
             out.0[part.id] = units;
@@ -258,6 +265,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: bs_cap,
             users,
+            soa: None,
         }
     }
 

@@ -166,6 +166,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: 7,
             users: &users,
+            soa: None,
         };
         let models = CrossLayerModels::paper();
         let cost = EmaCost::new(1.5, &models, &ctx);
@@ -193,6 +194,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: 2,
             users: &users,
+            soa: None,
         };
         let models = CrossLayerModels::paper();
         let cost = EmaCost::new(1.0, &models, &ctx);

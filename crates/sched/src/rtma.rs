@@ -26,7 +26,7 @@
 use crate::cost::CrossLayerModels;
 use crate::threshold::SignalThreshold;
 use jmso_gateway::{Allocation, DegradationEvent, Scheduler, SlotContext};
-use jmso_radio::MilliJoules;
+use jmso_radio::{Dbm, MilliJoules};
 
 /// The RTMA policy.
 ///
@@ -98,16 +98,75 @@ impl Rtma {
     pub fn threshold(&self) -> SignalThreshold {
         self.threshold
     }
+
+    /// Run the nominal sweep and, if enabled and budget survives it, the
+    /// best-effort fallback — generic over the per-user accessors so the
+    /// AoS and SoA callers share one decision path.
+    fn run_sweeps(
+        &mut self,
+        ctx: &SlotContext,
+        alloc: &mut [u64],
+        active: &impl Fn(usize) -> bool,
+        remaining_kb: &impl Fn(usize) -> f64,
+        signal: &impl Fn(usize) -> Dbm,
+    ) {
+        let mut budget = ctx.bs_cap_units;
+        sweep_tranches(
+            &self.order,
+            &self.need,
+            &self.ceiling,
+            active,
+            remaining_kb,
+            signal,
+            Some(self.threshold),
+            alloc,
+            &mut budget,
+        );
+
+        // Degraded-cap fallback: budget is left, and the only reason can
+        // be the admission threshold (the nominal sweep only stops with
+        // budget when no admitted user can take more). Serve the blocked
+        // demand best-effort and report the departure from Alg. 1.
+        if self.best_effort && budget > 0 {
+            let before = budget;
+            sweep_tranches(
+                &self.order,
+                &self.need,
+                &self.ceiling,
+                active,
+                remaining_kb,
+                signal,
+                None,
+                alloc,
+                &mut budget,
+            );
+            let units_recovered = before - budget;
+            if units_recovered > 0 {
+                self.events.push(DegradationEvent::RtmaBestEffort {
+                    slot: ctx.slot,
+                    units_recovered,
+                });
+            }
+        }
+    }
 }
 
 /// Steps 4–15 of Algorithm 1: sweep the sorted users granting one
 /// need-tranche each until `budget` is exhausted or nothing moves.
 /// `threshold: None` runs the best-effort variant with no admission rule.
+///
+/// The sweep is generic over three per-user accessors so the AoS
+/// (`ctx.users[i]` fields) and SoA (contiguous column reads) callers
+/// monomorphize the same decision logic — identical comparisons on
+/// identical values, hence bit-identical grants.
+#[allow(clippy::too_many_arguments)]
 fn sweep_tranches(
     order: &[usize],
     need: &[u64],
     ceiling: &[u64],
-    ctx: &SlotContext,
+    active: &impl Fn(usize) -> bool,
+    remaining_kb: &impl Fn(usize) -> f64,
+    signal: &impl Fn(usize) -> Dbm,
     threshold: Option<SignalThreshold>,
     alloc: &mut [u64],
     budget: &mut u64,
@@ -118,13 +177,12 @@ fn sweep_tranches(
             if *budget == 0 {
                 break;
             }
-            let u = &ctx.users[i];
-            if !u.active && u.remaining_kb <= 0.0 {
+            if !active(i) && remaining_kb(i) <= 0.0 {
                 continue;
             }
             // Step 6: the Eq. (12) energy admission rule.
             if let Some(t) = threshold {
-                if !t.allows(u.signal) {
+                if !t.allows(signal(i)) {
                     continue;
                 }
             }
@@ -150,37 +208,51 @@ impl Scheduler for Rtma {
         "RTMA"
     }
 
+    fn wants_soa(&self) -> bool {
+        true
+    }
+
     fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
         let n = ctx.users.len();
         out.reset(n);
         self.events.clear();
-        let alloc = &mut out.0;
-        let mut budget = ctx.bs_cap_units;
 
         // Step 2: ascending required data rate; ties keep id order (the
         // explicit index tie-break makes the unstable — and allocation-free
-        // — sort deterministic).
+        // — sort deterministic). Step 3: per-slot need ⌈τ·pᵢ/δ⌉ and the
+        // hard per-user ceiling (link bound ∩ remaining video bytes). On
+        // the SoA path both derived columns arrive precomputed by the
+        // collector with the same expressions, so the setup reduces to a
+        // column sort and two memcpys.
         self.order.clear();
         self.order.extend(0..n);
-        self.order.sort_unstable_by(|&a, &b| {
-            ctx.users[a]
-                .rate_kbps
-                .partial_cmp(&ctx.users[b].rate_kbps)
-                .expect("rates are finite")
-                .then(a.cmp(&b))
-        });
-
-        // Step 3: per-slot need ⌈τ·pᵢ/δ⌉ and the hard per-user ceiling
-        // (link bound ∩ remaining video bytes).
         self.need.clear();
-        self.need.extend(
-            ctx.users
-                .iter()
-                .map(|u| ((ctx.tau * u.rate_kbps) / ctx.delta_kb).ceil() as u64),
-        );
         self.ceiling.clear();
-        self.ceiling
-            .extend(ctx.users.iter().map(|u| u.usable_cap_units(ctx.delta_kb)));
+        if let Some(soa) = ctx.soa {
+            self.order.sort_unstable_by(|&a, &b| {
+                soa.rate_kbps[a]
+                    .partial_cmp(&soa.rate_kbps[b])
+                    .expect("rates are finite")
+                    .then(a.cmp(&b))
+            });
+            self.need.extend_from_slice(&soa.need_units);
+            self.ceiling.extend_from_slice(&soa.ceiling_units);
+        } else {
+            self.order.sort_unstable_by(|&a, &b| {
+                ctx.users[a]
+                    .rate_kbps
+                    .partial_cmp(&ctx.users[b].rate_kbps)
+                    .expect("rates are finite")
+                    .then(a.cmp(&b))
+            });
+            self.need.extend(
+                ctx.users
+                    .iter()
+                    .map(|u| ((ctx.tau * u.rate_kbps) / ctx.delta_kb).ceil() as u64),
+            );
+            self.ceiling
+                .extend(ctx.users.iter().map(|u| u.usable_cap_units(ctx.delta_kb)));
+        }
         // Queue view: outstanding per-slot demand. A user whose ceiling is
         // zero (fetch complete or link down) has no outstanding demand, so
         // mask their raw need to 0 — this also keeps the exported values
@@ -194,38 +266,22 @@ impl Scheduler for Rtma {
                     .map(|(&n, &c)| if c == 0 { 0.0 } else { n as f64 }),
             );
 
-        sweep_tranches(
-            &self.order,
-            &self.need,
-            &self.ceiling,
-            ctx,
-            Some(self.threshold),
-            alloc,
-            &mut budget,
-        );
-
-        // Degraded-cap fallback: budget is left, and the only reason can
-        // be the admission threshold (the nominal sweep only stops with
-        // budget when no admitted user can take more). Serve the blocked
-        // demand best-effort and report the departure from Alg. 1.
-        if self.best_effort && budget > 0 {
-            let before = budget;
-            sweep_tranches(
-                &self.order,
-                &self.need,
-                &self.ceiling,
+        if let Some(soa) = ctx.soa {
+            self.run_sweeps(
                 ctx,
-                None,
-                alloc,
-                &mut budget,
+                &mut out.0,
+                &|i| soa.active[i],
+                &|i| soa.remaining_kb[i],
+                &|i| Dbm(soa.signal_dbm[i]),
             );
-            let units_recovered = before - budget;
-            if units_recovered > 0 {
-                self.events.push(DegradationEvent::RtmaBestEffort {
-                    slot: ctx.slot,
-                    units_recovered,
-                });
-            }
+        } else {
+            self.run_sweeps(
+                ctx,
+                &mut out.0,
+                &|i| ctx.users[i].active,
+                &|i| ctx.users[i].remaining_kb,
+                &|i| ctx.users[i].signal,
+            );
         }
     }
 
@@ -266,6 +322,7 @@ mod tests {
             delta_kb: 50.0,
             bs_cap_units: bs_cap,
             users,
+            soa: None,
         }
     }
 

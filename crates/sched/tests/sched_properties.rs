@@ -5,7 +5,7 @@
 //! brute-force enumeration must produce identical objective values on
 //! random instances.
 
-use jmso_gateway::{Allocation, Scheduler, SlotContext, UserSnapshot};
+use jmso_gateway::{Allocation, Scheduler, SlotContext, SnapshotSoA, UserSnapshot};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::Dbm;
 use jmso_sched::ema::{objective, slot_users, solve_dp, solve_dp_reference};
@@ -78,7 +78,7 @@ proptest! {
             tau: 1.0,
             delta_kb: 50.0,
             bs_cap_units: budget,
-            users: &snaps,
+            users: &snaps, soa: None,
         };
         let models = CrossLayerModels::paper();
         let cost = EmaCost::new(v, &models, &ctx);
@@ -111,7 +111,7 @@ proptest! {
     ) {
         let snaps = snapshots(&users);
         let ctx = SlotContext {
-            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps, soa: None,
         };
         let models = CrossLayerModels::paper();
         let cost = EmaCost::new(v, &models, &ctx);
@@ -139,7 +139,7 @@ proptest! {
     ) {
         let snaps = snapshots(&users);
         let ctx = SlotContext {
-            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps, soa: None,
         };
         let models = CrossLayerModels::paper();
         let cost = EmaCost::new(v, &models, &ctx);
@@ -189,7 +189,7 @@ proptest! {
         for pol in policies.iter_mut() {
             for slot in 0..slots {
                 let ctx = SlotContext {
-                    slot, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+                    slot, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps, soa: None,
                 };
                 let a = pol.allocate(&ctx);
                 prop_assert!(a.validate(&ctx).is_ok(),
@@ -208,7 +208,7 @@ proptest! {
     ) {
         let snaps = snapshots(&users);
         let ctx = SlotContext {
-            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps, soa: None,
         };
         let mut r = Rtma::with_threshold(SignalThreshold { min_dbm: threshold });
         let Allocation(a) = r.allocate(&ctx);
@@ -247,6 +247,53 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Every policy with an SoA fast path must allocate bit-identically
+    /// whether it reads the AoS snapshots or the contiguous SoA mirror —
+    /// the contract that lets the engine and multicell loops hand either
+    /// representation to any scheduler.
+    #[test]
+    fn soa_context_allocates_identically_to_aos(
+        users in proptest::collection::vec(arb_user(), 1..12),
+        budget in 0u64..60,
+        inactive_mask in proptest::collection::vec(prop::bool::ANY, 12),
+        v in 0.05f64..5.0,
+        phi in 700.0f64..1300.0,
+    ) {
+        let mut snaps = snapshots(&users);
+        for (s, &off) in snaps.iter_mut().zip(&inactive_mask) {
+            if off {
+                // Mirror the engine's retired/roamed rows: no demand, no
+                // capacity, inactive.
+                s.active = false;
+                s.remaining_kb = 0.0;
+                s.link_cap_units = 0;
+            }
+        }
+        let mut soa = SnapshotSoA::new();
+        soa.fill_from(&snaps, 1.0, 50.0);
+        let aos_ctx = SlotContext {
+            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps, soa: None,
+        };
+        let soa_ctx = SlotContext { soa: Some(&soa), ..aos_ctx };
+        let models = CrossLayerModels::paper();
+        let build_all = || -> Vec<Box<dyn Scheduler>> {
+            vec![
+                SchedulerSpec::Default.build(1.0, &models),
+                SchedulerSpec::RtmaUnbounded.build(1.0, &models),
+                SchedulerSpec::rtma(phi).build(1.0, &models),
+                SchedulerSpec::ema_dp(v).build(1.0, &models),
+                SchedulerSpec::ema_fast(v).build(1.0, &models),
+            ]
+        };
+        for (mut via_aos, mut via_soa) in build_all().into_iter().zip(build_all()) {
+            let a = via_aos.allocate(&aos_ctx);
+            let b = via_soa.allocate(&soa_ctx);
+            prop_assert_eq!(&a.0, &b.0, "{} diverged between AoS and SoA", via_aos.name());
+        }
+    }
+}
+
 /// Integral-need strategy: rates divisible by δ/τ so ⌈τp/δ⌉ is exact and
 /// no tranche unit is partially wasted.
 fn arb_integral_rate_user() -> impl Strategy<Value = RandUser> {
@@ -280,7 +327,7 @@ proptest! {
 
         let snaps = snapshots(&users);
         let ctx = SlotContext {
-            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps,
+            slot: 0, tau: 1.0, delta_kb: 50.0, bs_cap_units: budget, users: &snaps, soa: None,
         };
         let mut rtma = Rtma::unbounded();
         let Allocation(alloc) = rtma.allocate(&ctx);

@@ -54,6 +54,7 @@ fn drive<S: Scheduler>(
             delta_kb: 50.0,
             bs_cap_units: 4 * n as u64,
             users: &snapshot,
+            soa: None,
         };
         sched.allocate_into(&ctx, &mut alloc);
         alloc.validate(&ctx).expect("allocation within bounds");
@@ -111,6 +112,7 @@ fn rtma_queue_export_masks_finished_users() {
         delta_kb: 50.0,
         bs_cap_units: 24,
         users: &snapshot,
+        soa: None,
     };
     let mut r = Rtma::unbounded();
     let mut alloc = Allocation::zeros(0);

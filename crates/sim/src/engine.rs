@@ -47,7 +47,7 @@ use jmso_gateway::bs::CapacityModel;
 use jmso_gateway::collector::RawUserState;
 use jmso_gateway::{
     Allocation, CollectorState, DataReceiver, DataTransmitter, FlowState, InformationCollector,
-    Scheduler, SlotContext, UnitParams, UserSnapshot,
+    Scheduler, SlotContext, SnapshotSoA, UnitParams, UserSnapshot,
 };
 use jmso_media::{jain_index, ClientPlayback, VideoSession};
 use jmso_radio::rrc::RrcState;
@@ -57,8 +57,10 @@ use jmso_sched::CrossLayerModels;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// Slots sampled per [`SignalModel::sample_into`] block in the hot loop.
-const SIG_BLOCK_SLOTS: usize = 32;
+/// Slots sampled per [`SignalModel::sample_into`] block in the hot loop
+/// (shared with the multicell stepper, which blocks its radio math the
+/// same way).
+pub(crate) const SIG_BLOCK_SLOTS: usize = 32;
 
 /// Per-user simulation state.
 struct UserSim {
@@ -71,6 +73,18 @@ struct UserSim {
     /// Block-sampled RSSI for slots `b·B .. (b+1)·B`; refilled whenever
     /// the slot index crosses a block boundary while the user is live.
     sig_block: [Dbm; SIG_BLOCK_SLOTS],
+    /// Per-block Eq. (1) link caps derived from `sig_block` by the batch
+    /// throughput kernel at the refill boundary. Only maintained (and only
+    /// sound) on the fault-free pass-through path — see `run_core`; not
+    /// checkpointed, recomputed from the restored `sig_block` on resume.
+    ///
+    /// Transmission energy deliberately has no such table: the link cap is
+    /// read every slot for every user (the table is a one-for-one batch of
+    /// the scalar computes it replaced), but `P(sig)` is only needed on
+    /// the minority of user-slots that actually transmit, so an eager
+    /// per-block power pass costs more divisions than it saves. The shared
+    /// scalar kernel is evaluated at transmit time instead.
+    cap_block: [u64; SIG_BLOCK_SLOTS],
     active_slots: u64,
     /// Slot at which this user's session starts (0 = at the beginning).
     arrival_slot: u64,
@@ -314,6 +328,7 @@ impl Engine {
                     meter: EnergyMeter::new(),
                     cur_signal: Dbm(0.0),
                     sig_block: [Dbm(0.0); SIG_BLOCK_SLOTS],
+                    cap_block: [0; SIG_BLOCK_SLOTS],
                     active_slots: 0,
                     arrival_slot,
                     declared_rate_kbps: None,
@@ -606,6 +621,21 @@ impl Engine {
         let mut deliveries = Vec::with_capacity(n_users);
         let mut fault_notes: Vec<String> = Vec::new();
         let collector_full_pass = self.collector.needs_full_pass();
+        // Block-precomputed radio tables (per-user Eq. (1) caps for a
+        // whole RSSI block) are only sound when the reported signal is
+        // exactly the sampled one — a pass-through collector — and no
+        // fault hook can perturb signals after sampling. Outside that
+        // regime the loop falls back to the scalar kernels, which are
+        // bit-identical by construction (shared per-element `kernel`).
+        let tables_enabled = !faults.enabled() && self.collector.is_pass_through();
+        let mut v_scratch = [0.0f64; SIG_BLOCK_SLOTS];
+        let mut cap_hint: Vec<u64> = vec![0; n_users];
+        // The SoA mirror is maintained only for schedulers that read it
+        // (Scheduler::wants_soa): column upkeep re-derives unit
+        // quantities per live user every slot, which row-walking
+        // policies would pay for without ever looking at the result.
+        let use_soa = self.scheduler.wants_soa();
+        let mut soa = SnapshotSoA::new();
 
         let mut start_slot = 0;
         if let Some(ck) = resume {
@@ -637,6 +667,19 @@ impl Engine {
             live = ls.live.clone();
             raw = ls.raw.clone();
             snapshots = ls.snapshots.clone();
+            // The SoA mirror and the radio tables are derived state, not
+            // checkpointed: rebuild both from the restored snapshots and
+            // signal blocks so a resumed run re-enters the block mid-way
+            // with the exact values the straight run would hold.
+            if use_soa {
+                soa.fill_from(&snapshots, self.cfg.tau, self.cfg.delta_kb);
+            }
+            if tables_enabled {
+                for u in &mut self.users {
+                    self.collector
+                        .link_caps_into(&u.sig_block, &mut v_scratch, &mut u.cap_block);
+                }
+            }
             start_slot = ck.slot;
         } else {
             rec.begin_run(n_users, self.cfg.tau);
@@ -708,8 +751,20 @@ impl Engine {
                 if block_off == 0 {
                     u.signal.sample_into(slot, &mut u.sig_block);
                     u.sig_samples += SIG_BLOCK_SLOTS as u64;
+                    if tables_enabled {
+                        // One batch-kernel pass per block: the next
+                        // SIG_BLOCK_SLOTS slots read pure table entries.
+                        self.collector.link_caps_into(
+                            &u.sig_block,
+                            &mut v_scratch,
+                            &mut u.cap_block,
+                        );
+                    }
                 }
                 u.cur_signal = u.sig_block[block_off];
+                if tables_enabled {
+                    cap_hint[i] = u.cap_block[block_off];
+                }
                 if faults.enabled() {
                     // Faults perturb state, never RNG streams: the raw
                     // sample above already advanced the generator.
@@ -759,10 +814,21 @@ impl Engine {
             // first slot (and a noisy collector, whose RNG stream must
             // stay per-user aligned) takes the full pass.
             if collector_full_pass || snapshots.len() != n_users {
-                self.collector.snapshot_into(slot, &raw, &mut snapshots);
+                if use_soa {
+                    self.collector
+                        .snapshot_into_soa(slot, &raw, &mut snapshots, &mut soa);
+                } else {
+                    self.collector.snapshot_into(slot, &raw, &mut snapshots);
+                }
             } else {
-                self.collector
-                    .snapshot_refresh(slot, &raw, &live, &mut snapshots);
+                self.collector.snapshot_refresh_soa(
+                    slot,
+                    &raw,
+                    &live,
+                    tables_enabled.then_some(&cap_hint[..]),
+                    &mut snapshots,
+                    use_soa.then_some(&mut soa),
+                );
             }
             let ctx = SlotContext {
                 slot,
@@ -770,6 +836,7 @@ impl Engine {
                 delta_kb: self.cfg.delta_kb,
                 bs_cap_units,
                 users: &snapshots,
+                soa: use_soa.then_some(&soa),
             };
             if rec.enabled() {
                 let t0 = std::time::Instant::now();
@@ -1032,6 +1099,7 @@ impl Engine {
                 delta_kb: self.cfg.delta_kb,
                 bs_cap_units,
                 users: &snapshots,
+                soa: None,
             };
             if rec.enabled() {
                 let t0 = std::time::Instant::now();

@@ -14,8 +14,11 @@
 //! * [`calibrate`] — measures the Default strategy's energy/rebuffering
 //!   (the `E_Default`/`R_Default` the α/β constraints are defined
 //!   against) and fits EMA's `V` to a rebuffering bound Ω by bisection.
+//! * [`pool`] — a persistent worker pool ([`WorkerPool`]) and a reusable
+//!   [`SpinBarrier`], shared by the sweep runner and the parallel
+//!   multicell stepper so hot callers never pay thread-spawn costs.
 //! * [`sweep`] — deterministic parallel execution of scenario grids on
-//!   crossbeam scoped threads.
+//!   the shared worker pool.
 //! * [`report`] — CSV and table output for the figure harness.
 //! * [`telemetry`] — slot-level recorders: a zero-overhead-when-disabled
 //!   [`SlotRecorder`] hook in the engine loop, a capturing
@@ -35,6 +38,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod multicell;
+pub mod pool;
 pub mod report;
 pub mod results;
 pub mod scenario;
@@ -48,10 +52,11 @@ pub use engine::{CkptMode, Engine, EngineCheckpoint, RunOutcome};
 pub use error::{atomic_write, CheckpointError, ScenarioError, SimError, TraceError};
 pub use faults::{FaultEvent, FaultHook, FaultPlan, FaultSpec, NoFaults};
 pub use multicell::{MultiCellResult, MultiCellScenario};
+pub use pool::{SpinBarrier, WorkerPool};
 pub use results::{SimResult, UserResult};
 pub use scenario::{ArrivalSpec, Scenario};
 pub use svg::svg_chart;
-pub use sweep::{parallel_map, run_scenarios, run_scenarios_traced};
+pub use sweep::{parallel_map, run_scenarios, run_scenarios_traced, try_parallel_map};
 pub use telemetry::{
     LatencyHistogram, NullRecorder, SlotRecord, SlotRecorder, SlotTrace, TelemetrySummary,
     TraceRecorder,

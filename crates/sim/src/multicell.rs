@@ -24,18 +24,26 @@
 //! meaningful); scenario-level collector settings are ignored and
 //! documented as such.
 
+use crate::engine::SIG_BLOCK_SLOTS;
 use crate::error::{ScenarioError, SimError};
 use crate::faults::{FaultHook, NoFaults};
+use crate::pool::{SpinBarrier, WorkerPool};
 use crate::results::{SimResult, UserResult};
 use crate::scenario::Scenario;
 use crate::telemetry::{NullRecorder, SlotRecorder, SlotTrace, TraceRecorder};
-use jmso_gateway::{Allocation, Scheduler, SlotContext, UnitParams, UserSnapshot};
-use jmso_media::{generate_sessions, jain_index, ClientPlayback};
+use jmso_gateway::bs::CapacityModel;
+use jmso_gateway::{Allocation, Scheduler, SlotContext, SnapshotSoA, UnitParams, UserSnapshot};
+use jmso_media::{generate_sessions, jain_index, ClientPlayback, VideoSession};
+use jmso_radio::rrc::RrcState;
 use jmso_radio::signal::{SignalKind, SignalModel};
-use jmso_radio::{Dbm, EnergyMeter, KbPerSec, PowerModel, RrcMachine, ThroughputModel};
+use jmso_radio::{
+    Dbm, EnergyMeter, KbPerSec, PowerModel, RrcMachine, ThroughputModel,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration of a multi-cell run. Radio/media/scheduler parameters are
 /// borrowed from an embedded single-cell [`Scenario`]; its `capacity` is
@@ -64,10 +72,558 @@ pub struct MultiCellResult {
     pub mean_cell_occupancy: Vec<f64>,
 }
 
+/// Interior-mutability cell whose access discipline is the barrier
+/// protocol of [`MultiCellScenario::run_parallel`]: in *serial* phases
+/// participant 0 holds exclusive access (everyone else is spinning at the
+/// next barrier); in the *parallel* phase each cell's lane is touched only
+/// by the participant owning its stripe and the shared state is read-only.
+/// Every access site states which phase makes it sound.
+struct PhaseCell<T>(UnsafeCell<T>);
+
+// SAFETY: cross-thread access is mediated entirely by the barrier
+// protocol above; `T: Send` is required because ownership of the interior
+// value effectively migrates between participants across barriers.
+unsafe impl<T: Send> Sync for PhaseCell<T> {}
+
+impl<T> PhaseCell<T> {
+    fn new(value: T) -> Self {
+        PhaseCell(UnsafeCell::new(value))
+    }
+
+    /// # Safety
+    /// Caller must hold phase ownership: no other participant may touch
+    /// this cell until the next barrier crossing.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    /// # Safety
+    /// Caller must be in a phase where no participant mutates this cell.
+    unsafe fn get(&self) -> &T {
+        &*self.0.get()
+    }
+
+    fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+/// One cell's private scheduling state: everything a stripe participant
+/// touches during the parallel phase without synchronization.
+struct Lane {
+    scheduler: Box<dyn Scheduler>,
+    capacity: Box<dyn CapacityModel>,
+    /// Persistent all-users snapshot buffer (empty until the slot-0
+    /// build, exactly like the serial path's lazy `cell_snaps`).
+    snaps: Vec<UserSnapshot>,
+    soa: SnapshotSoA,
+    /// Cached `scheduler.wants_soa()`: the mirror is maintained only for
+    /// policies that read it (see the serial path's `use_soa`).
+    use_soa: bool,
+    alloc: Allocation,
+    cap_units: u64,
+}
+
+/// The shared simulation state of a parallel multicell run: per-user
+/// ground truth, client/radio device state, mobility, and series
+/// accumulators. Mutated only in serial phases (participant 0), read by
+/// every stripe during the parallel phase.
+struct MobileUsers {
+    signals: Vec<SignalKind>,
+    sessions: Vec<VideoSession>,
+    playback: Vec<ClientPlayback>,
+    rrc: Vec<RrcMachine>,
+    meters: Vec<EnergyMeter>,
+    active_slots: Vec<u64>,
+    attached: Vec<usize>,
+    members: Vec<Vec<usize>>,
+    mobility: StdRng,
+    handovers: u64,
+    occupancy_sums: Vec<f64>,
+    cur_sig: Vec<Dbm>,
+    rates: Vec<f64>,
+    caps: Vec<u64>,
+    occupancy: Vec<f64>,
+    active_now: Vec<bool>,
+    sig_blocks: Vec<[Dbm; SIG_BLOCK_SLOTS]>,
+    cap_blocks: Vec<[u64; SIG_BLOCK_SLOTS]>,
+    v_scratch: [f64; SIG_BLOCK_SLOTS],
+    moved: Vec<(usize, usize)>,
+    finished: Vec<bool>,
+    unfinished: usize,
+    live: Vec<usize>,
+    retired: Vec<bool>,
+    retired_at: Vec<u64>,
+    slots_run: u64,
+    fairness_series: Vec<f64>,
+    power_series: Vec<f64>,
+}
+
+/// Serial phase A (participant 0): mobility + handover demotion, shared
+/// per-user ground truth (block-sampled RSSI, cap tables, playback
+/// advance) and the per-slot delivery reset — the exact statement
+/// sequence of the serial loop's pre-scheduling half.
+#[allow(clippy::too_many_arguments)]
+fn mc_ground_truth<F: FaultHook>(
+    mc: &MultiCellScenario,
+    st: &mut MobileUsers,
+    units: &UnitParams,
+    faults: &F,
+    tables_enabled: bool,
+    slot: u64,
+    lanes: &[PhaseCell<Lane>],
+    delivered: &[PhaseCell<f64>],
+) {
+    let base = &mc.base;
+    st.slots_run = slot + 1;
+
+    if mc.n_cells > 1 && mc.handover_prob > 0.0 {
+        st.moved.clear();
+        for (i, cell) in st.attached.iter_mut().enumerate() {
+            if st.mobility.random::<f64>() < mc.handover_prob {
+                let mut next = st.mobility.random_range(0..mc.n_cells - 1);
+                if next >= *cell {
+                    next += 1;
+                }
+                st.moved.push((i, *cell));
+                *cell = next;
+                st.handovers += 1;
+            }
+        }
+        for &(i, from) in &st.moved {
+            let pos = st.members[from].binary_search(&i).expect("member list sync");
+            st.members[from].remove(pos);
+            let to = st.attached[i];
+            let pos = match st.members[to].binary_search(&i) {
+                Err(pos) => pos,
+                Ok(_) => unreachable!("user cannot already be a member"),
+            };
+            st.members[to].insert(pos, i);
+            // SAFETY: serial phase — every other participant is spinning
+            // at the next barrier, so lanes are exclusively ours.
+            let lane = unsafe { lanes[from].get_mut() };
+            if !lane.snaps.is_empty() {
+                lane.snaps[i].remaining_kb = 0.0;
+                lane.snaps[i].active = false;
+                lane.snaps[i].link_cap_units = 0;
+                if lane.use_soa {
+                    lane.soa.set_row(&lane.snaps[i], base.tau, base.delta_kb);
+                }
+            }
+        }
+    }
+    for (sum, m) in st.occupancy_sums.iter_mut().zip(&st.members) {
+        *sum += m.len() as f64;
+    }
+
+    let block_off = (slot % SIG_BLOCK_SLOTS as u64) as usize;
+    for idx in 0..st.live.len() {
+        let i = st.live[idx];
+        if block_off == 0 {
+            st.signals[i].sample_into(slot, &mut st.sig_blocks[i]);
+            if tables_enabled {
+                base.models
+                    .throughput
+                    .throughput_into(&st.sig_blocks[i], &mut st.v_scratch);
+                for (c, &v) in st.cap_blocks[i].iter_mut().zip(&st.v_scratch) {
+                    *c = units.link_cap_units(KbPerSec(v), base.tau);
+                }
+            }
+        }
+        st.cur_sig[i] = st.sig_blocks[i][block_off];
+        if faults.enabled() {
+            st.cur_sig[i] = faults.adjust_signal(slot, i, st.cur_sig[i]);
+            if faults.departed(slot, i) {
+                st.sessions[i].cancel_remaining();
+                st.playback[i].abandon();
+            }
+        }
+        st.rates[i] = st.sessions[i].rate_at(slot);
+        st.caps[i] = if tables_enabled {
+            st.cap_blocks[i][block_off]
+        } else {
+            let v = base.models.throughput.throughput(st.cur_sig[i]);
+            units.link_cap_units(v, base.tau)
+        };
+        let o = st.playback[i].begin_slot();
+        if o.active {
+            st.active_slots[i] += 1;
+        }
+        st.occupancy[i] = o.occupancy_s;
+        st.active_now[i] = o.active;
+    }
+    for d in delivered {
+        // SAFETY: serial phase, see above.
+        unsafe { *d.get_mut() = 0.0 };
+    }
+}
+
+/// Parallel phase (one call per owned cell): refresh the lane's snapshot
+/// buffer and SoA mirror, sample the cell budget, schedule, and post the
+/// members' deliveries. Reads the shared state immutably; writes only the
+/// lane and the owned users' `delivered` entries.
+#[allow(clippy::too_many_arguments)]
+fn mc_cell_phase<F: FaultHook>(
+    mc: &MultiCellScenario,
+    st: &MobileUsers,
+    lane: &mut Lane,
+    units: &UnitParams,
+    faults: &F,
+    slot: u64,
+    cell: usize,
+    delivered: &[PhaseCell<f64>],
+) {
+    let base = &mc.base;
+    let n = base.n_users;
+    if lane.snaps.is_empty() {
+        lane.snaps = (0..n)
+            .map(|i| {
+                let member = st.attached[i] == cell;
+                UserSnapshot {
+                    id: i,
+                    signal: st.cur_sig[i],
+                    rate_kbps: st.rates[i],
+                    buffer_s: st.occupancy[i],
+                    remaining_kb: if member {
+                        st.sessions[i].remaining_kb()
+                    } else {
+                        0.0
+                    },
+                    active: member && st.active_now[i],
+                    link_cap_units: if member { st.caps[i] } else { 0 },
+                    idle_s: st.rrc[i].idle_seconds(),
+                    rrc_state: st.rrc[i].state(),
+                }
+            })
+            .collect();
+        if lane.use_soa {
+            lane.soa.fill_from(&lane.snaps, base.tau, base.delta_kb);
+        }
+    } else {
+        for &i in &st.members[cell] {
+            // Retired members freeze like non-members; see the serial
+            // refresh loop.
+            if st.retired[i] {
+                continue;
+            }
+            lane.snaps[i] = UserSnapshot {
+                id: i,
+                signal: st.cur_sig[i],
+                rate_kbps: st.rates[i],
+                buffer_s: st.occupancy[i],
+                remaining_kb: st.sessions[i].remaining_kb(),
+                active: st.active_now[i],
+                link_cap_units: st.caps[i],
+                idle_s: st.rrc[i].idle_seconds(),
+                rrc_state: st.rrc[i].state(),
+            };
+            if lane.use_soa {
+                lane.soa.set_row(&lane.snaps[i], base.tau, base.delta_kb);
+            }
+        }
+    }
+
+    let mut cap: KbPerSec = lane.capacity.capacity(slot);
+    if faults.enabled() {
+        cap = KbPerSec(faults.scale_cell_cap(slot, cell, cap.0));
+    }
+    lane.cap_units = units.bs_cap_units(cap, base.tau);
+    let ctx = SlotContext {
+        slot,
+        tau: base.tau,
+        delta_kb: base.delta_kb,
+        bs_cap_units: lane.cap_units,
+        users: &lane.snaps,
+        soa: lane.use_soa.then_some(&lane.soa),
+    };
+    lane.scheduler.allocate_into(&ctx, &mut lane.alloc);
+    debug_assert!(lane.alloc.validate(&ctx).is_ok());
+    for &i in &st.members[cell] {
+        let units_granted = lane.alloc.0[i];
+        if units_granted > 0 {
+            let kb = (units_granted as f64 * base.delta_kb).min(st.sessions[i].remaining_kb());
+            // SAFETY: user `i` is attached to exactly this cell this
+            // slot, so this participant is the entry's only writer until
+            // the next barrier.
+            unsafe { *delivered[i].get_mut() += kb };
+        }
+    }
+}
+
+/// Serial phase C (participant 0): device accounting, the optional
+/// fairness/power series, and the monotone early-exit check. Returns
+/// `true` when every session is fetched *and* played out — the serial
+/// loop's `break` condition.
+fn mc_accounting(
+    mc: &MultiCellScenario,
+    st: &mut MobileUsers,
+    slot: u64,
+    delivered: &[PhaseCell<f64>],
+) -> bool {
+    let base = &mc.base;
+    let n = base.n_users;
+    let mut slot_energy_mj = 0.0;
+    let mut any_retired = false;
+    for idx in 0..st.live.len() {
+        let i = st.live[idx];
+        // SAFETY: serial phase — the parallel writers are past barrier B.
+        let d = unsafe { *delivered[i].get() };
+        let slot_e = if d > 0.0 {
+            let accepted = st.sessions[i].deliver(d);
+            st.playback[i].deliver(accepted, st.rates[i]);
+            let e = base.models.power.transmission_energy(st.cur_sig[i], accepted);
+            st.rrc[i].on_transmit();
+            st.meters[i].record_transmission(e);
+            e.value()
+        } else {
+            let e = st.rrc[i].on_idle(base.tau);
+            st.meters[i].record_tail(e);
+            e.value()
+        };
+        slot_energy_mj += slot_e;
+        if !st.finished[i] && st.sessions[i].fully_fetched() && st.playback[i].playback_complete() {
+            st.finished[i] = true;
+            st.unfinished -= 1;
+        }
+        if st.finished[i] && st.rrc[i].state() == RrcState::Idle {
+            st.retired[i] = true;
+            st.retired_at[i] = slot;
+            any_retired = true;
+        }
+    }
+    if any_retired {
+        let retired = &st.retired;
+        st.live.retain(|&i| !retired[i]);
+    }
+    if base.record_series {
+        let shares: Vec<f64> = (0..n)
+            .filter(|&i| {
+                // SAFETY: serial phase, as above.
+                st.sessions[i].remaining_kb() > 0.0 || unsafe { *delivered[i].get() } > 0.0
+            })
+            .map(|i| {
+                let d = unsafe { *delivered[i].get() };
+                let need = (base.tau * st.rates[i]).min(st.sessions[i].remaining_kb() + d);
+                if need > 0.0 {
+                    d / need
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        if !shares.is_empty() {
+            st.fairness_series.push(jain_index(&shares));
+        }
+        st.power_series.push(slot_energy_mj / 1000.0);
+    }
+    st.unfinished == 0
+}
+
 impl MultiCellScenario {
     /// Validate and run.
     pub fn run(&self) -> Result<MultiCellResult, SimError> {
         self.run_with(&mut NullRecorder)
+    }
+
+    /// [`MultiCellScenario::run`] with the per-slot cell fan-out executed
+    /// on the shared [`WorkerPool`]: `threads` lockstep participants each
+    /// own a stripe of cells (`cell % threads`), meeting at a
+    /// [`SpinBarrier`] between the three per-slot phases — serial ground
+    /// truth, parallel per-cell scheduling, serial accounting. Each cell's
+    /// scheduler and capacity model see exactly the serial call sequence
+    /// and each user is delivered to by exactly one cell, so the outcome
+    /// equals [`MultiCellScenario::run`] bit for bit (pinned by tests).
+    ///
+    /// `threads == 0` means one participant per available CPU. The
+    /// effective width is clamped to `n_cells` and the pool size; a width
+    /// of 1 falls back to the serial path, byte-identical by definition.
+    /// There is no recorder hook — slot tracing stays on the serial path.
+    pub fn run_parallel(&self, threads: usize) -> Result<MultiCellResult, SimError> {
+        self.base.validate()?;
+        if self.n_cells == 0 {
+            return Err(ScenarioError::new("n_cells", "must be positive").into());
+        }
+        if !(0.0..=1.0).contains(&self.handover_prob) {
+            return Err(ScenarioError::new("handover_prob", "must be in [0, 1]").into());
+        }
+        let hw = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        let requested = if threads == 0 { hw } else { threads };
+        let width = requested
+            .min(self.n_cells)
+            .min(WorkerPool::global().n_workers() + 1);
+        if width <= 1 {
+            return self.run();
+        }
+        if self.base.faults.is_none() {
+            Ok(self.simulate_parallel(width, &NoFaults))
+        } else {
+            let plan =
+                self.base
+                    .faults
+                    .compile(self.base.n_users, self.base.slots, self.n_cells)?;
+            Ok(self.simulate_parallel(width, &plan))
+        }
+    }
+
+    fn simulate_parallel<F: FaultHook + Sync>(&self, width: usize, faults: &F) -> MultiCellResult {
+        let base = &self.base;
+        let n = base.n_users;
+        let units = UnitParams::new(base.delta_kb);
+        let tables_enabled = !faults.enabled();
+
+        let sessions = generate_sessions(&base.workload, n, base.seed);
+        let playback: Vec<ClientPlayback> = sessions
+            .iter()
+            .map(|s| ClientPlayback::new(s.total_playback_s(), base.tau))
+            .collect();
+        let attached: Vec<usize> = (0..n).map(|i| i % self.n_cells).collect();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.n_cells];
+        for (i, &c) in attached.iter().enumerate() {
+            members[c].push(i);
+        }
+
+        let st = PhaseCell::new(MobileUsers {
+            signals: (0..n)
+                .map(|i| base.signal.build_kind(i, n, base.seed))
+                .collect(),
+            sessions,
+            playback,
+            rrc: (0..n)
+                .map(|_| RrcMachine::new_idle(base.models.rrc))
+                .collect(),
+            meters: (0..n).map(|_| EnergyMeter::new()).collect(),
+            active_slots: vec![0; n],
+            attached,
+            members,
+            mobility: StdRng::seed_from_u64(base.seed ^ 0x0B17_E0CE_1100),
+            handovers: 0,
+            occupancy_sums: vec![0.0; self.n_cells],
+            cur_sig: vec![Dbm(0.0); n],
+            rates: vec![0.0; n],
+            caps: vec![0; n],
+            occupancy: vec![0.0; n],
+            active_now: vec![false; n],
+            sig_blocks: vec![[Dbm(0.0); SIG_BLOCK_SLOTS]; n],
+            cap_blocks: vec![[0; SIG_BLOCK_SLOTS]; if tables_enabled { n } else { 0 }],
+            v_scratch: [0.0; SIG_BLOCK_SLOTS],
+            moved: Vec::new(),
+            finished: vec![false; n],
+            unfinished: n,
+            live: (0..n).collect(),
+            retired: vec![false; n],
+            retired_at: vec![0; n],
+            slots_run: 0,
+            fairness_series: Vec::new(),
+            power_series: Vec::new(),
+        });
+        let lanes: Vec<PhaseCell<Lane>> = (0..self.n_cells)
+            .map(|_| {
+                let scheduler = base.scheduler.build(base.tau, &base.models);
+                let use_soa = scheduler.wants_soa();
+                PhaseCell::new(Lane {
+                    scheduler,
+                    capacity: base.capacity.build(),
+                    snaps: Vec::new(),
+                    soa: SnapshotSoA::new(),
+                    use_soa,
+                    alloc: Allocation::zeros(n),
+                    cap_units: 0,
+                })
+            })
+            .collect();
+        let delivered: Vec<PhaseCell<f64>> = (0..n).map(|_| PhaseCell::new(0.0)).collect();
+        let barrier = SpinBarrier::new(width);
+        let quit = AtomicBool::new(false);
+
+        // One broadcast for the whole run: participants stay resident and
+        // pay two barrier rotations per slot instead of a dispatch.
+        WorkerPool::global().broadcast(width, &|p| {
+            for slot in 0..base.slots {
+                if p == 0 {
+                    // SAFETY: serial phase — all other participants are
+                    // spinning at barrier A.
+                    let st = unsafe { st.get_mut() };
+                    mc_ground_truth(self, st, &units, faults, tables_enabled, slot, &lanes, &delivered);
+                }
+                barrier.wait(); // A: ground truth published to all stripes.
+                {
+                    // SAFETY: shared state is read-only during the
+                    // parallel phase.
+                    let st = unsafe { st.get() };
+                    for cell in (p..self.n_cells).step_by(width) {
+                        // SAFETY: stripe ownership — cell `cell` belongs
+                        // to exactly this participant.
+                        let lane = unsafe { lanes[cell].get_mut() };
+                        mc_cell_phase(self, st, lane, &units, faults, slot, cell, &delivered);
+                    }
+                }
+                barrier.wait(); // B: allocations and deliveries published.
+                if p == 0 {
+                    // SAFETY: serial phase — others spin at barrier C.
+                    let st = unsafe { st.get_mut() };
+                    if mc_accounting(self, st, slot, &delivered) {
+                        quit.store(true, Ordering::Relaxed);
+                    }
+                }
+                barrier.wait(); // C: the early-exit decision is published.
+                if quit.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        });
+
+        let scheduler_label = {
+            // SAFETY: the broadcast has returned; no concurrency remains.
+            let lane0 = unsafe { lanes[0].get() };
+            lane0.scheduler.name().to_string()
+        };
+        let mut st = st.into_inner();
+        // Settle the retired users' sat-out idle slots, as in the serial
+        // path.
+        for i in 0..n {
+            if st.retired[i] {
+                st.meters[i].record_saturated_idle_slots(st.slots_run - 1 - st.retired_at[i]);
+            }
+        }
+        let per_user = (0..n)
+            .map(|i| UserResult {
+                rebuffer_s: st.playback[i].total_rebuffer_s(),
+                stall_slots: st.playback[i].stall_slots(),
+                startup_slots: st.playback[i].startup_slots(),
+                watched_s: st.playback[i].played_s(),
+                playback_complete: st.playback[i].playback_complete(),
+                fetched_kb: st.sessions[i].received_kb(),
+                energy: st.meters[i].breakdown(),
+                active_slots: st.active_slots[i],
+                tx_slots: st.meters[i].slots_transmitting(),
+                idle_slots: st.meters[i].slots_idle(),
+                rate_kbps: st.sessions[i].bitrate.mean_rate(),
+                video_kb: st.sessions[i].total_kb,
+            })
+            .collect();
+
+        MultiCellResult {
+            result: SimResult {
+                scheduler: scheduler_label,
+                per_user,
+                slots_run: st.slots_run,
+                slots_configured: base.slots,
+                tau_s: base.tau,
+                fairness_series: st.fairness_series,
+                fairness_window_series: vec![],
+                power_series_j: st.power_series,
+                telemetry: None,
+            },
+            handovers: st.handovers,
+            mean_cell_occupancy: st
+                .occupancy_sums
+                .into_iter()
+                .map(|s| s / st.slots_run as f64)
+                .collect(),
+        }
     }
 
     /// [`MultiCellScenario::run`] with a [`SlotRecorder`] observing every
@@ -154,11 +710,25 @@ impl MultiCellScenario {
             .first()
             .map(|s| s.name().to_string())
             .unwrap_or_default();
+        // All cells run the same policy spec, so one capability answer
+        // covers every lane; SoA upkeep is skipped entirely for
+        // row-walking schedulers (see Scheduler::wants_soa).
+        let use_soa = schedulers.iter().any(|s| s.wants_soa());
 
         // Early-exit counter, as in the single-cell engine: both
         // predicates are monotone.
         let mut unfinished = n;
         let mut finished = vec![false; n];
+        // Active-set bookkeeping, mirroring the engine's retirement rule:
+        // once a user is finished *and* their RRC tail has drained to
+        // Idle, every further slot would charge exactly 0 mJ and win 0
+        // grants (remaining bytes gate every ceiling to zero), so the
+        // per-slot loops skip them and the sat-out idle slots are settled
+        // on the meters after the run. Mobility still covers retired
+        // users — they keep roaming and keep counting toward occupancy.
+        let mut live: Vec<usize> = (0..n).collect();
+        let mut retired = vec![false; n];
+        let mut retired_at = vec![0u64; n];
 
         // Reused per-slot buffers: shared per-user ground truth (signal,
         // rate, link capacity — computed once per user, not once per
@@ -169,7 +739,23 @@ impl MultiCellScenario {
         let mut caps = vec![0u64; n];
         let mut occupancy = vec![0.0f64; n];
         let mut active_now = vec![false; n];
+        // Block-sampled RSSI plus (fault-free only) the per-block Eq. (1)
+        // cap tables, exactly as in the single-cell engine: the batch
+        // kernels share the scalar per-element `kernel`s, so table reads
+        // are bit-identical to the scalar calls they replace. The
+        // multicell collector is always pass-through, so the only gate is
+        // fault injection (faults perturb signals after the draw).
+        // Transmission energy stays on the scalar kernel — see the engine
+        // on why an eager P(sig) table costs more than it saves.
+        let tables_enabled = !faults.enabled();
+        let mut sig_blocks = vec![[Dbm(0.0); SIG_BLOCK_SLOTS]; n];
+        let mut cap_blocks = vec![[0u64; SIG_BLOCK_SLOTS]; if tables_enabled { n } else { 0 }];
+        let mut v_scratch = [0.0f64; SIG_BLOCK_SLOTS];
         let mut cell_snaps: Vec<Vec<UserSnapshot>> = Vec::new();
+        // Per-cell SoA mirrors of `cell_snaps`, maintained by the same
+        // writes (build, member refresh, handover demotion) so schedulers
+        // take their contiguous-column fast path in every cell.
+        let mut cell_soa: Vec<SnapshotSoA> = vec![SnapshotSoA::new(); self.n_cells];
         let mut alloc = Allocation::zeros(n);
         let mut delivered_kb = vec![0.0f64; n];
         let mut moved: Vec<(usize, usize)> = Vec::new();
@@ -210,10 +796,16 @@ impl MultiCellScenario {
                     members[to].insert(pos, i);
                     if let Some(snaps) = cell_snaps.get_mut(from) {
                         // Leaving a cell zeroes the fields that gate
-                        // allocations; the rest freeze harmlessly.
+                        // allocations; the rest freeze harmlessly. The SoA
+                        // mirror re-derives its columns from the demoted
+                        // snapshot (ceiling collapses to 0 with the
+                        // remaining bytes).
                         snaps[i].remaining_kb = 0.0;
                         snaps[i].active = false;
                         snaps[i].link_cap_units = 0;
+                        if use_soa {
+                            cell_soa[from].set_row(&snaps[i], base.tau, base.delta_kb);
+                        }
                     }
                 }
             }
@@ -221,9 +813,29 @@ impl MultiCellScenario {
                 *sum += m.len() as f64;
             }
 
-            // Client-side advance and shared ground truth, once per user.
-            for i in 0..n {
-                cur_sig[i] = signals[i].sample(slot);
+            // Client-side advance and shared ground truth, once per live
+            // user. RSSI is drawn in SIG_BLOCK_SLOTS-slot blocks
+            // (sample_into is contractually bit-identical to per-slot
+            // sample calls), and on the fault-free path one batch-kernel
+            // pass per block fills the link-cap table the next 32 slots
+            // read from. Every user is live at slot 0 and the
+            // live set only shrinks, so each live user crosses every block
+            // boundary; per-user RNG streams keep retired skips from
+            // perturbing anyone else's draws.
+            let block_off = (slot % SIG_BLOCK_SLOTS as u64) as usize;
+            for &i in &live {
+                if block_off == 0 {
+                    signals[i].sample_into(slot, &mut sig_blocks[i]);
+                    if tables_enabled {
+                        base.models
+                            .throughput
+                            .throughput_into(&sig_blocks[i], &mut v_scratch);
+                        for (c, &v) in cap_blocks[i].iter_mut().zip(&v_scratch) {
+                            *c = units.link_cap_units(KbPerSec(v), base.tau);
+                        }
+                    }
+                }
+                cur_sig[i] = sig_blocks[i][block_off];
                 if faults.enabled() {
                     // Signal faults follow the user across cells; applied
                     // after the RNG draw so streams stay aligned.
@@ -234,8 +846,12 @@ impl MultiCellScenario {
                     }
                 }
                 rates[i] = sessions[i].rate_at(slot);
-                let v = base.models.throughput.throughput(cur_sig[i]);
-                caps[i] = units.link_cap_units(v, base.tau);
+                caps[i] = if tables_enabled {
+                    cap_blocks[i][block_off]
+                } else {
+                    let v = base.models.throughput.throughput(cur_sig[i]);
+                    units.link_cap_units(v, base.tau)
+                };
                 let o = playback[i].begin_slot();
                 if o.active {
                     active_slots[i] += 1;
@@ -271,9 +887,23 @@ impl MultiCellScenario {
                             .collect()
                     })
                     .collect();
+                if use_soa {
+                    for (soa, snaps) in cell_soa.iter_mut().zip(&cell_snaps) {
+                        soa.fill_from(snaps, base.tau, base.delta_kb);
+                    }
+                }
             } else {
-                for (cell, snaps) in cell_snaps.iter_mut().enumerate() {
+                for (cell, (snaps, soa)) in
+                    cell_snaps.iter_mut().zip(cell_soa.iter_mut()).enumerate()
+                {
                     for &i in &members[cell] {
+                        // Retired members freeze like non-members: their
+                        // last refresh already wrote `remaining_kb == 0`
+                        // (retirement implies fully fetched), which gates
+                        // every policy's ceiling to zero grants.
+                        if retired[i] {
+                            continue;
+                        }
                         snaps[i] = UserSnapshot {
                             id: i,
                             signal: cur_sig[i],
@@ -285,6 +915,9 @@ impl MultiCellScenario {
                             idle_s: rrc[i].idle_seconds(),
                             rrc_state: rrc[i].state(),
                         };
+                        if use_soa {
+                            soa.set_row(&snaps[i], base.tau, base.delta_kb);
+                        }
                     }
                 }
             }
@@ -321,6 +954,7 @@ impl MultiCellScenario {
                     delta_kb: base.delta_kb,
                     bs_cap_units: cell_caps[cell],
                     users: &cell_snaps[cell],
+                    soa: use_soa.then_some(&cell_soa[cell]),
                 };
                 if rec.enabled() {
                     let t0 = std::time::Instant::now();
@@ -353,8 +987,11 @@ impl MultiCellScenario {
                 rec.record_alloc(&combined_units);
             }
 
-            // Device accounting and delivery.
-            for i in 0..n {
+            // Device accounting and delivery, live users only: a retired
+            // user's slot would deliver nothing, charge 0 mJ (the RRC tail
+            // is drained), and record a zero trace row — all no-ops.
+            let mut any_retired = false;
+            for &i in &live {
                 let slot_e = if delivered_kb[i] > 0.0 {
                     let accepted = sessions[i].deliver(delivered_kb[i]);
                     playback[i].deliver(accepted, rates[i]);
@@ -381,6 +1018,14 @@ impl MultiCellScenario {
                     finished[i] = true;
                     unfinished -= 1;
                 }
+                if finished[i] && rrc[i].state() == RrcState::Idle {
+                    retired[i] = true;
+                    retired_at[i] = slot;
+                    any_retired = true;
+                }
+            }
+            if any_retired {
+                live.retain(|&i| !retired[i]);
             }
 
             if base.record_series {
@@ -408,6 +1053,14 @@ impl MultiCellScenario {
             }
         }
         rec.end_run();
+
+        // Settle the idle slots the retired users sat out: each would have
+        // recorded one zero-energy tail slot per remaining loop iteration.
+        for i in 0..n {
+            if retired[i] {
+                meters[i].record_saturated_idle_slots(slots_run - 1 - retired_at[i]);
+            }
+        }
 
         let per_user = (0..n)
             .map(|i| UserResult {
@@ -606,6 +1259,70 @@ mod tests {
         let a = mc.run().expect("run a");
         let b = mc.run().expect("run b");
         assert_eq!(a, b);
+    }
+
+    /// The lockstep parallel stepper must be indistinguishable from the
+    /// serial loop — same RNG draws, same FP summation order, same
+    /// per-cell scheduler state sequences — across every policy family.
+    #[test]
+    fn parallel_matches_serial_across_schedulers() {
+        for spec in [
+            SchedulerSpec::Default,
+            SchedulerSpec::RtmaUnbounded,
+            SchedulerSpec::ema_fast(0.05),
+        ] {
+            let mut mc = multi(8, 4, 0.05);
+            mc.base.scheduler = spec.clone();
+            let serial = mc.run().expect("serial run");
+            for threads in [2, 4, 0] {
+                let par = mc.run_parallel(threads).expect("parallel run");
+                assert_eq!(par, serial, "{spec:?} diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_under_faults() {
+        let mut mc = multi(6, 3, 0.05);
+        mc.base.faults = FaultSpec::Declared {
+            events: vec![
+                FaultEvent::CellOutage {
+                    cell: 1,
+                    from_slot: 10,
+                    until_slot: 60,
+                },
+                FaultEvent::Departure { user: 2, slot: 40 },
+            ],
+        };
+        let serial = mc.run().expect("serial run");
+        let par = mc.run_parallel(3).expect("parallel run");
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_repeats_and_widths() {
+        let mc = multi(6, 3, 0.05);
+        let a = mc.run_parallel(2).expect("run a");
+        let b = mc.run_parallel(2).expect("run b");
+        let c = mc.run_parallel(3).expect("run c");
+        assert_eq!(a, b, "same width must repeat exactly");
+        assert_eq!(a, c, "width must not affect the outcome");
+    }
+
+    #[test]
+    fn parallel_single_width_falls_back_to_serial() {
+        // One cell clamps the width to 1 regardless of the request.
+        let mc = multi(4, 1, 0.0);
+        let par = mc.run_parallel(8).expect("runs");
+        let serial = mc.run().expect("runs");
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn parallel_validates_like_serial() {
+        let mut mc = multi(4, 2, 0.01);
+        mc.handover_prob = 1.5;
+        assert!(mc.run_parallel(2).is_err());
     }
 
     #[test]

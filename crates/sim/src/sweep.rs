@@ -1,23 +1,37 @@
 //! Deterministic parallel execution of scenario grids.
 //!
 //! Figure sweeps are embarrassingly parallel (every cell is an independent
-//! seeded simulation), so the runner is a small work queue on `std` scoped
-//! threads: an atomic cursor hands out cell indices and each worker writes
-//! its result into that index's dedicated [`ResultSlot`] — a lock-free,
-//! disjoint-index write, so wide sweeps never serialize on a shared
-//! result mutex. Output order always equals input order regardless of
-//! which worker finished first. Rayon would be the idiomatic tool but is
-//! not in the offline crate set (DESIGN.md §6); this queue is ~40 lines
-//! and has no ordering races by construction: the cursor's `fetch_add`
-//! gives every index to exactly one worker, and `thread::scope` joins all
-//! workers (propagating panics) before any slot is read.
+//! seeded simulation), so the runner is a small work queue dispatched onto
+//! the persistent [`WorkerPool`]: an atomic cursor hands out cell indices
+//! and each participant writes its result into that index's dedicated
+//! [`ResultSlot`] — a lock-free, disjoint-index write, so wide sweeps
+//! never serialize on a shared result mutex. Output order always equals
+//! input order regardless of which participant finished first. Rayon would
+//! be the idiomatic tool but is not in the offline crate set (DESIGN.md
+//! §6); this queue is ~40 lines and has no ordering races by construction:
+//! the cursor's `fetch_add` gives every index (or chunk of indices) to
+//! exactly one participant, and [`WorkerPool::broadcast`] returns —
+//! propagating panics — only after every participant has stopped, before
+//! any slot is read.
+//!
+//! For long grids the cursor hands out chunks of 8 indices instead of 1
+//! so a 10 000-cell sweep costs ~1 250 `fetch_add`s per thread-count
+//! rather than one cache-line bounce per cell; short grids keep chunk 1
+//! for best load balancing of uneven cells.
 
 use crate::error::SimError;
+use crate::pool::WorkerPool;
 use crate::results::SimResult;
 use crate::scenario::Scenario;
 use crate::telemetry::SlotTrace;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Items-per-thread threshold beyond which the cursor switches from
+/// single-index dispatch to [`CHUNK`]-sized dispatch.
+const CHUNK_THRESHOLD: usize = 64;
+/// Indices claimed per `fetch_add` on long grids.
+const CHUNK: usize = 8;
 
 /// One result cell, written by exactly one worker.
 ///
@@ -78,27 +92,45 @@ where
 
     let cursor = AtomicUsize::new(0);
     let slots: Vec<ResultSlot<R>> = (0..items.len()).map(|_| ResultSlot::empty()).collect();
+    let chunk = if items.len() / threads > CHUNK_THRESHOLD {
+        CHUNK
+    } else {
+        1
+    };
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                // SAFETY: `i` came from fetch_add, so this worker is the
-                // only one ever touching slot `i`.
-                unsafe { slots[i].write(r) };
-            });
+    WorkerPool::global().broadcast(threads, &|_slot| loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= items.len() {
+            break;
         }
-        // Scope exit joins every worker; a worker panic re-raises here.
+        for i in start..(start + chunk).min(items.len()) {
+            let r = f(&items[i]);
+            // SAFETY: `i` came from this participant's claimed chunk, so
+            // no other participant ever touches slot `i`.
+            unsafe { slots[i].write(r) };
+        }
     });
+    // `broadcast` returns only after every participant stopped (re-raising
+    // any panic), so all slot writes happen-before these reads.
 
     slots
         .into_iter()
         .map(|slot| slot.into_inner().expect("every index was processed"))
         .collect()
+}
+
+/// [`parallel_map`] for fallible `f`: returns the first error in *input*
+/// order (not completion order), discarding the other results. All items
+/// still run — workers drain the queue regardless of earlier failures,
+/// keeping the dispatch deterministic and lock-free.
+pub fn try_parallel_map<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    parallel_map(items, threads, f).into_iter().collect()
 }
 
 fn effective_threads(requested: usize, items: usize) -> usize {
@@ -111,16 +143,15 @@ fn effective_threads(requested: usize, items: usize) -> usize {
 
 /// Run a batch of scenarios in parallel; results align with the input.
 /// Any scenario validation or fault-plan error aborts the whole batch
-/// before any cell runs.
+/// before any cell runs; an error surfacing mid-run (e.g. from a fault
+/// plan interacting with the engine) is propagated as the first failing
+/// cell in input order instead of panicking the worker.
 pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Result<Vec<SimResult>, SimError> {
     for s in scenarios {
         s.validate()?;
         s.faults.compile(s.n_users, s.slots, 1)?;
     }
-    let results = parallel_map(scenarios, threads, |s| {
-        s.run().expect("validated scenario must run")
-    });
-    Ok(results)
+    try_parallel_map(scenarios, threads, |s| s.run())
 }
 
 /// [`run_scenarios`] with per-slot tracing: every cell runs under its own
@@ -136,10 +167,7 @@ pub fn run_scenarios_traced(
         s.validate()?;
         s.faults.compile(s.n_users, s.slots, 1)?;
     }
-    let results = parallel_map(scenarios, threads, |s| {
-        s.run_traced(every).expect("validated scenario must run")
-    });
-    Ok(results)
+    try_parallel_map(scenarios, threads, |s| s.run_traced(every))
 }
 
 #[cfg(test)]
@@ -176,6 +204,38 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(&empty, 4, |x| *x).is_empty());
         assert_eq!(parallel_map(&[7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_chunked_dispatch_covers_every_index() {
+        // 2 threads over 1024 items crosses the CHUNK_THRESHOLD, so the
+        // cursor hands out 8-index chunks; coverage and order must hold.
+        let items: Vec<u64> = (0..1024).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [2, 8] {
+            assert_eq!(parallel_map(&items, threads, |x| x * 3), expect);
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_returns_first_error_in_input_order() {
+        let items: Vec<u64> = (0..200).collect();
+        for threads in [1, 2, 8] {
+            let out: Result<Vec<u64>, String> = try_parallel_map(&items, threads, |&x| {
+                if x == 7 || x == 150 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(
+                out.unwrap_err(),
+                "bad 7",
+                "input-order error broken at {threads} threads"
+            );
+        }
+        let ok: Result<Vec<u64>, String> = try_parallel_map(&items, 4, |&x| Ok(x * 2));
+        assert_eq!(ok.unwrap()[100], 200);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //!    including under active fault plans.
 
 use jmso_sim::{
-    ArrivalSpec, CapacitySpec, EngineCheckpoint, FaultEvent, FaultSpec, RunOutcome, Scenario,
-    SchedulerSpec, SignalSpec, SimResult, SlotTrace, TraceRecorder, WorkloadSpec,
+    ArrivalSpec, CapacitySpec, EngineCheckpoint, FaultEvent, FaultSpec, MultiCellScenario,
+    RunOutcome, Scenario, SchedulerSpec, SignalSpec, SimResult, SlotTrace, TraceRecorder,
+    WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -174,6 +175,27 @@ proptest! {
             "resume diverged from straight run"
         );
         prop_assert_eq!(straight_trace, stitched_trace, "trace diverged across resume");
+    }
+
+    /// The lockstep parallel multicell stepper equals the serial loop
+    /// exactly — across random scenarios, cell counts, widths, and
+    /// (optional) generated fault plans. This fuzzes the barrier
+    /// protocol's state split: any cross-stripe race or reordered FP
+    /// accumulation would show up as a field mismatch.
+    #[test]
+    fn multicell_parallel_equals_serial(
+        scenario in arb_scenario(),
+        faults in arb_faults(),
+        n_cells in 2usize..5,
+        handover_prob in 0.0f64..0.15,
+        threads in 2usize..5,
+    ) {
+        let mut base = scenario;
+        apply_faults(&mut base, faults);
+        let mc = MultiCellScenario { base, n_cells, handover_prob };
+        let serial = mc.run().expect("serial run");
+        let par = mc.run_parallel(threads).expect("parallel run");
+        prop_assert_eq!(par, serial);
     }
 
     /// Fault plans themselves are deterministic and serde-stable: a

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Slot-loop performance gate: run the hotpath bench and compare each
-# row's slots_per_sec against the committed baseline (BENCH_PR4.json by
+# row's slots_per_sec against the committed baseline (BENCH_PR5.json by
 # default, or the file given as $1). hotpath numbers swing wildly with
 # machine load, so the gate scores each row by its best of five runs
 # and only a >25% drop on any row fails; new rows missing from the
@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_PR4.json}"
+baseline="${1:-BENCH_PR5.json}"
 runs=5
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
