@@ -8,8 +8,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jmso_gateway::{Scheduler, SlotContext, UserSnapshot};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::Dbm;
+use jmso_sched::ema::{slot_users, solve_dp_reference, solve_dp_with, DpScratch, SlotUser};
+use jmso_sched::ema_fast::{solve_greedy_with, GreedyScratch};
+use jmso_sched::lyapunov::VirtualQueues;
 use jmso_sched::{
-    CrossLayerModels, DefaultMax, EStreamer, Ema, EmaFast, OnOff, Rtma, Salsa, Throttling,
+    CrossLayerModels, DefaultMax, EStreamer, Ema, EmaCost, EmaFast, OnOff, Rtma, Salsa, Throttling,
 };
 use std::hint::black_box;
 
@@ -66,5 +69,77 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies);
+/// Two participant sets for one contended slot (P = 40, C = 400, mixed
+/// starved/surplus queues), identical but for user 0's queue value —
+/// alternating them defeats the DP's warm-start cache, so the cold row
+/// prices a full table build while the warm row prices a cache hit.
+fn micro_parts() -> (Vec<SlotUser>, Vec<SlotUser>) {
+    let snaps = users(40);
+    let ctx = SlotContext {
+        slot: 500,
+        tau: 1.0,
+        delta_kb: 50.0,
+        bs_cap_units: 400,
+        users: &snaps,
+        soa: None,
+    };
+    let models = CrossLayerModels::paper();
+    let cost = EmaCost::new(1.0, &models, &ctx);
+    let mut queues = VirtualQueues::new(40);
+    for i in 0..40 {
+        queues.update(i, 1.0, (i % 5) as f64 * 0.6);
+    }
+    let parts_a = slot_users(&cost, &ctx, &queues);
+    queues.update(0, 0.5, 0.0);
+    let parts_b = slot_users(&cost, &ctx, &queues);
+    (parts_a, parts_b)
+}
+
+/// The EMA per-slot solvers in isolation: the production DP cold and
+/// warm-started, the textbook `O(P·C)` reference it is pinned against,
+/// and the slope-greedy. The cold/reference ratio is the PR 1–6 table
+/// reduction win; the warm row is the `O(P)` input-compare floor.
+fn bench_solvers(c: &mut Criterion) {
+    let (parts_a, parts_b) = micro_parts();
+    let mut group = c.benchmark_group("solver_micro");
+
+    let mut scratch = DpScratch::default();
+    let mut flip = false;
+    group.bench_function("solve_dp cold (P=40,C=400)", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let parts = if flip { &parts_a } else { &parts_b };
+            black_box(solve_dp_with(black_box(parts), 400, &mut scratch).len())
+        })
+    });
+
+    let mut scratch = DpScratch::default();
+    solve_dp_with(&parts_a, 400, &mut scratch);
+    group.bench_function("solve_dp warm hit (P=40,C=400)", |b| {
+        b.iter(|| black_box(solve_dp_with(black_box(&parts_a), 400, &mut scratch).len()))
+    });
+
+    group.bench_function("solve_dp_reference (P=40,C=400)", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let parts = if flip { &parts_a } else { &parts_b };
+            black_box(solve_dp_reference(black_box(parts), 400).len())
+        })
+    });
+
+    let mut greedy = GreedyScratch::default();
+    group.bench_function("solve_greedy (P=40,C=400)", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let parts = if flip { &parts_a } else { &parts_b };
+            black_box(solve_greedy_with(black_box(parts), 400, &mut greedy).len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_solvers);
 criterion_main!(benches);

@@ -7,12 +7,21 @@
 //! {"sched": "EMA(V=1)", "slots_per_sec": 123456.7}
 //! ```
 //!
-//! The output is recorded as `BENCH_PR5.json` at the repo root so slot-loop
+//! The output is recorded as `BENCH_PR6.json` at the repo root so slot-loop
 //! regressions show up as a diff, without the Criterion machinery (or its
 //! multi-minute runtime); `scripts/bench-regress.sh` diffs a fresh run
 //! against that baseline. Timings cover the full `Engine::run` hot path —
 //! collector snapshot, scheduler allocate, transmitter delivery, receiver
 //! playback — which is zero-allocation per slot after warm-up.
+//!
+//! Every scenario row reports the **best of ten** runs (criterion-style
+//! minimum, not mean; `HOTPATH_REPS` overrides, `HOTPATH_VERBOSE` prints
+//! every rep). A single-run row is a lottery on this box: the first run
+//! in a fresh process is fast, the second is reliably the *slowest*
+//! (allocator and branch-predictor state from run one is the worst case),
+//! later runs wander within a ±8 % noise band, and the wandering takes
+//! ~5–10 reps to visit its floor. The minimum is the stable,
+//! reproducible statistic and is what the regression gate compares.
 //!
 //! Beyond the per-scheduler paper cells, three rows target the active-set
 //! engine specifically: a **late-phase** cell whose 8 MB–3.2 GB video mix
@@ -25,7 +34,15 @@
 //! ratio against the plain Default row.
 
 use jmso_bench::common::paper_cell;
+use jmso_gateway::{SlotContext, UserSnapshot};
+use jmso_radio::rrc::RrcState;
+use jmso_radio::Dbm;
+use jmso_sched::ema::{slot_users, solve_dp_with, DpScratch, SlotUser};
+use jmso_sched::ema_fast::{solve_greedy_with, GreedyScratch};
+use jmso_sched::lyapunov::VirtualQueues;
+use jmso_sched::{CrossLayerModels, EmaCost};
 use jmso_sim::{FaultEvent, FaultSpec, MultiCellScenario, Scenario, SchedulerSpec, TraceRecorder};
+use std::hint::black_box;
 use std::time::Instant;
 
 /// The paper cell with a bimodal-ish workload: sizes uniform in
@@ -37,12 +54,75 @@ fn late_phase_cell() -> Scenario {
     s
 }
 
+/// Two 40-user participant sets for the solver micro rows, identical but
+/// for user 0's queue value (so alternating them defeats the DP's
+/// warm-start cache and every call is a cold solve).
+fn micro_parts() -> (Vec<SlotUser>, Vec<SlotUser>) {
+    let snaps: Vec<UserSnapshot> = (0..40)
+        .map(|id| {
+            let phase = id as f64 / 40.0;
+            UserSnapshot {
+                id,
+                signal: Dbm(-110.0 + 60.0 * phase),
+                rate_kbps: 300.0 + 300.0 * phase,
+                buffer_s: 30.0 * phase,
+                remaining_kb: 1e8,
+                active: true,
+                link_cap_units: ((65.8 * (-110.0 + 60.0 * phase) + 7567.0) / 50.0).max(0.0) as u64,
+                idle_s: 3.0 * phase,
+                rrc_state: RrcState::Dch,
+            }
+        })
+        .collect();
+    let ctx = SlotContext {
+        slot: 500,
+        tau: 1.0,
+        delta_kb: 50.0,
+        bs_cap_units: 400,
+        users: &snaps,
+        soa: None,
+    };
+    let models = CrossLayerModels::paper();
+    let cost = EmaCost::new(1.0, &models, &ctx);
+    let mut queues = VirtualQueues::new(40);
+    for i in 0..40 {
+        // Mixed pressure: some users starved (positive PC), some surplus.
+        queues.update(i, 1.0, (i % 5) as f64 * 0.6);
+    }
+    let parts_a = slot_users(&cost, &ctx, &queues);
+    queues.update(0, 0.5, 0.0);
+    let parts_b = slot_users(&cost, &ctx, &queues);
+    (parts_a, parts_b)
+}
+
 fn report(label: &str, slots_run: u64, elapsed_s: f64) {
     let slots_per_sec = (slots_run as f64 / elapsed_s * 10.0).round() / 10.0;
     println!(
         "{{\"sched\": {}, \"slots_per_sec\": {slots_per_sec}}}",
         serde_json::to_string(label).expect("label serializes"),
     );
+}
+
+/// Run `body` `HOTPATH_REPS` times (default 10) and report the fastest
+/// (see module docs for why the minimum, not a single run, is the right
+/// statistic on this host).
+fn report_best_of(label: &str, mut body: impl FnMut() -> u64) {
+    let reps: usize = std::env::var("HOTPATH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let mut slots_run = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        slots_run = body();
+        let rep = start.elapsed().as_secs_f64();
+        if std::env::var("HOTPATH_VERBOSE").is_ok() {
+            eprintln!("  {label}: rep {:.1} slots/s", slots_run as f64 / rep);
+        }
+        best = best.min(rep);
+    }
+    report(label, slots_run, best);
 }
 
 fn main() {
@@ -63,44 +143,76 @@ fn main() {
         let scenario = paper_cell(40, 375.0)
             .with_seed(42)
             .with_scheduler(spec.clone());
-        let start = Instant::now();
-        let result = scenario.run().expect("hotpath run");
-        report(
-            &spec.label(),
-            result.slots_run,
-            start.elapsed().as_secs_f64(),
-        );
+        report_best_of(&spec.label(), || {
+            scenario.run().expect("hotpath run").slots_run
+        });
     }
 
     let late = late_phase_cell();
-    let start = Instant::now();
-    let result = late.run().expect("late-phase run");
-    report(
-        "late-phase Default",
-        result.slots_run,
-        start.elapsed().as_secs_f64(),
-    );
-    let start = Instant::now();
-    let result = late.run_reference().expect("late-phase reference run");
-    report(
-        "late-phase Default (reference)",
-        result.slots_run,
-        start.elapsed().as_secs_f64(),
-    );
+    report_best_of("late-phase Default", || {
+        late.run().expect("late-phase run").slots_run
+    });
+    report_best_of("late-phase Default (reference)", || {
+        late.run_reference()
+            .expect("late-phase reference run")
+            .slots_run
+    });
+
+    // The EMA solvers on the same retiring workload: the late phase is
+    // where the active-set engine shrinks P, so these rows isolate how the
+    // DP's table reductions and the greedy's take-all path scale as the
+    // cell drains (versus the full-cell rows above).
+    for spec in [SchedulerSpec::ema_dp(1.0), SchedulerSpec::ema_fast(1.0)] {
+        let late = late_phase_cell().with_scheduler(spec.clone());
+        report_best_of(&format!("late-phase {}", spec.label()), || {
+            late.run().expect("late-phase EMA run").slots_run
+        });
+    }
+
+    // Solver micro rows: one representative contended slot (P = 40,
+    // C = 400, mixed starved/surplus queues), solved repeatedly. The DP
+    // row alternates two inputs differing in one queue value so every call
+    // takes the cold path (the warm-start cache would otherwise return the
+    // previous answer); the greedy row prices the take-all fast path. The
+    // reported number is solver calls per second.
+    {
+        let (parts_a, parts_b) = micro_parts();
+        let mut scratch = DpScratch::default();
+        let iters = 20_000u64;
+        let start = Instant::now();
+        for i in 0..iters {
+            let parts = if i % 2 == 0 { &parts_a } else { &parts_b };
+            black_box(solve_dp_with(black_box(parts), 400, &mut scratch));
+        }
+        report(
+            "micro solve_dp (P=40,C=400)",
+            iters,
+            start.elapsed().as_secs_f64(),
+        );
+
+        let mut greedy = GreedyScratch::default();
+        let iters = 2_000_000u64;
+        let start = Instant::now();
+        for i in 0..iters {
+            let parts = if i % 2 == 0 { &parts_a } else { &parts_b };
+            black_box(solve_greedy_with(black_box(parts), 400, &mut greedy));
+        }
+        report(
+            "micro solve_greedy (P=40,C=400)",
+            iters,
+            start.elapsed().as_secs_f64(),
+        );
+    }
 
     // Telemetry overhead row: the same Default cell with a capturing
     // TraceRecorder attached (every slot). The per-scheduler rows above
     // all run the NullRecorder path, so the traced/untraced ratio bounds
     // the recorder's cost on the hot loop.
     let scenario = paper_cell(40, 375.0).with_seed(42);
-    let mut rec = TraceRecorder::new();
-    let start = Instant::now();
-    let result = scenario.run_with(&mut rec).expect("traced run");
-    report(
-        "Default (traced)",
-        result.slots_run,
-        start.elapsed().as_secs_f64(),
-    );
+    report_best_of("Default (traced)", || {
+        let mut rec = TraceRecorder::new();
+        scenario.run_with(&mut rec).expect("traced run").slots_run
+    });
 
     // Fault-injection overhead row: the same Default cell with an active
     // declared fault plan (deep fade, link outage, a capacity dip, one
@@ -136,37 +248,28 @@ fn main() {
             },
         ],
     };
-    let start = Instant::now();
-    let result = scenario.run().expect("faulted run");
-    report(
-        "Default + faults",
-        result.slots_run,
-        start.elapsed().as_secs_f64(),
-    );
+    report_best_of("Default + faults", || {
+        scenario.run().expect("faulted run").slots_run
+    });
 
     let mc = MultiCellScenario {
         base: paper_cell(40, 375.0).with_seed(42),
         n_cells: 4,
         handover_prob: 0.05,
     };
-    let start = Instant::now();
-    let result = mc.run().expect("multicell run");
-    report(
-        "multicell Default x4",
-        result.result.slots_run,
-        start.elapsed().as_secs_f64(),
-    );
+    report_best_of("multicell Default x4", || {
+        mc.run().expect("multicell run").result.slots_run
+    });
 
     // The same four-cell run on the lockstep worker-pool stepper (one
     // participant per cell, clamped to the machine): the serial/parallel
     // ratio shows what the per-slot barrier protocol buys on this host.
-    let start = Instant::now();
-    let result = mc.run_parallel(4).expect("parallel multicell run");
-    report(
-        "multicell Default x4 (parallel)",
-        result.result.slots_run,
-        start.elapsed().as_secs_f64(),
-    );
+    report_best_of("multicell Default x4 (parallel)", || {
+        mc.run_parallel(4)
+            .expect("parallel multicell run")
+            .result
+            .slots_run
+    });
 
     // Sweep-runner row: a 32-cell Default grid on 8 worker-pool threads.
     // Slots aggregate over every cell, so this prices the persistent
@@ -178,8 +281,8 @@ fn main() {
             s
         })
         .collect();
-    let start = Instant::now();
-    let results = jmso_sim::run_scenarios(&grid, 8).expect("sweep run");
-    let total_slots: u64 = results.iter().map(|r| r.slots_run).sum();
-    report("sweep 8-thread", total_slots, start.elapsed().as_secs_f64());
+    report_best_of("sweep 8-thread", || {
+        let results = jmso_sim::run_scenarios(&grid, 8).expect("sweep run");
+        results.iter().map(|r| r.slots_run).sum()
+    });
 }

@@ -78,6 +78,14 @@ impl SnapshotSoA {
         self.active.resize(n, false);
     }
 
+    /// The three read-only input columns of EMA's batch cost kernel —
+    /// `(signal_dbm, rate_kbps, idle_s)` — borrowed together so the
+    /// kernel call sites stay one line.
+    #[inline]
+    pub fn curve_columns(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.signal_dbm, &self.rate_kbps, &self.idle_s)
+    }
+
     /// Mirror one user's snapshot into row `snap.id`, deriving the ceiling
     /// and need columns with the exact expressions the schedulers use on
     /// the AoS path (`usable_cap_units` / `⌈τ·p/δ⌉`).

@@ -22,6 +22,14 @@ pub struct Delivery {
 #[derive(Debug, Default)]
 pub struct DataTransmitter {
     clamp_events: u64,
+    /// Memoized `⌈δ·u / δ⌉` for the full-delivery fast path: `δ` is fixed
+    /// for a whole run and the granted unit counts are small integers, so
+    /// the per-user divide collapses to a table read on most slots. Each
+    /// entry is computed with the exact expression the slow path uses, so
+    /// the reported unit count is bit-identical.
+    ceil_units: Vec<u64>,
+    /// The `δ` the table was built for (rebuilt when it changes).
+    ceil_delta_kb: f64,
 }
 
 impl DataTransmitter {
@@ -59,6 +67,10 @@ impl DataTransmitter {
             alloc.validate(ctx)
         );
         let mut budget = ctx.bs_cap_units;
+        if ctx.delta_kb != self.ceil_delta_kb {
+            self.ceil_units.clear();
+            self.ceil_delta_kb = ctx.delta_kb;
+        }
         out.clear();
         for (user, &want) in ctx.users.iter().zip(&alloc.0) {
             let mut units = want;
@@ -77,8 +89,23 @@ impl DataTransmitter {
             // frames are padded, so the unit count (and hence the Eq. (2)
             // budget) stays at ⌈kb/δ⌉ while the payload is what was there.
             let (kb, _chunks) = receiver.dequeue_kb(user.id, want_kb);
+            // Full deliveries (the common case) read the memo table; a
+            // backlog shortfall or an oversized grant takes the divide.
+            let out_units = if kb == want_kb && units < 4096 {
+                let u = units as usize;
+                if self.ceil_units.len() <= u {
+                    let delta = ctx.delta_kb;
+                    for x in self.ceil_units.len()..=u {
+                        self.ceil_units
+                            .push((delta * x as f64 / delta).ceil() as u64);
+                    }
+                }
+                self.ceil_units[u]
+            } else {
+                (kb / ctx.delta_kb).ceil() as u64
+            };
             out.push(Delivery {
-                units: (kb / ctx.delta_kb).ceil() as u64,
+                units: out_units,
                 kb,
             });
         }

@@ -61,12 +61,11 @@ impl Scheduler for ProportionalFair {
         };
         // Descending metric; explicit index tie-break keeps the unstable
         // (allocation-free) sort deterministic.
-        self.order.sort_unstable_by(|&a, &b| {
-            metric(b)
-                .partial_cmp(&metric(a))
-                .expect("PF metrics are finite")
-                .then(a.cmp(&b))
-        });
+        // `total_cmp` matches `partial_cmp` on the finite non-negative
+        // metrics this computes (rates and averages are positive, so no
+        // −0.0/+0.0 pair can appear) and cannot panic.
+        self.order
+            .sort_unstable_by(|&a, &b| metric(b).total_cmp(&metric(a)).then(a.cmp(&b)));
 
         out.reset(n);
         let alloc = &mut out.0;

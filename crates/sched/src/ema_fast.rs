@@ -14,8 +14,9 @@
 //! Criterion bench pin down, respectively, that the objectives are equal
 //! and how much wall-clock the structure saves.
 
-use crate::cost::{CrossLayerModels, EmaCost, TailPricing};
+use crate::cost::{CrossLayerModels, CurveColumns, EmaCost, TailPricing};
 use crate::ema::{clamp_queues, slot_users_into, slot_users_soa_into, SlotUser};
+use crate::error::StateImportError;
 use crate::lyapunov::VirtualQueues;
 use jmso_gateway::{Allocation, DegradationEvent, Scheduler, SlotContext};
 use std::cmp::Reverse;
@@ -33,8 +34,14 @@ struct Block {
     first: bool,
 }
 
-// Order blocks by marginal for the min-heap (f64 is totally ordered here:
-// marginals are finite by construction).
+// Order blocks by `total_cmp` on the marginal, then by participant index.
+// `total_cmp` is a genuine total order on all f64 bit patterns, so the
+// `BinaryHeap` contract holds even for NaN-adjacent hand-built inputs
+// (the old `partial_cmp`/`expect` pair panicked there). For the finite
+// marginals [`EmaCost`] produces the two orders agree — only pruned
+// blocks (never inserted, see [`solve_greedy_with`]) could carry NaN, and
+// `total_cmp` orders `−0.0 < +0.0`, a pair the `>= 0.0` take-test already
+// treats identically — so the switch is allocation-invisible.
 impl Eq for Block {}
 impl PartialOrd for Block {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
@@ -44,8 +51,7 @@ impl PartialOrd for Block {
 impl Ord for Block {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.marginal
-            .partial_cmp(&other.marginal)
-            .expect("finite marginals")
+            .total_cmp(&other.marginal)
             .then_with(|| self.part.cmp(&other.part))
     }
 }
@@ -58,8 +64,46 @@ pub struct GreedyScratch {
     chosen: Vec<u64>,
 }
 
+/// The units the greedy would ever *take* from user `s`: the first unit
+/// only if its marginal `f1 − f0` is strictly negative, plus the bulk
+/// block only if additionally `slope < 0`. A NaN marginal compares false
+/// against `< 0.0` and is treated as non-negative (never taken) — the
+/// same outcome the DP's `cand < base` comparison produces for NaN
+/// curves.
+#[inline]
+fn negative_units(s: &SlotUser) -> u64 {
+    // The negated form is the point — `>= 0.0` would treat a NaN
+    // marginal as takeable.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if s.cap == 0 || !(s.f1 - s.f0 < 0.0) {
+        return 0;
+    }
+    if s.slope < 0.0 {
+        s.cap
+    } else {
+        1
+    }
+}
+
 /// Solve one slot's EMA problem exactly by marginal-cost greedy, reusing
 /// `scratch`. Returns per-participant unit counts aligned with `parts`.
+///
+/// Two exact shortcuts sit in front of the heap:
+///
+/// * **Dominance pruning** — only strictly-negative-marginal blocks enter
+///   the heap. The original loop breaks the first time a non-negative
+///   marginal pops, and the min-heap guarantees no negative block remains
+///   behind it, so a `≥ 0` block is never taken; not inserting it yields
+///   the same allocation with a smaller heap. (This is the greedy face of
+///   the same Lyapunov dominance argument proven in
+///   [`crate::ema::solve_dp_with`]: a user whose queue pressure doesn't
+///   pay for the first unit gets zero.)
+/// * **Take-all fast path** — when the total strictly-negative unit count
+///   `T` fits the budget, the heap order is irrelevant: the greedy takes
+///   *exactly* the negative units of every user, a closed form per user
+///   ([`negative_units`]). Only a contended slot (`T > budget`) pays for
+///   the heap. In the paper's workloads the budget binds rarely (the
+///   steady trickle keeps Σcap ≪ C), so this is the common path.
 pub fn solve_greedy_with<'s>(
     parts: &[SlotUser],
     bs_cap_units: u64,
@@ -69,12 +113,24 @@ pub fn solve_greedy_with<'s>(
     chosen.clear();
     chosen.resize(parts.len(), 0);
     let mut budget = bs_cap_units;
+
+    let mut total_neg: u64 = 0;
+    for s in parts {
+        total_neg = total_neg.saturating_add(negative_units(s));
+    }
+    if total_neg <= budget {
+        for (c, s) in chosen.iter_mut().zip(parts) {
+            *c = negative_units(s);
+        }
+        return chosen;
+    }
+
     heap.clear();
     heap.extend(
         parts
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.cap > 0)
+            .filter(|(_, s)| s.cap > 0 && s.f1 - s.f0 < 0.0)
             .map(|(idx, s)| {
                 Reverse(Block {
                     // f(1) − f(0): the first unit's marginal, which also
@@ -91,17 +147,12 @@ pub fn solve_greedy_with<'s>(
         let Some(Reverse(block)) = heap.pop() else {
             break;
         };
-        if block.marginal >= 0.0 {
-            // Global minimum marginal is non-negative: every further unit
-            // raises the objective.
-            break;
-        }
         let take = block.units.min(budget);
         chosen[block.part] += take;
         budget -= take;
         if block.first {
             let s = &parts[block.part];
-            if s.cap > 1 {
+            if s.cap > 1 && s.slope < 0.0 {
                 heap.push(Reverse(Block {
                     marginal: s.slope,
                     part: block.part,
@@ -141,6 +192,7 @@ pub struct EmaFast {
     tail_pricing: TailPricing,
     queues: VirtualQueues,
     parts: Vec<SlotUser>,
+    cols: CurveColumns,
     scratch: GreedyScratch,
     pc_clamp: Option<f64>,
     events: Vec<DegradationEvent>,
@@ -156,6 +208,7 @@ impl EmaFast {
             tail_pricing: TailPricing::PerSlot,
             queues: VirtualQueues::new(0),
             parts: Vec::new(),
+            cols: CurveColumns::default(),
             scratch: GreedyScratch::default(),
             pc_clamp: None,
             events: Vec::new(),
@@ -195,8 +248,13 @@ impl Scheduler for EmaFast {
         "EMA-fast"
     }
 
+    /// The greedy solve is ~0.1 µs per slot, far too cheap to amortize the
+    /// engine's SoA mirror sync (~0.3 µs per slot) plus the batch-kernel
+    /// setup the way the full DP does, so EMA-fast opts out of the mirror
+    /// and builds participants from the AoS snapshot. The per-element and
+    /// batch kernels are pinned bit-identical, so the trace is unchanged.
     fn wants_soa(&self) -> bool {
-        true
+        false
     }
 
     fn allocate_into(&mut self, ctx: &SlotContext, out: &mut Allocation) {
@@ -207,7 +265,9 @@ impl Scheduler for EmaFast {
         out.reset(ctx.users.len());
         let cost = EmaCost::with_pricing(self.v, &self.models, ctx, self.tail_pricing);
         match ctx.soa {
-            Some(soa) => slot_users_soa_into(&cost, soa, &self.queues, &mut self.parts),
+            Some(soa) => {
+                slot_users_soa_into(&cost, soa, &self.queues, &mut self.cols, &mut self.parts)
+            }
             None => slot_users_into(&cost, ctx, &self.queues, &mut self.parts),
         }
         let chosen = solve_greedy_with(&self.parts, ctx.bs_cap_units, &mut self.scratch);
@@ -231,7 +291,8 @@ impl Scheduler for EmaFast {
     }
 
     fn import_state(&mut self, state: &str) -> Result<(), String> {
-        self.queues = serde_json::from_str(state).map_err(|e| format!("EMA queues: {e}"))?;
+        self.queues =
+            serde_json::from_str(state).map_err(|e| String::from(StateImportError::from(e)))?;
         Ok(())
     }
 }

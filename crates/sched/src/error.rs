@@ -1,0 +1,69 @@
+//! Typed errors for the scheduler crate.
+//!
+//! The [`Scheduler`] trait surfaces state import failures as `String` (it
+//! must stay object-safe and serializable across the gateway boundary), so
+//! the typed error converts into that shape via `From` — the same idiom
+//! the sim crate's `SimError` uses — while keeping a matchable type for
+//! in-crate callers and tests.
+//!
+//! [`Scheduler`]: jmso_gateway::Scheduler
+
+use std::fmt;
+
+/// A scheduler failed to restore checkpointed state.
+#[derive(Debug)]
+pub enum StateImportError {
+    /// The serialized virtual-queue payload did not parse.
+    Queues(serde_json::Error),
+}
+
+impl fmt::Display for StateImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Keep the historical "EMA queues: …" message shape the
+            // checkpoint/resume tests and logs already rely on.
+            Self::Queues(e) => write!(f, "EMA queues: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StateImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Queues(e) => Some(e),
+        }
+    }
+}
+
+impl From<serde_json::Error> for StateImportError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Queues(e)
+    }
+}
+
+impl From<StateImportError> for String {
+    fn from(e: StateImportError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_shape_is_stable() {
+        let parse_err = serde_json::from_str::<Vec<f64>>("not json").unwrap_err();
+        let err = StateImportError::from(parse_err);
+        let msg = String::from(err);
+        assert!(msg.starts_with("EMA queues: "), "got {msg:?}");
+    }
+
+    #[test]
+    fn source_chains_to_serde() {
+        use std::error::Error;
+        let parse_err = serde_json::from_str::<Vec<f64>>("{").unwrap_err();
+        let err = StateImportError::from(parse_err);
+        assert!(err.source().is_some());
+    }
+}

@@ -23,6 +23,7 @@ pub mod baselines;
 pub mod cost;
 pub mod ema;
 pub mod ema_fast;
+pub mod error;
 pub mod lyapunov;
 pub mod oracle;
 pub mod rtma;
@@ -35,6 +36,7 @@ pub use baselines::{
 pub use cost::{CrossLayerModels, EmaCost, TailPricing};
 pub use ema::Ema;
 pub use ema_fast::EmaFast;
+pub use error::StateImportError;
 pub use lyapunov::{drift_bound_b, energy_upper_bound, rebuffer_upper_bound, VirtualQueues};
 pub use rtma::Rtma;
 pub use spec::SchedulerSpec;

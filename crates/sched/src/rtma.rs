@@ -230,9 +230,11 @@ impl Scheduler for Rtma {
         self.ceiling.clear();
         if let Some(soa) = ctx.soa {
             self.order.sort_unstable_by(|&a, &b| {
+                // `total_cmp` agrees with `partial_cmp` on the finite
+                // positive rates the collector reports, and stays a total
+                // order (no panic path) on anything hand-built.
                 soa.rate_kbps[a]
-                    .partial_cmp(&soa.rate_kbps[b])
-                    .expect("rates are finite")
+                    .total_cmp(&soa.rate_kbps[b])
                     .then(a.cmp(&b))
             });
             self.need.extend_from_slice(&soa.need_units);
@@ -241,8 +243,7 @@ impl Scheduler for Rtma {
             self.order.sort_unstable_by(|&a, &b| {
                 ctx.users[a]
                     .rate_kbps
-                    .partial_cmp(&ctx.users[b].rate_kbps)
-                    .expect("rates are finite")
+                    .total_cmp(&ctx.users[b].rate_kbps)
                     .then(a.cmp(&b))
             });
             self.need.extend(

@@ -52,7 +52,7 @@ use jmso_gateway::{
 use jmso_media::{jain_index, ClientPlayback, VideoSession};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::signal::{SignalKind, SignalModel};
-use jmso_radio::{Dbm, EnergyMeter, PowerModel, RrcMachine};
+use jmso_radio::{Dbm, EnergyMeter, MilliJoules, PowerModel, RrcMachine};
 use jmso_sched::CrossLayerModels;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -81,10 +81,18 @@ struct UserSim {
     /// Transmission energy deliberately has no such table: the link cap is
     /// read every slot for every user (the table is a one-for-one batch of
     /// the scalar computes it replaced), but `P(sig)` is only needed on
-    /// the minority of user-slots that actually transmit, so an eager
-    /// per-block power pass costs more divisions than it saves. The shared
-    /// scalar kernel is evaluated at transmit time instead.
+    /// the user-slots that actually transmit, so an eager per-block power
+    /// pass can cost more divisions than it saves. Instead `epk_sig` /
+    /// `epk_per_kb` memoize the scalar kernel one-deep at transmit time:
+    /// strictly fewer evaluations than computing per transmit (the RSSI
+    /// holds for up to [`SIG_BLOCK_SLOTS`] slots) and never a wasted one.
     cap_block: [u64; SIG_BLOCK_SLOTS],
+    /// Signal at which `epk_per_kb` was computed. Seeded (and reset on
+    /// restore) to NaN, which compares unequal to everything, so the
+    /// first transmit recomputes; derived state, not checkpointed.
+    epk_sig: Dbm,
+    /// Memoized Eq. (3) per-KB transmission energy at `epk_sig`.
+    epk_per_kb: f64,
     active_slots: u64,
     /// Slot at which this user's session starts (0 = at the beginning).
     arrival_slot: u64,
@@ -329,6 +337,8 @@ impl Engine {
                     cur_signal: Dbm(0.0),
                     sig_block: [Dbm(0.0); SIG_BLOCK_SLOTS],
                     cap_block: [0; SIG_BLOCK_SLOTS],
+                    epk_sig: Dbm(f64::NAN),
+                    epk_per_kb: 0.0,
                     active_slots: 0,
                     arrival_slot,
                     declared_rate_kbps: None,
@@ -445,6 +455,7 @@ impl Engine {
             u.rrc = s.rrc.clone();
             u.meter = s.meter.clone();
             u.cur_signal = s.cur_signal;
+            u.epk_sig = Dbm(f64::NAN);
             u.active_slots = s.active_slots;
             u.arrival_slot = s.arrival_slot;
             u.declared_rate_kbps = s.declared_rate_kbps;
@@ -877,10 +888,14 @@ impl Engine {
                     // Client playback always advances by the *true*
                     // encoding rate regardless of what the gateway thinks.
                     u.playback.deliver(accepted, u.session.rate_at(slot));
-                    let e = self
-                        .models
-                        .power
-                        .transmission_energy(u.cur_signal, accepted);
+                    // One-deep memo of the Eq. (3) kernel: `P(sig)` is a
+                    // pure function of the block-held RSSI, so this is the
+                    // same product `transmission_energy` would compute.
+                    if u.epk_sig.value() != u.cur_signal.value() {
+                        u.epk_per_kb = self.models.power.energy_per_kb(u.cur_signal);
+                        u.epk_sig = u.cur_signal;
+                    }
+                    let e = MilliJoules(u.epk_per_kb * accepted);
                     if rec.enabled() {
                         u.rrc
                             .on_transmit_observed(|f, t| rec.record_rrc_transition(i, f, t));
@@ -903,7 +918,10 @@ impl Engine {
                 slot_energy_mj += slot_e;
                 rec.record_user(i, slot_e, u.playback.total_rebuffer_s());
                 // Fairness sample over users still fetching this slot.
-                if r.remaining_kb > 0.0 {
+                // Every consumer of these samples (the per-slot Jain
+                // series and the windowed one) is behind `record_series`,
+                // so plain sweeps skip the divide entirely.
+                if self.cfg.record_series && r.remaining_kb > 0.0 {
                     let need_kb = (self.cfg.tau * r.rate_kbps).min(r.remaining_kb);
                     if need_kb > 0.0 {
                         fairness_scratch.push(d.kb / need_kb);
@@ -1159,7 +1177,9 @@ impl Engine {
                 };
                 slot_energy_mj += slot_e;
                 rec.record_user(u_idx, slot_e, u.playback.total_rebuffer_s());
-                if r.remaining_kb > 0.0 {
+                // Mirrors the hot loop's `record_series` gate so both
+                // loops carry identical windowed-fairness state.
+                if self.cfg.record_series && r.remaining_kb > 0.0 {
                     let need_kb = (self.cfg.tau * r.rate_kbps).min(r.remaining_kb);
                     if need_kb > 0.0 {
                         fairness_scratch.push(d.kb / need_kb);

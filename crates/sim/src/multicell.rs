@@ -36,9 +36,7 @@ use jmso_gateway::{Allocation, Scheduler, SlotContext, SnapshotSoA, UnitParams, 
 use jmso_media::{generate_sessions, jain_index, ClientPlayback, VideoSession};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::signal::{SignalKind, SignalModel};
-use jmso_radio::{
-    Dbm, EnergyMeter, KbPerSec, PowerModel, RrcMachine, ThroughputModel,
-};
+use jmso_radio::{Dbm, EnergyMeter, KbPerSec, PowerModel, RrcMachine, ThroughputModel};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -192,7 +190,9 @@ fn mc_ground_truth<F: FaultHook>(
             }
         }
         for &(i, from) in &st.moved {
-            let pos = st.members[from].binary_search(&i).expect("member list sync");
+            let pos = st.members[from]
+                .binary_search(&i)
+                .expect("member list sync");
             st.members[from].remove(pos);
             let to = st.attached[i];
             let pos = match st.members[to].binary_search(&i) {
@@ -372,7 +372,10 @@ fn mc_accounting(
         let slot_e = if d > 0.0 {
             let accepted = st.sessions[i].deliver(d);
             st.playback[i].deliver(accepted, st.rates[i]);
-            let e = base.models.power.transmission_energy(st.cur_sig[i], accepted);
+            let e = base
+                .models
+                .power
+                .transmission_energy(st.cur_sig[i], accepted);
             st.rrc[i].on_transmit();
             st.meters[i].record_transmission(e);
             e.value()
@@ -546,7 +549,16 @@ impl MultiCellScenario {
                     // SAFETY: serial phase — all other participants are
                     // spinning at barrier A.
                     let st = unsafe { st.get_mut() };
-                    mc_ground_truth(self, st, &units, faults, tables_enabled, slot, &lanes, &delivered);
+                    mc_ground_truth(
+                        self,
+                        st,
+                        &units,
+                        faults,
+                        tables_enabled,
+                        slot,
+                        &lanes,
+                        &delivered,
+                    );
                 }
                 barrier.wait(); // A: ground truth published to all stripes.
                 {

@@ -10,6 +10,13 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Panic burn-down gate for the scheduler crate: library code must stay
+# free of unwrap/expect/panic (fallible paths carry typed errors; test
+# modules are exempt via --lib + clippy's test-aware lints).
+echo "== cargo clippy -p jmso-sched (deny unwrap/expect/panic in lib)"
+cargo clippy -p jmso-sched --lib --no-deps -- -D warnings \
+    -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
 echo "== cargo test"
 cargo test -q
 
@@ -35,7 +42,7 @@ if [[ "${FAULT:-0}" == "1" ]]; then
 fi
 
 # Opt-in perf gate: BENCH=1 scripts/check.sh additionally runs the
-# hotpath bench and diffs it against the committed BENCH_PR4.json
+# hotpath bench and diffs it against the committed BENCH_PR6.json
 # baseline (too noisy for every pre-commit run, so off by default).
 if [[ "${BENCH:-0}" == "1" ]]; then
     scripts/bench-regress.sh

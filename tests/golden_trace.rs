@@ -1,6 +1,6 @@
-//! Golden-trace snapshot tests: two small contended scenarios (RTMA and
-//! EMA-DP, 3 users, 200 slots, seed 42) are traced every slot and the
-//! JSONL export is diffed byte-for-byte against committed files under
+//! Golden-trace snapshot tests: small contended scenarios (RTMA, EMA-DP
+//! and EMA-fast, 3 users, 200 slots, seed 42) are traced every slot and
+//! the JSONL export is diffed byte-for-byte against committed files under
 //! `tests/golden/`.
 //!
 //! Any engine, scheduler, RRC or serialization change that shifts a
@@ -131,6 +131,14 @@ fn ema_trace_matches_golden() {
     check_golden_scenario(
         "ema.trace.jsonl",
         &golden_scenario(SchedulerSpec::ema_dp(1.0)),
+    );
+}
+
+#[test]
+fn ema_fast_trace_matches_golden() {
+    check_golden_scenario(
+        "ema_fast.trace.jsonl",
+        &golden_scenario(SchedulerSpec::ema_fast(1.0)),
     );
 }
 
