@@ -29,5 +29,5 @@ pub use dpi::{format_segment_request, DpiClassifier, DpiError, FlowInfo};
 pub use receiver::{DataReceiver, FlowClass, FlowState, OriginModel};
 pub use scheduler::{Allocation, DegradationEvent, Scheduler, SlotContext, UserSnapshot};
 pub use shard::UnitParams;
-pub use soa::SnapshotSoA;
+pub use soa::{SnapshotSoA, SoaRows};
 pub use transmitter::{DataTransmitter, Delivery};

@@ -111,6 +111,88 @@ impl SnapshotSoA {
             self.set_row(snap, tau, delta_kb);
         }
     }
+
+    /// A raw per-row writer over this mirror's columns, for engines that
+    /// partition users into disjoint shards refreshed by different
+    /// threads within one lockstep phase (see [`SoaRows`]). The mirror
+    /// must be sized to its final row count first; the writer is
+    /// invalidated by any later resize.
+    pub fn rows(&mut self) -> SoaRows {
+        SoaRows {
+            signal_dbm: self.signal_dbm.as_mut_ptr(),
+            rate_kbps: self.rate_kbps.as_mut_ptr(),
+            buffer_s: self.buffer_s.as_mut_ptr(),
+            remaining_kb: self.remaining_kb.as_mut_ptr(),
+            idle_s: self.idle_s.as_mut_ptr(),
+            link_cap_units: self.link_cap_units.as_mut_ptr(),
+            ceiling_units: self.ceiling_units.as_mut_ptr(),
+            need_units: self.need_units.as_mut_ptr(),
+            active: self.active.as_mut_ptr(),
+            len: self.signal_dbm.len(),
+        }
+    }
+}
+
+/// Raw column pointers for shard-parallel row writes into a
+/// [`SnapshotSoA`].
+///
+/// Handing each shard a `&mut SnapshotSoA` would alias; this writer
+/// derives every store from the column base pointers, so no reference to
+/// the mirror exists while shards write. Callers must uphold the shard
+/// protocol: within a phase no two threads touch the same row, and no
+/// `&`/`&mut` to the underlying mirror is live until the phase ends.
+/// [`SoaRows::set_row`] keeps the exact store expressions of
+/// [`SnapshotSoA::set_row`], so shard-refreshed mirrors stay
+/// bit-identical to serially refreshed ones.
+pub struct SoaRows {
+    signal_dbm: *mut f64,
+    rate_kbps: *mut f64,
+    buffer_s: *mut f64,
+    remaining_kb: *mut f64,
+    idle_s: *mut f64,
+    link_cap_units: *mut u64,
+    ceiling_units: *mut u64,
+    need_units: *mut u64,
+    active: *mut bool,
+    len: usize,
+}
+
+// SAFETY: the pointers target plain-old-data columns; cross-thread use is
+// restricted by the documented disjoint-row protocol.
+unsafe impl Send for SoaRows {}
+unsafe impl Sync for SoaRows {}
+
+impl SoaRows {
+    /// Rows addressable by this writer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mirror had no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mirror one user's snapshot into row `snap.id`, exactly like
+    /// [`SnapshotSoA::set_row`].
+    ///
+    /// # Safety
+    /// `snap.id < len`, no other thread writes row `snap.id` in this
+    /// phase, and no reference to the underlying [`SnapshotSoA`] is live.
+    #[inline]
+    pub unsafe fn set_row(&self, snap: &UserSnapshot, tau: f64, delta_kb: f64) {
+        let i = snap.id;
+        debug_assert!(i < self.len);
+        *self.signal_dbm.add(i) = snap.signal.value();
+        *self.rate_kbps.add(i) = snap.rate_kbps;
+        *self.buffer_s.add(i) = snap.buffer_s;
+        *self.remaining_kb.add(i) = snap.remaining_kb;
+        *self.idle_s.add(i) = snap.idle_s;
+        *self.link_cap_units.add(i) = snap.link_cap_units;
+        *self.ceiling_units.add(i) = snap.usable_cap_units(delta_kb);
+        *self.need_units.add(i) = ((tau * snap.rate_kbps) / delta_kb).ceil() as u64;
+        *self.active.add(i) = snap.active;
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +233,25 @@ mod tests {
             );
             assert_eq!(soa.active[i], s.active);
         }
+    }
+
+    #[test]
+    fn row_writer_matches_set_row_bitwise() {
+        let snaps: Vec<UserSnapshot> = (0..6).map(snap).collect();
+        let mut serial = SnapshotSoA::new();
+        serial.fill_from(&snaps, 1.0, 50.0);
+
+        let mut sharded = SnapshotSoA::new();
+        sharded.resize(snaps.len());
+        let rows = sharded.rows();
+        // Interleaved "shards" writing disjoint rows.
+        for s in snaps.iter().filter(|s| s.id % 2 == 0) {
+            unsafe { rows.set_row(s, 1.0, 50.0) };
+        }
+        for s in snaps.iter().filter(|s| s.id % 2 == 1) {
+            unsafe { rows.set_row(s, 1.0, 50.0) };
+        }
+        assert_eq!(serial, sharded);
     }
 
     #[test]

@@ -5,12 +5,18 @@
 //! jmso-sim run <scenario.json> [--out r.json] [--per-user u.csv]
 //!              [--trace t.jsonl] [--trace-every N]
 //!              [--ckpt c.json --ckpt-every K] [--resume c.json]
+//!              [--shards W]
 //!                                               run one scenario, print a summary;
 //!                                               --trace records per-slot telemetry
 //!                                               (JSONL, downsampled to every Nth slot);
 //!                                               --ckpt writes a resumable checkpoint
 //!                                               sidecar every K slots; --resume
-//!                                               continues from such a sidecar
+//!                                               continues from such a sidecar;
+//!                                               --shards runs the bit-identical
+//!                                               shard-parallel loop on W worker-pool
+//!                                               participants (see JMSO_THREADS;
+//!                                               incompatible with checkpointing and
+//!                                               fault injection)
 //! jmso-sim calibrate <scenario.json>            measure the Default reference points
 //! jmso-sim fit-v <scenario.json> --omega <s>    fit EMA's V to a rebuffering bound
 //! jmso-sim sweep <scenario.json> --seeds 1,2,3 [--threads T]
@@ -104,7 +110,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: jmso-sim template [N] | run <scenario.json> [--out r.json] \
                  [--trace t.jsonl] [--trace-every N] [--ckpt c.json --ckpt-every K] \
-                 [--resume c.json] | \
+                 [--resume c.json] [--shards W] | \
                  calibrate <scenario.json> | fit-v <scenario.json> --omega <s> | \
                  sweep <scenario.json> --seeds 1,2,3 [--threads T]"
             );
@@ -192,6 +198,19 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if resume_path.is_some() && ckpt_path.is_some() {
         return Err("run: --resume cannot be combined with --ckpt".into());
     }
+    let shards: Option<usize> = flag_value(args, "--shards")
+        .map(|s| s.parse().map_err(|e| format!("bad --shards: {e}")))
+        .transpose()?;
+    if let Some(w) = shards {
+        if w == 0 {
+            return Err("run: --shards must be at least 1".into());
+        }
+        // The sharded loop keeps no resumable state (DESIGN.md §11):
+        // checkpoint sidecars stay exclusive to the serial path.
+        if ckpt_path.is_some() || resume_path.is_some() {
+            return Err("run: --shards cannot be combined with --ckpt or --resume".into());
+        }
+    }
 
     let result = if let Some(out) = trace_path {
         // Traced runs use the same recorder for checkpointing, so a
@@ -208,7 +227,10 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                 ckpt_every.expect("flag pair checked above"),
                 Path::new(ckpt),
             )?,
-            (None, None) => scenario.run_with(&mut rec)?,
+            (None, None) => match shards {
+                Some(w) => scenario.run_sharded_with(&mut rec, w)?,
+                None => scenario.run_with(&mut rec)?,
+            },
         };
         let trace = rec.into_trace(&result.scheduler);
         trace.write_jsonl(Path::new(out))?;
@@ -227,7 +249,10 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                 ckpt_every.expect("flag pair checked above"),
                 Path::new(ckpt),
             )?,
-            (None, None) => scenario.run()?,
+            (None, None) => match shards {
+                Some(w) => scenario.run_sharded(w)?,
+                None => scenario.run()?,
+            },
         }
     };
     summarize(&result);

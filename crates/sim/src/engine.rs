@@ -38,16 +38,31 @@
 //!   signal RNGs are fast-forwarded by replaying the recorded number of
 //!   samples, and every stateful component restores through its
 //!   `export_state`/`import_state` pair.
+//! * **Open-system churn** — each user additionally carries a
+//!   `departure_slot` (set by the compiled
+//!   [`ChurnPlan`](crate::arrivals::ChurnPlan)): from that slot on the
+//!   client abandons playback and the origin stops fetching, exactly the
+//!   state change a `departure` fault applies, but as a first-class
+//!   workload property instead of a perturbation.
+//!
+//! [`Engine::run_sharded_on`] is the shard-parallel form of the hot
+//! path: users are partitioned into contiguous shards, each owned by one
+//! worker-pool participant, with two serial phases per slot (scheduling
+//! under the shared Eq. (2) BS constraint, and trace recording) fenced
+//! by a [`SpinBarrier`]. It is bit-identical to [`Engine::run`] by
+//! construction — see the method docs and DESIGN.md §11.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use crate::error::{atomic_write, CheckpointError, SimError};
 use crate::faults::{FaultHook, NoFaults};
+use crate::pool::{PhaseCell, SharedSlice, SpinBarrier, WorkerPool};
 use crate::results::{SimResult, UserResult};
 use crate::telemetry::{NullRecorder, SlotRecorder};
 use jmso_gateway::bs::CapacityModel;
 use jmso_gateway::collector::RawUserState;
 use jmso_gateway::{
-    Allocation, CollectorState, DataReceiver, DataTransmitter, FlowState, InformationCollector,
-    Scheduler, SlotContext, SnapshotSoA, UnitParams, UserSnapshot,
+    Allocation, CollectorState, DataReceiver, DataTransmitter, Delivery, FlowState,
+    InformationCollector, Scheduler, SlotContext, SnapshotSoA, UnitParams, UserSnapshot,
 };
 use jmso_media::{jain_index, ClientPlayback, VideoSession};
 use jmso_radio::rrc::RrcState;
@@ -56,6 +71,7 @@ use jmso_radio::{Dbm, EnergyMeter, MilliJoules, PowerModel, RrcMachine};
 use jmso_sched::CrossLayerModels;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Slots sampled per [`SignalModel::sample_into`] block in the hot loop
 /// (shared with the multicell stepper, which blocks its radio math the
@@ -96,6 +112,10 @@ struct UserSim {
     active_slots: u64,
     /// Slot at which this user's session starts (0 = at the beginning).
     arrival_slot: u64,
+    /// Slot at which this user abandons their session (`u64::MAX` = they
+    /// watch to completion). The open-system workload path — the
+    /// first-class form of the fault taxonomy's `departure` event.
+    departure_slot: u64,
     /// Rate the gateway believes (e.g. DPI-extracted manifest rate); when
     /// set it overrides the instantaneous session rate in snapshots.
     declared_rate_kbps: Option<f64>,
@@ -162,8 +182,17 @@ struct UserCkpt {
     sig_block: Vec<f64>,
     active_slots: u64,
     arrival_slot: u64,
+    /// Added in v2 (the default keeps the parse permissive; the version
+    /// gate still rejects v1 payloads with a clean error).
+    #[serde(default = "never_departs")]
+    departure_slot: u64,
     declared_rate_kbps: Option<f64>,
     sig_samples: u64,
+}
+
+/// Serde default for [`UserCkpt::departure_slot`].
+fn never_departs() -> u64 {
+    u64::MAX
 }
 
 /// Loop-local accumulators that live outside the engine components.
@@ -203,8 +232,9 @@ pub struct EngineCheckpoint {
     loop_state: LoopCkpt,
 }
 
-/// Checkpoint format version this build writes and accepts.
-const CKPT_VERSION: u32 = 1;
+/// Checkpoint format version this build writes and accepts. v2 added
+/// per-user `departure_slot` (open-system churn).
+const CKPT_VERSION: u32 = 2;
 
 impl EngineCheckpoint {
     /// Slot the resumed run will execute next.
@@ -249,6 +279,52 @@ impl EngineCheckpoint {
         })?;
         Self::from_json(&text)
     }
+}
+
+/// Per-shard mutable state for [`Engine::run_sharded_on`], owned by one
+/// pool participant during the parallel phases (A: radio/playback walk,
+/// C: accounting) and read-only to participant 0 during phase D.
+struct ShardState {
+    /// Global user ids in this shard's contiguous range still live, in
+    /// ascending order (order-preserving retain) — so the shards'
+    /// concatenation is exactly the serial engine's live list.
+    live: Vec<usize>,
+    /// RRC transitions captured during phase C, `(user, from, to)` in
+    /// live-walk order, replayed into the recorder by phase D.
+    events: Vec<(usize, RrcState, RrcState)>,
+    /// Batch-throughput scratch for the per-block cap-table refill.
+    v_scratch: [f64; SIG_BLOCK_SLOTS],
+    /// Users of this shard that finished watching this slot.
+    watching_dec: usize,
+    /// Arrived-and-still-watching users after this slot's accounting
+    /// (only maintained when a recorder is attached).
+    in_system: u64,
+    /// Set when a user of this shard retired this slot; live-list
+    /// compaction is deferred to the next phase A so phase D can still
+    /// replay the retiring slot's records.
+    any_retired: bool,
+}
+
+/// Participant-0-only state for [`Engine::run_sharded_on`]'s serial
+/// phases (B: scheduling, D: recording); everything in here is either
+/// order-sensitive (recorder calls, floating-point series sums) or
+/// inherently shared (the scheduler deciding against the one BS cap).
+struct SerialCtx<'a, R> {
+    scheduler: Box<dyn Scheduler>,
+    capacity: Box<dyn CapacityModel>,
+    receiver: DataReceiver,
+    transmitter: DataTransmitter,
+    rec: &'a mut R,
+    alloc: Allocation,
+    deliveries: Vec<Delivery>,
+    fairness_scratch: Vec<f64>,
+    fairness_series: Vec<f64>,
+    fairness_window_series: Vec<f64>,
+    power_series_j: Vec<f64>,
+    window_delivered: Vec<f64>,
+    window_need: Vec<f64>,
+    watching: usize,
+    slots_run: u64,
 }
 
 /// The assembled simulator for one scenario.
@@ -304,6 +380,39 @@ impl Engine {
         arrival_slots: Vec<u64>,
         scheduler: Box<dyn Scheduler>,
         capacity: Box<dyn CapacityModel>,
+        receiver: DataReceiver,
+        collector: InformationCollector,
+        models: CrossLayerModels,
+        cfg: EngineConfig,
+    ) -> Self {
+        let n = sessions.len();
+        Self::with_churn(
+            signals,
+            sessions,
+            arrival_slots,
+            vec![u64::MAX; n],
+            scheduler,
+            capacity,
+            receiver,
+            collector,
+            models,
+            cfg,
+        )
+    }
+
+    /// [`Engine::with_arrivals`] plus per-user departure slots (`u64::MAX`
+    /// = watches to completion): the full open-system workload. From their
+    /// departure slot on, a user abandons playback and stops fetching —
+    /// the same idempotent state change the `departure` fault applies, so
+    /// an all-`MAX` vector is bit-identical to [`Engine::with_arrivals`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_churn(
+        signals: Vec<SignalKind>,
+        sessions: Vec<VideoSession>,
+        arrival_slots: Vec<u64>,
+        departure_slots: Vec<u64>,
+        scheduler: Box<dyn Scheduler>,
+        capacity: Box<dyn CapacityModel>,
         mut receiver: DataReceiver,
         collector: InformationCollector,
         models: CrossLayerModels,
@@ -315,6 +424,11 @@ impl Engine {
             sessions.len(),
             "one arrival slot per session"
         );
+        assert_eq!(
+            departure_slots.len(),
+            sessions.len(),
+            "one departure slot per session"
+        );
         assert_eq!(receiver.n_flows(), sessions.len(), "one flow per session");
         assert!(cfg.tau > 0.0 && cfg.delta_kb > 0.0 && cfg.slots > 0);
         for (i, s) in sessions.iter().enumerate() {
@@ -323,8 +437,8 @@ impl Engine {
         let users = signals
             .into_iter()
             .zip(sessions)
-            .zip(arrival_slots)
-            .map(|((signal, session), arrival_slot)| {
+            .zip(arrival_slots.into_iter().zip(departure_slots))
+            .map(|((signal, session), (arrival_slot, departure_slot))| {
                 let playback = ClientPlayback::new(session.total_playback_s(), cfg.tau);
                 UserSim {
                     signal,
@@ -341,6 +455,7 @@ impl Engine {
                     epk_per_kb: 0.0,
                     active_slots: 0,
                     arrival_slot,
+                    departure_slot,
                     declared_rate_kbps: None,
                     sig_samples: 0,
                 }
@@ -404,6 +519,7 @@ impl Engine {
                     sig_block: u.sig_block.iter().map(|d| d.0).collect(),
                     active_slots: u.active_slots,
                     arrival_slot: u.arrival_slot,
+                    departure_slot: u.departure_slot,
                     declared_rate_kbps: u.declared_rate_kbps,
                     sig_samples: u.sig_samples,
                 })
@@ -458,6 +574,7 @@ impl Engine {
             u.epk_sig = Dbm(f64::NAN);
             u.active_slots = s.active_slots;
             u.arrival_slot = s.arrival_slot;
+            u.departure_slot = s.departure_slot;
             u.declared_rate_kbps = s.declared_rate_kbps;
             u.sig_samples = s.sig_samples;
         }
@@ -565,6 +682,522 @@ impl Engine {
             RunOutcome::Done(r) => Ok(r),
             RunOutcome::Paused(_) => unreachable!("CkptMode::Off never pauses"),
         }
+    }
+
+    /// [`Engine::run_sharded_on`] on the process-wide
+    /// [`WorkerPool::global`].
+    pub fn run_sharded_with<R: SlotRecorder + Send>(self, rec: &mut R, shards: usize) -> SimResult {
+        self.run_sharded_on(WorkerPool::global(), shards, rec)
+    }
+
+    /// Shard-parallel form of the hot path: users are partitioned into
+    /// `shards` contiguous ranges, each owned by one pool participant,
+    /// and every slot runs four lockstep phases fenced by a
+    /// [`SpinBarrier`]:
+    ///
+    /// * **A (parallel)** — each shard samples its users' signal blocks,
+    ///   refills their Eq. (1) cap tables, advances playback clocks, and
+    ///   refreshes its rows of the shared snapshot buffer (and SoA
+    ///   mirror) in place;
+    /// * **B (serial)** — participant 0 merges the shards against the
+    ///   shared Eq. (2) BS capacity: one scheduler call over the full
+    ///   snapshot buffer, then the transmitter moves bytes;
+    /// * **C (parallel)** — each shard applies its users' deliveries and
+    ///   settles device accounting (Eq. 3/4/5) locally, capturing RRC
+    ///   transitions for replay;
+    /// * **D (serial)** — participant 0 replays per-user records into the
+    ///   recorder in global user order and folds the per-slot series, so
+    ///   every floating-point sum and every recorder call happens in the
+    ///   exact serial order.
+    ///
+    /// Bit-identical to [`Engine::run_with`] by construction: shards
+    /// write disjoint rows with the serial loop's exact expressions, and
+    /// nothing order-sensitive runs in a parallel phase (pinned by the
+    /// `shard_properties` tests). `shards` is a ceiling — the effective
+    /// width is clamped to the pool (`workers + 1`); width ≤ 1, or a
+    /// collector that is not pass-through (whose per-user RNG stream
+    /// must be consumed in global user order), falls back to the serial
+    /// loop. Checkpointing and fault hooks stay serial-only.
+    pub fn run_sharded_on<R: SlotRecorder + Send>(
+        self,
+        pool: &WorkerPool,
+        shards: usize,
+        rec: &mut R,
+    ) -> SimResult {
+        let width = shards.min(pool.n_workers() + 1);
+        if width <= 1 || !self.collector.is_pass_through() {
+            return self.run_with(rec);
+        }
+        let Engine {
+            mut users,
+            scheduler,
+            capacity,
+            receiver,
+            transmitter,
+            collector,
+            units,
+            models,
+            cfg,
+        } = self;
+        let n_users = users.len();
+        let rec_enabled = rec.enabled();
+        let record_series = cfg.record_series;
+        let use_soa = scheduler.wants_soa();
+        const FAIR_WINDOW: u64 = 10;
+        rec.begin_run(n_users, cfg.tau);
+
+        // Shared full-length buffers, one stable row per user. Every row
+        // is written during slot 0 (all users start live), so the
+        // placeholder contents never reach a scheduler.
+        let mut raw_buf: Vec<RawUserState> = vec![
+            RawUserState {
+                signal: Dbm(0.0),
+                rate_kbps: 0.0,
+                buffer_s: 0.0,
+                remaining_kb: 0.0,
+                active: false,
+                idle_s: 0.0,
+                rrc_state: RrcState::Idle,
+            };
+            n_users
+        ];
+        let mut snaps_buf: Vec<UserSnapshot> = (0..n_users)
+            .map(|id| UserSnapshot {
+                id,
+                signal: Dbm(0.0),
+                rate_kbps: 0.0,
+                buffer_s: 0.0,
+                remaining_kb: 0.0,
+                active: false,
+                link_cap_units: 0,
+                idle_s: 0.0,
+                rrc_state: RrcState::Idle,
+            })
+            .collect();
+        let mut slot_e_buf = vec![0.0f64; n_users];
+        let mut done_watching = vec![false; n_users];
+        let mut retired = vec![false; n_users];
+        let mut retired_at = vec![0u64; n_users];
+
+        // The SoA mirror's raw row writer is captured before the mirror
+        // moves into the serial context: the pointers target the column
+        // Vecs' heap buffers, which are stable across the move.
+        let mut soa = SnapshotSoA::new();
+        if use_soa {
+            soa.resize(n_users);
+        }
+        let soa_rows = use_soa.then(|| soa.rows());
+
+        // One shard of contiguous user ids per participant; their
+        // concatenation in shard order is exactly the serial live list.
+        let shard_cells: Vec<PhaseCell<ShardState>> = (0..width)
+            .map(|s| {
+                let lo = s * n_users / width;
+                let hi = (s + 1) * n_users / width;
+                PhaseCell::new(ShardState {
+                    live: (lo..hi).collect(),
+                    events: Vec::new(),
+                    v_scratch: [0.0; SIG_BLOCK_SLOTS],
+                    watching_dec: 0,
+                    in_system: 0,
+                    any_retired: false,
+                })
+            })
+            .collect();
+
+        let users_s = SharedSlice::new(&mut users);
+        debug_assert_eq!(users_s.len(), n_users);
+        let raw_s = SharedSlice::new(&mut raw_buf);
+        let snaps_s = SharedSlice::new(&mut snaps_buf);
+        let slot_e_s = SharedSlice::new(&mut slot_e_buf);
+        let done_s = SharedSlice::new(&mut done_watching);
+        let retired_s = SharedSlice::new(&mut retired);
+        let retired_at_s = SharedSlice::new(&mut retired_at);
+
+        let serial = PhaseCell::new(SerialCtx {
+            scheduler,
+            capacity,
+            receiver,
+            transmitter,
+            rec,
+            alloc: Allocation::zeros(n_users),
+            deliveries: Vec::with_capacity(n_users),
+            fairness_scratch: Vec::with_capacity(n_users),
+            fairness_series: Vec::new(),
+            fairness_window_series: Vec::new(),
+            power_series_j: Vec::new(),
+            window_delivered: vec![0.0; n_users],
+            window_need: vec![0.0; n_users],
+            watching: n_users,
+            slots_run: 0,
+        });
+
+        let barrier = SpinBarrier::new(width);
+        let quit = AtomicBool::new(false);
+        let collector_ref = &collector;
+        let soa_cell = PhaseCell::new(soa);
+
+        pool.broadcast(width, &|p| {
+            let my = &shard_cells[p];
+            for slot in 0..cfg.slots {
+                // ---- Phase A (parallel): per-shard radio & playback ----
+                {
+                    // SAFETY: parallel phase — shard `p` belongs to this
+                    // participant until the next barrier crossing.
+                    let sh = unsafe { my.get_mut() };
+                    if sh.any_retired {
+                        // Compaction deferred from phase C so phase D
+                        // could replay the retiring slot's records.
+                        // SAFETY: retired flags are frozen in phase A.
+                        sh.live.retain(|&i| unsafe { !*retired_s.get(i) });
+                        sh.any_retired = false;
+                    }
+                    let block_off = (slot % SIG_BLOCK_SLOTS as u64) as usize;
+                    for k in 0..sh.live.len() {
+                        let i = sh.live[k];
+                        // SAFETY: `i` lies in this shard's disjoint range.
+                        let u = unsafe { users_s.get_mut(i) };
+                        if block_off == 0 {
+                            u.signal.sample_into(slot, &mut u.sig_block);
+                            u.sig_samples += SIG_BLOCK_SLOTS as u64;
+                            collector_ref.link_caps_into(
+                                &u.sig_block,
+                                &mut sh.v_scratch,
+                                &mut u.cap_block,
+                            );
+                        }
+                        u.cur_signal = u.sig_block[block_off];
+                        let link_cap = u.cap_block[block_off];
+                        let r = if slot < u.arrival_slot {
+                            // Not arrived: no playback clock, no fetch
+                            // demand, a cold (saturated-tail) radio.
+                            RawUserState {
+                                signal: u.cur_signal,
+                                rate_kbps: u.session.rate_at(slot),
+                                buffer_s: 0.0,
+                                remaining_kb: 0.0,
+                                active: false,
+                                idle_s: u.rrc.idle_seconds(),
+                                rrc_state: u.rrc.state(),
+                            }
+                        } else {
+                            if slot >= u.departure_slot {
+                                // Workload churn departure (idempotent).
+                                u.session.cancel_remaining();
+                                u.playback.abandon();
+                            }
+                            let outcome = u.playback.begin_slot();
+                            if outcome.active {
+                                u.active_slots += 1;
+                            }
+                            RawUserState {
+                                signal: u.cur_signal,
+                                rate_kbps: u
+                                    .declared_rate_kbps
+                                    .unwrap_or_else(|| u.session.rate_at(slot)),
+                                buffer_s: outcome.occupancy_s,
+                                remaining_kb: u.session.remaining_kb(),
+                                active: outcome.active,
+                                idle_s: u.rrc.idle_seconds(),
+                                rrc_state: u.rrc.state(),
+                            }
+                        };
+                        // Snapshot refresh: the pass-through collector's
+                        // caps path verbatim (report = truth, Eq. (1)
+                        // bound from the per-block table — the exact
+                        // values `snapshot_refresh_soa` would write). The
+                        // signal cache the serial collector maintains is
+                        // write-only state here — sharded runs neither
+                        // checkpoint nor add noise, so it is never read
+                        // again and skipping it cannot change an output.
+                        let snap = UserSnapshot {
+                            id: i,
+                            signal: r.signal,
+                            rate_kbps: r.rate_kbps,
+                            buffer_s: r.buffer_s,
+                            remaining_kb: r.remaining_kb,
+                            active: r.active,
+                            link_cap_units: link_cap,
+                            idle_s: r.idle_s,
+                            rrc_state: r.rrc_state,
+                        };
+                        if let Some(rows) = soa_rows.as_ref() {
+                            // SAFETY: row `i` belongs to this shard.
+                            unsafe { rows.set_row(&snap, cfg.tau, cfg.delta_kb) };
+                        }
+                        // SAFETY: disjoint rows per shard (phase A).
+                        unsafe {
+                            *raw_s.get_mut(i) = r;
+                            *snaps_s.get_mut(i) = snap;
+                        }
+                    }
+                }
+                barrier.wait();
+
+                // ---- Phase B (serial): merge vs the shared BS cap ----
+                if p == 0 {
+                    // SAFETY: serial phase — every other participant is
+                    // parked at the barrier below.
+                    let SerialCtx {
+                        scheduler,
+                        capacity,
+                        receiver,
+                        transmitter,
+                        rec,
+                        alloc,
+                        deliveries,
+                        slots_run,
+                        ..
+                    } = unsafe { serial.get_mut() };
+                    *slots_run = slot + 1;
+                    let cap = capacity.capacity(slot);
+                    let bs_cap_units = units.bs_cap_units(cap, cfg.tau);
+                    rec.begin_slot(slot, bs_cap_units);
+                    receiver.ingest_slot(slot);
+                    // SAFETY: serial phase; no shard writes rows now.
+                    let ctx = SlotContext {
+                        slot,
+                        tau: cfg.tau,
+                        delta_kb: cfg.delta_kb,
+                        bs_cap_units,
+                        users: unsafe { snaps_s.as_slice() },
+                        soa: if use_soa {
+                            Some(unsafe { soa_cell.get() })
+                        } else {
+                            None
+                        },
+                    };
+                    if rec_enabled {
+                        let t0 = std::time::Instant::now();
+                        scheduler.allocate_into(&ctx, alloc);
+                        rec.record_sched_latency_ns(t0.elapsed().as_nanos() as u64);
+                        rec.record_alloc(&alloc.0);
+                        if let Some(q) = scheduler.queue_values() {
+                            rec.record_queues(q);
+                        }
+                        let deg = scheduler.degradations();
+                        if !deg.is_empty() {
+                            rec.record_degradations(deg);
+                        }
+                    } else {
+                        scheduler.allocate_into(&ctx, alloc);
+                    }
+                    transmitter.transmit_into(&ctx, alloc, receiver, deliveries);
+                }
+                barrier.wait();
+
+                // ---- Phase C (parallel): per-shard accounting ----
+                {
+                    // SAFETY: parallel phase — shard `p` is ours.
+                    let sh = unsafe { my.get_mut() };
+                    sh.watching_dec = 0;
+                    sh.in_system = 0;
+                    sh.events.clear();
+                    // SAFETY: the serial state is read-only in phase C.
+                    let deliveries = &unsafe { serial.get() }.deliveries;
+                    for k in 0..sh.live.len() {
+                        let i = sh.live[k];
+                        // SAFETY: disjoint shard range.
+                        let u = unsafe { users_s.get_mut(i) };
+                        if slot < u.arrival_slot {
+                            continue;
+                        }
+                        let d = &deliveries[i];
+                        let slot_e = if d.kb > 0.0 {
+                            let accepted = u.session.deliver(d.kb);
+                            debug_assert!(
+                                (accepted - d.kb).abs() < 1e-6,
+                                "transmitter should never over-deliver"
+                            );
+                            u.playback.deliver(accepted, u.session.rate_at(slot));
+                            if u.epk_sig.value() != u.cur_signal.value() {
+                                u.epk_per_kb = models.power.energy_per_kb(u.cur_signal);
+                                u.epk_sig = u.cur_signal;
+                            }
+                            let e = MilliJoules(u.epk_per_kb * accepted);
+                            if rec_enabled {
+                                u.rrc.on_transmit_observed(|f, t| sh.events.push((i, f, t)));
+                            } else {
+                                u.rrc.on_transmit();
+                            }
+                            u.meter.record_transmission(e);
+                            e.value()
+                        } else {
+                            let e = if rec_enabled {
+                                u.rrc
+                                    .on_idle_observed(cfg.tau, |f, t| sh.events.push((i, f, t)))
+                            } else {
+                                u.rrc.on_idle(cfg.tau)
+                            };
+                            u.meter.record_tail(e);
+                            e.value()
+                        };
+                        if rec_enabled || record_series {
+                            // SAFETY: disjoint shard range.
+                            unsafe { *slot_e_s.get_mut(i) = slot_e };
+                        }
+                        // SAFETY: disjoint shard range (flags below too).
+                        let done = unsafe { done_s.get_mut(i) };
+                        if !*done && u.session.fully_fetched() && u.playback.playback_complete() {
+                            *done = true;
+                            sh.watching_dec += 1;
+                        }
+                        if rec_enabled && !*done {
+                            sh.in_system += 1;
+                        }
+                        if *done && u.rrc.state() == RrcState::Idle {
+                            unsafe {
+                                *retired_s.get_mut(i) = true;
+                                *retired_at_s.get_mut(i) = slot;
+                            }
+                            sh.any_retired = true;
+                        }
+                    }
+                }
+                barrier.wait();
+
+                // ---- Phase D (serial): in-order replay & series ----
+                if p == 0 {
+                    // SAFETY: serial phase (other participants parked).
+                    let SerialCtx {
+                        rec,
+                        deliveries,
+                        fairness_scratch,
+                        fairness_series,
+                        fairness_window_series,
+                        power_series_j,
+                        window_delivered,
+                        window_need,
+                        watching,
+                        ..
+                    } = unsafe { serial.get_mut() };
+                    let mut watching_dec = 0usize;
+                    let mut in_system = 0u64;
+                    if rec_enabled || record_series {
+                        let mut slot_energy_mj = 0.0;
+                        fairness_scratch.clear();
+                        for cell in shard_cells.iter() {
+                            // SAFETY: shards are quiescent in phase D.
+                            let sh = unsafe { cell.get() };
+                            let mut ev = 0usize;
+                            for &i in &sh.live {
+                                // SAFETY: exclusive serial phase.
+                                let u = unsafe { users_s.get(i) };
+                                if slot < u.arrival_slot {
+                                    continue;
+                                }
+                                // RRC transitions precede the user record,
+                                // exactly as the serial accounting emits
+                                // them; the cursor works because phase C
+                                // pushed events in this same live order.
+                                while ev < sh.events.len() && sh.events[ev].0 == i {
+                                    let (_, f, t) = sh.events[ev];
+                                    rec.record_rrc_transition(i, f, t);
+                                    ev += 1;
+                                }
+                                // SAFETY: exclusive serial phase.
+                                let slot_e = unsafe { *slot_e_s.get(i) };
+                                slot_energy_mj += slot_e;
+                                rec.record_user(i, slot_e, u.playback.total_rebuffer_s());
+                                if record_series {
+                                    // SAFETY: exclusive serial phase.
+                                    let r = unsafe { raw_s.get(i) };
+                                    if r.remaining_kb > 0.0 {
+                                        let need_kb = (cfg.tau * r.rate_kbps).min(r.remaining_kb);
+                                        if need_kb > 0.0 {
+                                            fairness_scratch.push(deliveries[i].kb / need_kb);
+                                            window_delivered[i] += deliveries[i].kb;
+                                            window_need[i] += need_kb;
+                                        }
+                                    }
+                                }
+                            }
+                            watching_dec += sh.watching_dec;
+                            in_system += sh.in_system;
+                        }
+                        if record_series {
+                            if !fairness_scratch.is_empty() {
+                                fairness_series.push(jain_index(fairness_scratch.as_slice()));
+                            }
+                            power_series_j.push(slot_energy_mj / 1000.0);
+                            if (slot + 1) % FAIR_WINDOW == 0 {
+                                fairness_scratch.clear();
+                                for i in 0..n_users {
+                                    if window_need[i] > 0.0 {
+                                        fairness_scratch.push(window_delivered[i] / window_need[i]);
+                                    }
+                                }
+                                if !fairness_scratch.is_empty() {
+                                    fairness_window_series
+                                        .push(jain_index(fairness_scratch.as_slice()));
+                                }
+                                window_delivered.fill(0.0);
+                                window_need.fill(0.0);
+                            }
+                        }
+                    } else {
+                        for cell in shard_cells.iter() {
+                            // SAFETY: shards are quiescent in phase D.
+                            watching_dec += unsafe { cell.get() }.watching_dec;
+                        }
+                    }
+                    if rec_enabled {
+                        rec.record_live(in_system);
+                    }
+                    rec.end_slot();
+                    *watching -= watching_dec;
+                    if *watching == 0 || slot + 1 == cfg.slots {
+                        quit.store(true, Ordering::Release);
+                    }
+                }
+                barrier.wait();
+                if quit.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        });
+
+        let SerialCtx {
+            scheduler,
+            capacity,
+            receiver,
+            transmitter,
+            rec,
+            fairness_series,
+            fairness_window_series,
+            power_series_j,
+            slots_run,
+            ..
+        } = serial.into_inner();
+        rec.end_run();
+        // Settle the idle slots the retired users sat out, exactly as the
+        // serial loop does after its exit.
+        for i in 0..n_users {
+            if retired[i] {
+                users[i]
+                    .meter
+                    .record_saturated_idle_slots(slots_run - 1 - retired_at[i]);
+            }
+        }
+        let engine = Engine {
+            users,
+            scheduler,
+            capacity,
+            receiver,
+            transmitter,
+            collector,
+            units,
+            models,
+            cfg,
+        };
+        let mut result = engine.finish(
+            slots_run,
+            fairness_series,
+            fairness_window_series,
+            power_series_j,
+        );
+        result.telemetry = rec.summary();
+        result
     }
 
     /// The one true hot loop: fault-aware, checkpoint-aware, generic over
@@ -795,11 +1428,13 @@ impl Engine {
                     };
                     continue;
                 }
-                if faults.enabled() && faults.departed(slot, i) {
-                    // Mid-stream departure: the client abandons playback
-                    // and the origin stops fetching for them. Both calls
-                    // are idempotent, so the latched window check is safe
-                    // to re-apply every slot.
+                if slot >= u.departure_slot || (faults.enabled() && faults.departed(slot, i)) {
+                    // Mid-stream departure — workload churn or the fault
+                    // taxonomy's perturbation form: the client abandons
+                    // playback and the origin stops fetching for them.
+                    // Both calls are idempotent, so the latched window
+                    // check is safe to re-apply every slot, and a
+                    // `u64::MAX` departure slot leaves the run untouched.
                     u.session.cancel_remaining();
                     u.playback.abandon();
                 }
@@ -869,6 +1504,7 @@ impl Engine {
 
             // Device-side accounting (Eq. 3/4/5) and client delivery.
             let mut slot_energy_mj = 0.0;
+            let mut in_system = 0u64;
             fairness_scratch.clear();
             let mut any_retired = false;
             for &i in &live {
@@ -934,6 +1570,13 @@ impl Engine {
                     done_watching[i] = true;
                     watching -= 1;
                 }
+                // Live-population sample for open-system telemetry:
+                // arrived and still watching after this slot's accounting
+                // (the count is only read through `record_live`, so the
+                // NullRecorder instantiation folds it away).
+                if rec.enabled() && !done_watching[i] {
+                    in_system += 1;
+                }
                 // Retire once nothing remains to account: playback is over
                 // and the RRC tail has fully drained, so every further
                 // slot would charge exactly 0 mJ of tail energy.
@@ -967,6 +1610,9 @@ impl Engine {
                     window_delivered.fill(0.0);
                     window_need.fill(0.0);
                 }
+            }
+            if rec.enabled() {
+                rec.record_live(in_system);
             }
             rec.end_slot();
 
@@ -1088,7 +1734,7 @@ impl Engine {
                     });
                     continue;
                 }
-                if faults.enabled() && faults.departed(slot, i) {
+                if slot >= u.departure_slot || (faults.enabled() && faults.departed(slot, i)) {
                     u.session.cancel_remaining();
                     u.playback.abandon();
                 }
@@ -1139,6 +1785,7 @@ impl Engine {
 
             // Device-side accounting (Eq. 3/4/5) and client delivery.
             let mut slot_energy_mj = 0.0;
+            let mut in_system = 0u64;
             fairness_scratch.clear();
             for (u_idx, ((u, d), r)) in self.users.iter_mut().zip(&deliveries).zip(&raw).enumerate()
             {
@@ -1191,6 +1838,10 @@ impl Engine {
                     finished[u_idx] = true;
                     unfinished -= 1;
                 }
+                // Mirrors the hot loop's live-population sample exactly.
+                if rec.enabled() && !finished[u_idx] {
+                    in_system += 1;
+                }
             }
 
             if self.cfg.record_series {
@@ -1211,6 +1862,9 @@ impl Engine {
                     window_delivered.fill(0.0);
                     window_need.fill(0.0);
                 }
+            }
+            if rec.enabled() {
+                rec.record_live(in_system);
             }
             rec.end_slot();
 
@@ -1273,7 +1927,10 @@ impl Engine {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
+    use crate::telemetry::TraceRecorder;
     use jmso_gateway::bs::ConstantCapacity;
     use jmso_gateway::{CollectorSpec, OriginModel};
     use jmso_media::VideoSession;
@@ -1547,5 +2204,49 @@ mod tests {
         .resume_with(&mut NullRecorder, &NoFaults, &ck)
         .expect_err("shape mismatch must be rejected");
         assert!(err.to_string().contains("restore"));
+    }
+
+    /// The sharded runner reproduces the serial loop bit-for-bit — results
+    /// *and* full trace bytes — at every width, including the degenerate
+    /// width-1 clamp (the shard_properties suite widens this to churny
+    /// open-system scenarios).
+    #[test]
+    fn sharded_matches_serial_bitwise() {
+        // Scheduler-latency quantiles are wall-clock measurements; zero
+        // them so the equality below covers every deterministic field.
+        fn scrub(mut r: SimResult) -> SimResult {
+            if let Some(t) = r.telemetry.as_mut() {
+                t.sched_ns_p50 = 0;
+                t.sched_ns_p95 = 0;
+                t.sched_ns_p99 = 0;
+                t.sched_ns_max = 0;
+            }
+            r
+        }
+        let mk = || {
+            small_engine(
+                5,
+                4_000.0,
+                400.0,
+                -80.0,
+                900.0,
+                200,
+                Box::new(DefaultMax::new()),
+            )
+        };
+        let mut rec = TraceRecorder::new().with_live_counts();
+        let serial = scrub(mk().run_with(&mut rec));
+        let serial_trace = rec.into_trace("DefaultMax").to_jsonl();
+        let pool = crate::pool::WorkerPool::new(3);
+        for shards in [1usize, 2, 4] {
+            let mut rec = TraceRecorder::new().with_live_counts();
+            let sharded = scrub(mk().run_sharded_on(&pool, shards, &mut rec));
+            assert_eq!(serial, sharded, "width {shards}");
+            assert_eq!(
+                serial_trace,
+                rec.into_trace("DefaultMax").to_jsonl(),
+                "trace bytes at width {shards}"
+            );
+        }
     }
 }

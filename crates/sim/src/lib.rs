@@ -5,6 +5,10 @@
 //! * [`engine`] — wires radio (signals, RRC, energy), media (sessions,
 //!   playback buffers) and gateway (receiver, collector, scheduler,
 //!   transmitter) into the per-slot loop of §III.
+//! * [`arrivals`] — open-system workload churn ([`ArrivalSpec`] →
+//!   [`ChurnPlan`]): Poisson arrivals with diurnal rate curves and
+//!   session-length truncation, compiled to per-user arrival/departure
+//!   slots before the run.
 //! * [`scenario`] — a serializable [`Scenario`] describing one experiment;
 //!   `Scenario::paper_default(n)` reproduces the paper's setup (10 000
 //!   slots of τ = 1 s, S = 20 MB/s, videos 250–500 MB at 300–600 KB/s,
@@ -32,6 +36,7 @@
 //!   [`CheckpointError`], umbrella [`SimError`]) replacing panics on
 //!   input-handling and I/O paths.
 
+pub mod arrivals;
 pub mod calibrate;
 pub mod chart;
 pub mod engine;
@@ -46,6 +51,7 @@ pub mod svg;
 pub mod sweep;
 pub mod telemetry;
 
+pub use arrivals::{ArrivalSpec, ChurnPlan, Diurnal, SessionLength, NEVER_DEPARTS};
 pub use calibrate::{calibrate_default, fit_v_for_omega, fit_v_for_omega_with, Calibration};
 pub use chart::ascii_chart;
 pub use engine::{CkptMode, Engine, EngineCheckpoint, RunOutcome};
@@ -54,7 +60,7 @@ pub use faults::{FaultEvent, FaultHook, FaultPlan, FaultSpec, NoFaults};
 pub use multicell::{MultiCellResult, MultiCellScenario};
 pub use pool::{SpinBarrier, WorkerPool};
 pub use results::{SimResult, UserResult};
-pub use scenario::{ArrivalSpec, Scenario};
+pub use scenario::Scenario;
 pub use svg::svg_chart;
 pub use sweep::{parallel_map, run_scenarios, run_scenarios_traced, try_parallel_map};
 pub use telemetry::{

@@ -27,7 +27,7 @@
 use crate::engine::SIG_BLOCK_SLOTS;
 use crate::error::{ScenarioError, SimError};
 use crate::faults::{FaultHook, NoFaults};
-use crate::pool::{SpinBarrier, WorkerPool};
+use crate::pool::{PhaseCell, SpinBarrier, WorkerPool};
 use crate::results::{SimResult, UserResult};
 use crate::scenario::Scenario;
 use crate::telemetry::{NullRecorder, SlotRecorder, SlotTrace, TraceRecorder};
@@ -40,7 +40,6 @@ use jmso_radio::{Dbm, EnergyMeter, KbPerSec, PowerModel, RrcMachine, ThroughputM
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration of a multi-cell run. Radio/media/scheduler parameters are
@@ -68,43 +67,6 @@ pub struct MultiCellResult {
     pub handovers: u64,
     /// Mean number of attached users per cell (load balance diagnostic).
     pub mean_cell_occupancy: Vec<f64>,
-}
-
-/// Interior-mutability cell whose access discipline is the barrier
-/// protocol of [`MultiCellScenario::run_parallel`]: in *serial* phases
-/// participant 0 holds exclusive access (everyone else is spinning at the
-/// next barrier); in the *parallel* phase each cell's lane is touched only
-/// by the participant owning its stripe and the shared state is read-only.
-/// Every access site states which phase makes it sound.
-struct PhaseCell<T>(UnsafeCell<T>);
-
-// SAFETY: cross-thread access is mediated entirely by the barrier
-// protocol above; `T: Send` is required because ownership of the interior
-// value effectively migrates between participants across barriers.
-unsafe impl<T: Send> Sync for PhaseCell<T> {}
-
-impl<T> PhaseCell<T> {
-    fn new(value: T) -> Self {
-        PhaseCell(UnsafeCell::new(value))
-    }
-
-    /// # Safety
-    /// Caller must hold phase ownership: no other participant may touch
-    /// this cell until the next barrier crossing.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get_mut(&self) -> &mut T {
-        &mut *self.0.get()
-    }
-
-    /// # Safety
-    /// Caller must be in a phase where no participant mutates this cell.
-    unsafe fn get(&self) -> &T {
-        &*self.0.get()
-    }
-
-    fn into_inner(self) -> T {
-        self.0.into_inner()
-    }
 }
 
 /// One cell's private scheduling state: everything a stripe participant

@@ -29,11 +29,27 @@
 //! argument. Worker panics are caught per participant, forwarded to the
 //! submitter, and re-raised there (first payload wins), so a panicking job
 //! never poisons the pool for the next caller.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+
+/// Lock a pool mutex, recovering the guard if a participant panicked
+/// while holding it. The pool's own state transitions are all trivially
+/// restorable (counters and an `Option<Job>`), so poisoning carries no
+/// information beyond the panic we already forward explicitly.
+fn lock_state(m: &Mutex<PoolState>) -> MutexGuard<'_, PoolState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// `Condvar::wait` with the same poison recovery as [`lock_state`].
+fn wait_on<'a>(cv: &Condvar, guard: MutexGuard<'a, PoolState>) -> MutexGuard<'a, PoolState> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Type-erased pointer to the job closure. The submitter keeps the real
 /// borrow alive for the whole job (see module docs), so dereferencing it
@@ -98,14 +114,18 @@ impl WorkerPool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         }));
-        let handles = (0..n_workers)
-            .map(|_| {
+        // A failed spawn degrades the pool instead of aborting the run:
+        // `n_workers` reflects the threads actually parked, and every
+        // consumer already treats participant count as a ceiling.
+        let handles: Vec<JoinHandle<()>> = (0..n_workers)
+            .filter_map(|_| {
                 std::thread::Builder::new()
                     .name("jmso-pool-worker".into())
                     .spawn(move || worker_loop(shared))
-                    .expect("worker thread spawns")
+                    .ok()
             })
             .collect();
+        let n_workers = handles.len();
         Self {
             shared,
             handles,
@@ -113,16 +133,27 @@ impl WorkerPool {
         }
     }
 
-    /// The process-wide pool, sized to `available_parallelism − 1` workers
-    /// (the caller is always the remaining participant). Spawned on first
-    /// use and kept for the process lifetime.
+    /// The process-wide pool. Sized by the `JMSO_THREADS` env var when set
+    /// to a positive integer — the value is the **total participant
+    /// count** (caller included), so `JMSO_THREADS=8` parks 7 workers.
+    /// This lets bench runs and CI pin shard width reproducibly, and lets
+    /// sharded runs deliberately oversubscribe a small host (the barrier's
+    /// yield fallback keeps oversubscription livelock-free). Without the
+    /// var the pool is sized to `available_parallelism − 1` workers.
+    /// Spawned on first use and kept for the process lifetime.
     pub fn global() -> &'static WorkerPool {
         static POOL: OnceLock<WorkerPool> = OnceLock::new();
         POOL.get_or_init(|| {
-            let hw = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
-            WorkerPool::new(hw.saturating_sub(1))
+            let pinned = std::env::var("JMSO_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1);
+            let threads = pinned.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+            WorkerPool::new(threads.saturating_sub(1))
         })
     }
 
@@ -158,12 +189,12 @@ impl WorkerPool {
             )
         });
         {
-            let mut st = self.shared.state.lock().expect("pool mutex");
+            let mut st = lock_state(&self.shared.state);
             // Serialize concurrent submitters: a new job may only be
             // posted once the previous one has fully drained (its
             // submitter clears `job` and re-notifies `done_cv`).
             while st.job.is_some() {
-                st = self.shared.done_cv.wait(st).expect("pool mutex");
+                st = wait_on(&self.shared.done_cv, st);
             }
             st.job = Some(Job {
                 f: erased,
@@ -180,9 +211,9 @@ impl WorkerPool {
         // always drained before unwinding out of the pool.
         let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
 
-        let mut st = self.shared.state.lock().expect("pool mutex");
+        let mut st = lock_state(&self.shared.state);
         while st.active > 0 {
-            st = self.shared.done_cv.wait(st).expect("pool mutex");
+            st = wait_on(&self.shared.done_cv, st);
         }
         st.job = None;
         let worker_panic = st.panic.take();
@@ -202,7 +233,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool mutex");
+            let mut st = lock_state(&self.shared.state);
             st.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -217,7 +248,7 @@ fn worker_loop(shared: &'static PoolShared) {
     loop {
         // Claim a participant slot of a job we have not served yet.
         let (f, slot) = {
-            let mut st = shared.state.lock().expect("pool mutex");
+            let mut st = lock_state(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -235,7 +266,7 @@ fn worker_loop(shared: &'static PoolShared) {
                         }
                     }
                 }
-                st = shared.work_cv.wait(st).expect("pool mutex");
+                st = wait_on(&shared.work_cv, st);
             }
         };
 
@@ -243,7 +274,7 @@ fn worker_loop(shared: &'static PoolShared) {
         // closure behind the pointer is alive for this call.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*f)(slot) }));
 
-        let mut st = shared.state.lock().expect("pool mutex");
+        let mut st = lock_state(&shared.state);
         if let Err(payload) = result {
             if st.panic.is_none() {
                 st.panic = Some(payload);
@@ -264,6 +295,14 @@ fn worker_loop(shared: &'static PoolShared) {
 /// generation counter instead — appropriate because every participant
 /// arrives within microseconds of the others (the phases between
 /// crossings are short and balanced by the cell striping).
+///
+/// After [`SPIN_BUDGET`](Self) polls a waiter downgrades to
+/// [`std::thread::yield_now`]: when participants outnumber cores (a
+/// pinned `JMSO_THREADS` width on a small host, or a CI box sharing
+/// cores) a pure spin would burn whole scheduler quanta waiting for a
+/// participant that cannot run until the spinner yields. The budget is
+/// large enough that the balanced, under-subscribed case never reaches
+/// the syscall.
 pub struct SpinBarrier {
     n: usize,
     count: AtomicUsize,
@@ -281,9 +320,15 @@ impl SpinBarrier {
         }
     }
 
-    /// Block (spin) until all `n` participants have called `wait`, then
-    /// release them together. Reusable: the generation counter makes each
-    /// rotation distinct.
+    /// Polls of the generation counter before a waiter starts yielding
+    /// its timeslice (see the type docs for why yielding matters under
+    /// oversubscription).
+    const SPIN_BUDGET: u32 = 256;
+
+    /// Block until all `n` participants have called `wait`, then release
+    /// them together. Reusable: the generation counter makes each
+    /// rotation distinct. Spins for [`Self::SPIN_BUDGET`] polls, then
+    /// yields between polls.
     pub fn wait(&self) {
         let generation = self.generation.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
@@ -294,15 +339,117 @@ impl SpinBarrier {
             self.generation
                 .store(generation.wrapping_add(1), Ordering::Release);
         } else {
+            let mut polls = 0u32;
             while self.generation.load(Ordering::Acquire) == generation {
-                std::hint::spin_loop();
+                if polls < Self::SPIN_BUDGET {
+                    polls += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
             }
         }
     }
 }
 
+/// Interior-mutability cell whose access discipline is a barrier
+/// protocol (the multicell stepper's and the sharded engine's): in
+/// *serial* phases participant 0 holds exclusive access (everyone else
+/// is spinning at the next barrier); in *parallel* phases each cell is
+/// touched only by the participant owning it. Every access site states
+/// which phase makes it sound.
+pub(crate) struct PhaseCell<T>(UnsafeCell<T>);
+
+// SAFETY: cross-thread access is mediated entirely by the barrier
+// protocol above; `T: Send` is required because ownership of the interior
+// value effectively migrates between participants across barriers.
+unsafe impl<T: Send> Sync for PhaseCell<T> {}
+
+impl<T> PhaseCell<T> {
+    pub(crate) fn new(value: T) -> Self {
+        PhaseCell(UnsafeCell::new(value))
+    }
+
+    /// # Safety
+    /// Caller must hold phase ownership: no other participant may touch
+    /// this cell until the next barrier crossing.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    /// # Safety
+    /// Caller must be in a phase where no participant mutates this cell.
+    pub(crate) unsafe fn get(&self) -> &T {
+        &*self.0.get()
+    }
+
+    pub(crate) fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+/// A length-tagged raw view of a slice shared between shard participants.
+///
+/// [`PhaseCell`] covers whole values owned by one participant per phase;
+/// the sharded engine additionally needs *one* contiguous buffer whose
+/// disjoint index ranges are written by different participants within the
+/// same parallel phase. Handing each participant a `&mut` to the whole
+/// buffer would alias; this wrapper instead derives every access from a
+/// raw base pointer, so references only ever materialize per element (or
+/// per serial phase) and never overlap.
+pub(crate) struct SharedSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: access is mediated by the same barrier protocol as PhaseCell —
+// parallel phases touch disjoint indices, serial phases are exclusive.
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T> SharedSlice<T> {
+    /// Capture a raw view of `v`'s buffer. The Vec must not be resized
+    /// (or dropped) while the view is in use.
+    pub(crate) fn new(v: &mut [T]) -> Self {
+        Self {
+            ptr: v.as_mut_ptr(),
+            len: v.len(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// # Safety
+    /// `i < len`, and no other participant may access index `i` until the
+    /// next barrier crossing.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+
+    /// # Safety
+    /// `i < len`, and no participant may be mutating index `i` this phase.
+    pub(crate) unsafe fn get(&self, i: usize) -> &T {
+        debug_assert!(i < self.len);
+        &*self.ptr.add(i)
+    }
+
+    /// # Safety
+    /// Caller must be in a serial phase (or a phase where nobody writes):
+    /// the returned slice aliases every index.
+    pub(crate) unsafe fn as_slice(&self) -> &[T] {
+        std::slice::from_raw_parts(self.ptr, self.len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use std::sync::atomic::AtomicU64;
 

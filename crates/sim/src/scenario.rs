@@ -14,48 +14,13 @@ use jmso_gateway::{
 use jmso_media::{generate_sessions, WorkloadSpec};
 use jmso_radio::{SignalKind, SignalSpec};
 use jmso_sched::{CrossLayerModels, SchedulerSpec};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// When user sessions begin.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Default)]
-#[serde(tag = "kind", rename_all = "snake_case")]
-pub enum ArrivalSpec {
-    /// Everyone starts at slot 0 (the paper's setting).
-    #[default]
-    Simultaneous,
-    /// Users arrive one after another with i.i.d. uniform inter-arrival
-    /// gaps in `[0, 2·mean_interval_slots]` (mean as named), seeded.
-    Staggered {
-        /// Mean gap between consecutive arrivals, slots.
-        mean_interval_slots: f64,
-    },
-}
-
-impl ArrivalSpec {
-    /// Draw the per-user arrival slots.
-    pub fn arrival_slots(&self, n_users: usize, seed: u64) -> Vec<u64> {
-        match *self {
-            ArrivalSpec::Simultaneous => vec![0; n_users],
-            ArrivalSpec::Staggered {
-                mean_interval_slots,
-            } => {
-                let mut rng = StdRng::seed_from_u64(seed ^ 0xA11_1BA1);
-                let mut t = 0.0f64;
-                (0..n_users)
-                    .map(|_| {
-                        let slot = t as u64;
-                        t += rng
-                            .random_range(0.0..=(2.0 * mean_interval_slots).max(f64::MIN_POSITIVE));
-                        slot
-                    })
-                    .collect()
-            }
-        }
-    }
-}
+// The arrival process grew into a module of its own (Poisson churn,
+// diurnal rate curves, session truncation); the spec is re-exported here
+// so `jmso_sim::scenario::ArrivalSpec` call sites keep compiling.
+pub use crate::arrivals::{ArrivalSpec, ChurnPlan, Diurnal, SessionLength, NEVER_DEPARTS};
 
 /// Everything needed to reproduce one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -204,9 +169,56 @@ impl Scenario {
     /// attached) together with the trace.
     pub fn run_traced(&self, every: u64) -> Result<(SimResult, SlotTrace), SimError> {
         let mut rec = TraceRecorder::new().with_every(every);
+        if self.arrivals.is_open() {
+            // Open-system runs carry the live-population column; closed
+            // scenarios keep their exact pre-PR 7 trace bytes.
+            rec = rec.with_live_counts();
+        }
         let result = self.run_with(&mut rec)?;
         let trace = rec.into_trace(&result.scheduler);
         Ok((result, trace))
+    }
+
+    /// [`Scenario::run`] on the sharded engine: users are partitioned
+    /// across the process-wide [`crate::WorkerPool`] into per-shard
+    /// columns, with a lockstep merge phase for the shared BS capacity
+    /// constraint. Bit-identical to [`Scenario::run`] by construction
+    /// (see DESIGN.md §11); falls back to the serial loop when `shards`
+    /// (clamped to the pool width) is ≤ 1, when the collector is not
+    /// pass-through, or when faults are configured.
+    pub fn run_sharded(&self, shards: usize) -> Result<SimResult, SimError> {
+        self.run_sharded_with(&mut crate::telemetry::NullRecorder, shards)
+    }
+
+    /// [`Scenario::run_sharded`] with a caller-supplied [`SlotRecorder`].
+    pub fn run_sharded_with<R: SlotRecorder + Send>(
+        &self,
+        rec: &mut R,
+        shards: usize,
+    ) -> Result<SimResult, SimError> {
+        self.run_sharded_on(crate::pool::WorkerPool::global(), shards, rec)
+    }
+
+    /// [`Scenario::run_sharded_with`] on a caller-owned pool — the
+    /// property tests use this to exercise real shard widths even on
+    /// machines whose global pool would clamp them to 1.
+    pub fn run_sharded_on<R: SlotRecorder + Send>(
+        &self,
+        pool: &crate::pool::WorkerPool,
+        shards: usize,
+        rec: &mut R,
+    ) -> Result<SimResult, SimError> {
+        self.validate()?;
+        match self.compiled_faults()? {
+            // Fault hooks thread per-slot state through the serial walk
+            // order; the sharded loop does not support them.
+            Some(plan) => Ok(self
+                .build_engine(false, Some(&plan))?
+                .run_faulted_with(rec, &plan)),
+            None => Ok(self
+                .build_engine(false, None)?
+                .run_sharded_on(pool, shards, rec)),
+        }
     }
 
     /// Run, atomically (re)writing a resumable [`EngineCheckpoint`]
@@ -298,6 +310,7 @@ impl Scenario {
                 "video sizes must be positive",
             ));
         }
+        self.arrivals.validate(self.n_users, "arrivals")?;
         Ok(())
     }
 
@@ -348,18 +361,20 @@ impl Scenario {
         } else {
             None
         };
-        let mut arrival_slots = self.arrivals.arrival_slots(self.n_users, self.seed);
+        let mut churn = self.arrivals.compile(self.n_users, self.seed);
         if let Some(plan) = faults {
             // Late-arrival churn: push the affected users' session starts
-            // back by the declared delay.
-            for (i, slot) in arrival_slots.iter_mut().enumerate() {
+            // back by the declared delay. Fault events stay perturbations
+            // layered on top of the workload plan.
+            for (i, slot) in churn.arrivals.iter_mut().enumerate() {
                 *slot = slot.saturating_add(plan.arrival_delay(i));
             }
         }
-        let mut engine = Engine::with_arrivals(
+        let mut engine = Engine::with_churn(
             signals,
             sessions,
-            arrival_slots,
+            churn.arrivals,
+            churn.departures,
             self.scheduler.build(self.tau, &self.models),
             self.capacity.build(),
             receiver,

@@ -42,8 +42,9 @@ use std::path::Path;
 /// Hook order per slot: `begin_slot` → `record_sched_latency_ns` +
 /// `record_alloc` + `record_queues` (gateway stage) → any number of
 /// `record_rrc_transition` / `record_user` calls (device accounting) →
-/// `end_slot`. `begin_run` opens a run and resets any prior state;
-/// `end_run` closes it (flushing partial windows).
+/// `record_live` (open-system population) → `end_slot`. `begin_run`
+/// opens a run and resets any prior state; `end_run` closes it (flushing
+/// partial windows).
 ///
 /// `record_user` fires at most once per user per slot, indexed by the
 /// stable user id; users the engine skips (pre-arrival, or retired by the
@@ -107,6 +108,15 @@ pub trait SlotRecorder {
     /// `note` is byte-deterministic, derived from the fault plan alone.
     fn record_fault(&mut self, note: &str) {
         let _ = note;
+    }
+
+    /// The slot's live population: users who have arrived and are still
+    /// watching after this slot's accounting (pre-arrival, departed, and
+    /// finished users excluded). Fired once per slot, just before
+    /// `end_slot`, for open-system workloads; derived from simulation
+    /// state only, so it is trace-safe.
+    fn record_live(&mut self, in_system: u64) {
+        let _ = in_system;
     }
 
     /// Slot ends (all per-user accounting for it has been reported).
@@ -189,6 +199,12 @@ pub struct SlotRecord {
     /// from the fault plan). Omitted when empty.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub faults: Vec<String>,
+    /// Live population at the emitted slot (arrived ∧ still watching).
+    /// Only recorders that opted in via
+    /// [`TraceRecorder::with_live_counts`] carry it; omitted otherwise,
+    /// so closed-population traces are byte-identical to older ones.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub live: Option<u64>,
 }
 
 /// Header line of a JSONL trace.
@@ -473,6 +489,10 @@ struct TraceRecorderState {
     win_deg: Vec<DegradationEvent>,
     win_faults: Vec<String>,
     win_slots: u64,
+    #[serde(default)]
+    track_live: bool,
+    #[serde(default)]
+    cur_live: u64,
     prev_reb: Vec<f64>,
     cur_state: Vec<RrcState>,
     dwell_s: (f64, f64, f64),
@@ -508,6 +528,9 @@ pub struct TraceRecorder {
     win_deg: Vec<DegradationEvent>,
     win_faults: Vec<String>,
     win_slots: u64,
+    // Live-population sampling (off unless `with_live_counts`).
+    track_live: bool,
+    cur_live: u64,
     // Per-user caches.
     prev_reb: Vec<f64>,
     cur_state: Vec<RrcState>,
@@ -546,6 +569,8 @@ impl TraceRecorder {
             win_deg: Vec::new(),
             win_faults: Vec::new(),
             win_slots: 0,
+            track_live: false,
+            cur_live: 0,
             prev_reb: Vec::new(),
             cur_state: Vec::new(),
             dwell_s: [0.0; 3],
@@ -564,6 +589,15 @@ impl TraceRecorder {
     /// the full trace; 0 is clamped to 1.
     pub fn with_every(mut self, every: u64) -> Self {
         self.every = every.max(1);
+        self
+    }
+
+    /// Carry the per-slot live-population count (from
+    /// [`SlotRecorder::record_live`]) in emitted records, sampled at the
+    /// emitted slot like `alloc`/`cap`. Off by default so
+    /// closed-population traces keep their exact byte form.
+    pub fn with_live_counts(mut self) -> Self {
+        self.track_live = true;
         self
     }
 
@@ -586,6 +620,7 @@ impl TraceRecorder {
             rrc: std::mem::take(&mut self.win_rrc),
             deg: std::mem::take(&mut self.win_deg),
             faults: std::mem::take(&mut self.win_faults),
+            live: self.track_live.then_some(self.cur_live),
         });
         self.win_e.fill(0.0);
         self.win_reb.fill(0.0);
@@ -643,6 +678,7 @@ impl SlotRecorder for TraceRecorder {
         self.win_deg.clear();
         self.win_faults.clear();
         self.win_slots = 0;
+        self.cur_live = 0;
         self.prev_reb.clear();
         self.prev_reb.resize(n_users, 0.0);
         self.cur_state.clear();
@@ -699,6 +735,10 @@ impl SlotRecorder for TraceRecorder {
         self.win_faults.push(note.to_string());
     }
 
+    fn record_live(&mut self, in_system: u64) {
+        self.cur_live = in_system;
+    }
+
     fn end_slot(&mut self) {
         self.slots_seen += 1;
         self.win_slots += 1;
@@ -734,6 +774,8 @@ impl SlotRecorder for TraceRecorder {
             win_deg: self.win_deg.clone(),
             win_faults: self.win_faults.clone(),
             win_slots: self.win_slots,
+            track_live: self.track_live,
+            cur_live: self.cur_live,
             prev_reb: self.prev_reb.clone(),
             cur_state: self.cur_state.clone(),
             dwell_s: (self.dwell_s[0], self.dwell_s[1], self.dwell_s[2]),
@@ -766,6 +808,8 @@ impl SlotRecorder for TraceRecorder {
         self.win_deg = s.win_deg;
         self.win_faults = s.win_faults;
         self.win_slots = s.win_slots;
+        self.track_live = s.track_live;
+        self.cur_live = s.cur_live;
         self.prev_reb = s.prev_reb;
         self.cur_state = s.cur_state;
         self.dwell_s = [s.dwell_s.0, s.dwell_s.1, s.dwell_s.2];
@@ -904,6 +948,39 @@ mod tests {
         let again_summary = rec.summary().unwrap();
         assert_eq!(rec.into_trace("t"), first);
         assert_eq!(again_summary, first_summary);
+    }
+
+    #[test]
+    fn live_counts_are_opt_in_and_sampled_at_emit() {
+        // Default recorder: record_live calls leave traces byte-identical
+        // (the field is absent, not null).
+        let mut plain = TraceRecorder::new();
+        plain.begin_run(1, 1.0);
+        plain.begin_slot(0, 10);
+        plain.record_user(0, 1.0, 0.0);
+        plain.record_live(7);
+        plain.end_slot();
+        plain.end_run();
+        let text = plain.into_trace("t").to_jsonl();
+        assert!(!text.contains("live"), "opt-out trace must omit the field");
+
+        // Opted-in recorder with downsampling: the emitted value is the
+        // window's last slot's count.
+        let mut rec = TraceRecorder::new().with_every(2).with_live_counts();
+        rec.begin_run(1, 1.0);
+        for (slot, live) in [(0u64, 3u64), (1, 5), (2, 4)] {
+            rec.begin_slot(slot, 10);
+            rec.record_user(0, 1.0, 0.0);
+            rec.record_live(live);
+            rec.end_slot();
+        }
+        rec.end_run();
+        let trace = rec.into_trace("t");
+        assert_eq!(trace.records[0].live, Some(5));
+        assert_eq!(trace.records[1].live, Some(4));
+        // And the field round-trips through JSONL.
+        let back = SlotTrace::from_jsonl(&trace.to_jsonl()).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

@@ -17,6 +17,14 @@ echo "== cargo clippy -p jmso-sched (deny unwrap/expect/panic in lib)"
 cargo clippy -p jmso-sched --lib --no-deps -- -D warnings \
     -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
 
+# Same burn-down for the sim crate's concurrency-critical modules: the
+# worker pool and the engine (including the sharded runner) carry
+# module-level #![deny(clippy::unwrap_used, ...)] attrs, so a plain
+# clippy pass over the lib enforces them; this step exists to fail
+# loudly if those attrs are ever removed.
+echo "== cargo clippy -p jmso-sim (deny unwrap/expect/panic in pool/engine)"
+cargo clippy -p jmso-sim --lib --no-deps -- -D warnings
+
 echo "== cargo test"
 cargo test -q
 
@@ -42,7 +50,7 @@ if [[ "${FAULT:-0}" == "1" ]]; then
 fi
 
 # Opt-in perf gate: BENCH=1 scripts/check.sh additionally runs the
-# hotpath bench and diffs it against the committed BENCH_PR6.json
+# hotpath bench and diffs it against the committed BENCH_PR7.json
 # baseline (too noisy for every pre-commit run, so off by default).
 if [[ "${BENCH:-0}" == "1" ]]; then
     scripts/bench-regress.sh
