@@ -42,8 +42,9 @@ use jmso_sched::ema_fast::{solve_greedy_with, GreedyScratch};
 use jmso_sched::lyapunov::VirtualQueues;
 use jmso_sched::{CrossLayerModels, EmaCost};
 use jmso_sim::{
-    ArrivalSpec, Diurnal, FaultEvent, FaultSpec, MultiCellScenario, NullRecorder, Scenario,
-    SchedulerSpec, SessionLength, TraceRecorder, WorkerPool,
+    AbrPolicy, AbrSpec, AdmissionSpec, ArrivalSpec, BitrateLadder, Diurnal, FaultEvent, FaultSpec,
+    MultiCellScenario, NullRecorder, Scenario, SchedulerSpec, SessionLength, TraceRecorder,
+    WorkerPool,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -260,6 +261,47 @@ fn main() {
     };
     report_best_of("Default + faults", || {
         scenario.run().expect("faulted run").slots_run
+    });
+
+    // ABR overhead row: the same Default cell with a three-rung ladder
+    // under the buffer-based policy. The per-scheduler rows all run the
+    // constant-bitrate path, so the ABR / plain ratio bounds what chunk
+    // accounting, rung decisions and session rescaling add per slot.
+    let mut scenario = paper_cell(40, 375.0).with_seed(42);
+    scenario.abr = Some(AbrSpec {
+        ladder: BitrateLadder {
+            multipliers: vec![0.5, 0.75, 1.0],
+        },
+        chunk_slots: 4,
+        policy: AbrPolicy::BufferBased {
+            low_s: 4.0,
+            high_s: 12.0,
+        },
+        initial_rung: None,
+    });
+    report_best_of("Default + ABR", || {
+        scenario.run().expect("abr run").slots_run
+    });
+
+    // Admission overhead row: a 1 000-user open-system cell whose Poisson
+    // arrivals all pass through the feasibility controller (serial loop —
+    // admission pins the run serial by design). Prices the end-of-slot
+    // admission tick: heap pops plus an O(n) active scan per candidate.
+    let mut scenario = paper_cell(1_000, 375.0).with_seed(42);
+    scenario.slots = 2_000;
+    scenario.arrivals = ArrivalSpec::Poisson {
+        mean_interval_slots: 1.0,
+        diurnal: None,
+        session_slots: Some(SessionLength::Exponential { mean_slots: 200.0 }),
+    };
+    scenario.admission = Some(AdmissionSpec::Feasibility {
+        v: 1.0,
+        omega_s: None,
+        phi_mj: None,
+        max_defer_slots: 30,
+    });
+    report_best_of_default("open-system + admission", 3, || {
+        scenario.run().expect("admission run").slots_run
     });
 
     let mc = MultiCellScenario {

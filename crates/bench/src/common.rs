@@ -203,6 +203,7 @@ mod tests {
             fairness_window_series: vec![],
             power_series_j: vec![],
             telemetry: None,
+            warnings: vec![],
         };
         let s = RunStats::from_result(&r);
         assert!((s.rebuf_per_user_s - 5.0).abs() < 1e-12);

@@ -14,6 +14,7 @@
 //! [`shard`] holds the `δ`-sized data-unit arithmetic of Definitions 1–3 and
 //! [`bs`] the serving-capacity model `S(n)`.
 
+pub mod admission;
 pub mod bs;
 pub mod collector;
 pub mod dpi;
@@ -23,6 +24,10 @@ pub mod shard;
 pub mod soa;
 pub mod transmitter;
 
+pub use admission::{
+    AdmissionContext, AdmissionController, AdmissionDecision, AdmissionSpec, AdmissionState,
+    AdmissionSummary,
+};
 pub use bs::{CapacityModel, ConstantCapacity, DiurnalCapacity, OutageCapacity, TraceCapacity};
 pub use collector::{CollectorSpec, CollectorState, InformationCollector};
 pub use dpi::{format_segment_request, DpiClassifier, DpiError, FlowInfo};

@@ -129,6 +129,32 @@ impl DataReceiver {
         self.flows[user].remaining_source_kb = Some(kb);
     }
 
+    /// Adjust flow `user`'s total source volume by `delta_kb` (an ABR rung
+    /// switch re-prices the unfetched remainder of the video). Growth goes
+    /// to the undelivered source remainder when the origin still owes
+    /// bytes, else to the gateway backlog (the origin already shipped
+    /// everything, as an [`OriginModel::Infinite`] origin does on first
+    /// ingest); shrinkage drains the source remainder first and then the
+    /// backlog, flooring both at zero. No-op for unbounded flows.
+    pub fn adjust_source_volume_kb(&mut self, user: usize, delta_kb: f64) {
+        let f = &mut self.flows[user];
+        let Some(rem) = f.remaining_source_kb.as_mut() else {
+            return;
+        };
+        if delta_kb >= 0.0 {
+            if *rem > 0.0 {
+                *rem += delta_kb;
+            } else {
+                f.backlog_kb += delta_kb;
+            }
+        } else {
+            let from_rem = (-delta_kb).min(*rem);
+            *rem -= from_rem;
+            let from_backlog = (-delta_kb) - from_rem;
+            f.backlog_kb = (f.backlog_kb - from_backlog).max(0.0);
+        }
+    }
+
     /// Reclassify a flow (video flows are scheduled, background is not).
     pub fn set_class(&mut self, user: usize, class: FlowClass) {
         self.flows[user].class = class;
@@ -308,6 +334,40 @@ mod tests {
         let (kb2, chunks2) = r.dequeue_kb(0, 10.0);
         assert_eq!(kb2, 1.0);
         assert_eq!(chunks2.iter().map(|c| c.len()).sum::<usize>(), 1024);
+    }
+
+    #[test]
+    fn adjust_volume_grows_remainder_then_backlog() {
+        let mut r = DataReceiver::new(1, OriginModel::RateLimited { kbps: 100.0 }, 1.0);
+        r.set_source_volume_kb(0, 300.0);
+        r.ingest_slot(0); // backlog 100, source remainder 200
+        r.adjust_source_volume_kb(0, 50.0); // remainder 250
+        let st = r.export_state();
+        assert_eq!(st[0].remaining_source_kb, Some(250.0));
+        assert_eq!(st[0].backlog_kb, 100.0);
+        // Shrink past the remainder: drains it, then the backlog, floored.
+        r.adjust_source_volume_kb(0, -400.0);
+        let st = r.export_state();
+        assert_eq!(st[0].remaining_source_kb, Some(0.0));
+        assert_eq!(st[0].backlog_kb, 0.0);
+    }
+
+    #[test]
+    fn adjust_volume_lands_in_backlog_once_origin_drained() {
+        // Infinite origin + volume bound: the whole video is in the
+        // backlog after the first ingest, so growth must go there.
+        let mut r = DataReceiver::new(1, OriginModel::Infinite, 1.0);
+        r.set_source_volume_kb(0, 500.0);
+        r.ingest_slot(0);
+        assert_eq!(r.backlog_kb(0), 500.0);
+        r.adjust_source_volume_kb(0, 250.0);
+        assert_eq!(r.backlog_kb(0), 750.0);
+        r.adjust_source_volume_kb(0, -100.0);
+        assert_eq!(r.backlog_kb(0), 650.0);
+        // Unbounded flows ignore adjustments.
+        let mut u = DataReceiver::new(1, OriginModel::RateLimited { kbps: 1.0 }, 1.0);
+        u.adjust_source_volume_kb(0, 99.0);
+        assert_eq!(u.backlog_kb(0), 0.0);
     }
 
     #[test]

@@ -11,12 +11,19 @@
 //! * [`metrics`] — QoE aggregation: rebuffering statistics, the Jain
 //!   fairness index used in Figs. 2/6, and CDF utilities for the figure
 //!   harness.
+//! * [`abr`] — DASH-style adaptive bitrate: a ladder of encoded rates
+//!   per session and per-chunk rung-selection policies (buffer-based
+//!   and rate-prediction-based).
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+pub mod abr;
 pub mod buffer;
 pub mod metrics;
 pub mod video;
 pub mod workload;
 
+pub use abr::{AbrClient, AbrInputs, AbrPolicy, AbrSpec, AbrSwitch, BitrateLadder};
 pub use buffer::{ClientPlayback, SlotOutcome};
 pub use metrics::{jain_index, Cdf, RebufferStats};
 pub use video::{BitrateModel, VideoSession};

@@ -120,10 +120,23 @@ impl VideoSession {
     pub fn cancel_remaining(&mut self) {
         self.total_kb = self.received_kb;
     }
+
+    /// Re-price the unfetched remainder by `ratio` (an ABR rung switch:
+    /// the remaining chunks are re-encoded at `new_rate = ratio × old_rate`,
+    /// so their bytes scale by the same factor while their playback
+    /// duration is unchanged). Returns the signed change in `total_kb`
+    /// so the caller can adjust the gateway's source-volume accounting.
+    pub fn rescale_remaining(&mut self, ratio: f64) -> f64 {
+        debug_assert!(ratio > 0.0 && ratio.is_finite());
+        let delta = self.remaining_kb() * (ratio - 1.0);
+        self.total_kb += delta;
+        delta
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

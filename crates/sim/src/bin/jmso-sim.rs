@@ -5,7 +5,8 @@
 //! jmso-sim run <scenario.json> [--out r.json] [--per-user u.csv]
 //!              [--trace t.jsonl] [--trace-every N]
 //!              [--ckpt c.json --ckpt-every K] [--resume c.json]
-//!              [--shards W]
+//!              [--shards W] [--abr 0.5,0.75,1.0]
+//!              [--admission always|feasible[:k=v,...]]
 //!                                               run one scenario, print a summary;
 //!                                               --trace records per-slot telemetry
 //!                                               (JSONL, downsampled to every Nth slot);
@@ -16,7 +17,14 @@
 //!                                               shard-parallel loop on W worker-pool
 //!                                               participants (see JMSO_THREADS;
 //!                                               incompatible with checkpointing and
-//!                                               fault injection)
+//!                                               fault injection);
+//!                                               --abr overrides the scenario with a
+//!                                               bitrate ladder of the given native-rate
+//!                                               multipliers (default buffer-based
+//!                                               policy); --admission overrides the
+//!                                               admission spec — "always" or
+//!                                               "feasible" with optional v=/omega=/
+//!                                               phi=/defer= options
 //! jmso-sim calibrate <scenario.json>            measure the Default reference points
 //! jmso-sim fit-v <scenario.json> --omega <s>    fit EMA's V to a rebuffering bound
 //! jmso-sim sweep <scenario.json> --seeds 1,2,3 [--threads T]
@@ -32,8 +40,9 @@
 //! I/O, restore mismatches).
 
 use jmso_sim::{
-    calibrate_default, fit_v_for_omega, run_scenarios, CheckpointError, EngineCheckpoint,
-    NullRecorder, Scenario, SimError, SimResult, TraceError, TraceRecorder,
+    calibrate_default, fit_v_for_omega, run_scenarios, AbrSpec, AdmissionSpec, BitrateLadder,
+    CheckpointError, EngineCheckpoint, NullRecorder, Scenario, SimError, SimResult, TraceError,
+    TraceRecorder,
 };
 use std::fmt;
 use std::path::Path;
@@ -110,7 +119,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: jmso-sim template [N] | run <scenario.json> [--out r.json] \
                  [--trace t.jsonl] [--trace-every N] [--ckpt c.json --ckpt-every K] \
-                 [--resume c.json] [--shards W] | \
+                 [--resume c.json] [--shards W] [--abr 0.5,0.75,1.0] \
+                 [--admission always|feasible[:k=v,...]] | \
                  calibrate <scenario.json> | fit-v <scenario.json> --omega <s> | \
                  sweep <scenario.json> --seeds 1,2,3 [--threads T]"
             );
@@ -136,6 +146,77 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn load_scenario(path: &str) -> Result<Scenario, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| CliError::Usage(format!("parsing {path}: {e:?}")))
+}
+
+/// `--abr 0.5,0.75,1.0` — a ladder of native-rate multipliers with the
+/// default chunking and (buffer-based) policy; full control over the
+/// policy lives in the scenario JSON's `abr` object.
+fn parse_abr(s: &str) -> Result<AbrSpec, String> {
+    let multipliers: Vec<f64> = s
+        .split(',')
+        .map(|m| {
+            m.trim()
+                .parse()
+                .map_err(|e| format!("bad --abr rung {m:?}: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(AbrSpec {
+        ladder: BitrateLadder { multipliers },
+        ..AbrSpec::single_rung()
+    })
+}
+
+/// `--admission always` or
+/// `--admission feasible[:v=2,omega=0.05,phi=500,defer=30]`.
+fn parse_admission(s: &str) -> Result<AdmissionSpec, String> {
+    if s == "always" {
+        return Ok(AdmissionSpec::AlwaysAdmit);
+    }
+    let rest = s.strip_prefix("feasible").ok_or_else(|| {
+        format!("bad --admission {s:?}: expected \"always\" or \"feasible[:k=v,...]\"")
+    })?;
+    let mut v = 1.0;
+    let mut omega_s = None;
+    let mut phi_mj = None;
+    let mut max_defer_slots = 30;
+    if let Some(kvs) = rest.strip_prefix(':') {
+        for kv in kvs.split(',') {
+            let (key, val) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("bad --admission option {kv:?}: expected k=v"))?;
+            let parse = |what: &str| {
+                val.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --admission {what}: {e}"))
+            };
+            match key.trim() {
+                "v" => v = parse("v")?,
+                "omega" => omega_s = Some(parse("omega")?),
+                "phi" => phi_mj = Some(parse("phi")?),
+                "defer" => {
+                    max_defer_slots = val
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad --admission defer: {e}"))?
+                }
+                other => {
+                    return Err(format!(
+                        "bad --admission option {other:?}: expected v, omega, phi or defer"
+                    ))
+                }
+            }
+        }
+    } else if !rest.is_empty() {
+        return Err(format!(
+            "bad --admission {s:?}: expected \"always\" or \"feasible[:k=v,...]\""
+        ));
+    }
+    Ok(AdmissionSpec::Feasibility {
+        v,
+        omega_s,
+        phi_mj,
+        max_defer_slots,
+    })
 }
 
 fn summarize(r: &SimResult) {
@@ -181,7 +262,13 @@ fn cmd_template(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or("run: missing <scenario.json>")?;
-    let scenario = load_scenario(path)?;
+    let mut scenario = load_scenario(path)?;
+    if let Some(spec) = flag_value(args, "--abr") {
+        scenario.abr = Some(parse_abr(spec)?);
+    }
+    if let Some(spec) = flag_value(args, "--admission") {
+        scenario.admission = Some(parse_admission(spec)?);
+    }
     let trace_path = flag_value(args, "--trace");
     let every: u64 = flag_value(args, "--trace-every")
         .map(|s| s.parse().map_err(|e| format!("bad --trace-every: {e}")))
@@ -256,6 +343,10 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         }
     };
     summarize(&result);
+    for w in &result.warnings {
+        let jmso_sim::SimWarning::ShardFallback { reason } = w;
+        println!("warning: sharded run fell back to serial: {reason}");
+    }
     if let Some(t) = &result.telemetry {
         println!("{}", jmso_sim::report::telemetry_text(t));
     }

@@ -56,20 +56,23 @@
 use crate::error::{atomic_write, CheckpointError, SimError};
 use crate::faults::{FaultHook, NoFaults};
 use crate::pool::{PhaseCell, SharedSlice, SpinBarrier, WorkerPool};
-use crate::results::{SimResult, UserResult};
+use crate::results::{SimResult, SimWarning, UserResult};
 use crate::telemetry::{NullRecorder, SlotRecorder};
 use jmso_gateway::bs::CapacityModel;
 use jmso_gateway::collector::RawUserState;
 use jmso_gateway::{
+    AdmissionContext, AdmissionController, AdmissionDecision, AdmissionSpec, AdmissionState,
     Allocation, CollectorState, DataReceiver, DataTransmitter, Delivery, FlowState,
     InformationCollector, Scheduler, SlotContext, SnapshotSoA, UnitParams, UserSnapshot,
 };
-use jmso_media::{jain_index, ClientPlayback, VideoSession};
+use jmso_media::{jain_index, AbrClient, AbrInputs, AbrSpec, ClientPlayback, VideoSession};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::signal::{SignalKind, SignalModel};
 use jmso_radio::{Dbm, EnergyMeter, MilliJoules, PowerModel, RrcMachine};
-use jmso_sched::CrossLayerModels;
+use jmso_sched::{drift_bound_b, energy_upper_bound, rebuffer_upper_bound, CrossLayerModels};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -188,6 +191,11 @@ struct UserCkpt {
     departure_slot: u64,
     declared_rate_kbps: Option<f64>,
     sig_samples: u64,
+    /// Added in v3: the user's ABR client state (absent on fixed-bitrate
+    /// runs, so their sidecars keep the v2 byte shape and v2 sidecars
+    /// parse with the default).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    abr: Option<AbrClient>,
 }
 
 /// Serde default for [`UserCkpt::departure_slot`].
@@ -230,11 +238,21 @@ pub struct EngineCheckpoint {
     transmitter_clamps: u64,
     recorder: String,
     loop_state: LoopCkpt,
+    /// Added in v3: admission-controller state (absent when no
+    /// feasibility controller is installed; the pending-arrival heap is
+    /// rebuilt from the users' arrival slots on restore).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    admission: Option<AdmissionCkpt>,
 }
 
-/// Checkpoint format version this build writes and accepts. v2 added
-/// per-user `departure_slot` (open-system churn).
-const CKPT_VERSION: u32 = 2;
+/// Checkpoint format version this build writes. v2 added per-user
+/// `departure_slot` (open-system churn); v3 added per-user ABR client
+/// state and admission-controller state, both behind serde defaults, so
+/// v2 sidecars still restore.
+const CKPT_VERSION: u32 = 3;
+
+/// Oldest checkpoint version this build still reads.
+const CKPT_MIN_VERSION: u32 = 2;
 
 impl EngineCheckpoint {
     /// Slot the resumed run will execute next.
@@ -254,9 +272,12 @@ impl EngineCheckpoint {
         let ck: Self = serde_json::from_str(s).map_err(|e| CheckpointError::Corrupt {
             reason: format!("parse: {e:?}"),
         })?;
-        if ck.version != CKPT_VERSION {
+        if !(CKPT_MIN_VERSION..=CKPT_VERSION).contains(&ck.version) {
             return Err(CheckpointError::Corrupt {
-                reason: format!("version {} (this build reads {CKPT_VERSION})", ck.version),
+                reason: format!(
+                    "version {} (this build reads {CKPT_MIN_VERSION}..={CKPT_VERSION})",
+                    ck.version
+                ),
             });
         }
         Ok(ck)
@@ -327,6 +348,49 @@ struct SerialCtx<'a, R> {
     slots_run: u64,
 }
 
+/// Per-run ABR machinery installed by [`Engine::set_abr`]: the spec, the
+/// per-user native rates the ladder multiplies, and one client state
+/// machine per user. Decisions are staged per user during delivery
+/// accounting ([`AbrClient::on_delivery`]) and committed in a serial
+/// ascending-user pass, so every run path (serial, sharded, reference)
+/// observes identical switch order.
+struct AbrRuntime {
+    spec: AbrSpec,
+    /// Chunk length in seconds (`chunk_slots · τ`).
+    chunk_s: f64,
+    /// Per-user native mean rate, KB/s (the ladder's 1.0 reference).
+    native: Vec<f64>,
+    clients: Vec<AbrClient>,
+}
+
+/// Per-run admission machinery installed by [`Engine::set_admission`] —
+/// only for the feasibility policy; `AlwaysAdmit` is the identity and
+/// installs nothing, which is what makes it bit-identical to running
+/// without admission control.
+struct AdmissionRuntime {
+    ctl: AdmissionController,
+    /// Per-user native mean rate, KB/s (demand estimate for ε̂).
+    rates: Vec<f64>,
+    /// Lyapunov trade-off weight `V` used in the bound estimates.
+    v: f64,
+    /// Min-heap of `(arrival_slot, user)` still awaiting a ruling.
+    pending: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Energy charged to arrived-and-watching users so far, mJ — the
+    /// running `E*` estimate's numerator.
+    energy_mj: f64,
+    /// Arrived-and-watching user-slots accumulated so far.
+    user_slots: u64,
+}
+
+/// Serializable slice of an [`AdmissionRuntime`] (the pending heap is
+/// derived from per-user arrival slots and rebuilt on restore).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AdmissionCkpt {
+    state: AdmissionState,
+    energy_mj: f64,
+    user_slots: u64,
+}
+
 /// The assembled simulator for one scenario.
 pub struct Engine {
     users: Vec<UserSim>,
@@ -338,6 +402,8 @@ pub struct Engine {
     units: UnitParams,
     models: CrossLayerModels,
     cfg: EngineConfig,
+    abr: Option<AbrRuntime>,
+    admission: Option<AdmissionRuntime>,
 }
 
 impl Engine {
@@ -471,6 +537,8 @@ impl Engine {
             units: UnitParams::new(cfg.delta_kb),
             models,
             cfg,
+            abr: None,
+            admission: None,
         }
     }
 
@@ -483,6 +551,83 @@ impl Engine {
             assert!(r > 0.0, "declared rate must be positive");
             u.declared_rate_kbps = Some(r);
         }
+    }
+
+    /// Install DASH-style ABR clients: each user fetches fixed-duration
+    /// chunks priced by the ladder rung their policy selects, and the
+    /// gateway's advertised demand tracks the rung rate. The single-rung
+    /// ladder is bit-identical to the constant-bitrate path (`1.0 ×
+    /// native` is exact in IEEE 754 and a one-rung policy never stages a
+    /// switch) — pinned by the `abr_properties` test pack.
+    ///
+    /// Must be called before the run starts; `spec` is assumed validated
+    /// (see `AbrSpec::validate`).
+    pub fn set_abr(&mut self, spec: &AbrSpec) {
+        let chunk_s = spec.chunk_slots as f64 * self.cfg.tau;
+        let start = spec.start_rung();
+        let native: Vec<f64> = self
+            .users
+            .iter()
+            .map(|u| u.session.bitrate.mean_rate())
+            .collect();
+        let mut clients = Vec::with_capacity(self.users.len());
+        for (i, u) in self.users.iter_mut().enumerate() {
+            let c = AbrClient::new(&spec.ladder, start, native[i], chunk_s);
+            // A below-native start rung re-prices the whole (unfetched)
+            // video at the start rung's rate; the receiver's origin-side
+            // volume bound follows the session.
+            if c.rate_kbps != native[i] {
+                let delta = u.session.rescale_remaining(c.rate_kbps / native[i]);
+                self.receiver.adjust_source_volume_kb(i, delta);
+            }
+            clients.push(c);
+        }
+        self.abr = Some(AbrRuntime {
+            spec: spec.clone(),
+            chunk_s,
+            native,
+            clients,
+        });
+    }
+
+    /// Install gateway admission control over this run's planned
+    /// arrivals. [`AdmissionSpec::AlwaysAdmit`] installs nothing — the
+    /// identity, bit-identical to an uncontrolled run on every path. The
+    /// feasibility policy rules on each pending arrival at the end of the
+    /// slot preceding it (arrivals at slot 0 are admitted by fiat: there
+    /// is no earlier decision point). Serial-only: `run_sharded_on` falls
+    /// back to the serial loop (with a [`SimWarning::ShardFallback`])
+    /// when a feasibility controller is installed.
+    pub fn set_admission(&mut self, spec: &AdmissionSpec) {
+        let AdmissionSpec::Feasibility { v, .. } = spec else {
+            return;
+        };
+        let rates: Vec<f64> = self
+            .users
+            .iter()
+            .map(|u| u.session.bitrate.mean_rate())
+            .collect();
+        let pending: BinaryHeap<Reverse<(u64, usize)>> = self
+            .users
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.arrival_slot > 0 && u.arrival_slot != u64::MAX)
+            .map(|(i, u)| Reverse((u.arrival_slot, i)))
+            .collect();
+        self.admission = Some(AdmissionRuntime {
+            ctl: AdmissionController::new(spec.clone(), self.users.len()),
+            rates,
+            v: *v,
+            pending,
+            energy_mj: 0.0,
+            user_slots: 0,
+        });
+    }
+
+    /// Decision tallies of the installed admission controller (`None`
+    /// when no feasibility controller is installed).
+    pub fn admission_summary(&self) -> Option<jmso_gateway::AdmissionSummary> {
+        self.admission.as_ref().map(|a| a.ctl.summary())
     }
 
     /// Capture full engine state at the top of `slot`.
@@ -510,7 +655,8 @@ impl Engine {
             users: self
                 .users
                 .iter()
-                .map(|u| UserCkpt {
+                .enumerate()
+                .map(|(i, u)| UserCkpt {
                     session: u.session.clone(),
                     playback: u.playback.clone(),
                     rrc: u.rrc.clone(),
@@ -522,6 +668,7 @@ impl Engine {
                     departure_slot: u.departure_slot,
                     declared_rate_kbps: u.declared_rate_kbps,
                     sig_samples: u.sig_samples,
+                    abr: self.abr.as_ref().map(|a| a.clients[i]),
                 })
                 .collect(),
             receiver: self.receiver.export_state(),
@@ -530,6 +677,11 @@ impl Engine {
             transmitter_clamps: self.transmitter.clamp_events(),
             recorder,
             loop_state,
+            admission: self.admission.as_ref().map(|a| AdmissionCkpt {
+                state: a.ctl.export_state(),
+                energy_mj: a.energy_mj,
+                user_slots: a.user_slots,
+            }),
         })
     }
 
@@ -577,6 +729,56 @@ impl Engine {
             u.departure_slot = s.departure_slot;
             u.declared_rate_kbps = s.declared_rate_kbps;
             u.sig_samples = s.sig_samples;
+        }
+        // ABR presence must agree between the checkpoint and the engine
+        // (a spec mismatch would silently change pricing mid-run).
+        if let Some(a) = self.abr.as_mut() {
+            for (i, s) in ck.users.iter().enumerate() {
+                let Some(c) = s.abr else {
+                    return Err(CheckpointError::Restore {
+                        component: "abr",
+                        reason: "checkpoint has no ABR client state but the engine runs ABR".into(),
+                    });
+                };
+                a.clients[i] = c;
+            }
+        } else if ck.users.iter().any(|s| s.abr.is_some()) {
+            return Err(CheckpointError::Restore {
+                component: "abr",
+                reason: "checkpoint carries ABR client state but the engine runs fixed-bitrate"
+                    .into(),
+            });
+        }
+        match (self.admission.as_mut(), &ck.admission) {
+            (Some(a), Some(s)) => {
+                a.ctl
+                    .import_state(&s.state)
+                    .map_err(|reason| CheckpointError::Restore {
+                        component: "admission",
+                        reason,
+                    })?;
+                a.energy_mj = s.energy_mj;
+                a.user_slots = s.user_slots;
+                // Rebuild the pending heap from the restored arrival
+                // slots: at the top of slot k it holds exactly the
+                // arrivals still due after k (the tick at the end of slot
+                // k−1 consumed everything due at or before k).
+                a.pending = self
+                    .users
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, u)| u.arrival_slot > ck.slot && u.arrival_slot != u64::MAX)
+                    .map(|(i, u)| Reverse((u.arrival_slot, i)))
+                    .collect();
+            }
+            (None, None) => {}
+            _ => {
+                return Err(CheckpointError::Restore {
+                    component: "admission",
+                    reason: "admission-control presence differs between checkpoint and engine"
+                        .into(),
+                })
+            }
         }
         self.receiver
             .import_state(&ck.receiver)
@@ -725,8 +927,28 @@ impl Engine {
         rec: &mut R,
     ) -> SimResult {
         let width = shards.min(pool.n_workers() + 1);
-        if width <= 1 || !self.collector.is_pass_through() {
+        if width <= 1 {
+            // Requested (or clamped-to) serial width: the serial loop IS
+            // the requested execution, not a substitution — no warning.
             return self.run_with(rec);
+        }
+        if !self.collector.is_pass_through() {
+            let mut r = self.run_with(rec);
+            r.warnings.push(SimWarning::ShardFallback {
+                reason: "collector is not pass-through: its per-user RNG stream must be \
+                         consumed in global user order, so the run fell back to the serial loop"
+                    .into(),
+            });
+            return r;
+        }
+        if self.admission.is_some() {
+            let mut r = self.run_with(rec);
+            r.warnings.push(SimWarning::ShardFallback {
+                reason: "feasibility admission control runs serial-only, so the run fell \
+                         back to the serial loop"
+                    .into(),
+            });
+            return r;
         }
         let Engine {
             mut users,
@@ -738,7 +960,17 @@ impl Engine {
             units,
             models,
             cfg,
+            abr,
+            admission: _,
         } = self;
+        // Split the ABR runtime so phase C can stage per-user decisions
+        // through a SharedSlice while the spec/native tables stay shared
+        // read-only across shards.
+        type AbrMeta = (AbrSpec, f64, Vec<f64>);
+        let (abr_meta, mut abr_clients): (Option<AbrMeta>, Vec<AbrClient>) = match abr {
+            Some(a) => (Some((a.spec, a.chunk_s, a.native)), a.clients),
+            None => (None, Vec::new()),
+        };
         let n_users = users.len();
         let rec_enabled = rec.enabled();
         let record_series = cfg.record_series;
@@ -813,6 +1045,8 @@ impl Engine {
         let done_s = SharedSlice::new(&mut done_watching);
         let retired_s = SharedSlice::new(&mut retired);
         let retired_at_s = SharedSlice::new(&mut retired_at);
+        let abr_s = SharedSlice::new(&mut abr_clients);
+        let abr_meta_ref = &abr_meta;
 
         let serial = PhaseCell::new(SerialCtx {
             scheduler,
@@ -868,12 +1102,19 @@ impl Engine {
                         }
                         u.cur_signal = u.sig_block[block_off];
                         let link_cap = u.cap_block[block_off];
+                        // Gateway-advertised demand: the ABR rung rate
+                        // when clients are installed (single-rung = the
+                        // native rate, bitwise), else the session rate.
+                        // SAFETY: row `i` belongs to this shard.
+                        let abr_rate = abr_meta_ref
+                            .is_some()
+                            .then(|| unsafe { abr_s.get(i) }.rate_kbps);
                         let r = if slot < u.arrival_slot {
                             // Not arrived: no playback clock, no fetch
                             // demand, a cold (saturated-tail) radio.
                             RawUserState {
                                 signal: u.cur_signal,
-                                rate_kbps: u.session.rate_at(slot),
+                                rate_kbps: abr_rate.unwrap_or_else(|| u.session.rate_at(slot)),
                                 buffer_s: 0.0,
                                 remaining_kb: 0.0,
                                 active: false,
@@ -892,9 +1133,10 @@ impl Engine {
                             }
                             RawUserState {
                                 signal: u.cur_signal,
-                                rate_kbps: u
-                                    .declared_rate_kbps
-                                    .unwrap_or_else(|| u.session.rate_at(slot)),
+                                rate_kbps: abr_rate.unwrap_or_else(|| {
+                                    u.declared_rate_kbps
+                                        .unwrap_or_else(|| u.session.rate_at(slot))
+                                }),
                                 buffer_s: outcome.occupancy_s,
                                 remaining_kb: u.session.remaining_kb(),
                                 active: outcome.active,
@@ -1009,7 +1251,34 @@ impl Engine {
                                 (accepted - d.kb).abs() < 1e-6,
                                 "transmitter should never over-deliver"
                             );
-                            u.playback.deliver(accepted, u.session.rate_at(slot));
+                            // Playback advances at the rung rate under
+                            // ABR (lower rungs stretch delivered KB into
+                            // more playback seconds); the serial loop's
+                            // exact expression.
+                            if let Some((spec, chunk_s, native)) = abr_meta_ref {
+                                // SAFETY: row `i` belongs to this shard.
+                                let c = unsafe { abr_s.get_mut(i) };
+                                u.playback.deliver(accepted, c.rate_kbps);
+                                // SAFETY: own-shard rows, frozen since
+                                // phase A.
+                                let inp = AbrInputs {
+                                    buffer_s: unsafe { raw_s.get(i) }.buffer_s,
+                                    predicted_kbps: unsafe { snaps_s.get(i) }.link_cap_units as f64
+                                        * cfg.delta_kb
+                                        / cfg.tau,
+                                };
+                                c.on_delivery(
+                                    accepted,
+                                    u.session.fully_fetched(),
+                                    &spec.ladder,
+                                    &spec.policy,
+                                    native[i],
+                                    *chunk_s,
+                                    inp,
+                                );
+                            } else {
+                                u.playback.deliver(accepted, u.session.rate_at(slot));
+                            }
                             if u.epk_sig.value() != u.cur_signal.value() {
                                 u.epk_per_kb = models.power.energy_per_kb(u.cur_signal);
                                 u.epk_sig = u.cur_signal;
@@ -1060,6 +1329,7 @@ impl Engine {
                 if p == 0 {
                     // SAFETY: serial phase (other participants parked).
                     let SerialCtx {
+                        receiver,
                         rec,
                         deliveries,
                         fairness_scratch,
@@ -1141,6 +1411,23 @@ impl Engine {
                             watching_dec += unsafe { cell.get() }.watching_dec;
                         }
                     }
+                    // Commit staged ABR switches in ascending user order
+                    // — the serial loop's exact commit order, so rung
+                    // state, session re-pricing, and switch records are
+                    // bit-identical across shard widths.
+                    if let Some((spec, _, native)) = abr_meta_ref {
+                        for (i, &nat) in native.iter().enumerate() {
+                            // SAFETY: exclusive serial phase.
+                            let c = unsafe { abr_s.get_mut(i) };
+                            if let Some(sw) = c.apply_pending(&spec.ladder, nat) {
+                                // SAFETY: exclusive serial phase.
+                                let u = unsafe { users_s.get_mut(i) };
+                                let delta = u.session.rescale_remaining(sw.ratio);
+                                receiver.adjust_source_volume_kb(i, delta);
+                                rec.record_abr_switch(i, sw.from, sw.to);
+                            }
+                        }
+                    }
                     if rec_enabled {
                         rec.record_live(in_system);
                     }
@@ -1189,6 +1476,8 @@ impl Engine {
             units,
             models,
             cfg,
+            abr: None,
+            admission: None,
         };
         let mut result = engine.finish(
             slots_run,
@@ -1414,12 +1703,16 @@ impl Engine {
                     // sample above already advanced the generator.
                     u.cur_signal = faults.adjust_signal(slot, i, u.cur_signal);
                 }
+                // Gateway-advertised demand: the ABR rung rate when
+                // clients are installed (single-rung = the native rate,
+                // bitwise), else the declared/session rate.
+                let abr_rate = self.abr.as_ref().map(|a| a.clients[i].rate_kbps);
                 if slot < u.arrival_slot {
                     // Not arrived yet: no playback clock, no fetch demand,
                     // a cold (saturated-tail) radio.
                     raw[i] = RawUserState {
                         signal: u.cur_signal,
-                        rate_kbps: u.session.rate_at(slot),
+                        rate_kbps: abr_rate.unwrap_or_else(|| u.session.rate_at(slot)),
                         buffer_s: 0.0,
                         remaining_kb: 0.0,
                         active: false,
@@ -1444,9 +1737,10 @@ impl Engine {
                 }
                 raw[i] = RawUserState {
                     signal: u.cur_signal,
-                    rate_kbps: u
-                        .declared_rate_kbps
-                        .unwrap_or_else(|| u.session.rate_at(slot)),
+                    rate_kbps: abr_rate.unwrap_or_else(|| {
+                        u.declared_rate_kbps
+                            .unwrap_or_else(|| u.session.rate_at(slot))
+                    }),
                     buffer_s: outcome.occupancy_s,
                     remaining_kb: u.session.remaining_kb(),
                     active: outcome.active,
@@ -1522,8 +1816,28 @@ impl Engine {
                         "transmitter should never over-deliver"
                     );
                     // Client playback always advances by the *true*
-                    // encoding rate regardless of what the gateway thinks.
-                    u.playback.deliver(accepted, u.session.rate_at(slot));
+                    // encoding rate regardless of what the gateway thinks
+                    // — under ABR that is the rung rate (lower rungs
+                    // stretch delivered KB into more playback seconds).
+                    if let Some(a) = self.abr.as_mut() {
+                        u.playback.deliver(accepted, a.clients[i].rate_kbps);
+                        let inp = AbrInputs {
+                            buffer_s: r.buffer_s,
+                            predicted_kbps: snapshots[i].link_cap_units as f64 * self.cfg.delta_kb
+                                / self.cfg.tau,
+                        };
+                        a.clients[i].on_delivery(
+                            accepted,
+                            u.session.fully_fetched(),
+                            &a.spec.ladder,
+                            &a.spec.policy,
+                            a.native[i],
+                            a.chunk_s,
+                            inp,
+                        );
+                    } else {
+                        u.playback.deliver(accepted, u.session.rate_at(slot));
+                    }
                     // One-deep memo of the Eq. (3) kernel: `P(sig)` is a
                     // pure function of the block-held RSSI, so this is the
                     // same product `transmission_energy` would compute.
@@ -1552,6 +1866,15 @@ impl Engine {
                     e.value()
                 };
                 slot_energy_mj += slot_e;
+                // Running E* estimate for admission feasibility: energy
+                // per arrived-and-watching user-slot (pre-update flag, so
+                // the finishing slot itself still counts).
+                if let Some(adm) = self.admission.as_mut() {
+                    if !done_watching[i] {
+                        adm.energy_mj += slot_e;
+                        adm.user_slots += 1;
+                    }
+                }
                 rec.record_user(i, slot_e, u.playback.total_rebuffer_s());
                 // Fairness sample over users still fetching this slot.
                 // Every consumer of these samples (the per-slot Jain
@@ -1586,6 +1909,18 @@ impl Engine {
                     any_retired = true;
                 }
             }
+            // Commit staged ABR switches in ascending user order: update
+            // the rung rate, re-price the unfetched tail of the session,
+            // and keep the receiver's origin-side volume bound in step.
+            if let Some(a) = self.abr.as_mut() {
+                for i in 0..n_users {
+                    if let Some(sw) = a.clients[i].apply_pending(&a.spec.ladder, a.native[i]) {
+                        let delta = self.users[i].session.rescale_remaining(sw.ratio);
+                        self.receiver.adjust_source_volume_kb(i, delta);
+                        rec.record_abr_switch(i, sw.from, sw.to);
+                    }
+                }
+            }
             if any_retired {
                 // Order-preserving compaction keeps iteration (and FP
                 // summation) order identical to the reference loop.
@@ -1613,6 +1948,21 @@ impl Engine {
             }
             if rec.enabled() {
                 rec.record_live(in_system);
+            }
+            // Rule on arrivals planned for the next slot, now that this
+            // slot's capacity and energy accounting are final.
+            if let Some(adm) = self.admission.as_mut() {
+                admission_tick(
+                    adm,
+                    &mut self.users,
+                    &mut done_watching,
+                    &mut watching,
+                    rec,
+                    slot,
+                    bs_cap_units,
+                    self.cfg.tau,
+                    self.cfg.delta_kb,
+                );
             }
             rec.end_slot();
 
@@ -1722,10 +2072,12 @@ impl Engine {
                 if faults.enabled() {
                     u.cur_signal = faults.adjust_signal(slot, i, u.cur_signal);
                 }
+                // Mirrors the hot loop's ABR rate substitution exactly.
+                let abr_rate = self.abr.as_ref().map(|a| a.clients[i].rate_kbps);
                 if slot < u.arrival_slot {
                     raw.push(RawUserState {
                         signal: u.cur_signal,
-                        rate_kbps: u.session.rate_at(slot),
+                        rate_kbps: abr_rate.unwrap_or_else(|| u.session.rate_at(slot)),
                         buffer_s: 0.0,
                         remaining_kb: 0.0,
                         active: false,
@@ -1744,9 +2096,10 @@ impl Engine {
                 }
                 raw.push(RawUserState {
                     signal: u.cur_signal,
-                    rate_kbps: u
-                        .declared_rate_kbps
-                        .unwrap_or_else(|| u.session.rate_at(slot)),
+                    rate_kbps: abr_rate.unwrap_or_else(|| {
+                        u.declared_rate_kbps
+                            .unwrap_or_else(|| u.session.rate_at(slot))
+                    }),
                     buffer_s: outcome.occupancy_s,
                     remaining_kb: u.session.remaining_kb(),
                     active: outcome.active,
@@ -1798,7 +2151,26 @@ impl Engine {
                         (accepted - d.kb).abs() < 1e-6,
                         "transmitter should never over-deliver"
                     );
-                    u.playback.deliver(accepted, u.session.rate_at(slot));
+                    if let Some(a) = self.abr.as_mut() {
+                        u.playback.deliver(accepted, a.clients[u_idx].rate_kbps);
+                        let inp = AbrInputs {
+                            buffer_s: r.buffer_s,
+                            predicted_kbps: snapshots[u_idx].link_cap_units as f64
+                                * self.cfg.delta_kb
+                                / self.cfg.tau,
+                        };
+                        a.clients[u_idx].on_delivery(
+                            accepted,
+                            u.session.fully_fetched(),
+                            &a.spec.ladder,
+                            &a.spec.policy,
+                            a.native[u_idx],
+                            a.chunk_s,
+                            inp,
+                        );
+                    } else {
+                        u.playback.deliver(accepted, u.session.rate_at(slot));
+                    }
                     let e = self
                         .models
                         .power
@@ -1823,6 +2195,13 @@ impl Engine {
                     e.value()
                 };
                 slot_energy_mj += slot_e;
+                // Mirrors the hot loop's running E* accumulator exactly.
+                if let Some(adm) = self.admission.as_mut() {
+                    if !finished[u_idx] {
+                        adm.energy_mj += slot_e;
+                        adm.user_slots += 1;
+                    }
+                }
                 rec.record_user(u_idx, slot_e, u.playback.total_rebuffer_s());
                 // Mirrors the hot loop's `record_series` gate so both
                 // loops carry identical windowed-fairness state.
@@ -1841,6 +2220,17 @@ impl Engine {
                 // Mirrors the hot loop's live-population sample exactly.
                 if rec.enabled() && !finished[u_idx] {
                     in_system += 1;
+                }
+            }
+
+            // Commit staged ABR switches — the hot loop's exact pass.
+            if let Some(a) = self.abr.as_mut() {
+                for i in 0..n_users {
+                    if let Some(sw) = a.clients[i].apply_pending(&a.spec.ladder, a.native[i]) {
+                        let delta = self.users[i].session.rescale_remaining(sw.ratio);
+                        self.receiver.adjust_source_volume_kb(i, delta);
+                        rec.record_abr_switch(i, sw.from, sw.to);
+                    }
                 }
             }
 
@@ -1865,6 +2255,21 @@ impl Engine {
             }
             if rec.enabled() {
                 rec.record_live(in_system);
+            }
+            // Mirrors the hot loop's admission tick exactly (`finished` /
+            // `unfinished` play the roles of `done_watching`/`watching`).
+            if let Some(adm) = self.admission.as_mut() {
+                admission_tick(
+                    adm,
+                    &mut self.users,
+                    &mut finished,
+                    &mut unfinished,
+                    rec,
+                    slot,
+                    bs_cap_units,
+                    self.cfg.tau,
+                    self.cfg.delta_kb,
+                );
             }
             rec.end_slot();
 
@@ -1921,7 +2326,112 @@ impl Engine {
             fairness_window_series,
             power_series_j,
             telemetry: None,
+            warnings: Vec::new(),
         }
+    }
+}
+
+/// One end-of-slot admission pass: rule on every planned arrival due at
+/// the next slot, evaluating each candidate against the Lyapunov bound
+/// estimates *as they would be with the candidate admitted* (candidates
+/// this pass already admitted count toward later candidates' load).
+///
+/// Runs in the serial phase of both slot loops, right before `end_slot`,
+/// so the decision uses the slot's final capacity and energy accounting
+/// and its records land on the decision slot.
+#[allow(clippy::too_many_arguments)]
+fn admission_tick<R: SlotRecorder>(
+    adm: &mut AdmissionRuntime,
+    users: &mut [UserSim],
+    done_watching: &mut [bool],
+    watching: &mut usize,
+    rec: &mut R,
+    slot: u64,
+    bs_cap_units: u64,
+    tau: f64,
+    delta_kb: f64,
+) {
+    let next_slot = slot + 1;
+    // Drain every pending arrival due by the next slot, in ascending
+    // (slot, user) order — deterministic across runs and run paths.
+    let mut candidates: Vec<usize> = Vec::new();
+    while let Some(&Reverse((due, j))) = adm.pending.peek() {
+        if due > next_slot {
+            break;
+        }
+        adm.pending.pop();
+        // Stale guard: a user rejected or re-scheduled since the entry
+        // was pushed carries a mismatched arrival slot.
+        if users[j].arrival_slot == due {
+            candidates.push(j);
+        }
+    }
+    if candidates.is_empty() {
+        return;
+    }
+    // Slot-s capacity in KB/s and the running per-user-slot E* estimate
+    // (0 until any user-slot has been charged — optimistic start).
+    let c_kbps = bs_cap_units as f64 * delta_kb / tau;
+    let e_star_user = if adm.user_slots == 0 {
+        0.0
+    } else {
+        adm.energy_mj / adm.user_slots as f64
+    };
+    let mut admitted_now: Vec<usize> = Vec::new();
+    for j in candidates {
+        // Population with the candidate admitted: users in the system at
+        // the next slot (arrived, not finished) plus the candidates this
+        // pass already admitted, plus `j` itself.
+        let mut n_active = 1usize;
+        let mut rate_sum = adm.rates[j];
+        for (i, u) in users.iter().enumerate() {
+            if i == j || done_watching[i] {
+                continue;
+            }
+            if u.arrival_slot < next_slot || admitted_now.contains(&i) {
+                n_active += 1;
+                rate_sum += adm.rates[i];
+            }
+        }
+        let n = n_active as f64;
+        let r_bar = rate_sum / n;
+        // Per-user service slack ε̂ = τ·(C/(n·r̄) − 1): seconds of
+        // playback headroom per user-slot under an even capacity split.
+        let eps_s = tau * (c_kbps / (n * r_bar) - 1.0);
+        // Theorem 1 bound estimates with the candidate counted in; the
+        // aggregate forms take Σ-quantities, so the per-user estimates
+        // are scaled up by n going in and back down coming out.
+        let b = drift_bound_b(n_active, tau, tau);
+        let phi_hat = energy_upper_bound(e_star_user * n, b, adm.v) / n;
+        let omega_hat = if eps_s > 0.0 {
+            rebuffer_upper_bound(b, adm.v, e_star_user * n, n * eps_s) / n
+        } else {
+            // Non-positive slack: Theorem 1's bound does not exist.
+            f64::INFINITY
+        };
+        let ctx = AdmissionContext {
+            eps_s,
+            omega_hat_s: omega_hat,
+            phi_hat_mj: phi_hat,
+        };
+        let decision = adm.ctl.decide(j, &ctx);
+        match decision {
+            AdmissionDecision::Admit => admitted_now.push(j),
+            AdmissionDecision::Defer => {
+                users[j].arrival_slot = next_slot + 1;
+                adm.pending.push(Reverse((next_slot + 1, j)));
+            }
+            AdmissionDecision::Reject => {
+                // Cancelled before ever going live: the radio stays cold
+                // and the user stops counting toward the watch count.
+                users[j].arrival_slot = u64::MAX;
+                users[j].session.cancel_remaining();
+                users[j].playback.abandon();
+                done_watching[j] = true;
+                *watching -= 1;
+            }
+        }
+        rec.record_admission(j, decision);
     }
 }
 

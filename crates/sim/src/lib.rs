@@ -59,18 +59,18 @@ pub use error::{atomic_write, CheckpointError, ScenarioError, SimError, TraceErr
 pub use faults::{FaultEvent, FaultHook, FaultPlan, FaultSpec, NoFaults};
 pub use multicell::{MultiCellResult, MultiCellScenario};
 pub use pool::{SpinBarrier, WorkerPool};
-pub use results::{SimResult, UserResult};
+pub use results::{SimResult, SimWarning, UserResult};
 pub use scenario::Scenario;
 pub use svg::svg_chart;
 pub use sweep::{parallel_map, run_scenarios, run_scenarios_traced, try_parallel_map};
 pub use telemetry::{
-    LatencyHistogram, NullRecorder, SlotRecord, SlotRecorder, SlotTrace, TelemetrySummary,
-    TraceRecorder,
+    AbrSwitchRecord, AdmissionRecord, LatencyHistogram, NullRecorder, SlotRecord, SlotRecorder,
+    SlotTrace, TelemetrySummary, TraceRecorder,
 };
 
 // Re-export the pieces callers need to assemble scenarios without extra deps.
 pub use jmso_gateway::bs::CapacitySpec;
-pub use jmso_gateway::{CollectorSpec, OriginModel};
-pub use jmso_media::WorkloadSpec;
+pub use jmso_gateway::{AdmissionDecision, AdmissionSpec, CollectorSpec, OriginModel};
+pub use jmso_media::{AbrPolicy, AbrSpec, BitrateLadder, WorkloadSpec};
 pub use jmso_radio::SignalSpec;
 pub use jmso_sched::{CrossLayerModels, SchedulerSpec, TailPricing};

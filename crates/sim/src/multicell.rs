@@ -33,7 +33,9 @@ use crate::scenario::Scenario;
 use crate::telemetry::{NullRecorder, SlotRecorder, SlotTrace, TraceRecorder};
 use jmso_gateway::bs::CapacityModel;
 use jmso_gateway::{Allocation, Scheduler, SlotContext, SnapshotSoA, UnitParams, UserSnapshot};
-use jmso_media::{generate_sessions, jain_index, ClientPlayback, VideoSession};
+use jmso_media::{
+    generate_sessions, jain_index, AbrClient, AbrInputs, AbrSpec, ClientPlayback, VideoSession,
+};
 use jmso_radio::rrc::RrcState;
 use jmso_radio::signal::{SignalKind, SignalModel};
 use jmso_radio::{Dbm, EnergyMeter, KbPerSec, PowerModel, RrcMachine, ThroughputModel};
@@ -67,6 +69,39 @@ pub struct MultiCellResult {
     pub handovers: u64,
     /// Mean number of attached users per cell (load balance diagnostic).
     pub mean_cell_occupancy: Vec<f64>,
+}
+
+/// The immutable half of a multicell run's ABR state: spec, chunk length
+/// in seconds, per-user native rates. The mutable per-user clients live
+/// in [`MobileUsers`] (parallel path) or a local (serial path); every
+/// ABR touch happens in a serial phase, mirroring the single-cell
+/// engine's slot positions exactly.
+type AbrMeta = (AbrSpec, f64, Vec<f64>);
+
+/// Build the ABR state for a run, rescaling each session's remaining
+/// volume to its starting rung (playback durations are taken before the
+/// rescale, as in `Engine::set_abr`). `(None, empty)` without ABR.
+fn mc_abr_setup(
+    base: &Scenario,
+    sessions: &mut [VideoSession],
+) -> (Option<AbrMeta>, Vec<AbrClient>) {
+    let Some(spec) = &base.abr else {
+        return (None, Vec::new());
+    };
+    let chunk_s = spec.chunk_slots as f64 * base.tau;
+    let start = spec.start_rung();
+    let native: Vec<f64> = sessions.iter().map(|s| s.bitrate.mean_rate()).collect();
+    let clients: Vec<AbrClient> = native
+        .iter()
+        .map(|&nat| AbrClient::new(&spec.ladder, start, nat, chunk_s))
+        .collect();
+    for (s, c) in sessions.iter_mut().zip(&clients) {
+        let nat = s.bitrate.mean_rate();
+        if c.rate_kbps != nat {
+            s.rescale_remaining(c.rate_kbps / nat);
+        }
+    }
+    (Some((spec.clone(), chunk_s, native)), clients)
 }
 
 /// One cell's private scheduling state: everything a stripe participant
@@ -118,6 +153,7 @@ struct MobileUsers {
     slots_run: u64,
     fairness_series: Vec<f64>,
     power_series: Vec<f64>,
+    abr_clients: Vec<AbrClient>,
 }
 
 /// Serial phase A (participant 0): mobility + handover demotion, shared
@@ -134,6 +170,7 @@ fn mc_ground_truth<F: FaultHook>(
     slot: u64,
     lanes: &[PhaseCell<Lane>],
     delivered: &[PhaseCell<f64>],
+    abr: Option<&AbrMeta>,
 ) {
     let base = &mc.base;
     st.slots_run = slot + 1;
@@ -201,7 +238,10 @@ fn mc_ground_truth<F: FaultHook>(
                 st.playback[i].abandon();
             }
         }
-        st.rates[i] = st.sessions[i].rate_at(slot);
+        st.rates[i] = match abr {
+            Some(_) => st.abr_clients[i].rate_kbps,
+            None => st.sessions[i].rate_at(slot),
+        };
         st.caps[i] = if tables_enabled {
             st.cap_blocks[i][block_off]
         } else {
@@ -322,6 +362,7 @@ fn mc_accounting(
     st: &mut MobileUsers,
     slot: u64,
     delivered: &[PhaseCell<f64>],
+    abr: Option<&AbrMeta>,
 ) -> bool {
     let base = &mc.base;
     let n = base.n_users;
@@ -334,6 +375,20 @@ fn mc_accounting(
         let slot_e = if d > 0.0 {
             let accepted = st.sessions[i].deliver(d);
             st.playback[i].deliver(accepted, st.rates[i]);
+            if let Some((spec, chunk_s, native)) = abr {
+                st.abr_clients[i].on_delivery(
+                    accepted,
+                    st.sessions[i].fully_fetched(),
+                    &spec.ladder,
+                    &spec.policy,
+                    native[i],
+                    *chunk_s,
+                    AbrInputs {
+                        buffer_s: st.occupancy[i],
+                        predicted_kbps: st.caps[i] as f64 * base.delta_kb / base.tau,
+                    },
+                );
+            }
             let e = base
                 .models
                 .power
@@ -382,6 +437,16 @@ fn mc_accounting(
         }
         st.power_series.push(slot_energy_mj / 1000.0);
     }
+    // Commit rung switches staged this slot (same slot position as the
+    // serial path's apply loop — after the series, before the early-exit
+    // decision — so the two paths stay bit-identical).
+    if let Some((spec, _, native)) = abr {
+        for (i, &nat) in native.iter().enumerate().take(n) {
+            if let Some(sw) = st.abr_clients[i].apply_pending(&spec.ladder, nat) {
+                st.sessions[i].rescale_remaining(sw.ratio);
+            }
+        }
+    }
     st.unfinished == 0
 }
 
@@ -389,6 +454,25 @@ impl MultiCellScenario {
     /// Validate and run.
     pub fn run(&self) -> Result<MultiCellResult, SimError> {
         self.run_with(&mut NullRecorder)
+    }
+
+    /// Feasibility admission control reasons about one serving budget;
+    /// with independent per-cell budgets and roaming there is no single
+    /// capacity to bound against, so multicell runs only accept
+    /// `AlwaysAdmit` (a no-op) or no admission spec at all.
+    fn validate_admission(&self) -> Result<(), ScenarioError> {
+        if self
+            .base
+            .admission
+            .as_ref()
+            .is_some_and(|a| !a.is_always_admit())
+        {
+            return Err(ScenarioError::new(
+                "admission",
+                "feasibility admission control is single-cell only",
+            ));
+        }
+        Ok(())
     }
 
     /// [`MultiCellScenario::run`] with the per-slot cell fan-out executed
@@ -406,6 +490,7 @@ impl MultiCellScenario {
     /// There is no recorder hook — slot tracing stays on the serial path.
     pub fn run_parallel(&self, threads: usize) -> Result<MultiCellResult, SimError> {
         self.base.validate()?;
+        self.validate_admission()?;
         if self.n_cells == 0 {
             return Err(ScenarioError::new("n_cells", "must be positive").into());
         }
@@ -439,11 +524,12 @@ impl MultiCellScenario {
         let units = UnitParams::new(base.delta_kb);
         let tables_enabled = !faults.enabled();
 
-        let sessions = generate_sessions(&base.workload, n, base.seed);
+        let mut sessions = generate_sessions(&base.workload, n, base.seed);
         let playback: Vec<ClientPlayback> = sessions
             .iter()
             .map(|s| ClientPlayback::new(s.total_playback_s(), base.tau))
             .collect();
+        let (abr_meta, abr_clients) = mc_abr_setup(base, &mut sessions);
         let attached: Vec<usize> = (0..n).map(|i| i % self.n_cells).collect();
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.n_cells];
         for (i, &c) in attached.iter().enumerate() {
@@ -483,6 +569,7 @@ impl MultiCellScenario {
             slots_run: 0,
             fairness_series: Vec::new(),
             power_series: Vec::new(),
+            abr_clients,
         });
         let lanes: Vec<PhaseCell<Lane>> = (0..self.n_cells)
             .map(|_| {
@@ -520,6 +607,7 @@ impl MultiCellScenario {
                         slot,
                         &lanes,
                         &delivered,
+                        abr_meta.as_ref(),
                     );
                 }
                 barrier.wait(); // A: ground truth published to all stripes.
@@ -538,7 +626,7 @@ impl MultiCellScenario {
                 if p == 0 {
                     // SAFETY: serial phase — others spin at barrier C.
                     let st = unsafe { st.get_mut() };
-                    if mc_accounting(self, st, slot, &delivered) {
+                    if mc_accounting(self, st, slot, &delivered, abr_meta.as_ref()) {
                         quit.store(true, Ordering::Relaxed);
                     }
                 }
@@ -590,6 +678,7 @@ impl MultiCellScenario {
                 fairness_window_series: vec![],
                 power_series_j: st.power_series,
                 telemetry: None,
+                warnings: vec![],
             },
             handovers: st.handovers,
             mean_cell_occupancy: st
@@ -615,6 +704,7 @@ impl MultiCellScenario {
     /// ignored.
     pub fn run_with<R: SlotRecorder>(&self, rec: &mut R) -> Result<MultiCellResult, SimError> {
         self.base.validate()?;
+        self.validate_admission()?;
         if self.n_cells == 0 {
             return Err(ScenarioError::new("n_cells", "must be positive").into());
         }
@@ -654,6 +744,7 @@ impl MultiCellScenario {
             .map(|s| ClientPlayback::new(s.total_playback_s(), base.tau))
             .collect();
         let mut sessions = sessions;
+        let (abr_meta, mut abr_clients) = mc_abr_setup(base, &mut sessions);
         let mut rrc: Vec<RrcMachine> = (0..n)
             .map(|_| RrcMachine::new_idle(base.models.rrc))
             .collect();
@@ -819,7 +910,10 @@ impl MultiCellScenario {
                         playback[i].abandon();
                     }
                 }
-                rates[i] = sessions[i].rate_at(slot);
+                rates[i] = match &abr_meta {
+                    Some(_) => abr_clients[i].rate_kbps,
+                    None => sessions[i].rate_at(slot),
+                };
                 caps[i] = if tables_enabled {
                     cap_blocks[i][block_off]
                 } else {
@@ -969,6 +1063,20 @@ impl MultiCellScenario {
                 let slot_e = if delivered_kb[i] > 0.0 {
                     let accepted = sessions[i].deliver(delivered_kb[i]);
                     playback[i].deliver(accepted, rates[i]);
+                    if let Some((spec, chunk_s, native)) = &abr_meta {
+                        abr_clients[i].on_delivery(
+                            accepted,
+                            sessions[i].fully_fetched(),
+                            &spec.ladder,
+                            &spec.policy,
+                            native[i],
+                            *chunk_s,
+                            AbrInputs {
+                                buffer_s: occupancy[i],
+                                predicted_kbps: caps[i] as f64 * base.delta_kb / base.tau,
+                            },
+                        );
+                    }
                     let e = base.models.power.transmission_energy(cur_sig[i], accepted);
                     if rec.enabled() {
                         rrc[i].on_transmit_observed(|f, t| rec.record_rrc_transition(i, f, t));
@@ -1020,6 +1128,16 @@ impl MultiCellScenario {
                 }
                 power_series.push(slot_energy_mj / 1000.0);
             }
+            // Commit rung switches staged this slot (see mc_accounting for
+            // the parallel path's identical position).
+            if let Some((spec, _, native)) = &abr_meta {
+                for i in 0..n {
+                    if let Some(sw) = abr_clients[i].apply_pending(&spec.ladder, native[i]) {
+                        sessions[i].rescale_remaining(sw.ratio);
+                        rec.record_abr_switch(i, sw.from, sw.to);
+                    }
+                }
+            }
             rec.end_slot();
 
             if unfinished == 0 {
@@ -1064,6 +1182,7 @@ impl MultiCellScenario {
                 fairness_window_series: vec![],
                 power_series_j: power_series,
                 telemetry: rec.summary(),
+                warnings: vec![],
             },
             handovers,
             mean_cell_occupancy: occupancy_sums

@@ -290,6 +290,7 @@ mod tests {
             fairness_window_series: vec![],
             power_series_j: vec![],
             telemetry: None,
+            warnings: vec![],
         };
         let t = per_user_table(&r);
         assert_eq!(t.rows.len(), 1);

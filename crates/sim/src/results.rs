@@ -43,6 +43,19 @@ pub struct UserResult {
     pub video_kb: f64,
 }
 
+/// A non-fatal condition a run wants the caller to know about — e.g. a
+/// requested execution mode that was silently substituted. Typed (not a
+/// log line) so harness code and tests can assert on it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum SimWarning {
+    /// `run --shards N` fell back to the serial loop.
+    ShardFallback {
+        /// Why the sharded loop could not run.
+        reason: String,
+    },
+}
+
 /// Outcome of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -74,6 +87,11 @@ pub struct SimResult {
     /// equality comparisons — are unaffected).
     #[serde(default)]
     pub telemetry: Option<TelemetrySummary>,
+    /// Non-fatal conditions raised during the run (empty in the common
+    /// case, and skipped in serialization so pre-existing result JSON —
+    /// and byte-level comparisons against it — are unaffected).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub warnings: Vec<SimWarning>,
 }
 
 impl SimResult {
@@ -236,6 +254,7 @@ mod tests {
             fairness_window_series: vec![],
             power_series_j: vec![],
             telemetry: None,
+            warnings: vec![],
         }
     }
 
@@ -276,6 +295,7 @@ mod tests {
             fairness_window_series: vec![],
             power_series_j: vec![],
             telemetry: None,
+            warnings: vec![],
         };
         assert_eq!(r.pc_paper(), 0.0);
         assert_eq!(r.pe_paper_mj(), 0.0);

@@ -8,10 +8,10 @@ use crate::results::SimResult;
 use crate::telemetry::{SlotRecorder, SlotTrace, TraceRecorder};
 use jmso_gateway::bs::CapacitySpec;
 use jmso_gateway::{
-    format_segment_request, CollectorSpec, DataReceiver, DpiClassifier, InformationCollector,
-    OriginModel, UnitParams,
+    format_segment_request, AdmissionSpec, CollectorSpec, DataReceiver, DpiClassifier,
+    InformationCollector, OriginModel, UnitParams,
 };
-use jmso_media::{generate_sessions, WorkloadSpec};
+use jmso_media::{generate_sessions, AbrSpec, WorkloadSpec};
 use jmso_radio::{SignalKind, SignalSpec};
 use jmso_sched::{CrossLayerModels, SchedulerSpec};
 use serde::{Deserialize, Serialize};
@@ -66,6 +66,19 @@ pub struct Scenario {
     /// scenario without this field.
     #[serde(default)]
     pub faults: FaultSpec,
+    /// DASH-style adaptive-bitrate clients: a bitrate ladder plus a
+    /// per-chunk rung policy (see DESIGN.md §12). `None` — and, by the
+    /// single-rung identity, `Some` with a one-rung ladder — keeps every
+    /// run bit-identical to the constant-bitrate path.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub abr: Option<AbrSpec>,
+    /// Gateway admission control for open-system arrivals: each compiled
+    /// arrival is admitted, deferred or rejected against a running
+    /// feasibility estimate of the Theorem 1 energy/rebuffering bounds.
+    /// `None` and [`AdmissionSpec::AlwaysAdmit`] are both bit-identical
+    /// to the unconditional-arrival path.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub admission: Option<AdmissionSpec>,
 }
 
 impl Scenario {
@@ -89,6 +102,8 @@ impl Scenario {
             arrivals: ArrivalSpec::Simultaneous,
             rate_via_dpi: false,
             faults: FaultSpec::None,
+            abr: None,
+            admission: None,
         }
     }
 
@@ -311,6 +326,34 @@ impl Scenario {
             ));
         }
         self.arrivals.validate(self.n_users, "arrivals")?;
+        if let Some(abr) = &self.abr {
+            abr.validate().map_err(|e| ScenarioError::new("abr", e))?;
+            if self.workload.vbr_levels.is_some() {
+                return Err(ScenarioError::new(
+                    "abr",
+                    "ABR ladders assume constant-bitrate sessions; \
+                     clear workload.vbr_levels",
+                ));
+            }
+            if self.rate_via_dpi {
+                return Err(ScenarioError::new(
+                    "abr",
+                    "rate_via_dpi pins the scheduler to the manifest-declared \
+                     rate, which ABR rung switches would contradict",
+                ));
+            }
+        }
+        if let Some(adm) = &self.admission {
+            adm.validate()
+                .map_err(|e| ScenarioError::new("admission", e))?;
+            if !adm.is_always_admit() && !self.arrivals.is_open() {
+                return Err(ScenarioError::new(
+                    "admission",
+                    "feasibility admission control needs an open-system \
+                     arrival process (arrivals) to rule on",
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -389,6 +432,12 @@ impl Scenario {
         );
         if let Some(rates) = declared_rates {
             engine.set_declared_rates(&rates);
+        }
+        if let Some(abr) = &self.abr {
+            engine.set_abr(abr);
+        }
+        if let Some(adm) = &self.admission {
+            engine.set_admission(adm);
         }
         Ok(engine)
     }

@@ -32,7 +32,7 @@
 //! at the emitted slot. A final partial window is flushed by `end_run`.
 
 use crate::error::{atomic_write, TraceError};
-use jmso_gateway::DegradationEvent;
+use jmso_gateway::{AdmissionDecision, DegradationEvent};
 use jmso_radio::rrc::RrcState;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -119,6 +119,20 @@ pub trait SlotRecorder {
         let _ = in_system;
     }
 
+    /// User `id`'s ABR client committed a rung switch this slot (applied
+    /// in the serial phase, after delivery accounting). Derived from
+    /// simulation state only, so it is trace-safe.
+    fn record_abr_switch(&mut self, id: usize, from: usize, to: usize) {
+        let _ = (id, from, to);
+    }
+
+    /// The admission controller ruled on user `id`'s pending arrival this
+    /// slot. Decisions are computed from simulation state only, so they
+    /// are trace-safe.
+    fn record_admission(&mut self, id: usize, decision: AdmissionDecision) {
+        let _ = (id, decision);
+    }
+
     /// Slot ends (all per-user accounting for it has been reported).
     fn end_slot(&mut self) {}
 
@@ -167,6 +181,26 @@ pub struct RrcTransition {
     pub to: RrcState,
 }
 
+/// One committed ABR rung switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbrSwitchRecord {
+    /// User id.
+    pub user: usize,
+    /// Rung left.
+    pub from: usize,
+    /// Rung entered.
+    pub to: usize,
+}
+
+/// One admission-controller ruling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionRecord {
+    /// User id of the candidate arrival.
+    pub user: usize,
+    /// The ruling.
+    pub decision: AdmissionDecision,
+}
+
 /// One emitted trace record — one slot, or one `every`-slot window.
 ///
 /// `slot`/`cap`/`alloc`/`q` are sampled at the emitted slot (the window's
@@ -205,6 +239,13 @@ pub struct SlotRecord {
     /// so closed-population traces are byte-identical to older ones.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub live: Option<u64>,
+    /// ABR rung switches committed inside the window. Omitted when empty,
+    /// so fixed-bitrate traces are byte-identical to older ones.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub abr: Vec<AbrSwitchRecord>,
+    /// Admission rulings inside the window. Omitted when empty.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub adm: Vec<AdmissionRecord>,
 }
 
 /// Header line of a JSONL trace.
@@ -488,6 +529,10 @@ struct TraceRecorderState {
     win_rrc: Vec<RrcTransition>,
     win_deg: Vec<DegradationEvent>,
     win_faults: Vec<String>,
+    #[serde(default)]
+    win_abr: Vec<AbrSwitchRecord>,
+    #[serde(default)]
+    win_adm: Vec<AdmissionRecord>,
     win_slots: u64,
     #[serde(default)]
     track_live: bool,
@@ -527,6 +572,8 @@ pub struct TraceRecorder {
     win_rrc: Vec<RrcTransition>,
     win_deg: Vec<DegradationEvent>,
     win_faults: Vec<String>,
+    win_abr: Vec<AbrSwitchRecord>,
+    win_adm: Vec<AdmissionRecord>,
     win_slots: u64,
     // Live-population sampling (off unless `with_live_counts`).
     track_live: bool,
@@ -568,6 +615,8 @@ impl TraceRecorder {
             win_rrc: Vec::new(),
             win_deg: Vec::new(),
             win_faults: Vec::new(),
+            win_abr: Vec::new(),
+            win_adm: Vec::new(),
             win_slots: 0,
             track_live: false,
             cur_live: 0,
@@ -621,6 +670,8 @@ impl TraceRecorder {
             deg: std::mem::take(&mut self.win_deg),
             faults: std::mem::take(&mut self.win_faults),
             live: self.track_live.then_some(self.cur_live),
+            abr: std::mem::take(&mut self.win_abr),
+            adm: std::mem::take(&mut self.win_adm),
         });
         self.win_e.fill(0.0);
         self.win_reb.fill(0.0);
@@ -677,6 +728,8 @@ impl SlotRecorder for TraceRecorder {
         self.win_rrc.clear();
         self.win_deg.clear();
         self.win_faults.clear();
+        self.win_abr.clear();
+        self.win_adm.clear();
         self.win_slots = 0;
         self.cur_live = 0;
         self.prev_reb.clear();
@@ -739,6 +792,14 @@ impl SlotRecorder for TraceRecorder {
         self.cur_live = in_system;
     }
 
+    fn record_abr_switch(&mut self, id: usize, from: usize, to: usize) {
+        self.win_abr.push(AbrSwitchRecord { user: id, from, to });
+    }
+
+    fn record_admission(&mut self, id: usize, decision: AdmissionDecision) {
+        self.win_adm.push(AdmissionRecord { user: id, decision });
+    }
+
     fn end_slot(&mut self) {
         self.slots_seen += 1;
         self.win_slots += 1;
@@ -773,6 +834,8 @@ impl SlotRecorder for TraceRecorder {
             win_rrc: self.win_rrc.clone(),
             win_deg: self.win_deg.clone(),
             win_faults: self.win_faults.clone(),
+            win_abr: self.win_abr.clone(),
+            win_adm: self.win_adm.clone(),
             win_slots: self.win_slots,
             track_live: self.track_live,
             cur_live: self.cur_live,
@@ -807,6 +870,8 @@ impl SlotRecorder for TraceRecorder {
         self.win_rrc = s.win_rrc;
         self.win_deg = s.win_deg;
         self.win_faults = s.win_faults;
+        self.win_abr = s.win_abr;
+        self.win_adm = s.win_adm;
         self.win_slots = s.win_slots;
         self.track_live = s.track_live;
         self.cur_live = s.cur_live;

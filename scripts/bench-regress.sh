@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Slot-loop performance gate: run the hotpath bench and compare each
-# row's slots_per_sec against the committed baseline (BENCH_PR7.json by
+# row's slots_per_sec against the committed baseline (BENCH_PR8.json by
 # default, or the file given as $1). hotpath rows are already a best-of-
 # ten minimum per invocation (see the hotpath module docs); machine load
 # still swings whole invocations, so the gate takes the best row value
@@ -13,7 +13,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_PR7.json}"
+baseline="${1:-BENCH_PR8.json}"
 runs=3
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT

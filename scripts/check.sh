@@ -25,6 +25,13 @@ cargo clippy -p jmso-sched --lib --no-deps -- -D warnings \
 echo "== cargo clippy -p jmso-sim (deny unwrap/expect/panic in pool/engine)"
 cargo clippy -p jmso-sim --lib --no-deps -- -D warnings
 
+# Same burn-down for the media crate: ABR clients and playback buffers
+# run inside the engine hot loop, so their library code carries the same
+# no-panic bar as the scheduler.
+echo "== cargo clippy -p jmso-media (deny unwrap/expect/panic in lib)"
+cargo clippy -p jmso-media --lib --no-deps -- -D warnings \
+    -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
 echo "== cargo test"
 cargo test -q
 
@@ -49,8 +56,19 @@ if [[ "${FAULT:-0}" == "1" ]]; then
     git diff --exit-code -- tests/golden/faulted.trace.jsonl
 fi
 
+# ABR/admission gate: ABR=1 reruns the bit-identity property pack and
+# regenerates the ABR golden trace, failing if the committed
+# tests/golden/abr.trace.jsonl drifted. Separate from TRACE=1 so a
+# blessed ladder/policy change can be reviewed on its own.
+if [[ "${ABR:-0}" == "1" ]]; then
+    echo "== ABR/admission gate (ABR=1)"
+    cargo test -q -p jmso-sim --test abr_properties
+    REGEN_GOLDEN=1 cargo test -q --test golden_trace abr
+    git diff --exit-code -- tests/golden/abr.trace.jsonl
+fi
+
 # Opt-in perf gate: BENCH=1 scripts/check.sh additionally runs the
-# hotpath bench and diffs it against the committed BENCH_PR7.json
+# hotpath bench and diffs it against the committed BENCH_PR8.json
 # baseline (too noisy for every pre-commit run, so off by default).
 if [[ "${BENCH:-0}" == "1" ]]; then
     scripts/bench-regress.sh

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate the committed golden slot traces under tests/golden/
-# (rtma, ema, ema_fast, and the fault-injected `faulted` trace) from the
-# current engine. The scenario definitions live in tests/golden_trace.rs (this
+# (rtma, ema, ema_fast, the fault-injected `faulted` trace, and the
+# ABR-ladder `abr` trace) from the current engine. The scenario definitions live in tests/golden_trace.rs (this
 # script just reruns that harness with REGEN_GOLDEN=1, so harness and
 # generator can never disagree).
 #

@@ -11,8 +11,8 @@
 //! place) and review the diff before committing.
 
 use jmso_sim::{
-    CapacitySpec, FaultEvent, FaultSpec, Scenario, SchedulerSpec, SlotTrace, TailPricing,
-    WorkloadSpec,
+    AbrPolicy, AbrSpec, BitrateLadder, CapacitySpec, FaultEvent, FaultSpec, Scenario,
+    SchedulerSpec, SlotTrace, TailPricing, WorkloadSpec,
 };
 use std::path::PathBuf;
 
@@ -67,6 +67,27 @@ fn faulted_golden_scenario() -> Scenario {
             FaultEvent::Departure { user: 2, slot: 160 },
         ],
     };
+    s
+}
+
+/// The ABR golden cell: the same contended Default-scheduler scenario
+/// with a three-rung ladder and a buffer-based policy. 900 KB/s against
+/// three 300–600 KB/s streams keeps buffers pinned low, so the clients
+/// ratchet down — the trace pins the rung-switch records (`abr`) and
+/// every allocation shift the reduced rates cause downstream.
+fn abr_golden_scenario() -> Scenario {
+    let mut s = golden_scenario(SchedulerSpec::Default);
+    s.abr = Some(AbrSpec {
+        ladder: BitrateLadder {
+            multipliers: vec![0.5, 0.75, 1.0],
+        },
+        chunk_slots: 4,
+        policy: AbrPolicy::BufferBased {
+            low_s: 4.0,
+            high_s: 12.0,
+        },
+        initial_rung: None,
+    });
     s
 }
 
@@ -139,6 +160,20 @@ fn ema_fast_trace_matches_golden() {
     check_golden_scenario(
         "ema_fast.trace.jsonl",
         &golden_scenario(SchedulerSpec::ema_fast(1.0)),
+    );
+}
+
+#[test]
+fn abr_trace_matches_golden() {
+    let scenario = abr_golden_scenario();
+    check_golden_scenario("abr.trace.jsonl", &scenario);
+
+    // Beyond byte equality: the congested cell must actually switch
+    // rungs, or the golden is pinning a ladder nobody climbs.
+    let (_, trace) = scenario.run_traced(1).unwrap();
+    assert!(
+        trace.to_jsonl().contains("\"abr\""),
+        "abr golden carries no rung-switch records — ABR is not reaching telemetry"
     );
 }
 
