@@ -1,0 +1,125 @@
+//! Bounded command queue between socket handlers and the engine loop.
+//!
+//! Connection handlers push typed [`Command`]s; the engine loop drains
+//! them at slot boundaries (or blocks on them while holding). The queue
+//! is bounded — a flood of commands yields typed rejections at the
+//! socket, never unbounded memory — and poison-proof: a panicked engine
+//! task must not wedge the handlers that outlive it, so every lock
+//! recovers the guard from a poisoned mutex (the queue holds plain
+//! data, valid at every instruction boundary).
+
+use jmso_gateway::{GwStatus, LiveEvent, ProtocolError};
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// One engine-loop request from a connection handler. Replies travel
+/// over per-request rendezvous channels so handlers can time out
+/// independently when the engine task is down between supervisor
+/// attempts.
+pub enum Command {
+    /// Apply live session events to the slot schedule.
+    Feed {
+        /// Events, applied in order; the first rejection stops the batch.
+        events: Vec<LiveEvent>,
+        /// Outcome channel.
+        reply: SyncSender<Result<(), ProtocolError>>,
+    },
+    /// Snapshot service status.
+    Status {
+        /// Outcome channel.
+        reply: SyncSender<GwStatus>,
+    },
+    /// Leave the holding state and start the slot loop.
+    Start {
+        /// Outcome channel.
+        reply: SyncSender<Result<(), ProtocolError>>,
+    },
+    /// Graceful shutdown: final checkpoint, drain, exit.
+    Shutdown {
+        /// Outcome channel.
+        reply: SyncSender<Result<(), ProtocolError>>,
+    },
+}
+
+/// Bounded MPSC queue with a condvar for the holding-state wait.
+pub struct CommandBus {
+    q: Mutex<VecDeque<Command>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl CommandBus {
+    /// A bus holding at most `cap` queued commands.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Command>> {
+        self.q.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue a command; typed rejection when the queue is full.
+    pub fn push(&self, cmd: Command) -> Result<(), ProtocolError> {
+        let mut q = self.lock();
+        if q.len() >= self.cap {
+            return Err(ProtocolError::Reject {
+                reason: format!("command queue full ({} pending)", q.len()),
+            });
+        }
+        q.push_back(cmd);
+        drop(q);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Drain everything currently queued without blocking.
+    pub fn drain(&self) -> Vec<Command> {
+        self.lock().drain(..).collect()
+    }
+
+    /// Block up to `timeout` for at least one command, then drain.
+    pub fn wait(&self, timeout: Duration) -> Vec<Command> {
+        let q = self.lock();
+        if q.is_empty() {
+            let (mut q, _) = self
+                .cv
+                .wait_timeout(q, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            return q.drain(..).collect();
+        }
+        let mut q = q;
+        q.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn push_bounded() {
+        let bus = CommandBus::new(2);
+        let (tx, _rx) = sync_channel(1);
+        assert!(bus.push(Command::Start { reply: tx.clone() }).is_ok());
+        assert!(bus.push(Command::Start { reply: tx.clone() }).is_ok());
+        assert!(matches!(
+            bus.push(Command::Start { reply: tx }),
+            Err(ProtocolError::Reject { .. })
+        ));
+        assert_eq!(bus.drain().len(), 2);
+        assert!(bus.drain().is_empty());
+    }
+
+    #[test]
+    fn wait_times_out_empty() {
+        let bus = CommandBus::new(4);
+        assert!(bus.wait(Duration::from_millis(10)).is_empty());
+    }
+}

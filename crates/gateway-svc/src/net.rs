@@ -1,0 +1,293 @@
+//! Socket front-end: Unix / TCP listeners, per-connection line
+//! protocol handlers.
+//!
+//! Each connection gets its own handler thread with a read timeout and
+//! a bounded per-line buffer: an idle, slow, or hostile client costs
+//! one thread and [`jmso_gateway::MAX_LINE_BYTES`] of memory, and a
+//! malformed line gets a typed error reply without closing the
+//! connection (an oversized line *does* close it — framing is lost).
+
+use crate::bus::{Command, CommandBus};
+use crate::fanout::FanOut;
+use jmso_gateway::{parse_command, GwCommand, ProtocolError, MAX_LINE_BYTES};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Idle-connection read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long a handler waits for the engine loop to answer a command
+/// (covers supervisor backoff windows).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+/// Telemetry lines buffered per subscriber before it is dropped.
+const SUBSCRIBER_BUFFER: usize = 1024;
+
+/// Where the service listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenSpec {
+    /// `unix:/path/to.sock`
+    Unix(PathBuf),
+    /// `tcp:host:port`
+    Tcp(String),
+}
+
+impl FromStr for ListenSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("empty unix socket path".into());
+            }
+            Ok(ListenSpec::Unix(PathBuf::from(path)))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err("empty tcp address".into());
+            }
+            Ok(ListenSpec::Tcp(addr.to_string()))
+        } else {
+            Err(format!(
+                "bad listen spec {s:?}: expected unix:/path or tcp:host:port"
+            ))
+        }
+    }
+}
+
+impl std::fmt::Display for ListenSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenSpec::Unix(p) => write!(f, "unix:{}", p.display()),
+            ListenSpec::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Bind the listener and spawn the accept loop. Returns once bound (so
+/// callers can report readiness); accepted connections are served on
+/// their own threads until the process exits or `shutdown` is set.
+pub fn spawn_listener(
+    spec: &ListenSpec,
+    bus: Arc<CommandBus>,
+    fanout: Arc<FanOut>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    match spec {
+        ListenSpec::Unix(path) => {
+            // A previous run's socket file would make bind fail with
+            // AddrInUse; the service owns the path, so replace it.
+            if path.exists() {
+                let _ = std::fs::remove_file(path);
+            }
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            Ok(std::thread::spawn(move || {
+                accept_loop(
+                    || listener.accept().map(|(s, _)| s),
+                    bus,
+                    fanout,
+                    shutdown,
+                    |s| s.set_read_timeout(Some(READ_TIMEOUT)).map(|()| s),
+                )
+            }))
+        }
+        ListenSpec::Tcp(addr) => {
+            let listener = TcpListener::bind(addr.as_str())?;
+            listener.set_nonblocking(true)?;
+            Ok(std::thread::spawn(move || {
+                accept_loop(
+                    || listener.accept().map(|(s, _)| s),
+                    bus,
+                    fanout,
+                    shutdown,
+                    |s| s.set_read_timeout(Some(READ_TIMEOUT)).map(|()| s),
+                )
+            }))
+        }
+    }
+}
+
+fn accept_loop<S, A, P>(
+    mut accept: A,
+    bus: Arc<CommandBus>,
+    fanout: Arc<FanOut>,
+    shutdown: Arc<AtomicBool>,
+    prepare: P,
+) where
+    S: Read + Write + Send + 'static,
+    A: FnMut() -> io::Result<S>,
+    P: Fn(S) -> io::Result<S> + Copy + Send + 'static,
+{
+    while !shutdown.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(stream) => {
+                let bus = bus.clone();
+                let fanout = fanout.clone();
+                std::thread::spawn(move || {
+                    if let Ok(stream) = prepare(stream) {
+                        handle_connection(stream, &bus, &fanout);
+                    }
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Read one newline-terminated line with a hard byte cap. `Ok(None)` is
+/// EOF; `Err` of kind `WouldBlock`/`TimedOut` is the idle timeout.
+fn read_line_bounded<R: BufRead>(r: &mut R) -> io::Result<Option<Result<String, ProtocolError>>> {
+    let mut buf = Vec::new();
+    let n = (&mut *r)
+        .take(MAX_LINE_BYTES as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') && buf.len() > MAX_LINE_BYTES {
+        return Ok(Some(Err(ProtocolError::LineTooLong {
+            limit: MAX_LINE_BYTES,
+        })));
+    }
+    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Some(Ok(s))),
+        Err(_) => Ok(Some(Err(ProtocolError::Parse {
+            reason: "line is not valid UTF-8".into(),
+        }))),
+    }
+}
+
+fn reply_err(e: &ProtocolError) -> String {
+    format!(
+        r#"{{"ok":false,"error":{}}}"#,
+        serde_json::to_string(e).unwrap_or_else(|_| "null".into())
+    )
+}
+
+/// Serve one connection: read command lines, reply per line, and — on
+/// `subscribe` — switch to streaming telemetry until the subscription
+/// ends.
+pub fn handle_connection<S: Read + Write>(stream: S, bus: &CommandBus, fanout: &FanOut) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_line_bounded(&mut reader) {
+            Ok(Some(Ok(line))) => line,
+            Ok(Some(Err(e))) => {
+                // Typed rejection; LineTooLong loses framing, so that
+                // one also closes the connection.
+                let fatal = matches!(e, ProtocolError::LineTooLong { .. });
+                let _ = writeln!(reader.get_mut(), "{}", reply_err(&e));
+                if fatal {
+                    return;
+                }
+                continue;
+            }
+            Ok(None) | Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cmd = match parse_command(&line) {
+            Ok(c) => c,
+            Err(e) => {
+                // Malformed line: reject it, keep the session.
+                if writeln!(reader.get_mut(), "{}", reply_err(&e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match cmd {
+            GwCommand::Subscribe => {
+                let rx = fanout.subscribe(SUBSCRIBER_BUFFER);
+                if writeln!(reader.get_mut(), r#"{{"ok":true}}"#).is_err() {
+                    return;
+                }
+                let w = reader.get_mut();
+                // Stream until the service closes the fan-out, this
+                // subscriber is dropped for falling behind, or the
+                // client goes away.
+                while let Ok(line) = rx.recv() {
+                    if writeln!(w, "{line}").is_err() {
+                        return;
+                    }
+                }
+                return;
+            }
+            GwCommand::Feed { events } => {
+                let (tx, rx) = sync_channel(1);
+                let sent = bus.push(Command::Feed { events, reply: tx });
+                if !write_roundtrip_reply(reader.get_mut(), sent, &rx) {
+                    return;
+                }
+            }
+            GwCommand::Start => {
+                let (tx, rx) = sync_channel(1);
+                let sent = bus.push(Command::Start { reply: tx });
+                if !write_roundtrip_reply(reader.get_mut(), sent, &rx) {
+                    return;
+                }
+            }
+            GwCommand::Shutdown => {
+                let (tx, rx) = sync_channel(1);
+                let sent = bus.push(Command::Shutdown { reply: tx });
+                if !write_roundtrip_reply(reader.get_mut(), sent, &rx) {
+                    return;
+                }
+            }
+            GwCommand::Status => {
+                let (tx, rx) = sync_channel(1);
+                let out = match bus.push(Command::Status { reply: tx }) {
+                    Err(e) => reply_err(&e),
+                    Ok(()) => match rx.recv_timeout(REPLY_TIMEOUT) {
+                        Ok(status) => format!(
+                            r#"{{"ok":true,"status":{}}}"#,
+                            serde_json::to_string(&status).unwrap_or_else(|_| "null".into())
+                        ),
+                        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                            reply_err(&ProtocolError::Reject {
+                                reason: "service busy or restarting".into(),
+                            })
+                        }
+                    },
+                };
+                if writeln!(reader.get_mut(), "{out}").is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Await an engine-loop ack and write the reply line. Returns false
+/// when the connection is gone.
+fn write_roundtrip_reply<W: Write>(
+    w: &mut W,
+    sent: Result<(), ProtocolError>,
+    rx: &std::sync::mpsc::Receiver<Result<(), ProtocolError>>,
+) -> bool {
+    let out = match sent {
+        Err(e) => reply_err(&e),
+        Ok(()) => match rx.recv_timeout(REPLY_TIMEOUT) {
+            Ok(Ok(())) => r#"{"ok":true}"#.to_string(),
+            Ok(Err(e)) => reply_err(&e),
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                reply_err(&ProtocolError::Reject {
+                    reason: "service busy or restarting".into(),
+                })
+            }
+        },
+    };
+    writeln!(w, "{out}").is_ok()
+}

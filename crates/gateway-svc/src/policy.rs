@@ -1,0 +1,78 @@
+//! Deadline overrun policy for the live slot loop.
+//!
+//! Live mode has different semantics than batch (the gst-plugins-rs
+//! live-feed lesson): when a slot misses its wall-clock budget the loop
+//! must decide between falling behind, shedding output, or shedding
+//! work — silently spiralling is never an option. The policy is a
+//! config knob; the loop re-anchors its deadline clock after every
+//! overrun so one late slot never cascades into permanent lateness
+//! arithmetic.
+
+use std::str::FromStr;
+
+/// What the live loop does when a slot overruns its wall-clock budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LivePolicy {
+    /// Batch semantics: run every slot and fall behind wall-clock.
+    /// Telemetry stays byte-identical to the batch run — the policy the
+    /// `SVC=1` determinism gate pins.
+    #[default]
+    Stall,
+    /// Skip the late slot's telemetry publication (the simulation still
+    /// executes, so the durable trace stays complete) and account it in
+    /// `dropped_slots`.
+    DropSlots,
+    /// Switch the scheduler into its degraded best-effort mode
+    /// (latched; see `Scheduler::engage_degraded`) so subsequent slots
+    /// cost less.
+    Degrade,
+}
+
+impl LivePolicy {
+    /// Wire/status label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LivePolicy::Stall => "stall",
+            LivePolicy::DropSlots => "drop",
+            LivePolicy::Degrade => "degrade",
+        }
+    }
+}
+
+impl std::fmt::Display for LivePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for LivePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "stall" => Ok(LivePolicy::Stall),
+            "drop" => Ok(LivePolicy::DropSlots),
+            "degrade" => Ok(LivePolicy::Degrade),
+            other => Err(format!(
+                "unknown policy {other:?}: expected stall | drop | degrade"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for p in [
+            LivePolicy::Stall,
+            LivePolicy::DropSlots,
+            LivePolicy::Degrade,
+        ] {
+            assert_eq!(p.as_str().parse::<LivePolicy>(), Ok(p));
+        }
+        assert!("never".parse::<LivePolicy>().is_err());
+    }
+}

@@ -1,0 +1,470 @@
+//! The live service: a deadline-aware loop over [`jmso_sim::SlotDriver`].
+//!
+//! One [`LiveService`] instance is one supervisor attempt: it builds the
+//! driver (resuming from a durable checkpoint when one is readable,
+//! falling back to a cold start with a logged warning otherwise), then
+//! runs the slot loop in real or accelerated time, draining socket
+//! commands at slot boundaries, broadcasting telemetry through the
+//! bounded fan-out, and writing periodic crash-safe checkpoints.
+//!
+//! Determinism contract: under [`LivePolicy::Stall`] with a scripted
+//! feed, the trace file this service writes is byte-identical to the
+//! batch run of the equivalent scenario (declared arrival plan), because
+//! the batch loop and this loop step the exact same [`SlotDriver`].
+
+use crate::bus::{Command, CommandBus};
+use crate::fanout::FanOut;
+use crate::policy::LivePolicy;
+use jmso_gateway::{
+    declared_rate_from_request, GwEvent, GwStatus, LiveEvent, ProtocolError, SvcState,
+};
+use jmso_sim::{
+    DynFaults, EngineCheckpoint, Scenario, ScenarioError, SimError, SimWarning, SlotDriver,
+    TraceRecorder,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything one service (and every supervisor rebuild of it) needs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// Durable checkpoint sidecar; also the resume source on restart.
+    pub ckpt_path: Option<PathBuf>,
+    /// Checkpoint cadence in slots (0 = only the start/shutdown ones).
+    pub ckpt_every: u64,
+    /// Deadline overrun response.
+    pub policy: LivePolicy,
+    /// Wall-clock budget per slot, ms (`None` = accelerated, as fast as
+    /// the hardware allows — no deadlines, so no overruns).
+    pub slot_ms: Option<u64>,
+    /// Final trace destination (written at completion, byte-identical
+    /// to the batch trace of the equivalent run under `Stall`).
+    pub trace_path: Option<PathBuf>,
+    /// Trace downsampling window (1 = every slot).
+    pub trace_every: u64,
+    /// Live ingestion mode: defer every planned arrival and hold at
+    /// slot 0 until sessions are fed over the socket and `start` is
+    /// received.
+    pub ingest: bool,
+    /// Hold at slot 0 until a `start` command even without `--ingest`.
+    pub hold: bool,
+    /// Artificial per-slot work, ms — a load knob for demos and the
+    /// deadline-overrun tests.
+    pub step_delay_ms: u64,
+    /// Fault-injection knob for the supervision tests: panic when the
+    /// loop reaches this slot, on the first supervisor attempt only.
+    pub fail_at: Option<u64>,
+}
+
+impl ServeConfig {
+    /// A service around `scenario` with batch-like defaults: as-fast
+    /// pacing, `Stall` policy, no sidecars, no holding.
+    pub fn new(scenario: Scenario) -> Self {
+        Self {
+            scenario,
+            ckpt_path: None,
+            ckpt_every: 0,
+            policy: LivePolicy::Stall,
+            slot_ms: None,
+            trace_path: None,
+            trace_every: 1,
+            ingest: false,
+            hold: false,
+            step_delay_ms: 0,
+            fail_at: None,
+        }
+    }
+}
+
+/// How a service run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The run completed; the final trace (if configured) is on disk
+    /// and the checkpoint sidecar was removed.
+    Done {
+        /// Slots executed.
+        slots_run: u64,
+    },
+    /// Shutdown (signal or `shutdown` command) interrupted the run; a
+    /// final checkpoint (if configured) is on disk for the next start.
+    Interrupted {
+        /// Next slot a resumed service will execute.
+        at_slot: u64,
+    },
+}
+
+/// One supervised attempt at running the scenario live.
+pub struct LiveService {
+    cfg: ServeConfig,
+    bus: Arc<CommandBus>,
+    fanout: Arc<FanOut>,
+    shutdown: Arc<AtomicBool>,
+    driver: SlotDriver<DynFaults>,
+    rec: TraceRecorder,
+    state: SvcState,
+    stopping: bool,
+    warnings: Vec<String>,
+    dropped_slots: u64,
+    degraded: bool,
+    last_ckpt_slot: Option<u64>,
+    record_watermark: usize,
+    /// Deadline anchor: wall-clock instant at which `anchor.1` was due
+    /// to start. `None` = re-anchor on the next paced slot.
+    anchor: Option<(Instant, u64)>,
+    startup_events: Vec<GwEvent>,
+}
+
+impl LiveService {
+    /// Build one attempt: recorder, driver (resume or cold start), and
+    /// the initial lifecycle state. `attempt` is the supervisor's
+    /// restart counter — the `fail_at` fault fires only on attempt 0.
+    pub fn build(
+        cfg: ServeConfig,
+        bus: Arc<CommandBus>,
+        fanout: Arc<FanOut>,
+        shutdown: Arc<AtomicBool>,
+        attempt: u32,
+    ) -> Result<Self, SimError> {
+        let mut warnings = Vec::new();
+        let mut startup_events = Vec::new();
+        let fail_at = if attempt == 0 { cfg.fail_at } else { None };
+
+        let mut rec = Self::fresh_recorder(&cfg);
+        let resume_ck = match &cfg.ckpt_path {
+            Some(p) if p.exists() => match EngineCheckpoint::read_file(p) {
+                Ok(ck) => Some(ck),
+                Err(e) => {
+                    let w = SimWarning::CheckpointFallback {
+                        reason: format!("{e}"),
+                    };
+                    warnings.push(w.to_string());
+                    startup_events.push(GwEvent::ColdStart {
+                        reason: w.to_string(),
+                    });
+                    None
+                }
+            },
+            _ => None,
+        };
+        let (driver, resumed) = match resume_ck {
+            Some(ck) => match cfg.scenario.driver(&mut rec, Some(&ck)) {
+                Ok(d) => {
+                    startup_events.push(GwEvent::Resumed {
+                        slot: d.next_slot(),
+                    });
+                    (d, true)
+                }
+                Err(e) => {
+                    // The sidecar parsed but did not restore (scenario
+                    // drift, component mismatch): log, cold-start. The
+                    // recorder may hold partially imported state — build
+                    // a fresh one.
+                    let w = SimWarning::CheckpointFallback {
+                        reason: format!("{e}"),
+                    };
+                    warnings.push(w.to_string());
+                    startup_events.push(GwEvent::ColdStart {
+                        reason: w.to_string(),
+                    });
+                    rec = Self::fresh_recorder(&cfg);
+                    (cfg.scenario.driver(&mut rec, None)?, false)
+                }
+            },
+            None => (cfg.scenario.driver(&mut rec, None)?, false),
+        };
+        let mut driver = driver;
+        let state = if resumed {
+            // The fed schedule travels inside the checkpoint; no
+            // holding, no re-feeding.
+            SvcState::Running
+        } else {
+            if cfg.ingest {
+                driver.defer_all_arrivals().map_err(SimError::Scenario)?;
+            }
+            if cfg.ingest || cfg.hold {
+                SvcState::Holding
+            } else {
+                SvcState::Running
+            }
+        };
+        if !resumed {
+            startup_events.push(GwEvent::Started {
+                slots: driver.horizon(),
+            });
+        }
+        let record_watermark = rec.records().len();
+        Ok(Self {
+            cfg: ServeConfig { fail_at, ..cfg },
+            bus,
+            fanout,
+            shutdown,
+            driver,
+            rec,
+            state,
+            stopping: false,
+            warnings,
+            dropped_slots: 0,
+            degraded: false,
+            last_ckpt_slot: None,
+            record_watermark,
+            anchor: None,
+            startup_events,
+        })
+    }
+
+    fn fresh_recorder(cfg: &ServeConfig) -> TraceRecorder {
+        let mut rec = TraceRecorder::new().with_every(cfg.trace_every.max(1));
+        // Ingest mode is an open-system workload by construction (live
+        // arrivals); batch-equivalent declared plans carry the
+        // live-population column too, so the bytes line up.
+        if cfg.ingest || cfg.scenario.arrivals.is_open() {
+            rec = rec.with_live_counts();
+        }
+        rec
+    }
+
+    /// Current status snapshot (also the `status` command reply).
+    pub fn status(&self) -> GwStatus {
+        GwStatus {
+            state: self.state,
+            slot: self.driver.next_slot(),
+            slots: self.driver.horizon(),
+            watching: self.driver.watching(),
+            policy: self.cfg.policy.as_str().to_string(),
+            dropped_slots: self.dropped_slots,
+            dropped_subscribers: self.fanout.dropped(),
+            last_checkpoint_slot: self.last_ckpt_slot,
+            warnings: self.warnings.clone(),
+        }
+    }
+
+    fn publish_event(&self, ev: &GwEvent) {
+        if let Ok(line) = serde_json::to_string(ev) {
+            self.fanout.broadcast(&line);
+        }
+    }
+
+    /// Broadcast trace records accumulated since the last publication.
+    /// `publish` false (a dropped slot) advances the watermark without
+    /// broadcasting — the durable trace still carries the records.
+    fn publish_new_records(&mut self, publish: bool) {
+        let records = self.rec.records();
+        if publish {
+            for r in &records[self.record_watermark.min(records.len())..] {
+                if let Ok(line) = serde_json::to_string(r) {
+                    if self.fanout.broadcast(&line) > 0 {
+                        self.publish_event(&GwEvent::SubscriberDropped {
+                            total: self.fanout.dropped(),
+                        });
+                    }
+                }
+            }
+        }
+        self.record_watermark = records.len();
+    }
+
+    fn apply_events(&mut self, events: &[LiveEvent]) -> Result<(), ProtocolError> {
+        let reject = |e: ScenarioError| ProtocolError::Reject {
+            reason: e.to_string(),
+        };
+        for ev in events {
+            match ev {
+                LiveEvent::Arrive {
+                    user,
+                    slot,
+                    request,
+                } => {
+                    if let Some(req) = request {
+                        let rate = declared_rate_from_request(req)?;
+                        self.driver.set_declared_rate(*user, rate).map_err(reject)?;
+                    }
+                    self.driver.set_arrival(*user, *slot).map_err(reject)?;
+                }
+                LiveEvent::Depart { user, slot } => {
+                    self.driver.set_departure(*user, *slot).map_err(reject)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle(&mut self, cmd: Command) {
+        match cmd {
+            Command::Feed { events, reply } => {
+                let outcome = self.apply_events(&events);
+                let _ = reply.send(outcome);
+            }
+            Command::Status { reply } => {
+                let _ = reply.send(self.status());
+            }
+            Command::Start { reply } => {
+                if self.state == SvcState::Holding {
+                    self.state = SvcState::Running;
+                    self.anchor = None;
+                }
+                let _ = reply.send(Ok(()));
+            }
+            Command::Shutdown { reply } => {
+                self.stopping = true;
+                let _ = reply.send(Ok(()));
+            }
+        }
+    }
+
+    fn write_checkpoint(&mut self) -> Result<(), SimError> {
+        let Some(path) = self.cfg.ckpt_path.clone() else {
+            return Ok(());
+        };
+        let ck = self
+            .driver
+            .checkpoint(&self.rec)
+            .map_err(SimError::Checkpoint)?;
+        ck.write_file(&path).map_err(SimError::Checkpoint)?;
+        let slot = self.driver.next_slot();
+        self.last_ckpt_slot = Some(slot);
+        self.publish_event(&GwEvent::Checkpoint { slot });
+        Ok(())
+    }
+
+    fn overrun(&mut self, slot: u64) -> bool {
+        let action = self.cfg.policy.as_str().to_string();
+        self.publish_event(&GwEvent::DeadlineOverrun { slot, action });
+        match self.cfg.policy {
+            LivePolicy::Stall => true,
+            LivePolicy::DropSlots => {
+                self.dropped_slots += 1;
+                false
+            }
+            LivePolicy::Degrade => {
+                if !self.degraded && self.driver.engage_degraded() {
+                    self.degraded = true;
+                    self.publish_event(&GwEvent::Degraded { slot });
+                }
+                true
+            }
+        }
+    }
+
+    /// Run the slot loop to completion, interruption, or panic (the
+    /// supervisor catches the latter). Consumes the attempt — the
+    /// supervisor builds a fresh one from the durable state on restart.
+    pub fn run(mut self) -> Result<Outcome, SimError> {
+        for ev in std::mem::take(&mut self.startup_events) {
+            self.publish_event(&ev);
+        }
+        // In ingest mode the fed schedule exists only in memory until
+        // the first checkpoint: anchor one at the running transition so
+        // a crash at any executed slot resumes with the schedule.
+        let mut start_ckpt_written = false;
+        let pace = self.cfg.slot_ms.map(Duration::from_millis);
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || self.stopping {
+                return self.interrupt();
+            }
+            if self.state == SvcState::Holding {
+                for cmd in self.bus.wait(Duration::from_millis(100)) {
+                    self.handle(cmd);
+                }
+                continue;
+            }
+            for cmd in self.bus.drain() {
+                self.handle(cmd);
+            }
+            if self.stopping {
+                return self.interrupt();
+            }
+            if self.driver.is_finished() {
+                return self.complete();
+            }
+            let slot = self.driver.next_slot();
+            if !start_ckpt_written {
+                self.write_checkpoint()?;
+                start_ckpt_written = true;
+            } else if self.cfg.ckpt_every > 0
+                && slot.is_multiple_of(self.cfg.ckpt_every)
+                && self.last_ckpt_slot != Some(slot)
+            {
+                self.write_checkpoint()?;
+            }
+            let mut publish = true;
+            if let Some(p) = pace {
+                let now = Instant::now();
+                let (t0, s0) = *self.anchor.get_or_insert((now, slot));
+                let due = t0 + p.saturating_mul((slot - s0) as u32);
+                if now < due {
+                    std::thread::sleep(due - now);
+                } else if now.duration_since(due) > p {
+                    // More than one full budget late: the overrun
+                    // policy decides, then the deadline clock
+                    // re-anchors so lateness never compounds.
+                    publish = self.overrun(slot);
+                    self.anchor = Some((now, slot));
+                }
+            }
+            if self.cfg.fail_at.is_some_and(|f| slot >= f) {
+                // The one deliberate panic in this crate: the fault
+                // injection knob the supervision tests use to exercise
+                // catch_unwind + restart. Armed only via --fail-at.
+                #[allow(clippy::panic)]
+                {
+                    panic!("injected failure at slot {slot}");
+                }
+            }
+            if self.cfg.step_delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(self.cfg.step_delay_ms));
+            }
+            self.driver.step(&mut self.rec);
+            self.publish_new_records(publish);
+        }
+    }
+
+    /// Graceful interruption: final checkpoint, drain, report.
+    fn interrupt(mut self) -> Result<Outcome, SimError> {
+        self.state = SvcState::Stopping;
+        let at_slot = self.driver.next_slot();
+        self.write_checkpoint()?;
+        self.fanout.close();
+        Ok(Outcome::Interrupted { at_slot })
+    }
+
+    /// Completion: settle the result, write the final trace, clear the
+    /// checkpoint sidecar (the run is over; a restart must not resume
+    /// it), surface simulation warnings, close the fan-out.
+    fn complete(self) -> Result<Outcome, SimError> {
+        let Self {
+            cfg,
+            fanout,
+            driver,
+            mut rec,
+            ..
+        } = self;
+        let result = driver.finish(&mut rec);
+        for w in &result.warnings {
+            if let Ok(line) = serde_json::to_string(&GwEvent::Warning {
+                message: w.to_string(),
+            }) {
+                fanout.broadcast(&line);
+            }
+        }
+        let trace = rec.into_trace(&result.scheduler);
+        if let Some(p) = &cfg.trace_path {
+            trace.write_jsonl(p).map_err(SimError::Trace)?;
+        }
+        if let Some(p) = &cfg.ckpt_path {
+            let _ = std::fs::remove_file(p);
+        }
+        if let Ok(line) = serde_json::to_string(&GwEvent::Done {
+            slots_run: result.slots_run,
+        }) {
+            fanout.broadcast(&line);
+        }
+        fanout.close();
+        Ok(Outcome::Done {
+            slots_run: result.slots_run,
+        })
+    }
+}

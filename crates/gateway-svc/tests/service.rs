@@ -1,0 +1,293 @@
+//! Integration tests for the live gateway service: live ≡ batch byte
+//! identity under `Stall`, crash recovery through the supervisor,
+//! deadline-overrun policies that never stall the loop, slow-subscriber
+//! eviction, and corrupt-checkpoint cold starts.
+
+use jmso_gateway::LiveEvent;
+use jmso_gateway_svc::{
+    supervise, Command, CommandBus, FanOut, LivePolicy, LiveService, Outcome, ServeConfig,
+    SupervisedEnd, SupervisorConfig,
+};
+use jmso_sim::{ArrivalSpec, Scenario, SchedulerSpec, WorkloadSpec};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+
+fn quick(n: usize, slots: u64) -> Scenario {
+    let mut s = Scenario::paper_default(n);
+    s.slots = slots;
+    s.workload = WorkloadSpec {
+        size_range_kb: (500.0, 1500.0),
+        rate_range_kbps: (300.0, 600.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    s
+}
+
+/// The session schedule both sides share: staggered arrivals, user 0
+/// departs mid-run.
+fn schedule(n: usize, slots: u64) -> (Vec<u64>, Vec<Option<u64>>) {
+    let arrivals: Vec<u64> = (0..n as u64).map(|i| i * 7).collect();
+    let mut departures = vec![None; n];
+    departures[0] = Some(slots / 2);
+    (arrivals, departures)
+}
+
+fn feed_events(arrivals: &[u64], departures: &[Option<u64>]) -> Vec<LiveEvent> {
+    let mut evs: Vec<LiveEvent> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(user, &slot)| LiveEvent::Arrive {
+            user,
+            slot,
+            request: None,
+        })
+        .collect();
+    evs.extend(
+        departures
+            .iter()
+            .enumerate()
+            .filter_map(|(user, d)| d.map(|slot| LiveEvent::Depart { user, slot })),
+    );
+    evs
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("jmso-gw-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Queue a feed + start ahead of the run; the holding loop drains them.
+fn preload_feed(bus: &CommandBus, events: Vec<LiveEvent>) {
+    let (tx, _rx) = sync_channel(1);
+    bus.push(Command::Feed { events, reply: tx })
+        .expect("queue feed");
+    let (tx, _rx) = sync_channel(1);
+    bus.push(Command::Start { reply: tx }).expect("queue start");
+}
+
+fn run_service(cfg: ServeConfig, bus: Arc<CommandBus>, fanout: Arc<FanOut>) -> Outcome {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let svc = LiveService::build(cfg, bus, fanout, shutdown, 0).expect("build service");
+    svc.run().expect("run service")
+}
+
+fn golden_batch_trace(n: usize, slots: u64, path: &std::path::Path) {
+    let (arrivals, departures) = schedule(n, slots);
+    let mut batch = quick(n, slots);
+    batch.arrivals = ArrivalSpec::Declared {
+        arrivals,
+        departures,
+    };
+    let (_result, trace) = batch.run_traced(1).expect("batch run");
+    trace.write_jsonl(path).expect("write golden");
+}
+
+/// Tentpole determinism claim: a scripted live-ingest run under `Stall`
+/// writes the exact bytes of the equivalent batch run with a declared
+/// arrival plan.
+#[test]
+fn live_stall_trace_matches_batch_bytes() {
+    let (n, slots) = (4, 240);
+    let golden = tmp_path("stall-golden.jsonl");
+    golden_batch_trace(n, slots, &golden);
+
+    let live_trace = tmp_path("stall-live.jsonl");
+    let mut cfg = ServeConfig::new(quick(n, slots));
+    cfg.ingest = true;
+    cfg.trace_path = Some(live_trace.clone());
+
+    let bus = Arc::new(CommandBus::new(16));
+    let (arrivals, departures) = schedule(n, slots);
+    preload_feed(&bus, feed_events(&arrivals, &departures));
+    let outcome = run_service(cfg, bus, Arc::new(FanOut::new()));
+    assert!(matches!(outcome, Outcome::Done { .. }));
+
+    let got = std::fs::read(&live_trace).expect("read live trace");
+    let want = std::fs::read(&golden).expect("read golden trace");
+    assert!(!want.is_empty());
+    assert_eq!(
+        got, want,
+        "live Stall trace must be byte-identical to batch"
+    );
+    let _ = std::fs::remove_file(&golden);
+    let _ = std::fs::remove_file(&live_trace);
+}
+
+/// Crash recovery: the engine task panics mid-run (attempt 0 only), the
+/// supervisor restarts it, the restart resumes from the periodic
+/// checkpoint, and the final trace still matches the uninterrupted
+/// batch golden byte-for-byte.
+#[test]
+fn supervised_crash_resume_matches_golden() {
+    let (n, slots) = (4, 240);
+    let golden = tmp_path("crash-golden.jsonl");
+    golden_batch_trace(n, slots, &golden);
+
+    let live_trace = tmp_path("crash-live.jsonl");
+    let ckpt = tmp_path("crash-ckpt.json");
+    let mut cfg = ServeConfig::new(quick(n, slots));
+    cfg.ingest = true;
+    cfg.trace_path = Some(live_trace.clone());
+    cfg.ckpt_path = Some(ckpt.clone());
+    // The 4 quick sessions drain by ~slot 24: checkpoint often and
+    // crash mid-drain so the restart genuinely resumes.
+    cfg.ckpt_every = 8;
+    cfg.fail_at = Some(12);
+
+    let bus = Arc::new(CommandBus::new(16));
+    let (arrivals, departures) = schedule(n, slots);
+    preload_feed(&bus, feed_events(&arrivals, &departures));
+    let sup = SupervisorConfig {
+        max_restarts: 3,
+        backoff_base_ms: 1,
+        backoff_max_ms: 5,
+    };
+    let end = supervise(
+        &cfg,
+        &sup,
+        bus,
+        Arc::new(FanOut::new()),
+        Arc::new(AtomicBool::new(false)),
+    )
+    .expect("supervised run");
+    match end {
+        SupervisedEnd::Finished {
+            outcome: Outcome::Done { .. },
+            restarts,
+        } => assert_eq!(restarts, 1, "exactly one panic recovery expected"),
+        other => panic!("unexpected end: {other:?}"),
+    }
+
+    let got = std::fs::read(&live_trace).expect("read live trace");
+    let want = std::fs::read(&golden).expect("read golden trace");
+    assert_eq!(got, want, "resumed trace must equal uninterrupted golden");
+    assert!(
+        !ckpt.exists(),
+        "completion must clear the checkpoint sidecar"
+    );
+    let _ = std::fs::remove_file(&golden);
+    let _ = std::fs::remove_file(&live_trace);
+}
+
+fn drain_lines(rx: &std::sync::mpsc::Receiver<String>) -> Vec<String> {
+    rx.try_iter().collect()
+}
+
+/// DropSlots: with a 1ms budget and 5ms of forced work per slot, every
+/// slot overruns — the loop must still complete the whole horizon,
+/// skipping telemetry (not simulation) for the late slots.
+#[test]
+fn drop_slots_policy_never_stalls() {
+    let mut cfg = ServeConfig::new(quick(3, 60));
+    cfg.policy = LivePolicy::DropSlots;
+    cfg.slot_ms = Some(1);
+    cfg.step_delay_ms = 5;
+
+    let fanout = Arc::new(FanOut::new());
+    let rx = fanout.subscribe(4096);
+    let outcome = run_service(cfg, Arc::new(CommandBus::new(4)), fanout);
+    assert!(matches!(outcome, Outcome::Done { slots_run } if slots_run > 0));
+
+    let lines = drain_lines(&rx);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains(r#""event":"deadline_overrun"#) && l.contains(r#""action":"drop"#)),
+        "expected deadline_overrun events under DropSlots"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains(r#""event":"done"#)),
+        "loop must reach completion"
+    );
+}
+
+/// Degrade: overruns latch the scheduler into its degraded mode (RTMA →
+/// best-effort) and the loop keeps meeting the horizon.
+#[test]
+fn degrade_policy_engages_scheduler_and_completes() {
+    let mut cfg = ServeConfig::new(quick(3, 60).with_scheduler(SchedulerSpec::Rtma {
+        phi_mj: 50.0,
+        best_effort: false,
+    }));
+    cfg.policy = LivePolicy::Degrade;
+    cfg.slot_ms = Some(1);
+    cfg.step_delay_ms = 5;
+
+    let fanout = Arc::new(FanOut::new());
+    let rx = fanout.subscribe(4096);
+    let outcome = run_service(cfg, Arc::new(CommandBus::new(4)), fanout);
+    assert!(matches!(outcome, Outcome::Done { slots_run } if slots_run > 0));
+
+    let lines = drain_lines(&rx);
+    assert!(
+        lines.iter().any(|l| l.contains(r#""event":"degraded"#)),
+        "expected a degraded event under Degrade policy"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains(r#""event":"done"#)),
+        "loop must reach completion"
+    );
+}
+
+/// A subscriber that never drains its channel is evicted (and counted)
+/// instead of stalling the slot loop.
+#[test]
+fn slow_subscriber_is_dropped_not_blocking() {
+    let mut cfg = ServeConfig::new(quick(3, 120));
+    cfg.trace_every = 1;
+
+    let fanout = Arc::new(FanOut::new());
+    // Capacity 1 and never drained: the second record evicts it.
+    let _stuck = fanout.subscribe(1);
+    let outcome = run_service(cfg, Arc::new(CommandBus::new(4)), fanout.clone());
+    assert!(matches!(outcome, Outcome::Done { .. }));
+    assert!(
+        fanout.dropped() >= 1,
+        "slow subscriber must be dropped and counted"
+    );
+    assert_eq!(fanout.len(), 0, "fan-out drained at completion");
+}
+
+/// A corrupt checkpoint sidecar must cold-start with a logged warning,
+/// never panic, and still complete the run.
+#[test]
+fn corrupt_checkpoint_cold_starts_with_warning() {
+    let ckpt = tmp_path("corrupt-ckpt.json");
+    std::fs::write(&ckpt, b"{ this is not a checkpoint").expect("plant corrupt sidecar");
+
+    let mut cfg = ServeConfig::new(quick(3, 60));
+    cfg.ckpt_path = Some(ckpt.clone());
+
+    let bus = Arc::new(CommandBus::new(4));
+    let fanout = Arc::new(FanOut::new());
+    let rx = fanout.subscribe(4096);
+    let svc = LiveService::build(
+        cfg,
+        bus,
+        fanout.clone(),
+        Arc::new(AtomicBool::new(false)),
+        0,
+    )
+    .expect("corrupt sidecar must not fail the build");
+    let status = svc.status();
+    assert!(
+        status
+            .warnings
+            .iter()
+            .any(|w| w.contains("checkpoint unusable, cold-started")),
+        "expected a cold-start warning, got {:?}",
+        status.warnings
+    );
+    let outcome = svc.run().expect("run after cold start");
+    assert!(matches!(outcome, Outcome::Done { .. }));
+    let lines = drain_lines(&rx);
+    assert!(
+        lines.iter().any(|l| l.contains(r#""event":"cold_start"#)),
+        "cold_start event must be broadcast"
+    );
+    assert!(!ckpt.exists(), "completion clears the sidecar");
+}

@@ -112,8 +112,11 @@ impl InformationCollector {
                 truth
             };
             self.cached_signal[user] = Some(noisy);
+            return noisy;
         }
-        self.cached_signal[user].expect("populated above")
+        // `refresh` covered the None case, so the cache is populated;
+        // the fallback keeps this total without a panicking path.
+        self.cached_signal[user].unwrap_or(truth)
     }
 
     /// Assemble snapshots for one slot into a caller-owned buffer (the

@@ -18,6 +18,7 @@ pub mod admission;
 pub mod bs;
 pub mod collector;
 pub mod dpi;
+pub mod protocol;
 pub mod receiver;
 pub mod scheduler;
 pub mod shard;
@@ -31,6 +32,10 @@ pub use admission::{
 pub use bs::{CapacityModel, ConstantCapacity, DiurnalCapacity, OutageCapacity, TraceCapacity};
 pub use collector::{CollectorSpec, CollectorState, InformationCollector};
 pub use dpi::{format_segment_request, DpiClassifier, DpiError, FlowInfo};
+pub use protocol::{
+    declared_rate_from_request, parse_command, GwCommand, GwEvent, GwStatus, LiveEvent,
+    ProtocolError, SvcState, MAX_LINE_BYTES,
+};
 pub use receiver::{DataReceiver, FlowClass, FlowState, OriginModel};
 pub use scheduler::{Allocation, DegradationEvent, Scheduler, SlotContext, UserSnapshot};
 pub use shard::UnitParams;

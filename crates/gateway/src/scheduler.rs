@@ -214,6 +214,20 @@ pub trait Scheduler: Send {
         &[]
     }
 
+    /// Switch the policy into its degraded (cheaper, best-effort)
+    /// operating mode, if it has one — the live service's `Degrade`
+    /// overrun response. Returns `true` when the policy supports
+    /// degradation (engaging is idempotent; repeated calls keep
+    /// returning `true`). The default is `false`: nothing changes and
+    /// the caller knows the policy cannot shed load.
+    ///
+    /// Implementations must emit their usual [`DegradationEvent`]s when
+    /// the engaged mode actually alters an allocation, so the switch is
+    /// observable in telemetry.
+    fn engage_degraded(&mut self) -> bool {
+        false
+    }
+
     /// Serialize the policy's mutable state (virtual queues, …) for a
     /// checkpoint. Stateless policies return `Some(String::new())`; a
     /// policy that cannot be checkpointed returns `None`.

@@ -1025,6 +1025,19 @@ impl Scheduler for Ema {
         &self.events
     }
 
+    /// Degraded EMA saturates the virtual queues at their current peak
+    /// (floored at 1.0): rebuffering pressure stops compounding, so an
+    /// overloaded slot loop sheds the DP's worst-case growth. A clamp
+    /// already configured is kept. Deterministic — the bound is a pure
+    /// function of checkpointed queue state.
+    fn engage_degraded(&mut self) -> bool {
+        if self.pc_clamp.is_none() {
+            let peak = self.queues.values().iter().fold(1.0f64, |m, &q| m.max(q));
+            self.pc_clamp = Some(peak);
+        }
+        true
+    }
+
     fn export_state(&self) -> Option<String> {
         serde_json::to_string(&self.queues).ok()
     }

@@ -286,6 +286,17 @@ impl Scheduler for EmaFast {
         &self.events
     }
 
+    /// Same degraded mode as [`crate::Ema::engage_degraded`]: saturate
+    /// the virtual queues at their current peak (floored at 1.0) unless
+    /// a clamp is already configured.
+    fn engage_degraded(&mut self) -> bool {
+        if self.pc_clamp.is_none() {
+            let peak = self.queues.values().iter().fold(1.0f64, |m, &q| m.max(q));
+            self.pc_clamp = Some(peak);
+        }
+        true
+    }
+
     fn export_state(&self) -> Option<String> {
         serde_json::to_string(&self.queues).ok()
     }

@@ -293,6 +293,14 @@ impl Scheduler for Rtma {
     fn degradations(&self) -> &[DegradationEvent] {
         &self.events
     }
+
+    /// Degraded RTMA is best-effort mode: leftover budget is spread to
+    /// blocked users instead of being left stranded (emitting
+    /// [`DegradationEvent::BestEffortFallback`] when it fires).
+    fn engage_degraded(&mut self) -> bool {
+        self.best_effort = true;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -303,6 +303,12 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         // Traced runs use the same recorder for checkpointing, so a
         // checkpoint taken here resumes (with --trace) seamlessly.
         let mut rec = TraceRecorder::new().with_every(every);
+        if scenario.arrivals.is_open() {
+            // Same rule as Scenario::run_traced: open-system runs carry
+            // the live-population column (and so do live service runs —
+            // the SVC gate diffs the two byte-for-byte).
+            rec = rec.with_live_counts();
+        }
         let result = match (resume_path, ckpt_path) {
             (Some(ckpt), _) => {
                 let ck = EngineCheckpoint::read_file(Path::new(ckpt))?;
@@ -344,8 +350,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     };
     summarize(&result);
     for w in &result.warnings {
-        let jmso_sim::SimWarning::ShardFallback { reason } = w;
-        println!("warning: sharded run fell back to serial: {reason}");
+        println!("warning: {w}");
     }
     if let Some(t) = &result.telemetry {
         println!("{}", jmso_sim::report::telemetry_text(t));

@@ -53,7 +53,7 @@
 //! construction — see the method docs and DESIGN.md §11.
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use crate::error::{atomic_write, CheckpointError, SimError};
+use crate::error::{atomic_write, CheckpointError, ScenarioError, SimError};
 use crate::faults::{FaultHook, NoFaults};
 use crate::pool::{PhaseCell, SharedSlice, SpinBarrier, WorkerPool};
 use crate::results::{SimResult, SimWarning, UserResult};
@@ -1390,7 +1390,7 @@ impl Engine {
                                 fairness_series.push(jain_index(fairness_scratch.as_slice()));
                             }
                             power_series_j.push(slot_energy_mj / 1000.0);
-                            if (slot + 1) % FAIR_WINDOW == 0 {
+                            if (slot + 1).is_multiple_of(FAIR_WINDOW) {
                                 fairness_scratch.clear();
                                 for i in 0..n_users {
                                     if window_need[i] > 0.0 {
@@ -1493,18 +1493,72 @@ impl Engine {
     /// recorder and fault hook so the plain `run()` instantiation compiles
     /// to the same code as before either subsystem existed.
     ///
+    /// Implemented as a thin cadence loop over [`SlotDriver`]: the engine
+    /// converts into a driver ([`Engine::into_driver`]) and steps to the
+    /// horizon, so batch runs and live stepping execute the exact same
+    /// slot code — the golden traces and the resume ≡ straight-run
+    /// proptests pin both at once.
+    ///
     /// * `resume` — restore this checkpoint (captured by an earlier run of
     ///   the same scenario) and continue from its slot.
     /// * `mode` — periodic sidecar checkpointing, a one-shot pause, or
     ///   neither. Checkpoints are captured at the *top* of a slot, before
     ///   any of that slot's state changes.
     pub fn run_core<R: SlotRecorder, F: FaultHook>(
-        mut self,
+        self,
         rec: &mut R,
         faults: &F,
         resume: Option<&EngineCheckpoint>,
         mode: CkptMode<'_>,
     ) -> Result<RunOutcome, SimError> {
+        let resumed = resume.is_some();
+        let mut drv = self.into_driver(rec, faults, resume)?;
+        while !drv.is_finished() {
+            let slot = drv.next_slot();
+            match mode {
+                CkptMode::Off => {}
+                CkptMode::EveryToFile { every, path } => {
+                    if every > 0 && slot != drv.start_slot() && slot.is_multiple_of(every) {
+                        let ck = drv.checkpoint(rec).map_err(SimError::Checkpoint)?;
+                        ck.write_file(path).map_err(SimError::Checkpoint)?;
+                    }
+                }
+                CkptMode::PauseAt { slot: pause } => {
+                    if slot == pause && (!resumed || slot > drv.start_slot()) {
+                        let ck = drv.checkpoint(rec).map_err(SimError::Checkpoint)?;
+                        return Ok(RunOutcome::Paused(Box::new(ck)));
+                    }
+                }
+            }
+            drv.step(rec);
+        }
+        Ok(RunOutcome::Done(drv.finish(rec)))
+    }
+
+    /// Convert the engine into a [`SlotDriver`] — the resumable stepping
+    /// form of the hot loop, executing exactly one slot per
+    /// [`SlotDriver::step`] call.
+    ///
+    /// Every batch run path is a thin loop over the driver (see
+    /// [`Engine::run_core`]), so stepping it from a front-end — with
+    /// checkpoints, live arrival scheduling, or degradation between
+    /// slots — is bit-identical to a batch run by construction: there is
+    /// no second loop implementation to drift.
+    ///
+    /// `faults` is taken by value: pass [`NoFaults`], a compiled
+    /// [`FaultPlan`](crate::faults::FaultPlan), a reference to either
+    /// (`&F` of any hook is itself a hook), or the runtime-selected
+    /// [`DynFaults`](crate::faults::DynFaults).
+    ///
+    /// On resume the checkpoint is restored exactly as the batch resume
+    /// path does: component state imports, per-user RNG fast-forward,
+    /// and derived state (SoA mirror, link-cap tables) rebuilt.
+    pub fn into_driver<R: SlotRecorder, F: FaultHook>(
+        mut self,
+        rec: &mut R,
+        faults: F,
+        resume: Option<&EngineCheckpoint>,
+    ) -> Result<SlotDriver<F>, SimError> {
         let n_users = self.users.len();
         let series_cap = if self.cfg.record_series {
             self.cfg.slots as usize
@@ -1514,9 +1568,8 @@ impl Engine {
         let mut fairness_series = Vec::with_capacity(series_cap);
         let mut fairness_window_series = Vec::with_capacity(series_cap.div_ceil(10));
         let mut power_series_j = Vec::with_capacity(series_cap);
-        let mut fairness_scratch: Vec<f64> = Vec::with_capacity(n_users);
+        let fairness_scratch: Vec<f64> = Vec::with_capacity(n_users);
         // 10-slot accumulators for the windowed fairness view.
-        const FAIR_WINDOW: u64 = 10;
         let mut window_delivered = vec![0.0f64; n_users];
         let mut window_need = vec![0.0f64; n_users];
         let mut slots_run = 0;
@@ -1550,9 +1603,6 @@ impl Engine {
             n_users
         ];
         let mut snapshots = Vec::with_capacity(n_users);
-        let mut alloc = Allocation::zeros(n_users);
-        let mut deliveries = Vec::with_capacity(n_users);
-        let mut fault_notes: Vec<String> = Vec::new();
         let collector_full_pass = self.collector.needs_full_pass();
         // Block-precomputed radio tables (per-user Eq. (1) caps for a
         // whole RSSI block) are only sound when the reported signal is
@@ -1562,7 +1612,6 @@ impl Engine {
         // bit-identical by construction (shared per-element `kernel`).
         let tables_enabled = !faults.enabled() && self.collector.is_pass_through();
         let mut v_scratch = [0.0f64; SIG_BLOCK_SLOTS];
-        let mut cap_hint: Vec<u64> = vec![0; n_users];
         // The SoA mirror is maintained only for schedulers that read it
         // (Scheduler::wants_soa): column upkeep re-derives unit
         // quantities per live user every slot, which row-walking
@@ -1618,381 +1667,40 @@ impl Engine {
             rec.begin_run(n_users, self.cfg.tau);
         }
 
-        // Clone the loop-local accumulators into a serializable snapshot.
-        macro_rules! snapshot_loop {
-            () => {
-                LoopCkpt {
-                    fairness_series: fairness_series.clone(),
-                    fairness_window_series: fairness_window_series.clone(),
-                    power_series_j: power_series_j.clone(),
-                    window_delivered: window_delivered.clone(),
-                    window_need: window_need.clone(),
-                    slots_run,
-                    watching,
-                    done_watching: done_watching.clone(),
-                    retired: retired.clone(),
-                    retired_at: retired_at.clone(),
-                    live: live.clone(),
-                    raw: raw.clone(),
-                    snapshots: snapshots.clone(),
-                }
-            };
-        }
-
-        for slot in start_slot..self.cfg.slots {
-            match mode {
-                CkptMode::Off => {}
-                CkptMode::EveryToFile { every, path } => {
-                    if every > 0 && slot != start_slot && slot.is_multiple_of(every) {
-                        let ck = self
-                            .capture(slot, rec, snapshot_loop!())
-                            .map_err(SimError::Checkpoint)?;
-                        ck.write_file(path).map_err(SimError::Checkpoint)?;
-                    }
-                }
-                CkptMode::PauseAt { slot: pause } => {
-                    if slot == pause && (resume.is_none() || slot > start_slot) {
-                        let ck = self
-                            .capture(slot, rec, snapshot_loop!())
-                            .map_err(SimError::Checkpoint)?;
-                        return Ok(RunOutcome::Paused(Box::new(ck)));
-                    }
-                }
-            }
-
-            slots_run = slot + 1;
-            let cap = self.capacity.capacity(slot);
-            let bs_cap_units =
-                faults.adjust_cap_units(slot, self.units.bs_cap_units(cap, self.cfg.tau));
-            rec.begin_slot(slot, bs_cap_units);
-            if faults.enabled() && rec.enabled() {
-                fault_notes.clear();
-                faults.notes_into(slot, &mut fault_notes);
-                for note in &fault_notes {
-                    rec.record_fault(note);
-                }
-            }
-            self.receiver.ingest_slot(slot);
-
-            // Client-side slot advance (Eq. 7/8) and ground-truth state.
-            // All users are live at slot 0 and the live set only shrinks,
-            // so every live user crosses each block boundary and the
-            // block-sampled signal window is always current.
-            let block_off = (slot % SIG_BLOCK_SLOTS as u64) as usize;
-            for &i in &live {
-                let u = &mut self.users[i];
-                if block_off == 0 {
-                    u.signal.sample_into(slot, &mut u.sig_block);
-                    u.sig_samples += SIG_BLOCK_SLOTS as u64;
-                    if tables_enabled {
-                        // One batch-kernel pass per block: the next
-                        // SIG_BLOCK_SLOTS slots read pure table entries.
-                        self.collector.link_caps_into(
-                            &u.sig_block,
-                            &mut v_scratch,
-                            &mut u.cap_block,
-                        );
-                    }
-                }
-                u.cur_signal = u.sig_block[block_off];
-                if tables_enabled {
-                    cap_hint[i] = u.cap_block[block_off];
-                }
-                if faults.enabled() {
-                    // Faults perturb state, never RNG streams: the raw
-                    // sample above already advanced the generator.
-                    u.cur_signal = faults.adjust_signal(slot, i, u.cur_signal);
-                }
-                // Gateway-advertised demand: the ABR rung rate when
-                // clients are installed (single-rung = the native rate,
-                // bitwise), else the declared/session rate.
-                let abr_rate = self.abr.as_ref().map(|a| a.clients[i].rate_kbps);
-                if slot < u.arrival_slot {
-                    // Not arrived yet: no playback clock, no fetch demand,
-                    // a cold (saturated-tail) radio.
-                    raw[i] = RawUserState {
-                        signal: u.cur_signal,
-                        rate_kbps: abr_rate.unwrap_or_else(|| u.session.rate_at(slot)),
-                        buffer_s: 0.0,
-                        remaining_kb: 0.0,
-                        active: false,
-                        idle_s: u.rrc.idle_seconds(),
-                        rrc_state: u.rrc.state(),
-                    };
-                    continue;
-                }
-                if slot >= u.departure_slot || (faults.enabled() && faults.departed(slot, i)) {
-                    // Mid-stream departure — workload churn or the fault
-                    // taxonomy's perturbation form: the client abandons
-                    // playback and the origin stops fetching for them.
-                    // Both calls are idempotent, so the latched window
-                    // check is safe to re-apply every slot, and a
-                    // `u64::MAX` departure slot leaves the run untouched.
-                    u.session.cancel_remaining();
-                    u.playback.abandon();
-                }
-                let outcome = u.playback.begin_slot();
-                if outcome.active {
-                    u.active_slots += 1;
-                }
-                raw[i] = RawUserState {
-                    signal: u.cur_signal,
-                    rate_kbps: abr_rate.unwrap_or_else(|| {
-                        u.declared_rate_kbps
-                            .unwrap_or_else(|| u.session.rate_at(slot))
-                    }),
-                    buffer_s: outcome.occupancy_s,
-                    remaining_kb: u.session.remaining_kb(),
-                    active: outcome.active,
-                    idle_s: u.rrc.idle_seconds(),
-                    rrc_state: u.rrc.state(),
-                };
-            }
-
-            // Gateway pipeline (all writes go into the reused buffers).
-            // The noise-free collector only recomputes live entries; the
-            // first slot (and a noisy collector, whose RNG stream must
-            // stay per-user aligned) takes the full pass.
-            if collector_full_pass || snapshots.len() != n_users {
-                if use_soa {
-                    self.collector
-                        .snapshot_into_soa(slot, &raw, &mut snapshots, &mut soa);
-                } else {
-                    self.collector.snapshot_into(slot, &raw, &mut snapshots);
-                }
-            } else {
-                self.collector.snapshot_refresh_soa(
-                    slot,
-                    &raw,
-                    &live,
-                    tables_enabled.then_some(&cap_hint[..]),
-                    &mut snapshots,
-                    use_soa.then_some(&mut soa),
-                );
-            }
-            let ctx = SlotContext {
-                slot,
-                tau: self.cfg.tau,
-                delta_kb: self.cfg.delta_kb,
-                bs_cap_units,
-                users: &snapshots,
-                soa: use_soa.then_some(&soa),
-            };
-            if rec.enabled() {
-                let t0 = std::time::Instant::now();
-                self.scheduler.allocate_into(&ctx, &mut alloc);
-                rec.record_sched_latency_ns(t0.elapsed().as_nanos() as u64);
-                rec.record_alloc(&alloc.0);
-                if let Some(q) = self.scheduler.queue_values() {
-                    rec.record_queues(q);
-                }
-                let deg = self.scheduler.degradations();
-                if !deg.is_empty() {
-                    rec.record_degradations(deg);
-                }
-            } else {
-                self.scheduler.allocate_into(&ctx, &mut alloc);
-            }
-            self.transmitter
-                .transmit_into(&ctx, &alloc, &mut self.receiver, &mut deliveries);
-
-            // Device-side accounting (Eq. 3/4/5) and client delivery.
-            let mut slot_energy_mj = 0.0;
-            let mut in_system = 0u64;
-            fairness_scratch.clear();
-            let mut any_retired = false;
-            for &i in &live {
-                let u = &mut self.users[i];
-                if slot < u.arrival_slot {
-                    // Pre-arrival: the device is off; nothing is charged.
-                    continue;
-                }
-                let d = &deliveries[i];
-                let r = &raw[i];
-                let slot_e = if d.kb > 0.0 {
-                    let accepted = u.session.deliver(d.kb);
-                    debug_assert!(
-                        (accepted - d.kb).abs() < 1e-6,
-                        "transmitter should never over-deliver"
-                    );
-                    // Client playback always advances by the *true*
-                    // encoding rate regardless of what the gateway thinks
-                    // — under ABR that is the rung rate (lower rungs
-                    // stretch delivered KB into more playback seconds).
-                    if let Some(a) = self.abr.as_mut() {
-                        u.playback.deliver(accepted, a.clients[i].rate_kbps);
-                        let inp = AbrInputs {
-                            buffer_s: r.buffer_s,
-                            predicted_kbps: snapshots[i].link_cap_units as f64 * self.cfg.delta_kb
-                                / self.cfg.tau,
-                        };
-                        a.clients[i].on_delivery(
-                            accepted,
-                            u.session.fully_fetched(),
-                            &a.spec.ladder,
-                            &a.spec.policy,
-                            a.native[i],
-                            a.chunk_s,
-                            inp,
-                        );
-                    } else {
-                        u.playback.deliver(accepted, u.session.rate_at(slot));
-                    }
-                    // One-deep memo of the Eq. (3) kernel: `P(sig)` is a
-                    // pure function of the block-held RSSI, so this is the
-                    // same product `transmission_energy` would compute.
-                    if u.epk_sig.value() != u.cur_signal.value() {
-                        u.epk_per_kb = self.models.power.energy_per_kb(u.cur_signal);
-                        u.epk_sig = u.cur_signal;
-                    }
-                    let e = MilliJoules(u.epk_per_kb * accepted);
-                    if rec.enabled() {
-                        u.rrc
-                            .on_transmit_observed(|f, t| rec.record_rrc_transition(i, f, t));
-                    } else {
-                        u.rrc.on_transmit();
-                    }
-                    u.meter.record_transmission(e);
-                    e.value()
-                } else {
-                    let e = if rec.enabled() {
-                        u.rrc.on_idle_observed(self.cfg.tau, |f, t| {
-                            rec.record_rrc_transition(i, f, t)
-                        })
-                    } else {
-                        u.rrc.on_idle(self.cfg.tau)
-                    };
-                    u.meter.record_tail(e);
-                    e.value()
-                };
-                slot_energy_mj += slot_e;
-                // Running E* estimate for admission feasibility: energy
-                // per arrived-and-watching user-slot (pre-update flag, so
-                // the finishing slot itself still counts).
-                if let Some(adm) = self.admission.as_mut() {
-                    if !done_watching[i] {
-                        adm.energy_mj += slot_e;
-                        adm.user_slots += 1;
-                    }
-                }
-                rec.record_user(i, slot_e, u.playback.total_rebuffer_s());
-                // Fairness sample over users still fetching this slot.
-                // Every consumer of these samples (the per-slot Jain
-                // series and the windowed one) is behind `record_series`,
-                // so plain sweeps skip the divide entirely.
-                if self.cfg.record_series && r.remaining_kb > 0.0 {
-                    let need_kb = (self.cfg.tau * r.rate_kbps).min(r.remaining_kb);
-                    if need_kb > 0.0 {
-                        fairness_scratch.push(d.kb / need_kb);
-                        window_delivered[i] += d.kb;
-                        window_need[i] += need_kb;
-                    }
-                }
-                if !done_watching[i] && u.session.fully_fetched() && u.playback.playback_complete()
-                {
-                    done_watching[i] = true;
-                    watching -= 1;
-                }
-                // Live-population sample for open-system telemetry:
-                // arrived and still watching after this slot's accounting
-                // (the count is only read through `record_live`, so the
-                // NullRecorder instantiation folds it away).
-                if rec.enabled() && !done_watching[i] {
-                    in_system += 1;
-                }
-                // Retire once nothing remains to account: playback is over
-                // and the RRC tail has fully drained, so every further
-                // slot would charge exactly 0 mJ of tail energy.
-                if done_watching[i] && u.rrc.state() == RrcState::Idle {
-                    retired[i] = true;
-                    retired_at[i] = slot;
-                    any_retired = true;
-                }
-            }
-            // Commit staged ABR switches in ascending user order: update
-            // the rung rate, re-price the unfetched tail of the session,
-            // and keep the receiver's origin-side volume bound in step.
-            if let Some(a) = self.abr.as_mut() {
-                for i in 0..n_users {
-                    if let Some(sw) = a.clients[i].apply_pending(&a.spec.ladder, a.native[i]) {
-                        let delta = self.users[i].session.rescale_remaining(sw.ratio);
-                        self.receiver.adjust_source_volume_kb(i, delta);
-                        rec.record_abr_switch(i, sw.from, sw.to);
-                    }
-                }
-            }
-            if any_retired {
-                // Order-preserving compaction keeps iteration (and FP
-                // summation) order identical to the reference loop.
-                live.retain(|&i| !retired[i]);
-            }
-
-            if self.cfg.record_series {
-                if !fairness_scratch.is_empty() {
-                    fairness_series.push(jain_index(&fairness_scratch));
-                }
-                power_series_j.push(slot_energy_mj / 1000.0);
-                if (slot + 1) % FAIR_WINDOW == 0 {
-                    fairness_scratch.clear();
-                    for i in 0..n_users {
-                        if window_need[i] > 0.0 {
-                            fairness_scratch.push(window_delivered[i] / window_need[i]);
-                        }
-                    }
-                    if !fairness_scratch.is_empty() {
-                        fairness_window_series.push(jain_index(&fairness_scratch));
-                    }
-                    window_delivered.fill(0.0);
-                    window_need.fill(0.0);
-                }
-            }
-            if rec.enabled() {
-                rec.record_live(in_system);
-            }
-            // Rule on arrivals planned for the next slot, now that this
-            // slot's capacity and energy accounting are final.
-            if let Some(adm) = self.admission.as_mut() {
-                admission_tick(
-                    adm,
-                    &mut self.users,
-                    &mut done_watching,
-                    &mut watching,
-                    rec,
-                    slot,
-                    bs_cap_units,
-                    self.cfg.tau,
-                    self.cfg.delta_kb,
-                );
-            }
-            rec.end_slot();
-
-            // Early exit: nothing left to schedule, watch, or drain.
-            if watching == 0 {
-                break;
-            }
-        }
-        rec.end_run();
-
-        // Settle the idle slots the retired users sat out: each would have
-        // recorded a zero-energy tail slot per remaining loop iteration.
-        for i in 0..n_users {
-            if retired[i] {
-                self.users[i]
-                    .meter
-                    .record_saturated_idle_slots(slots_run - 1 - retired_at[i]);
-            }
-        }
-
-        let mut result = self.finish(
-            slots_run,
+        let finished = start_slot >= self.cfg.slots;
+        let alloc = Allocation::zeros(n_users);
+        let deliveries = Vec::with_capacity(n_users);
+        Ok(SlotDriver {
+            engine: self,
+            faults,
             fairness_series,
             fairness_window_series,
             power_series_j,
-        );
-        result.telemetry = rec.summary();
-        Ok(RunOutcome::Done(result))
+            fairness_scratch,
+            window_delivered,
+            window_need,
+            slots_run,
+            watching,
+            done_watching,
+            retired,
+            retired_at,
+            live,
+            raw,
+            snapshots,
+            alloc,
+            deliveries,
+            fault_notes: Vec::new(),
+            collector_full_pass,
+            tables_enabled,
+            v_scratch,
+            cap_hint: vec![0; n_users],
+            use_soa,
+            soa,
+            start_slot,
+            next_slot: start_slot,
+            finished,
+        })
     }
-
     /// Reference slot loop: every user is visited every slot and signals
     /// are drawn one slot at a time — the plain transcription of the §III
     /// pipeline with none of [`Engine::run`]'s active-set machinery.
@@ -2239,7 +1947,7 @@ impl Engine {
                     fairness_series.push(jain_index(&fairness_scratch));
                 }
                 power_series_j.push(slot_energy_mj / 1000.0);
-                if (slot + 1) % FAIR_WINDOW == 0 {
+                if (slot + 1).is_multiple_of(FAIR_WINDOW) {
                     fairness_scratch.clear();
                     for i in 0..n_users {
                         if window_need[i] > 0.0 {
@@ -2328,6 +2036,643 @@ impl Engine {
             telemetry: None,
             warnings: Vec::new(),
         }
+    }
+}
+
+/// The resumable stepping form of the engine's hot loop: one slot per
+/// [`SlotDriver::step`] call, checkpoint capture between any two slots,
+/// and live mutation of the not-yet-executed schedule.
+///
+/// Built by [`Engine::into_driver`]; every batch run path
+/// ([`Engine::run_core`]) is a thin cadence loop over this driver, so
+/// stepping it from a front-end (the live gateway service) executes the
+/// exact same slot code as a batch run — the determinism tests pin both
+/// at once, and a fully stepped driver's result and telemetry are
+/// byte-identical to the batch run of the same scenario.
+///
+/// The driver owns its fault hook (generic, so the [`NoFaults`]
+/// instantiation folds every fault branch away exactly as in the batch
+/// loop) and every loop-local accumulator; the recorder stays external,
+/// passed into each call, so one recorder can outlive crash/rebuild
+/// cycles of the driver itself.
+pub struct SlotDriver<F: FaultHook = NoFaults> {
+    engine: Engine,
+    faults: F,
+    fairness_series: Vec<f64>,
+    fairness_window_series: Vec<f64>,
+    power_series_j: Vec<f64>,
+    fairness_scratch: Vec<f64>,
+    window_delivered: Vec<f64>,
+    window_need: Vec<f64>,
+    slots_run: u64,
+    watching: usize,
+    done_watching: Vec<bool>,
+    retired: Vec<bool>,
+    retired_at: Vec<u64>,
+    live: Vec<usize>,
+    raw: Vec<RawUserState>,
+    snapshots: Vec<UserSnapshot>,
+    alloc: Allocation,
+    deliveries: Vec<Delivery>,
+    fault_notes: Vec<String>,
+    collector_full_pass: bool,
+    tables_enabled: bool,
+    v_scratch: [f64; SIG_BLOCK_SLOTS],
+    cap_hint: Vec<u64>,
+    use_soa: bool,
+    soa: SnapshotSoA,
+    start_slot: u64,
+    next_slot: u64,
+    finished: bool,
+}
+
+impl<F: FaultHook> SlotDriver<F> {
+    /// Slot the next [`SlotDriver::step`] call will execute.
+    pub fn next_slot(&self) -> u64 {
+        self.next_slot
+    }
+
+    /// Slot this driver started (or resumed) from.
+    pub fn start_slot(&self) -> u64 {
+        self.start_slot
+    }
+
+    /// Configured horizon Γ in slots.
+    pub fn horizon(&self) -> u64 {
+        self.engine.cfg.slots
+    }
+
+    /// Number of users in the scenario.
+    pub fn n_users(&self) -> usize {
+        self.engine.users.len()
+    }
+
+    /// True once the run is over: the horizon was reached or every
+    /// session has been fully fetched and watched (the batch loop's
+    /// early exit). Further [`SlotDriver::step`] calls return `None`;
+    /// call [`SlotDriver::finish`] to settle accounting and collect the
+    /// [`SimResult`].
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Users still fetching or watching.
+    pub fn watching(&self) -> usize {
+        self.watching
+    }
+
+    /// Short name of the scheduling policy driving allocations.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.engine.scheduler.name()
+    }
+
+    /// Switch the scheduler into its degraded (cheaper, best-effort)
+    /// operating mode, if it has one — the live `Degrade` overrun
+    /// policy. Returns whether the scheduler supports degradation.
+    /// Engaging is idempotent and takes effect from the next slot; the
+    /// switch is observable through the scheduler's degradation events
+    /// in the telemetry stream.
+    pub fn engage_degraded(&mut self) -> bool {
+        self.engine.scheduler.engage_degraded()
+    }
+
+    /// Defer every user's arrival to "never" (`u64::MAX`): live
+    /// ingestion mode, where sessions start only once a
+    /// [`SlotDriver::set_arrival`] event schedules them. Only valid
+    /// before the first slot of a fresh (non-resumed) run — a resumed
+    /// run carries its schedule inside the checkpoint — and
+    /// incompatible with feasibility admission control (whose pending
+    /// queue is compiled from the planned schedule).
+    pub fn defer_all_arrivals(&mut self) -> Result<(), ScenarioError> {
+        if self.next_slot != 0 {
+            return Err(ScenarioError::new(
+                "live.defer",
+                "arrivals can only be deferred before the first slot runs",
+            ));
+        }
+        if self.engine.admission.is_some() {
+            return Err(ScenarioError::new(
+                "live.defer",
+                "live arrival scheduling is incompatible with feasibility \
+                 admission control (its pending queue is compiled from the \
+                 planned arrival schedule)",
+            ));
+        }
+        for u in &mut self.engine.users {
+            u.arrival_slot = u64::MAX;
+            u.departure_slot = u64::MAX;
+        }
+        Ok(())
+    }
+
+    /// Schedule user `user`'s session to start at `slot` — the live form
+    /// of [`crate::arrivals::ArrivalSpec::Declared`]. The engine only
+    /// ever reads `arrival_slot` as `slot < arrival`, so scheduling an
+    /// arrival any time before its slot executes yields bytes identical
+    /// to a batch run whose declared plan carries the same final
+    /// schedule.
+    pub fn set_arrival(&mut self, user: usize, slot: u64) -> Result<(), ScenarioError> {
+        self.check_live_mutation("live.arrive", user, slot)?;
+        let next = self.next_slot;
+        let u = &mut self.engine.users[user];
+        if u.arrival_slot < next {
+            return Err(ScenarioError::new(
+                "live.arrive",
+                format!("user {user} already arrived at slot {}", u.arrival_slot),
+            ));
+        }
+        if u.departure_slot != u64::MAX && slot >= u.departure_slot {
+            return Err(ScenarioError::new(
+                "live.arrive",
+                "arrival must precede the scheduled departure",
+            ));
+        }
+        u.arrival_slot = slot;
+        Ok(())
+    }
+
+    /// Schedule user `user` to abandon their session at `slot` — live
+    /// churn, the same idempotent state change the batch departure plan
+    /// applies.
+    pub fn set_departure(&mut self, user: usize, slot: u64) -> Result<(), ScenarioError> {
+        self.check_live_mutation("live.depart", user, slot)?;
+        let u = &mut self.engine.users[user];
+        if u.arrival_slot != u64::MAX && slot <= u.arrival_slot {
+            return Err(ScenarioError::new(
+                "live.depart",
+                "departure must come after the arrival",
+            ));
+        }
+        u.departure_slot = slot;
+        Ok(())
+    }
+
+    /// Install a gateway-side declared rate (e.g. DPI-extracted from the
+    /// session's segment request) for user `user`: snapshots from the
+    /// next slot on advertise it instead of the instantaneous session
+    /// rate. Client-side playback still uses the true encoding rate.
+    pub fn set_declared_rate(&mut self, user: usize, kbps: f64) -> Result<(), ScenarioError> {
+        if user >= self.engine.users.len() {
+            return Err(ScenarioError::new(
+                "live.rate",
+                format!("user {user} out of range"),
+            ));
+        }
+        if kbps <= 0.0 || kbps.is_nan() {
+            return Err(ScenarioError::new("live.rate", "rate must be positive"));
+        }
+        self.engine.users[user].declared_rate_kbps = Some(kbps);
+        Ok(())
+    }
+
+    /// Shared validation for live schedule mutations: the user exists,
+    /// the slot has not executed yet, and no feasibility admission
+    /// controller owns the arrival schedule.
+    fn check_live_mutation(
+        &self,
+        field: &'static str,
+        user: usize,
+        slot: u64,
+    ) -> Result<(), ScenarioError> {
+        if user >= self.engine.users.len() {
+            return Err(ScenarioError::new(
+                field,
+                format!("user {user} out of range"),
+            ));
+        }
+        if slot < self.next_slot {
+            return Err(ScenarioError::new(
+                field,
+                format!(
+                    "slot {slot} already executed (next slot is {})",
+                    self.next_slot
+                ),
+            ));
+        }
+        if self.engine.admission.is_some() {
+            return Err(ScenarioError::new(
+                field,
+                "live schedule changes are incompatible with feasibility \
+                 admission control",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Clone the loop-local accumulators into a serializable snapshot.
+    fn loop_ckpt(&self) -> LoopCkpt {
+        LoopCkpt {
+            fairness_series: self.fairness_series.clone(),
+            fairness_window_series: self.fairness_window_series.clone(),
+            power_series_j: self.power_series_j.clone(),
+            window_delivered: self.window_delivered.clone(),
+            window_need: self.window_need.clone(),
+            slots_run: self.slots_run,
+            watching: self.watching,
+            done_watching: self.done_watching.clone(),
+            retired: self.retired.clone(),
+            retired_at: self.retired_at.clone(),
+            live: self.live.clone(),
+            raw: self.raw.clone(),
+            snapshots: self.snapshots.clone(),
+        }
+    }
+
+    /// Capture the full simulation state at the top of the next slot.
+    /// Feeding the checkpoint to a freshly built driver (or any batch
+    /// resume path) for the same scenario continues bit-identically.
+    pub fn checkpoint<R: SlotRecorder>(
+        &self,
+        rec: &R,
+    ) -> Result<EngineCheckpoint, CheckpointError> {
+        self.engine.capture(self.next_slot, rec, self.loop_ckpt())
+    }
+
+    /// Execute exactly one slot of the §III pipeline. Returns the slot
+    /// index it ran, or `None` once the run is finished.
+    ///
+    /// The body is the batch loop's slot body verbatim (the batch loop
+    /// calls this method); only the loop-carried locals moved into the
+    /// driver struct.
+    pub fn step<R: SlotRecorder>(&mut self, rec: &mut R) -> Option<u64> {
+        if self.finished {
+            return None;
+        }
+        const FAIR_WINDOW: u64 = 10;
+        let slot = self.next_slot;
+        let n_users = self.engine.users.len();
+        let collector_full_pass = self.collector_full_pass;
+        let tables_enabled = self.tables_enabled;
+        let use_soa = self.use_soa;
+        let Self {
+            engine: eng,
+            faults,
+            fairness_series,
+            fairness_window_series,
+            power_series_j,
+            fairness_scratch,
+            window_delivered,
+            window_need,
+            slots_run,
+            watching,
+            done_watching,
+            retired,
+            retired_at,
+            live,
+            raw,
+            snapshots,
+            alloc,
+            deliveries,
+            fault_notes,
+            v_scratch,
+            cap_hint,
+            soa,
+            ..
+        } = self;
+
+        *slots_run = slot + 1;
+        let cap = eng.capacity.capacity(slot);
+        let bs_cap_units = faults.adjust_cap_units(slot, eng.units.bs_cap_units(cap, eng.cfg.tau));
+        rec.begin_slot(slot, bs_cap_units);
+        if faults.enabled() && rec.enabled() {
+            fault_notes.clear();
+            faults.notes_into(slot, fault_notes);
+            for note in fault_notes.iter() {
+                rec.record_fault(note);
+            }
+        }
+        eng.receiver.ingest_slot(slot);
+
+        // Client-side slot advance (Eq. 7/8) and ground-truth state.
+        // All users are live at slot 0 and the live set only shrinks,
+        // so every live user crosses each block boundary and the
+        // block-sampled signal window is always current.
+        let block_off = (slot % SIG_BLOCK_SLOTS as u64) as usize;
+        for &i in live.iter() {
+            let u = &mut eng.users[i];
+            if block_off == 0 {
+                u.signal.sample_into(slot, &mut u.sig_block);
+                u.sig_samples += SIG_BLOCK_SLOTS as u64;
+                if tables_enabled {
+                    // One batch-kernel pass per block: the next
+                    // SIG_BLOCK_SLOTS slots read pure table entries.
+                    eng.collector
+                        .link_caps_into(&u.sig_block, v_scratch, &mut u.cap_block);
+                }
+            }
+            u.cur_signal = u.sig_block[block_off];
+            if tables_enabled {
+                cap_hint[i] = u.cap_block[block_off];
+            }
+            if faults.enabled() {
+                // Faults perturb state, never RNG streams: the raw
+                // sample above already advanced the generator.
+                u.cur_signal = faults.adjust_signal(slot, i, u.cur_signal);
+            }
+            // Gateway-advertised demand: the ABR rung rate when
+            // clients are installed (single-rung = the native rate,
+            // bitwise), else the declared/session rate.
+            let abr_rate = eng.abr.as_ref().map(|a| a.clients[i].rate_kbps);
+            if slot < u.arrival_slot {
+                // Not arrived yet: no playback clock, no fetch demand,
+                // a cold (saturated-tail) radio.
+                raw[i] = RawUserState {
+                    signal: u.cur_signal,
+                    rate_kbps: abr_rate.unwrap_or_else(|| u.session.rate_at(slot)),
+                    buffer_s: 0.0,
+                    remaining_kb: 0.0,
+                    active: false,
+                    idle_s: u.rrc.idle_seconds(),
+                    rrc_state: u.rrc.state(),
+                };
+                continue;
+            }
+            if slot >= u.departure_slot || (faults.enabled() && faults.departed(slot, i)) {
+                // Mid-stream departure — workload churn or the fault
+                // taxonomy's perturbation form: the client abandons
+                // playback and the origin stops fetching for them.
+                // Both calls are idempotent, so the latched window
+                // check is safe to re-apply every slot, and a
+                // `u64::MAX` departure slot leaves the run untouched.
+                u.session.cancel_remaining();
+                u.playback.abandon();
+            }
+            let outcome = u.playback.begin_slot();
+            if outcome.active {
+                u.active_slots += 1;
+            }
+            raw[i] = RawUserState {
+                signal: u.cur_signal,
+                rate_kbps: abr_rate.unwrap_or_else(|| {
+                    u.declared_rate_kbps
+                        .unwrap_or_else(|| u.session.rate_at(slot))
+                }),
+                buffer_s: outcome.occupancy_s,
+                remaining_kb: u.session.remaining_kb(),
+                active: outcome.active,
+                idle_s: u.rrc.idle_seconds(),
+                rrc_state: u.rrc.state(),
+            };
+        }
+
+        // Gateway pipeline (all writes go into the reused buffers).
+        // The noise-free collector only recomputes live entries; the
+        // first slot (and a noisy collector, whose RNG stream must
+        // stay per-user aligned) takes the full pass.
+        if collector_full_pass || snapshots.len() != n_users {
+            if use_soa {
+                eng.collector
+                    .snapshot_into_soa(slot, raw.as_slice(), snapshots, soa);
+            } else {
+                eng.collector.snapshot_into(slot, raw.as_slice(), snapshots);
+            }
+        } else {
+            eng.collector.snapshot_refresh_soa(
+                slot,
+                raw.as_slice(),
+                live.as_slice(),
+                tables_enabled.then_some(&cap_hint[..]),
+                snapshots,
+                use_soa.then_some(&mut *soa),
+            );
+        }
+        let ctx = SlotContext {
+            slot,
+            tau: eng.cfg.tau,
+            delta_kb: eng.cfg.delta_kb,
+            bs_cap_units,
+            users: snapshots.as_slice(),
+            soa: use_soa.then_some(&*soa),
+        };
+        if rec.enabled() {
+            let t0 = std::time::Instant::now();
+            eng.scheduler.allocate_into(&ctx, alloc);
+            rec.record_sched_latency_ns(t0.elapsed().as_nanos() as u64);
+            rec.record_alloc(&alloc.0);
+            if let Some(q) = eng.scheduler.queue_values() {
+                rec.record_queues(q);
+            }
+            let deg = eng.scheduler.degradations();
+            if !deg.is_empty() {
+                rec.record_degradations(deg);
+            }
+        } else {
+            eng.scheduler.allocate_into(&ctx, alloc);
+        }
+        eng.transmitter
+            .transmit_into(&ctx, &*alloc, &mut eng.receiver, deliveries);
+
+        // Device-side accounting (Eq. 3/4/5) and client delivery.
+        let mut slot_energy_mj = 0.0;
+        let mut in_system = 0u64;
+        fairness_scratch.clear();
+        let mut any_retired = false;
+        for &i in live.iter() {
+            let u = &mut eng.users[i];
+            if slot < u.arrival_slot {
+                // Pre-arrival: the device is off; nothing is charged.
+                continue;
+            }
+            let d = &deliveries[i];
+            let r = &raw[i];
+            let slot_e = if d.kb > 0.0 {
+                let accepted = u.session.deliver(d.kb);
+                debug_assert!(
+                    (accepted - d.kb).abs() < 1e-6,
+                    "transmitter should never over-deliver"
+                );
+                // Client playback always advances by the *true*
+                // encoding rate regardless of what the gateway thinks
+                // — under ABR that is the rung rate (lower rungs
+                // stretch delivered KB into more playback seconds).
+                if let Some(a) = eng.abr.as_mut() {
+                    u.playback.deliver(accepted, a.clients[i].rate_kbps);
+                    let inp = AbrInputs {
+                        buffer_s: r.buffer_s,
+                        predicted_kbps: snapshots[i].link_cap_units as f64 * eng.cfg.delta_kb
+                            / eng.cfg.tau,
+                    };
+                    a.clients[i].on_delivery(
+                        accepted,
+                        u.session.fully_fetched(),
+                        &a.spec.ladder,
+                        &a.spec.policy,
+                        a.native[i],
+                        a.chunk_s,
+                        inp,
+                    );
+                } else {
+                    u.playback.deliver(accepted, u.session.rate_at(slot));
+                }
+                // One-deep memo of the Eq. (3) kernel: `P(sig)` is a
+                // pure function of the block-held RSSI, so this is the
+                // same product `transmission_energy` would compute.
+                if u.epk_sig.value() != u.cur_signal.value() {
+                    u.epk_per_kb = eng.models.power.energy_per_kb(u.cur_signal);
+                    u.epk_sig = u.cur_signal;
+                }
+                let e = MilliJoules(u.epk_per_kb * accepted);
+                if rec.enabled() {
+                    u.rrc
+                        .on_transmit_observed(|f, t| rec.record_rrc_transition(i, f, t));
+                } else {
+                    u.rrc.on_transmit();
+                }
+                u.meter.record_transmission(e);
+                e.value()
+            } else {
+                let e = if rec.enabled() {
+                    u.rrc
+                        .on_idle_observed(eng.cfg.tau, |f, t| rec.record_rrc_transition(i, f, t))
+                } else {
+                    u.rrc.on_idle(eng.cfg.tau)
+                };
+                u.meter.record_tail(e);
+                e.value()
+            };
+            slot_energy_mj += slot_e;
+            // Running E* estimate for admission feasibility: energy
+            // per arrived-and-watching user-slot (pre-update flag, so
+            // the finishing slot itself still counts).
+            if let Some(adm) = eng.admission.as_mut() {
+                if !done_watching[i] {
+                    adm.energy_mj += slot_e;
+                    adm.user_slots += 1;
+                }
+            }
+            rec.record_user(i, slot_e, u.playback.total_rebuffer_s());
+            // Fairness sample over users still fetching this slot.
+            // Every consumer of these samples (the per-slot Jain
+            // series and the windowed one) is behind `record_series`,
+            // so plain sweeps skip the divide entirely.
+            if eng.cfg.record_series && r.remaining_kb > 0.0 {
+                let need_kb = (eng.cfg.tau * r.rate_kbps).min(r.remaining_kb);
+                if need_kb > 0.0 {
+                    fairness_scratch.push(d.kb / need_kb);
+                    window_delivered[i] += d.kb;
+                    window_need[i] += need_kb;
+                }
+            }
+            if !done_watching[i] && u.session.fully_fetched() && u.playback.playback_complete() {
+                done_watching[i] = true;
+                *watching -= 1;
+            }
+            // Live-population sample for open-system telemetry:
+            // arrived and still watching after this slot's accounting
+            // (the count is only read through `record_live`, so the
+            // NullRecorder instantiation folds it away).
+            if rec.enabled() && !done_watching[i] {
+                in_system += 1;
+            }
+            // Retire once nothing remains to account: playback is over
+            // and the RRC tail has fully drained, so every further
+            // slot would charge exactly 0 mJ of tail energy.
+            if done_watching[i] && u.rrc.state() == RrcState::Idle {
+                retired[i] = true;
+                retired_at[i] = slot;
+                any_retired = true;
+            }
+        }
+        // Commit staged ABR switches in ascending user order: update
+        // the rung rate, re-price the unfetched tail of the session,
+        // and keep the receiver's origin-side volume bound in step.
+        if let Some(a) = eng.abr.as_mut() {
+            for i in 0..n_users {
+                if let Some(sw) = a.clients[i].apply_pending(&a.spec.ladder, a.native[i]) {
+                    let delta = eng.users[i].session.rescale_remaining(sw.ratio);
+                    eng.receiver.adjust_source_volume_kb(i, delta);
+                    rec.record_abr_switch(i, sw.from, sw.to);
+                }
+            }
+        }
+        if any_retired {
+            // Order-preserving compaction keeps iteration (and FP
+            // summation) order identical to the reference loop.
+            live.retain(|&i| !retired[i]);
+        }
+
+        if eng.cfg.record_series {
+            if !fairness_scratch.is_empty() {
+                fairness_series.push(jain_index(fairness_scratch.as_slice()));
+            }
+            power_series_j.push(slot_energy_mj / 1000.0);
+            if (slot + 1).is_multiple_of(FAIR_WINDOW) {
+                fairness_scratch.clear();
+                for i in 0..n_users {
+                    if window_need[i] > 0.0 {
+                        fairness_scratch.push(window_delivered[i] / window_need[i]);
+                    }
+                }
+                if !fairness_scratch.is_empty() {
+                    fairness_window_series.push(jain_index(fairness_scratch.as_slice()));
+                }
+                window_delivered.fill(0.0);
+                window_need.fill(0.0);
+            }
+        }
+        if rec.enabled() {
+            rec.record_live(in_system);
+        }
+        // Rule on arrivals planned for the next slot, now that this
+        // slot's capacity and energy accounting are final.
+        if let Some(adm) = eng.admission.as_mut() {
+            admission_tick(
+                adm,
+                &mut eng.users,
+                done_watching,
+                watching,
+                rec,
+                slot,
+                bs_cap_units,
+                eng.cfg.tau,
+                eng.cfg.delta_kb,
+            );
+        }
+        rec.end_slot();
+
+        self.next_slot = slot + 1;
+        // The batch loop's exit conditions: nothing left to schedule,
+        // watch, or drain — or the horizon was reached.
+        if self.watching == 0 || self.next_slot >= self.engine.cfg.slots {
+            self.finished = true;
+        }
+        Some(slot)
+    }
+
+    /// Settle end-of-run accounting and fold the final [`SimResult`] —
+    /// the driver form of the batch loop's epilogue. Callable at any
+    /// point; finishing early yields the result of the slots run so
+    /// far.
+    pub fn finish<R: SlotRecorder>(self, rec: &mut R) -> SimResult {
+        rec.end_run();
+        let Self {
+            mut engine,
+            fairness_series,
+            fairness_window_series,
+            power_series_j,
+            slots_run,
+            retired,
+            retired_at,
+            ..
+        } = self;
+        // Settle the idle slots the retired users sat out: each would
+        // have recorded a zero-energy tail slot per remaining loop
+        // iteration.
+        for i in 0..engine.users.len() {
+            if retired[i] {
+                engine.users[i]
+                    .meter
+                    .record_saturated_idle_slots(slots_run - 1 - retired_at[i]);
+            }
+        }
+        let mut result = engine.finish(
+            slots_run,
+            fairness_series,
+            fairness_window_series,
+            power_series_j,
+        );
+        result.telemetry = rec.summary();
+        result
     }
 }
 

@@ -203,8 +203,15 @@ impl From<SimError> for String {
 }
 
 /// Durably replace the file at `path` with `bytes`: write to a `.tmp`
-/// sibling, fsync it, then atomically rename over the target. A crash
-/// mid-write leaves either the old file or the new one, never a torn mix.
+/// sibling, fsync it, atomically rename over the target, then fsync the
+/// parent directory so the rename itself is durable.
+///
+/// Guarantee: after a crash at any point, `path` holds either the
+/// complete old contents or the complete new contents — never a torn
+/// mix, and (on Unix filesystems honouring directory fsync) never a
+/// rename that silently vanishes on power loss. The service-mode
+/// checkpoint/resume gate leans on exactly this: a `kill -9` between
+/// checkpoints must leave a fully readable sidecar behind.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let mut tmp_name = path.as_os_str().to_os_string();
     tmp_name.push(".tmp");
@@ -214,7 +221,18 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         f.write_all(bytes)?;
         f.sync_all()?;
     }
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    // The rename is only durable once the directory entry is on disk.
+    // Directories cannot be opened for writing, but fsync on a
+    // read-only directory handle is the documented Unix idiom; a
+    // filesystem that rejects it (EINVAL on some network mounts) still
+    // gave us atomicity, so that error is not propagated.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -488,6 +488,100 @@ pub struct NoFaults;
 
 impl FaultHook for NoFaults {}
 
+/// A reference to a hook is itself a hook, so by-value consumers
+/// ([`Engine::into_driver`](crate::engine::Engine::into_driver)) accept
+/// borrowed plans without cloning.
+impl<F: FaultHook + ?Sized> FaultHook for &F {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn adjust_signal(&self, slot: u64, user: usize, sig: Dbm) -> Dbm {
+        (**self).adjust_signal(slot, user, sig)
+    }
+
+    #[inline]
+    fn adjust_cap_units(&self, slot: u64, cap_units: u64) -> u64 {
+        (**self).adjust_cap_units(slot, cap_units)
+    }
+
+    #[inline]
+    fn scale_cell_cap(&self, slot: u64, cell: usize, cap_kbps: f64) -> f64 {
+        (**self).scale_cell_cap(slot, cell, cap_kbps)
+    }
+
+    #[inline]
+    fn departed(&self, slot: u64, user: usize) -> bool {
+        (**self).departed(slot, user)
+    }
+
+    fn notes_into(&self, slot: u64, out: &mut Vec<String>) {
+        (**self).notes_into(slot, out)
+    }
+}
+
+/// Runtime-selected hook for front-ends that decide between a fault-free
+/// and a faulted run at startup (the live gateway service): `Off` keeps
+/// `enabled() == false`, so the block radio tables and the fault-free
+/// fast path stay engaged exactly as with [`NoFaults`].
+#[derive(Debug, Clone)]
+pub enum DynFaults {
+    /// No faults; behaves exactly like [`NoFaults`].
+    Off,
+    /// A compiled fault plan.
+    Plan(FaultPlan),
+}
+
+impl FaultHook for DynFaults {
+    #[inline]
+    fn enabled(&self) -> bool {
+        match self {
+            DynFaults::Off => false,
+            DynFaults::Plan(p) => p.enabled(),
+        }
+    }
+
+    #[inline]
+    fn adjust_signal(&self, slot: u64, user: usize, sig: Dbm) -> Dbm {
+        match self {
+            DynFaults::Off => sig,
+            DynFaults::Plan(p) => p.adjust_signal(slot, user, sig),
+        }
+    }
+
+    #[inline]
+    fn adjust_cap_units(&self, slot: u64, cap_units: u64) -> u64 {
+        match self {
+            DynFaults::Off => cap_units,
+            DynFaults::Plan(p) => p.adjust_cap_units(slot, cap_units),
+        }
+    }
+
+    #[inline]
+    fn scale_cell_cap(&self, slot: u64, cell: usize, cap_kbps: f64) -> f64 {
+        match self {
+            DynFaults::Off => cap_kbps,
+            DynFaults::Plan(p) => p.scale_cell_cap(slot, cell, cap_kbps),
+        }
+    }
+
+    #[inline]
+    fn departed(&self, slot: u64, user: usize) -> bool {
+        match self {
+            DynFaults::Off => false,
+            DynFaults::Plan(p) => p.departed(slot, user),
+        }
+    }
+
+    fn notes_into(&self, slot: u64, out: &mut Vec<String>) {
+        if let DynFaults::Plan(p) = self {
+            p.notes_into(slot, out)
+        }
+    }
+}
+
 impl FaultHook for FaultPlan {
     #[inline]
     fn enabled(&self) -> bool {

@@ -54,9 +54,9 @@ pub mod telemetry;
 pub use arrivals::{ArrivalSpec, ChurnPlan, Diurnal, SessionLength, NEVER_DEPARTS};
 pub use calibrate::{calibrate_default, fit_v_for_omega, fit_v_for_omega_with, Calibration};
 pub use chart::ascii_chart;
-pub use engine::{CkptMode, Engine, EngineCheckpoint, RunOutcome};
+pub use engine::{CkptMode, Engine, EngineCheckpoint, RunOutcome, SlotDriver};
 pub use error::{atomic_write, CheckpointError, ScenarioError, SimError, TraceError};
-pub use faults::{FaultEvent, FaultHook, FaultPlan, FaultSpec, NoFaults};
+pub use faults::{DynFaults, FaultEvent, FaultHook, FaultPlan, FaultSpec, NoFaults};
 pub use multicell::{MultiCellResult, MultiCellScenario};
 pub use pool::{SpinBarrier, WorkerPool};
 pub use results::{SimResult, SimWarning, UserResult};

@@ -54,6 +54,26 @@ pub enum SimWarning {
         /// Why the sharded loop could not run.
         reason: String,
     },
+    /// A resume-on-restart found its checkpoint sidecar unusable
+    /// (missing component, corrupt bytes, version drift) and the run
+    /// cold-started instead of resuming.
+    CheckpointFallback {
+        /// Why the checkpoint could not be restored.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimWarning::ShardFallback { reason } => {
+                write!(f, "sharded run fell back to serial: {reason}")
+            }
+            SimWarning::CheckpointFallback { reason } => {
+                write!(f, "checkpoint unusable, cold-started: {reason}")
+            }
+        }
+    }
 }
 
 /// Outcome of one simulation run.

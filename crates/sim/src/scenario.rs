@@ -3,7 +3,7 @@
 
 use crate::engine::{CkptMode, Engine, EngineCheckpoint, EngineConfig, RunOutcome};
 use crate::error::{ScenarioError, SimError};
-use crate::faults::{FaultPlan, FaultSpec, NoFaults};
+use crate::faults::{DynFaults, FaultPlan, FaultSpec, NoFaults};
 use crate::results::SimResult;
 use crate::telemetry::{SlotRecorder, SlotTrace, TraceRecorder};
 use jmso_gateway::bs::CapacitySpec;
@@ -276,6 +276,36 @@ impl Scenario {
             Some(plan) => self
                 .build_engine(false, Some(&plan))?
                 .run_core(rec, &plan, None, mode),
+        }
+    }
+
+    /// Build a resumable [`SlotDriver`](crate::engine::SlotDriver) over
+    /// this scenario: one slot per `step` call, checkpoint capture
+    /// between any two slots, live schedule mutation — the live-service
+    /// stepping form of [`Scenario::run_with`]. Stepping the driver to
+    /// completion and calling `finish` yields a result (and recorder
+    /// state) byte-identical to the batch run, because the batch loop
+    /// itself is a cadence loop over this same driver.
+    ///
+    /// `resume` restores a checkpoint captured on this same scenario.
+    /// Fault specs compile into a [`DynFaults`] hook; fault-free
+    /// scenarios get the `Off` variant, which keeps the fault-free fast
+    /// path (block radio tables) engaged.
+    pub fn driver<R: SlotRecorder>(
+        &self,
+        rec: &mut R,
+        resume: Option<&EngineCheckpoint>,
+    ) -> Result<crate::engine::SlotDriver<DynFaults>, SimError> {
+        self.validate()?;
+        match self.compiled_faults()? {
+            None => self
+                .build_engine(false, None)?
+                .into_driver(rec, DynFaults::Off, resume),
+            Some(plan) => self.build_engine(false, Some(&plan))?.into_driver(
+                rec,
+                DynFaults::Plan(plan),
+                resume,
+            ),
         }
     }
 

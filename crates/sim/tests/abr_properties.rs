@@ -378,7 +378,9 @@ fn shard_fallback_raises_typed_warning() {
         .run_sharded_on(&pool, 2, &mut rec)
         .expect("fallback still runs");
     assert_eq!(r.warnings.len(), 1, "exactly one fallback warning");
-    let SimWarning::ShardFallback { reason } = &r.warnings[0];
+    let SimWarning::ShardFallback { reason } = &r.warnings[0] else {
+        panic!("expected a shard-fallback warning, got {:?}", r.warnings[0]);
+    };
     assert!(reason.contains("pass-through"), "{reason}");
     // The fallback result equals the plain serial run apart from the
     // warning itself.
@@ -405,7 +407,9 @@ fn shard_fallback_raises_typed_warning() {
         .run_sharded_on(&pool, 2, &mut rec)
         .expect("fallback still runs");
     assert_eq!(r.warnings.len(), 1);
-    let SimWarning::ShardFallback { reason } = &r.warnings[0];
+    let SimWarning::ShardFallback { reason } = &r.warnings[0] else {
+        panic!("expected a shard-fallback warning, got {:?}", r.warnings[0]);
+    };
     assert!(reason.contains("admission"), "{reason}");
 
     // Width 1 is the serial loop by request — no warning, even with a

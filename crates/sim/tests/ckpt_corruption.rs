@@ -1,0 +1,157 @@
+//! Checkpoint corruption pack: damaged sidecars must surface typed
+//! [`CheckpointError`]s — truncated payloads, torn writes that left only
+//! the `.tmp` sibling, version skew, and cross-scenario restores all
+//! fail loudly and never panic. The live service leans on these
+//! contracts to fall back to a cold start instead of crash-looping.
+
+use jmso_sim::{CheckpointError, EngineCheckpoint, RunOutcome, Scenario, SimError, TraceRecorder};
+use jmso_sim::{TailPricing, WorkloadSpec};
+use std::path::PathBuf;
+
+fn quick(n: usize) -> Scenario {
+    let mut s = Scenario::paper_default(n);
+    s.slots = 120;
+    // Sessions big enough that the run is still mid-flight at the
+    // pause slots the tests use.
+    s.workload = WorkloadSpec {
+        size_range_kb: (20_000.0, 40_000.0),
+        rate_range_kbps: (300.0, 600.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    s
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("jmso-ckpt-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Pause a real run mid-flight and hand back the checkpoint.
+fn make_checkpoint(s: &Scenario, pause: u64) -> EngineCheckpoint {
+    let mut rec = TraceRecorder::new();
+    match s.run_until(&mut rec, pause).expect("valid scenario runs") {
+        RunOutcome::Paused(ck) => *ck,
+        RunOutcome::Done(_) => panic!("run finished before the pause slot"),
+    }
+}
+
+#[test]
+fn truncated_sidecar_is_corrupt_not_panic() {
+    let s = quick(4);
+    let ck = make_checkpoint(&s, 10);
+    let path = tmp_path("truncated.json");
+    ck.write_file(&path).expect("write checkpoint");
+
+    let full = std::fs::read_to_string(&path).expect("read back");
+    assert!(full.len() > 32, "sidecar unexpectedly small");
+    std::fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+
+    match EngineCheckpoint::read_file(&path) {
+        Err(CheckpointError::Corrupt { .. }) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn garbage_sidecar_is_corrupt_not_panic() {
+    let path = tmp_path("garbage.json");
+    std::fs::write(&path, "{ this is not a checkpoint").expect("plant garbage");
+    match EngineCheckpoint::read_file(&path) {
+        Err(CheckpointError::Corrupt { .. }) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    // Binary (non-UTF-8) garbage fails one layer earlier, as a typed
+    // Io(InvalidData) — still no panic, still recoverable.
+    std::fs::write(&path, b"\x00\xffnot json at all").expect("plant binary garbage");
+    match EngineCheckpoint::read_file(&path) {
+        Err(CheckpointError::Io { source, .. }) => {
+            assert_eq!(source.kind(), std::io::ErrorKind::InvalidData);
+        }
+        other => panic!("expected Io(InvalidData), got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A crash between the `.tmp` write and the rename leaves only the
+/// sibling: the real path reads as a typed Io(NotFound), and the
+/// half-written sibling never shadows it.
+#[test]
+fn torn_write_tmp_only_is_io_not_panic() {
+    let s = quick(4);
+    let ck = make_checkpoint(&s, 10);
+    let path = tmp_path("torn.json");
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let json = ck.to_json().expect("serialize");
+    std::fs::write(&tmp, &json.as_bytes()[..json.len() / 2]).expect("plant torn tmp");
+
+    match EngineCheckpoint::read_file(&path) {
+        Err(CheckpointError::Io { source, .. }) => {
+            assert_eq!(source.kind(), std::io::ErrorKind::NotFound);
+        }
+        other => panic!("expected Io(NotFound), got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn version_skew_is_corrupt_with_diagnostic() {
+    let s = quick(4);
+    let ck = make_checkpoint(&s, 10);
+    let json = ck.to_json().expect("serialize");
+    assert!(
+        json.contains("\"version\":3"),
+        "test assumes CKPT v3 sidecars; update the replacements below"
+    );
+    for bogus in ["99", "1", "0"] {
+        let skewed = json.replacen("\"version\":3", &format!("\"version\":{bogus}"), 1);
+        match EngineCheckpoint::from_json(&skewed) {
+            Err(CheckpointError::Corrupt { reason }) => {
+                assert!(
+                    reason.contains("version"),
+                    "diagnostic should name the version, got: {reason}"
+                );
+            }
+            other => panic!("expected Corrupt for version {bogus}, got {other:?}"),
+        }
+    }
+}
+
+/// A checkpoint from a different scenario shape must be refused by the
+/// restoring component with a typed Restore error, not a panic or a
+/// silently wrong resume.
+#[test]
+fn cross_scenario_restore_is_typed_refusal() {
+    let ck = make_checkpoint(&quick(4), 10);
+    let other = quick(6);
+    let mut rec = TraceRecorder::new();
+    match other.resume_from(&mut rec, &ck) {
+        Err(SimError::Checkpoint(CheckpointError::Restore { component, .. })) => {
+            assert!(!component.is_empty());
+        }
+        Err(e) => panic!("expected a Restore refusal, got {e:?}"),
+        Ok(_) => panic!("mismatched restore must not succeed"),
+    }
+}
+
+/// Round-trip sanity: the same sidecar that the corruption cases mangle
+/// is, untouched, perfectly readable — so the negative tests above fail
+/// for the right reason.
+#[test]
+fn pristine_sidecar_round_trips() {
+    let s = quick(4).with_scheduler(jmso_sim::SchedulerSpec::EmaFast {
+        v: 200.0,
+        tail: TailPricing::default(),
+        pc_clamp: None,
+    });
+    let ck = make_checkpoint(&s, 10);
+    let path = tmp_path("pristine.json");
+    ck.write_file(&path).expect("write checkpoint");
+    let back = EngineCheckpoint::read_file(&path).expect("read back");
+    assert_eq!(back.slot(), ck.slot());
+    let _ = std::fs::remove_file(&path);
+}

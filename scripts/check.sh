@@ -32,6 +32,21 @@ echo "== cargo clippy -p jmso-media (deny unwrap/expect/panic in lib)"
 cargo clippy -p jmso-media --lib --no-deps -- -D warnings \
     -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
 
+# Same burn-down for the gateway crates and the radio layer: protocol
+# parsing, the information collector, and signal models all feed the
+# long-lived service loop, where a stray unwrap is a crash-loop.
+echo "== cargo clippy -p jmso-gateway (deny unwrap/expect/panic in lib)"
+cargo clippy -p jmso-gateway --lib --no-deps -- -D warnings \
+    -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
+echo "== cargo clippy -p jmso-radio (deny unwrap/expect/panic in lib)"
+cargo clippy -p jmso-radio --lib --no-deps -- -D warnings \
+    -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
+echo "== cargo clippy -p jmso-gateway-svc (deny unwrap/expect/panic in lib)"
+cargo clippy -p jmso-gateway-svc --lib --no-deps -- -D warnings \
+    -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
 echo "== cargo test"
 cargo test -q
 
@@ -65,6 +80,15 @@ if [[ "${ABR:-0}" == "1" ]]; then
     cargo test -q -p jmso-sim --test abr_properties
     REGEN_GOLDEN=1 cargo test -q --test golden_trace abr
     git diff --exit-code -- tests/golden/abr.trace.jsonl
+fi
+
+# Service-mode gate: SVC=1 launches the real jmso-gateway binary on a
+# Unix socket, feeds a scripted session schedule, kill -9s it mid-run,
+# restarts it, and asserts the resumed trace is byte-identical to the
+# uninterrupted batch golden under the Stall policy.
+if [[ "${SVC:-0}" == "1" ]]; then
+    echo "== service crash-recovery gate (SVC=1)"
+    scripts/svc-gate.sh
 fi
 
 # Opt-in perf gate: BENCH=1 scripts/check.sh additionally runs the

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Service-mode crash-recovery gate (SVC=1 scripts/check.sh).
+#
+# End-to-end over the real binary and a real Unix socket:
+#   1. emit a matched scenario pack (live + declared-batch + feed),
+#   2. produce the batch golden trace with jmso-sim,
+#   3. serve the live scenario paced in real time, feed the scripted
+#      sessions over the socket, then kill -9 the service mid-run,
+#   4. restart it and let it resume from the periodic checkpoint,
+#   5. assert the resumed run's trace is byte-identical to the batch
+#      golden under the Stall policy.
+# A cold start instead of a resume would re-enter the holding state
+# (nobody re-feeds the schedule) and trip the completion timeout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q -p jmso-gateway-svc -p jmso-sim
+GW=target/debug/jmso-gateway
+SIM=target/debug/jmso-sim
+
+D=$(mktemp -d)
+SOCK="$D/gw.sock"
+SERVE_ARGS=("$D/scenario.live.json" --listen "unix:$SOCK" --ingest
+            --trace "$D/live.jsonl" --ckpt "$D/ckpt.json" --ckpt-every 4
+            --policy stall --slot-ms 100)
+cleanup() {
+    [[ -n "${PID:-}" ]] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$D"
+}
+trap cleanup EXIT
+
+echo "== svc gate: scenario pack"
+"$GW" template 4 --slots 240 --out-dir "$D"
+
+echo "== svc gate: batch golden"
+"$SIM" run "$D/scenario.batch.json" --trace "$D/golden.jsonl" >/dev/null
+
+echo "== svc gate: serve, feed, kill -9 mid-run"
+"$GW" serve "${SERVE_ARGS[@]}" &
+PID=$!
+for _ in $(seq 50); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+[[ -S "$SOCK" ]] || { echo "service socket never appeared"; exit 1; }
+"$GW" send "unix:$SOCK" --file "$D/feed.jsonl" >/dev/null
+sleep 0.5
+kill -9 "$PID" 2>/dev/null || { echo "service finished before the kill"; exit 1; }
+wait "$PID" 2>/dev/null || true
+PID=
+[[ -f "$D/ckpt.json" ]] || { echo "no durable checkpoint at kill time"; exit 1; }
+[[ -f "$D/live.jsonl" ]] && { echo "trace written before completion"; exit 1; }
+
+echo "== svc gate: restart and resume"
+timeout 60 "$GW" serve "${SERVE_ARGS[@]}"
+
+[[ -f "$D/ckpt.json" ]] && { echo "completion left the checkpoint behind"; exit 1; }
+cmp "$D/live.jsonl" "$D/golden.jsonl" || {
+    echo "resumed live trace differs from the batch golden"; exit 1;
+}
+echo "svc gate passed: resumed trace is byte-identical to the batch golden."
