@@ -99,6 +99,17 @@ fn micro_parts() -> (Vec<SlotUser>, Vec<SlotUser>) {
     (parts_a, parts_b)
 }
 
+/// Row filter: `hotpath <substring>` runs only the rows whose label
+/// contains the substring (no argument runs everything). This is the
+/// profiling entry point `scripts/profile.sh` uses to pin one row under
+/// the profiler without paying for the rest of the suite.
+fn row_enabled(label: &str) -> bool {
+    match std::env::args().nth(1) {
+        Some(f) => label.contains(&f),
+        None => true,
+    }
+}
+
 fn report(label: &str, slots_run: u64, elapsed_s: f64) {
     let slots_per_sec = (slots_run as f64 / elapsed_s * 10.0).round() / 10.0;
     println!(
@@ -118,6 +129,9 @@ fn report_best_of(label: &str, body: impl FnMut() -> u64) {
 /// (`HOTPATH_REPS` still overrides) — the 1M-user open-system rows run
 /// seconds per rep, so ten of them would dominate the whole bench.
 fn report_best_of_default(label: &str, default_reps: usize, mut body: impl FnMut() -> u64) {
+    if !row_enabled(label) {
+        return;
+    }
     let reps: usize = std::env::var("HOTPATH_REPS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -154,7 +168,17 @@ fn main() {
         let scenario = paper_cell(40, 375.0)
             .with_seed(42)
             .with_scheduler(spec.clone());
-        report_best_of(&spec.label(), || {
+        // The DP row runs ~10× slower than the rest, which makes its
+        // best-of-N the most noise-prone statistic in the suite (the
+        // BENCH_PR8 snapshot recorded it 32% low during a host-wide slow
+        // period — see DESIGN.md §7); double its reps so one quiet
+        // window is enough to land on the true floor.
+        let reps = if spec.label().starts_with("EMA(") {
+            20
+        } else {
+            10
+        };
+        report_best_of_default(&spec.label(), reps, || {
             scenario.run().expect("hotpath run").slots_run
         });
     }
@@ -186,7 +210,7 @@ fn main() {
     // takes the cold path (the warm-start cache would otherwise return the
     // previous answer); the greedy row prices the take-all fast path. The
     // reported number is solver calls per second.
-    {
+    if row_enabled("micro") {
         let (parts_a, parts_b) = micro_parts();
         let mut scratch = DpScratch::default();
         let iters = 20_000u64;
@@ -284,9 +308,10 @@ fn main() {
     });
 
     // Admission overhead row: a 1 000-user open-system cell whose Poisson
-    // arrivals all pass through the feasibility controller (serial loop —
-    // admission pins the run serial by design). Prices the end-of-slot
-    // admission tick: heap pops plus an O(n) active scan per candidate.
+    // arrivals all pass through the feasibility controller. Prices the
+    // end-of-slot admission tick on the incrementally-maintained
+    // `n_active`/`rate_sum` aggregates (O(1) per candidate), plus the
+    // arrival-gated live lists that skip not-yet-arrived users entirely.
     let mut scenario = paper_cell(1_000, 375.0).with_seed(42);
     scenario.slots = 2_000;
     scenario.arrivals = ArrivalSpec::Poisson {

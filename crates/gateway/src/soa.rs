@@ -86,6 +86,14 @@ impl SnapshotSoA {
         (&self.signal_dbm, &self.rate_kbps, &self.idle_s)
     }
 
+    /// The two derived demand columns RTMA's batch clamp kernels consume
+    /// — `(need_units, ceiling_units)` — borrowed together so the kernel
+    /// call sites stay one line.
+    #[inline]
+    pub fn demand_columns(&self) -> (&[u64], &[u64]) {
+        (&self.need_units, &self.ceiling_units)
+    }
+
     /// Mirror one user's snapshot into row `snap.id`, deriving the ceiling
     /// and need columns with the exact expressions the schedulers use on
     /// the AoS path (`usable_cap_units` / `⌈τ·p/δ⌉`).

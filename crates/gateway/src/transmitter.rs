@@ -73,6 +73,16 @@ impl DataTransmitter {
         }
         out.clear();
         for (user, &want) in ctx.users.iter().zip(&alloc.0) {
+            // Zero-grant fast path: neither clamp can fire (zero never
+            // exceeds the link cap or the budget), a zero-KB dequeue
+            // moves no bytes and pops no chunks, and ⌈0/δ⌉ = 0 — the
+            // general path below is the identity, so skip its receiver
+            // walk. Open-system cells spend most rows here: every
+            // not-yet-arrived user is a zero grant.
+            if want == 0 {
+                out.push(Delivery { units: 0, kb: 0.0 });
+                continue;
+            }
             let mut units = want;
             if units > user.link_cap_units {
                 units = user.link_cap_units;

@@ -16,6 +16,10 @@
 //!   max), Throttling, ON-OFF, SALSA, and EStreamer.
 //! * [`oracle`] — brute-force enumeration for tiny instances, used to
 //!   validate the knapsack formulation and both EMA solvers.
+//! * [`kernels`] — autovectorization-pinned batch kernels over the SoA
+//!   columns (RTMA's need/cap clamp, the Eq. (12) threshold mask), each
+//!   sharing its per-element core with the scalar path so batch ≡ scalar
+//!   bit-for-bit.
 //! * [`spec`] — a serializable [`spec::SchedulerSpec`] naming any policy,
 //!   the factory used by scenario configs.
 
@@ -24,6 +28,7 @@ pub mod cost;
 pub mod ema;
 pub mod ema_fast;
 pub mod error;
+pub mod kernels;
 pub mod lyapunov;
 pub mod oracle;
 pub mod rtma;

@@ -24,9 +24,10 @@
 //! the threshold semantics (and every golden trace) are unchanged.
 
 use crate::cost::CrossLayerModels;
+use crate::kernels;
 use crate::threshold::SignalThreshold;
 use jmso_gateway::{Allocation, DegradationEvent, Scheduler, SlotContext};
-use jmso_radio::{Dbm, MilliJoules};
+use jmso_radio::MilliJoules;
 
 /// The RTMA policy.
 ///
@@ -57,6 +58,12 @@ pub struct Rtma {
     ceiling: Vec<u64>,
     // f64 mirror of `need`, kept after the slot for `queue_values`.
     need_f64: Vec<f64>,
+    // Batch-kernel columns, rebuilt per slot ([`kernels`]): the one-sweep
+    // grant cap `min(max(need,1), ceiling)` and the Eq. (12) admission
+    // verdicts, so the tranche sweeps read precomputed columns instead of
+    // redoing the clamp and the float compare every sweep.
+    tranche: Vec<u64>,
+    admit: Vec<bool>,
 }
 
 impl Rtma {
@@ -70,6 +77,8 @@ impl Rtma {
             need: Vec::new(),
             ceiling: Vec::new(),
             need_f64: Vec::new(),
+            tranche: Vec::new(),
+            admit: Vec::new(),
         }
     }
 
@@ -101,24 +110,24 @@ impl Rtma {
 
     /// Run the nominal sweep and, if enabled and budget survives it, the
     /// best-effort fallback — generic over the per-user accessors so the
-    /// AoS and SoA callers share one decision path.
+    /// AoS and SoA callers share one decision path. The Eq. (12) verdicts
+    /// arrive precomputed in `self.admit` (batch kernel on the SoA path,
+    /// the same scalar core per user on the AoS path).
     fn run_sweeps(
         &mut self,
         ctx: &SlotContext,
         alloc: &mut [u64],
         active: &impl Fn(usize) -> bool,
         remaining_kb: &impl Fn(usize) -> f64,
-        signal: &impl Fn(usize) -> Dbm,
     ) {
         let mut budget = ctx.bs_cap_units;
         sweep_tranches(
             &self.order,
-            &self.need,
+            &self.tranche,
             &self.ceiling,
             active,
             remaining_kb,
-            signal,
-            Some(self.threshold),
+            Some(&self.admit),
             alloc,
             &mut budget,
         );
@@ -131,11 +140,10 @@ impl Rtma {
             let before = budget;
             sweep_tranches(
                 &self.order,
-                &self.need,
+                &self.tranche,
                 &self.ceiling,
                 active,
                 remaining_kb,
-                signal,
                 None,
                 alloc,
                 &mut budget,
@@ -153,21 +161,25 @@ impl Rtma {
 
 /// Steps 4–15 of Algorithm 1: sweep the sorted users granting one
 /// need-tranche each until `budget` is exhausted or nothing moves.
-/// `threshold: None` runs the best-effort variant with no admission rule.
+/// `admit: None` runs the best-effort variant with no admission rule.
 ///
-/// The sweep is generic over three per-user accessors so the AoS
+/// The sweep is generic over two per-user accessors so the AoS
 /// (`ctx.users[i]` fields) and SoA (contiguous column reads) callers
 /// monomorphize the same decision logic — identical comparisons on
-/// identical values, hence bit-identical grants.
+/// identical values, hence bit-identical grants. The Eq. (12) rule and
+/// the need/cap clamp are consumed as precomputed columns (built by the
+/// [`kernels`] batch passes): `admit[i]` stores exactly the scalar
+/// `threshold.allows` verdict, and `tranche[i] = min(max(need,1),
+/// ceiling)` equals the old inline `need.max(1).min(sup)` because
+/// `sup ≤ ceiling[i]` makes the extra ceiling clamp a no-op under `min`.
 #[allow(clippy::too_many_arguments)]
 fn sweep_tranches(
     order: &[usize],
-    need: &[u64],
+    tranche: &[u64],
     ceiling: &[u64],
     active: &impl Fn(usize) -> bool,
     remaining_kb: &impl Fn(usize) -> f64,
-    signal: &impl Fn(usize) -> Dbm,
-    threshold: Option<SignalThreshold>,
+    admit: Option<&[bool]>,
     alloc: &mut [u64],
     budget: &mut u64,
 ) {
@@ -180,9 +192,9 @@ fn sweep_tranches(
             if !active(i) && remaining_kb(i) <= 0.0 {
                 continue;
             }
-            // Step 6: the Eq. (12) energy admission rule.
-            if let Some(t) = threshold {
-                if !t.allows(signal(i)) {
+            // Step 6: the Eq. (12) energy admission rule, precomputed.
+            if let Some(mask) = admit {
+                if !mask[i] {
                     continue;
                 }
             }
@@ -192,7 +204,7 @@ fn sweep_tranches(
                 continue;
             }
             // Steps 8–12: grant one need-tranche, or whatever is left.
-            let grant = need[i].max(1).min(sup);
+            let grant = tranche[i].min(sup);
             alloc[i] += grant;
             *budget -= grant;
             progressed = true;
@@ -237,8 +249,9 @@ impl Scheduler for Rtma {
                     .total_cmp(&soa.rate_kbps[b])
                     .then(a.cmp(&b))
             });
-            self.need.extend_from_slice(&soa.need_units);
-            self.ceiling.extend_from_slice(&soa.ceiling_units);
+            let (need_col, ceiling_col) = soa.demand_columns();
+            self.need.extend_from_slice(need_col);
+            self.ceiling.extend_from_slice(ceiling_col);
         } else {
             self.order.sort_unstable_by(|&a, &b| {
                 ctx.users[a]
@@ -254,35 +267,28 @@ impl Scheduler for Rtma {
             self.ceiling
                 .extend(ctx.users.iter().map(|u| u.usable_cap_units(ctx.delta_kb)));
         }
-        // Queue view: outstanding per-slot demand. A user whose ceiling is
-        // zero (fetch complete or link down) has no outstanding demand, so
-        // mask their raw need to 0 — this also keeps the exported values
-        // independent of stale rate snapshots for finished users.
-        self.need_f64.clear();
-        self.need_f64
-            .extend(
-                self.need
-                    .iter()
-                    .zip(&self.ceiling)
-                    .map(|(&n, &c)| if c == 0 { 0.0 } else { n as f64 }),
-            );
+        // Queue view (outstanding per-slot demand — raw need masked to 0
+        // when the ceiling is zero) and the per-sweep grant cap, both as
+        // one dense batch pass over the need/ceiling columns.
+        kernels::demand_mask_into(&self.need, &self.ceiling, &mut self.need_f64);
+        kernels::tranche_clamp_into(&self.need, &self.ceiling, &mut self.tranche);
 
         if let Some(soa) = ctx.soa {
-            self.run_sweeps(
-                ctx,
-                &mut out.0,
-                &|i| soa.active[i],
-                &|i| soa.remaining_kb[i],
-                &|i| Dbm(soa.signal_dbm[i]),
-            );
+            // Eq. (12) verdicts as one vectorized compare over the
+            // contiguous signal column.
+            kernels::admit_mask_into(&soa.signal_dbm, self.threshold, &mut self.admit);
+            self.run_sweeps(ctx, &mut out.0, &|i| soa.active[i], &|i| {
+                soa.remaining_kb[i]
+            });
         } else {
-            self.run_sweeps(
-                ctx,
-                &mut out.0,
-                &|i| ctx.users[i].active,
-                &|i| ctx.users[i].remaining_kb,
-                &|i| ctx.users[i].signal,
-            );
+            // Same verdicts through the same scalar core, gathered from
+            // the AoS snapshots.
+            self.admit.clear();
+            self.admit
+                .extend(ctx.users.iter().map(|u| self.threshold.allows(u.signal)));
+            self.run_sweeps(ctx, &mut out.0, &|i| ctx.users[i].active, &|i| {
+                ctx.users[i].remaining_kb
+            });
         }
     }
 

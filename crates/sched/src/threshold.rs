@@ -58,10 +58,13 @@ impl SignalThreshold {
         }
     }
 
-    /// Does the rule admit a user at RSSI `sig`?
+    /// Does the rule admit a user at RSSI `sig`? Routes through the same
+    /// per-element core as the batch mask kernel
+    /// [`crate::kernels::admit_mask_into`], so scalar and batch verdicts
+    /// are bit-identical by construction.
     #[inline]
     pub fn allows(&self, sig: Dbm) -> bool {
-        sig.value() >= self.min_dbm
+        crate::kernels::admit_at(sig.value(), self.min_dbm)
     }
 }
 

@@ -21,10 +21,15 @@
 //! * Churn draws come from one dedicated RNG stream
 //!   (`seed ^ 0xA11_1BA1`, the stream the staggered spec has used since
 //!   PR 2) that is **separate from every signal stream**: per-user RSSI
-//!   processes are seeded by user id, and the engine samples them every
-//!   slot whether or not the user has arrived. Arrival order therefore
-//!   never perturbs signal sampling, and two scenarios differing only in
-//!   `arrivals` see bit-identical radio environments.
+//!   processes are seeded by user id. Since PR 10 each user's signal
+//!   stream is *arrival-anchored* — the engine starts drawing it at the
+//!   user's final (post-deferral) arrival slot, so pre-arrival users
+//!   cost nothing — which means draw `k` of user `i`'s stream lands on
+//!   absolute slot `arrival + k`. Closed populations (everyone arrives
+//!   at slot 0) are bit-identical to the pre-PR 10 sampling, so the
+//!   golden traces are unchanged; open systems see the same *stream*
+//!   shifted to start at arrival, and the serial, reference, and
+//!   sharded loops all anchor identically.
 //! * The plan is compiled once, before the run; nothing about arrivals
 //!   or departures is drawn inside the slot loop.
 //! * Arrivals past the horizon are legal (the user simply never starts;

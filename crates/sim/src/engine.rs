@@ -248,8 +248,12 @@ pub struct EngineCheckpoint {
 /// Checkpoint format version this build writes. v2 added per-user
 /// `departure_slot` (open-system churn); v3 added per-user ABR client
 /// state and admission-controller state, both behind serde defaults, so
-/// v2 sidecars still restore.
-const CKPT_VERSION: u32 = 3;
+/// v2 sidecars still restore. v4 gates the live list on arrival
+/// (pre-arrival users wait in the driver's arrival queue instead of
+/// being carried live) and adds the admission aggregates; older
+/// sidecars still restore — their live lists are re-gated and the
+/// aggregates recomputed on import.
+const CKPT_VERSION: u32 = 4;
 
 /// Oldest checkpoint version this build still reads.
 const CKPT_MIN_VERSION: u32 = 2;
@@ -310,9 +314,19 @@ struct ShardState {
     /// ascending order (order-preserving retain) — so the shards'
     /// concatenation is exactly the serial engine's live list.
     live: Vec<usize>,
+    /// Min-heap of `(arrival_slot, user)` over this shard's range for
+    /// users not yet live — the per-shard half of the serial driver's
+    /// arrival gate, drained at the top of phase A. Entries staled by
+    /// an admission deferral (phase D moved the arrival later) re-queue
+    /// at the current arrival slot.
+    arrival_queue: BinaryHeap<Reverse<(u64, usize)>>,
     /// RRC transitions captured during phase C, `(user, from, to)` in
     /// live-walk order, replayed into the recorder by phase D.
     events: Vec<(usize, RrcState, RrcState)>,
+    /// Users of this shard whose `done_watching` flag flipped this slot,
+    /// in live-walk order — phase D replays the admission aggregate
+    /// decrements (and the pre-flip E* membership test) from these.
+    flips: Vec<usize>,
     /// Batch-throughput scratch for the per-block cap-table refill.
     v_scratch: [f64; SIG_BLOCK_SLOTS],
     /// Users of this shard that finished watching this slot.
@@ -346,6 +360,12 @@ struct SerialCtx<'a, R> {
     window_need: Vec<f64>,
     watching: usize,
     slots_run: u64,
+    /// Feasibility admission runtime — ticked in phase D (the serial
+    /// end-of-slot region), exactly where the serial loop ticks it.
+    admission: Option<AdmissionRuntime>,
+    /// Slot capacity computed in phase B, carried to phase D for the
+    /// admission tick's ε̂ estimate.
+    bs_cap_units: u64,
 }
 
 /// Per-run ABR machinery installed by [`Engine::set_abr`]: the spec, the
@@ -380,6 +400,20 @@ struct AdmissionRuntime {
     energy_mj: f64,
     /// Arrived-and-watching user-slots accumulated so far.
     user_slots: u64,
+    /// Incrementally maintained size of the active population — users
+    /// with `arrival_slot ≤ slot` that are not done watching. Updated at
+    /// the O(1) event points (arrival commit, `done_watching` flip) so
+    /// each admission candidate costs O(1) instead of an O(n_users)
+    /// rescan; `admission_aggregates_reference` is the rescan the
+    /// reference loop still runs, pinned equal by the admission
+    /// property tests.
+    n_active: usize,
+    /// Running Σ of `rates` over the same active population. A running
+    /// float sum is not bit-identical to a fresh rescan (addition order
+    /// differs), but the decision threshold only flips at exact ties,
+    /// which scenario-valued inputs never produce; the recorded
+    /// decisions — the only observable — stay equal.
+    rate_sum: f64,
 }
 
 /// Serializable slice of an [`AdmissionRuntime`] (the pending heap is
@@ -389,6 +423,15 @@ struct AdmissionCkpt {
     state: AdmissionState,
     energy_mj: f64,
     user_slots: u64,
+    /// Added in v4: the incremental active-population aggregates. Absent
+    /// in v2/v3 sidecars, where restore recomputes them from the users'
+    /// arrival slots and `done_watching` flags (a fresh sum, which may
+    /// differ from the original running sum in the last ulps — decision
+    /// ties are measure-zero, so continuations stay decision-identical).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    n_active: Option<usize>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    rate_sum: Option<f64>,
 }
 
 /// The assembled simulator for one scenario.
@@ -595,9 +638,9 @@ impl Engine {
     /// identity, bit-identical to an uncontrolled run on every path. The
     /// feasibility policy rules on each pending arrival at the end of the
     /// slot preceding it (arrivals at slot 0 are admitted by fiat: there
-    /// is no earlier decision point). Serial-only: `run_sharded_on` falls
-    /// back to the serial loop (with a [`SimWarning::ShardFallback`])
-    /// when a feasibility controller is installed.
+    /// is no earlier decision point). The tick runs in the serial
+    /// end-of-slot region of every loop — including `run_sharded_on`'s
+    /// phase D — so admission-controlled scenarios shard like any other.
     pub fn set_admission(&mut self, spec: &AdmissionSpec) {
         let AdmissionSpec::Feasibility { v, .. } = spec else {
             return;
@@ -614,6 +657,16 @@ impl Engine {
             .filter(|(_, u)| u.arrival_slot > 0 && u.arrival_slot != u64::MAX)
             .map(|(i, u)| Reverse((u.arrival_slot, i)))
             .collect();
+        // Aggregates start with the slot-0 population (admitted by fiat),
+        // summed in ascending user order.
+        let mut n_active = 0usize;
+        let mut rate_sum = 0.0f64;
+        for (i, u) in self.users.iter().enumerate() {
+            if u.arrival_slot == 0 {
+                n_active += 1;
+                rate_sum += rates[i];
+            }
+        }
         self.admission = Some(AdmissionRuntime {
             ctl: AdmissionController::new(spec.clone(), self.users.len()),
             rates,
@@ -621,6 +674,8 @@ impl Engine {
             pending,
             energy_mj: 0.0,
             user_slots: 0,
+            n_active,
+            rate_sum,
         });
     }
 
@@ -681,6 +736,8 @@ impl Engine {
                 state: a.ctl.export_state(),
                 energy_mj: a.energy_mj,
                 user_slots: a.user_slots,
+                n_active: Some(a.n_active),
+                rate_sum: Some(a.rate_sum),
             }),
         })
     }
@@ -770,6 +827,29 @@ impl Engine {
                     .filter(|(_, u)| u.arrival_slot > ck.slot && u.arrival_slot != u64::MAX)
                     .map(|(i, u)| Reverse((u.arrival_slot, i)))
                     .collect();
+                // v4 sidecars carry the running aggregates verbatim (so a
+                // resumed run continues on the exact float sum); legacy
+                // sidecars get a fresh rescan over the restored state.
+                match (s.n_active, s.rate_sum) {
+                    (Some(n), Some(r)) => {
+                        a.n_active = n;
+                        a.rate_sum = r;
+                    }
+                    _ => {
+                        a.n_active = 0;
+                        a.rate_sum = 0.0;
+                        // Zip (not index) so a malformed legacy sidecar
+                        // fails the loop-state length check downstream
+                        // instead of panicking here.
+                        let done = &ck.loop_state.done_watching;
+                        for (i, (u, d)) in self.users.iter().zip(done).enumerate() {
+                            if u.arrival_slot <= ck.slot && !d {
+                                a.n_active += 1;
+                                a.rate_sum += a.rates[i];
+                            }
+                        }
+                    }
+                }
             }
             (None, None) => {}
             _ => {
@@ -816,15 +896,17 @@ impl Engine {
     ///   block instead of one per slot, with the per-user RNG consumed in
     ///   the same slot order as stream sampling.
     /// * `live` holds the indices of users whose accounting can still
-    ///   move: everyone starts live (pre-arrival users stay live so their
-    ///   signal RNG advances exactly as in stream sampling) and a user is
-    ///   retired once playback is complete *and* the RRC tail has fully
-    ///   drained — from then on every seed-semantics slot would charge
-    ///   exactly `record_tail(0 mJ)`, which is settled in one
+    ///   move: users enter at their (final) arrival slot — pre-arrival
+    ///   users wait in a heap, draw no signal samples (each noise stream
+    ///   is anchored at its owner's arrival slot), and cost nothing per
+    ///   slot — and a user is retired once playback is complete *and*
+    ///   the RRC tail has fully drained — from then on every
+    ///   seed-semantics slot would charge exactly `record_tail(0 mJ)`,
+    ///   which is settled in one
     ///   [`EnergyMeter::record_saturated_idle_slots`] call at the end.
-    ///   The list is compacted order-preservingly so iteration order (and
-    ///   therefore floating-point summation order) matches the reference
-    ///   loop bit for bit.
+    ///   The list is kept sorted (order-preserving compaction, in-order
+    ///   insertion) so iteration order (and therefore floating-point
+    ///   summation order) matches the reference loop bit for bit.
     /// * `raw` and `snapshots` keep full length with stable indices;
     ///   retired users' frozen entries advertise `remaining_kb == 0`, so
     ///   every scheduler's usable-capacity clamp grants them nothing and
@@ -908,9 +990,10 @@ impl Engine {
     ///   settles device accounting (Eq. 3/4/5) locally, capturing RRC
     ///   transitions for replay;
     /// * **D (serial)** — participant 0 replays per-user records into the
-    ///   recorder in global user order and folds the per-slot series, so
-    ///   every floating-point sum and every recorder call happens in the
-    ///   exact serial order.
+    ///   recorder in global user order, folds the per-slot series, and
+    ///   runs the end-of-slot admission tick, so every floating-point
+    ///   sum, every recorder call, and every admission ruling happens in
+    ///   the exact serial order.
     ///
     /// Bit-identical to [`Engine::run_with`] by construction: shards
     /// write disjoint rows with the serial loop's exact expressions, and
@@ -941,27 +1024,18 @@ impl Engine {
             });
             return r;
         }
-        if self.admission.is_some() {
-            let mut r = self.run_with(rec);
-            r.warnings.push(SimWarning::ShardFallback {
-                reason: "feasibility admission control runs serial-only, so the run fell \
-                         back to the serial loop"
-                    .into(),
-            });
-            return r;
-        }
         let Engine {
             mut users,
             scheduler,
             capacity,
             receiver,
             transmitter,
-            collector,
+            mut collector,
             units,
             models,
             cfg,
             abr,
-            admission: _,
+            admission,
         } = self;
         // Split the ABR runtime so phase C can stage per-user decisions
         // through a SharedSlice while the spec/native tables stay shared
@@ -974,13 +1048,15 @@ impl Engine {
         let n_users = users.len();
         let rec_enabled = rec.enabled();
         let record_series = cfg.record_series;
+        let has_admission = admission.is_some();
         let use_soa = scheduler.wants_soa();
         const FAIR_WINDOW: u64 = 10;
         rec.begin_run(n_users, cfg.tau);
 
-        // Shared full-length buffers, one stable row per user. Every row
-        // is written during slot 0 (all users start live), so the
-        // placeholder contents never reach a scheduler.
+        // Shared full-length buffers, one stable row per user. Rows of
+        // not-yet-arrived users keep these placeholder contents — the
+        // exact frozen row the serial driver's arrival gate never
+        // writes, so schedulers see identical inputs on every path.
         let mut raw_buf: Vec<RawUserState> = vec![
             RawUserState {
                 signal: Dbm(0.0),
@@ -1011,24 +1087,39 @@ impl Engine {
         let mut retired = vec![false; n_users];
         let mut retired_at = vec![0u64; n_users];
 
+        // Mirror the serial driver's slot-0 full snapshot pass: derive
+        // every row — including not-yet-arrived users' placeholder rows
+        // — through the collector once, so a pre-arrival snapshot holds
+        // the exact bytes the serial path computes for it (phase A then
+        // only ever refreshes arrived rows, like the serial refresh).
+        collector.snapshot_into(0, &raw_buf, &mut snaps_buf);
+
         // The SoA mirror's raw row writer is captured before the mirror
         // moves into the serial context: the pointers target the column
         // Vecs' heap buffers, which are stable across the move.
         let mut soa = SnapshotSoA::new();
         if use_soa {
             soa.resize(n_users);
+            soa.fill_from(&snaps_buf, cfg.tau, cfg.delta_kb);
         }
         let soa_rows = use_soa.then(|| soa.rows());
 
         // One shard of contiguous user ids per participant; their
-        // concatenation in shard order is exactly the serial live list.
+        // concatenation in shard order is exactly the serial live list
+        // (arrived users only — the rest wait in the shard's arrival
+        // queue, exactly like the serial driver's gate).
         let shard_cells: Vec<PhaseCell<ShardState>> = (0..width)
             .map(|s| {
                 let lo = s * n_users / width;
                 let hi = (s + 1) * n_users / width;
                 PhaseCell::new(ShardState {
-                    live: (lo..hi).collect(),
+                    live: (lo..hi).filter(|&i| users[i].arrival_slot == 0).collect(),
+                    arrival_queue: (lo..hi)
+                        .filter(|&i| users[i].arrival_slot > 0 && users[i].arrival_slot != u64::MAX)
+                        .map(|i| Reverse((users[i].arrival_slot, i)))
+                        .collect(),
                     events: Vec::new(),
+                    flips: Vec::new(),
                     v_scratch: [0.0; SIG_BLOCK_SLOTS],
                     watching_dec: 0,
                     in_system: 0,
@@ -1064,6 +1155,8 @@ impl Engine {
             window_need: vec![0.0; n_users],
             watching: n_users,
             slots_run: 0,
+            admission,
+            bs_cap_units: 0,
         });
 
         let barrier = SpinBarrier::new(width);
@@ -1086,11 +1179,36 @@ impl Engine {
                         sh.live.retain(|&i| unsafe { !*retired_s.get(i) });
                         sh.any_retired = false;
                     }
-                    let block_off = (slot % SIG_BLOCK_SLOTS as u64) as usize;
+                    // Admit due arrivals into this shard's live list —
+                    // the serial driver's arrival gate, split by range.
+                    // An entry staled by an admission deferral (phase D
+                    // moved the arrival later) re-queues at the current
+                    // arrival slot; a rejected user (arrival `u64::MAX`)
+                    // is dropped.
+                    while let Some(&Reverse((due, i))) = sh.arrival_queue.peek() {
+                        if due > slot {
+                            break;
+                        }
+                        sh.arrival_queue.pop();
+                        // SAFETY: `i` lies in this shard's disjoint range.
+                        let arrival = unsafe { users_s.get(i) }.arrival_slot;
+                        if arrival <= slot {
+                            // Order-preserving insert keeps the shard's
+                            // live list ascending.
+                            let pos = sh.live.partition_point(|&j| j < i);
+                            sh.live.insert(pos, i);
+                        } else if arrival != u64::MAX {
+                            sh.arrival_queue.push(Reverse((arrival, i)));
+                        }
+                    }
                     for k in 0..sh.live.len() {
                         let i = sh.live[k];
                         // SAFETY: `i` lies in this shard's disjoint range.
                         let u = unsafe { users_s.get_mut(i) };
+                        debug_assert!(slot >= u.arrival_slot, "live user must have arrived");
+                        // Per-user signal block anchored at the final
+                        // arrival slot — the serial driver's exact gate.
+                        let block_off = ((slot - u.arrival_slot) % SIG_BLOCK_SLOTS as u64) as usize;
                         if block_off == 0 {
                             u.signal.sample_into(slot, &mut u.sig_block);
                             u.sig_samples += SIG_BLOCK_SLOTS as u64;
@@ -1109,40 +1227,26 @@ impl Engine {
                         let abr_rate = abr_meta_ref
                             .is_some()
                             .then(|| unsafe { abr_s.get(i) }.rate_kbps);
-                        let r = if slot < u.arrival_slot {
-                            // Not arrived: no playback clock, no fetch
-                            // demand, a cold (saturated-tail) radio.
-                            RawUserState {
-                                signal: u.cur_signal,
-                                rate_kbps: abr_rate.unwrap_or_else(|| u.session.rate_at(slot)),
-                                buffer_s: 0.0,
-                                remaining_kb: 0.0,
-                                active: false,
-                                idle_s: u.rrc.idle_seconds(),
-                                rrc_state: u.rrc.state(),
-                            }
-                        } else {
-                            if slot >= u.departure_slot {
-                                // Workload churn departure (idempotent).
-                                u.session.cancel_remaining();
-                                u.playback.abandon();
-                            }
-                            let outcome = u.playback.begin_slot();
-                            if outcome.active {
-                                u.active_slots += 1;
-                            }
-                            RawUserState {
-                                signal: u.cur_signal,
-                                rate_kbps: abr_rate.unwrap_or_else(|| {
-                                    u.declared_rate_kbps
-                                        .unwrap_or_else(|| u.session.rate_at(slot))
-                                }),
-                                buffer_s: outcome.occupancy_s,
-                                remaining_kb: u.session.remaining_kb(),
-                                active: outcome.active,
-                                idle_s: u.rrc.idle_seconds(),
-                                rrc_state: u.rrc.state(),
-                            }
+                        if slot >= u.departure_slot {
+                            // Workload churn departure (idempotent).
+                            u.session.cancel_remaining();
+                            u.playback.abandon();
+                        }
+                        let outcome = u.playback.begin_slot();
+                        if outcome.active {
+                            u.active_slots += 1;
+                        }
+                        let r = RawUserState {
+                            signal: u.cur_signal,
+                            rate_kbps: abr_rate.unwrap_or_else(|| {
+                                u.declared_rate_kbps
+                                    .unwrap_or_else(|| u.session.rate_at(slot))
+                            }),
+                            buffer_s: outcome.occupancy_s,
+                            remaining_kb: u.session.remaining_kb(),
+                            active: outcome.active,
+                            idle_s: u.rrc.idle_seconds(),
+                            rrc_state: u.rrc.state(),
                         };
                         // Snapshot refresh: the pass-through collector's
                         // caps path verbatim (report = truth, Eq. (1)
@@ -1189,11 +1293,13 @@ impl Engine {
                         alloc,
                         deliveries,
                         slots_run,
+                        bs_cap_units: bs_cap_ctx,
                         ..
                     } = unsafe { serial.get_mut() };
                     *slots_run = slot + 1;
                     let cap = capacity.capacity(slot);
                     let bs_cap_units = units.bs_cap_units(cap, cfg.tau);
+                    *bs_cap_ctx = bs_cap_units;
                     rec.begin_slot(slot, bs_cap_units);
                     receiver.ingest_slot(slot);
                     // SAFETY: serial phase; no shard writes rows now.
@@ -1235,15 +1341,14 @@ impl Engine {
                     sh.watching_dec = 0;
                     sh.in_system = 0;
                     sh.events.clear();
+                    sh.flips.clear();
                     // SAFETY: the serial state is read-only in phase C.
                     let deliveries = &unsafe { serial.get() }.deliveries;
                     for k in 0..sh.live.len() {
                         let i = sh.live[k];
                         // SAFETY: disjoint shard range.
                         let u = unsafe { users_s.get_mut(i) };
-                        if slot < u.arrival_slot {
-                            continue;
-                        }
+                        debug_assert!(slot >= u.arrival_slot, "live user must have arrived");
                         let d = &deliveries[i];
                         let slot_e = if d.kb > 0.0 {
                             let accepted = u.session.deliver(d.kb);
@@ -1301,8 +1406,9 @@ impl Engine {
                             u.meter.record_tail(e);
                             e.value()
                         };
-                        if rec_enabled || record_series {
-                            // SAFETY: disjoint shard range.
+                        if rec_enabled || record_series || has_admission {
+                            // SAFETY: disjoint shard range. Phase D's E*
+                            // replay needs the per-user energy too.
                             unsafe { *slot_e_s.get_mut(i) = slot_e };
                         }
                         // SAFETY: disjoint shard range (flags below too).
@@ -1310,6 +1416,9 @@ impl Engine {
                         if !*done && u.session.fully_fetched() && u.playback.playback_complete() {
                             *done = true;
                             sh.watching_dec += 1;
+                            if has_admission {
+                                sh.flips.push(i);
+                            }
                         }
                         if rec_enabled && !*done {
                             sh.in_system += 1;
@@ -1339,27 +1448,28 @@ impl Engine {
                         window_delivered,
                         window_need,
                         watching,
+                        admission,
+                        bs_cap_units,
                         ..
                     } = unsafe { serial.get_mut() };
                     let mut watching_dec = 0usize;
                     let mut in_system = 0u64;
-                    if rec_enabled || record_series {
+                    if rec_enabled || record_series || has_admission {
                         let mut slot_energy_mj = 0.0;
                         fairness_scratch.clear();
                         for cell in shard_cells.iter() {
                             // SAFETY: shards are quiescent in phase D.
                             let sh = unsafe { cell.get() };
                             let mut ev = 0usize;
+                            let mut fl = 0usize;
                             for &i in &sh.live {
                                 // SAFETY: exclusive serial phase.
                                 let u = unsafe { users_s.get(i) };
-                                if slot < u.arrival_slot {
-                                    continue;
-                                }
                                 // RRC transitions precede the user record,
                                 // exactly as the serial accounting emits
-                                // them; the cursor works because phase C
-                                // pushed events in this same live order.
+                                // them; the cursors work because phase C
+                                // pushed events (and done-flag flips) in
+                                // this same live order.
                                 while ev < sh.events.len() && sh.events[ev].0 == i {
                                     let (_, f, t) = sh.events[ev];
                                     rec.record_rrc_transition(i, f, t);
@@ -1368,6 +1478,28 @@ impl Engine {
                                 // SAFETY: exclusive serial phase.
                                 let slot_e = unsafe { *slot_e_s.get(i) };
                                 slot_energy_mj += slot_e;
+                                if let Some(adm) = admission.as_mut() {
+                                    let flipped = fl < sh.flips.len() && sh.flips[fl] == i;
+                                    if flipped {
+                                        fl += 1;
+                                    }
+                                    // SAFETY: exclusive serial phase.
+                                    let done = unsafe { *done_s.get(i) };
+                                    // Pre-flip membership, exactly as the
+                                    // serial E* accumulator sees it (the
+                                    // finishing slot itself still counts).
+                                    if !done || flipped {
+                                        adm.energy_mj += slot_e;
+                                        adm.user_slots += 1;
+                                    }
+                                    // Membership event point: replay the
+                                    // aggregate decrement in the serial
+                                    // loop's exact user order.
+                                    if flipped {
+                                        adm.n_active -= 1;
+                                        adm.rate_sum -= adm.rates[i];
+                                    }
+                                }
                                 rec.record_user(i, slot_e, u.playback.total_rebuffer_s());
                                 if record_series {
                                     // SAFETY: exclusive serial phase.
@@ -1431,8 +1563,30 @@ impl Engine {
                     if rec_enabled {
                         rec.record_live(in_system);
                     }
-                    rec.end_slot();
+                    // Fold the shard flips before the admission tick so a
+                    // rejection decrements an up-to-date watch count —
+                    // the serial loop's exact ordering.
                     *watching -= watching_dec;
+                    if let Some(adm) = admission.as_mut() {
+                        // SAFETY: exclusive serial phase — every shard is
+                        // parked at the barrier below, so the full user
+                        // and done-flag slices are ours. The tick is the
+                        // serial loop's end-of-slot tick verbatim; its
+                        // deferral/rejection writes are picked up by the
+                        // owning shard's arrival queue next phase A.
+                        admission_tick(
+                            adm,
+                            unsafe { users_s.as_mut_slice() },
+                            unsafe { done_s.as_mut_slice() },
+                            watching,
+                            &mut **rec,
+                            slot,
+                            *bs_cap_units,
+                            cfg.tau,
+                            cfg.delta_kb,
+                        );
+                    }
+                    rec.end_slot();
                     if *watching == 0 || slot + 1 == cfg.slots {
                         quit.store(true, Ordering::Release);
                     }
@@ -1585,7 +1739,24 @@ impl Engine {
         // loop.
         let mut retired = vec![false; n_users];
         let mut retired_at = vec![0u64; n_users];
-        let mut live: Vec<usize> = (0..n_users).collect();
+        // Arrival gate: only users whose sessions have started occupy
+        // the live set; the rest wait in a min-heap keyed by arrival
+        // slot and join (ascending user order within a slot) once due.
+        // A user's noise stream is anchored at their final arrival slot
+        // — pre-arrival users draw no signal samples at all, so the
+        // per-slot work scales with the arrived population, not the
+        // scenario's user count.
+        let mut live: Vec<usize> = Vec::with_capacity(n_users);
+        let mut entered = vec![false; n_users];
+        let mut arrival_queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (i, u) in self.users.iter().enumerate() {
+            if u.arrival_slot == 0 {
+                live.push(i);
+                entered[i] = true;
+            } else if u.arrival_slot != u64::MAX {
+                arrival_queue.push(Reverse((u.arrival_slot, i)));
+            }
+        }
 
         // Per-slot pipeline buffers, hoisted out of the loop and reused.
         // `raw` keeps one stable entry per user; retired users' entries
@@ -1629,7 +1800,10 @@ impl Engine {
                 })
                 .map_err(SimError::Checkpoint)?;
             let ls = &ck.loop_state;
-            if ls.done_watching.len() != n_users || ls.live.iter().any(|&i| i >= n_users) {
+            if ls.done_watching.len() != n_users
+                || ls.retired.len() != n_users
+                || ls.live.iter().any(|&i| i >= n_users)
+            {
                 return Err(CheckpointError::Restore {
                     component: "loop state",
                     reason: "user indices out of range".into(),
@@ -1646,7 +1820,28 @@ impl Engine {
             done_watching = ls.done_watching.clone();
             retired = ls.retired.clone();
             retired_at = ls.retired_at.clone();
+            // Re-derive the arrival gate from the restored schedule:
+            // pre-arrival users move out of the restored live set
+            // (legacy pre-v4 checkpoints carried every user in `live`;
+            // current ones never include the un-arrived) and back into
+            // the arrival queue. `entered` is exactly "in live or
+            // retired" — a user only ever leaves `live` by retiring —
+            // so no extra loop state needs checkpointing.
             live = ls.live.clone();
+            live.retain(|&i| self.users[i].arrival_slot <= ck.slot);
+            entered.fill(false);
+            for &i in &live {
+                entered[i] = true;
+            }
+            arrival_queue.clear();
+            for i in 0..n_users {
+                if retired[i] {
+                    entered[i] = true;
+                }
+                if !entered[i] && self.users[i].arrival_slot != u64::MAX {
+                    arrival_queue.push(Reverse((self.users[i].arrival_slot, i)));
+                }
+            }
             raw = ls.raw.clone();
             snapshots = ls.snapshots.clone();
             // The SoA mirror and the radio tables are derived state, not
@@ -1685,6 +1880,8 @@ impl Engine {
             retired,
             retired_at,
             live,
+            arrival_queue,
+            entered,
             raw,
             snapshots,
             alloc,
@@ -1775,6 +1972,23 @@ impl Engine {
             // Client-side slot advance (Eq. 7/8) and ground-truth state.
             raw.clear();
             for (i, u) in self.users.iter_mut().enumerate() {
+                if slot < u.arrival_slot {
+                    // Pre-arrival users are invisible to the radio: their
+                    // noise stream is anchored at their (final) arrival
+                    // slot, so no sample is drawn, and the gateway sees
+                    // the same frozen placeholder row the hot loop's
+                    // arrival gate never writes.
+                    raw.push(RawUserState {
+                        signal: Dbm(0.0),
+                        rate_kbps: 0.0,
+                        buffer_s: 0.0,
+                        remaining_kb: 0.0,
+                        active: false,
+                        idle_s: 0.0,
+                        rrc_state: RrcState::Idle,
+                    });
+                    continue;
+                }
                 u.cur_signal = u.signal.sample(slot);
                 u.sig_samples += 1;
                 if faults.enabled() {
@@ -1782,18 +1996,6 @@ impl Engine {
                 }
                 // Mirrors the hot loop's ABR rate substitution exactly.
                 let abr_rate = self.abr.as_ref().map(|a| a.clients[i].rate_kbps);
-                if slot < u.arrival_slot {
-                    raw.push(RawUserState {
-                        signal: u.cur_signal,
-                        rate_kbps: abr_rate.unwrap_or_else(|| u.session.rate_at(slot)),
-                        buffer_s: 0.0,
-                        remaining_kb: 0.0,
-                        active: false,
-                        idle_s: u.rrc.idle_seconds(),
-                        rrc_state: u.rrc.state(),
-                    });
-                    continue;
-                }
                 if slot >= u.departure_slot || (faults.enabled() && faults.departed(slot, i)) {
                     u.session.cancel_remaining();
                     u.playback.abandon();
@@ -1965,9 +2167,11 @@ impl Engine {
                 rec.record_live(in_system);
             }
             // Mirrors the hot loop's admission tick exactly (`finished` /
-            // `unfinished` play the roles of `done_watching`/`watching`).
+            // `unfinished` play the roles of `done_watching`/`watching`),
+            // in full-rescan form — the reference loop is where the
+            // O(n_users) aggregate specification stays executable.
             if let Some(adm) = self.admission.as_mut() {
-                admission_tick(
+                admission_tick_reference(
                     adm,
                     &mut self.users,
                     &mut finished,
@@ -2070,6 +2274,16 @@ pub struct SlotDriver<F: FaultHook = NoFaults> {
     retired: Vec<bool>,
     retired_at: Vec<u64>,
     live: Vec<usize>,
+    /// Min-heap of `(arrival_slot, user)` for users that have not yet
+    /// entered `live`, drained at the top of each step. Entries staled
+    /// by an admission deferral (or a live `set_arrival` reschedule)
+    /// re-queue at the user's current arrival slot; `entered` guards
+    /// against duplicates.
+    arrival_queue: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Latched once a user joins `live` (or was restored as retired):
+    /// live membership never regresses, so a queue entry for an entered
+    /// user is stale by construction and dropped on pop.
+    entered: Vec<bool>,
     raw: Vec<RawUserState>,
     snapshots: Vec<UserSnapshot>,
     alloc: Allocation,
@@ -2162,6 +2376,11 @@ impl<F: FaultHook> SlotDriver<F> {
             u.arrival_slot = u64::MAX;
             u.departure_slot = u64::MAX;
         }
+        // Live mode starts with an empty system: every user enters
+        // through a later `set_arrival` event.
+        self.live.clear();
+        self.entered.fill(false);
+        self.arrival_queue.clear();
         Ok(())
     }
 
@@ -2188,6 +2407,10 @@ impl<F: FaultHook> SlotDriver<F> {
             ));
         }
         u.arrival_slot = slot;
+        // Duplicate entries for a rescheduled arrival are harmless: the
+        // drain drops (or re-queues) any entry whose due slot no longer
+        // matches the user's schedule.
+        self.arrival_queue.push(Reverse((slot, user)));
         Ok(())
     }
 
@@ -2319,6 +2542,8 @@ impl<F: FaultHook> SlotDriver<F> {
             retired,
             retired_at,
             live,
+            arrival_queue,
+            entered,
             raw,
             snapshots,
             alloc,
@@ -2329,6 +2554,31 @@ impl<F: FaultHook> SlotDriver<F> {
             soa,
             ..
         } = self;
+
+        // Admit due arrivals into the live set: pop every entry due by
+        // this slot. An entry staled by an admission deferral (the
+        // user's arrival moved later) re-queues at the current arrival
+        // slot; a rejected user (arrival `u64::MAX`) is dropped.
+        while let Some(&Reverse((due, i))) = arrival_queue.peek() {
+            if due > slot {
+                break;
+            }
+            arrival_queue.pop();
+            if entered[i] {
+                continue;
+            }
+            let arrival = eng.users[i].arrival_slot;
+            if arrival <= slot {
+                // Order-preserving insert keeps `live` ascending, so
+                // iteration (and FP summation) order matches the
+                // reference loop's plain 0..n walk.
+                let pos = live.partition_point(|&j| j < i);
+                live.insert(pos, i);
+                entered[i] = true;
+            } else if arrival != u64::MAX {
+                arrival_queue.push(Reverse((arrival, i)));
+            }
+        }
 
         *slots_run = slot + 1;
         let cap = eng.capacity.capacity(slot);
@@ -2344,12 +2594,15 @@ impl<F: FaultHook> SlotDriver<F> {
         eng.receiver.ingest_slot(slot);
 
         // Client-side slot advance (Eq. 7/8) and ground-truth state.
-        // All users are live at slot 0 and the live set only shrinks,
-        // so every live user crosses each block boundary and the
-        // block-sampled signal window is always current.
-        let block_off = (slot % SIG_BLOCK_SLOTS as u64) as usize;
+        // Every live user has arrived (the gate above), and each user's
+        // signal block is anchored at their final arrival slot: a user
+        // entering at slot `a` refills at `a`, `a + 32`, …, so the
+        // window is always current and pre-arrival slots draw no
+        // samples at all.
         for &i in live.iter() {
             let u = &mut eng.users[i];
+            debug_assert!(slot >= u.arrival_slot, "live user must have arrived");
+            let block_off = ((slot - u.arrival_slot) % SIG_BLOCK_SLOTS as u64) as usize;
             if block_off == 0 {
                 u.signal.sample_into(slot, &mut u.sig_block);
                 u.sig_samples += SIG_BLOCK_SLOTS as u64;
@@ -2373,20 +2626,6 @@ impl<F: FaultHook> SlotDriver<F> {
             // clients are installed (single-rung = the native rate,
             // bitwise), else the declared/session rate.
             let abr_rate = eng.abr.as_ref().map(|a| a.clients[i].rate_kbps);
-            if slot < u.arrival_slot {
-                // Not arrived yet: no playback clock, no fetch demand,
-                // a cold (saturated-tail) radio.
-                raw[i] = RawUserState {
-                    signal: u.cur_signal,
-                    rate_kbps: abr_rate.unwrap_or_else(|| u.session.rate_at(slot)),
-                    buffer_s: 0.0,
-                    remaining_kb: 0.0,
-                    active: false,
-                    idle_s: u.rrc.idle_seconds(),
-                    rrc_state: u.rrc.state(),
-                };
-                continue;
-            }
             if slot >= u.departure_slot || (faults.enabled() && faults.departed(slot, i)) {
                 // Mid-stream departure — workload churn or the fault
                 // taxonomy's perturbation form: the client abandons
@@ -2469,10 +2708,7 @@ impl<F: FaultHook> SlotDriver<F> {
         let mut any_retired = false;
         for &i in live.iter() {
             let u = &mut eng.users[i];
-            if slot < u.arrival_slot {
-                // Pre-arrival: the device is off; nothing is charged.
-                continue;
-            }
+            debug_assert!(slot >= u.arrival_slot, "live user must have arrived");
             let d = &deliveries[i];
             let r = &raw[i];
             let slot_e = if d.kb > 0.0 {
@@ -2556,6 +2792,14 @@ impl<F: FaultHook> SlotDriver<F> {
             if !done_watching[i] && u.session.fully_fetched() && u.playback.playback_complete() {
                 done_watching[i] = true;
                 *watching -= 1;
+                // Membership event point: the user leaves the admission
+                // tick's active population for good (`done_watching`
+                // never un-flips), so the incremental aggregates shed
+                // them here and never again.
+                if let Some(adm) = eng.admission.as_mut() {
+                    adm.n_active -= 1;
+                    adm.rate_sum -= adm.rates[i];
+                }
             }
             // Live-population sample for open-system telemetry:
             // arrived and still watching after this slot's accounting
@@ -2676,14 +2920,122 @@ impl<F: FaultHook> SlotDriver<F> {
     }
 }
 
+/// Pop every pending arrival due by `next_slot`, in ascending
+/// (slot, user) order — deterministic across runs and run paths —
+/// dropping entries staled by a later reschedule or rejection.
+fn admission_candidates(
+    adm: &mut AdmissionRuntime,
+    users: &[UserSim],
+    next_slot: u64,
+) -> Vec<usize> {
+    let mut candidates: Vec<usize> = Vec::new();
+    while let Some(&Reverse((due, j))) = adm.pending.peek() {
+        if due > next_slot {
+            break;
+        }
+        adm.pending.pop();
+        // Stale guard: a user rejected or re-scheduled since the entry
+        // was pushed carries a mismatched arrival slot.
+        if users[j].arrival_slot == due {
+            candidates.push(j);
+        }
+    }
+    candidates
+}
+
+/// The running per-user-slot E* estimate (0 until any user-slot has been
+/// charged — optimistic start).
+fn admission_e_star(adm: &AdmissionRuntime) -> f64 {
+    if adm.user_slots == 0 {
+        0.0
+    } else {
+        adm.energy_mj / adm.user_slots as f64
+    }
+}
+
+/// Rule on one candidate given the active population *with the candidate
+/// admitted* (`n_active` users whose rates sum to `rate_sum`). This is
+/// the single decision expression both the O(1) incremental tick and the
+/// full-rescan reference evaluate, so the two paths can only diverge
+/// through their population aggregates.
+fn admission_decide(
+    adm: &mut AdmissionRuntime,
+    j: usize,
+    n_active: usize,
+    rate_sum: f64,
+    e_star_user: f64,
+    c_kbps: f64,
+    tau: f64,
+) -> AdmissionDecision {
+    let n = n_active as f64;
+    let r_bar = rate_sum / n;
+    // Per-user service slack ε̂ = τ·(C/(n·r̄) − 1): seconds of
+    // playback headroom per user-slot under an even capacity split.
+    let eps_s = tau * (c_kbps / (n * r_bar) - 1.0);
+    // Theorem 1 bound estimates with the candidate counted in; the
+    // aggregate forms take Σ-quantities, so the per-user estimates
+    // are scaled up by n going in and back down coming out.
+    let b = drift_bound_b(n_active, tau, tau);
+    let phi_hat = energy_upper_bound(e_star_user * n, b, adm.v) / n;
+    let omega_hat = if eps_s > 0.0 {
+        rebuffer_upper_bound(b, adm.v, e_star_user * n, n * eps_s) / n
+    } else {
+        // Non-positive slack: Theorem 1's bound does not exist.
+        f64::INFINITY
+    };
+    let ctx = AdmissionContext {
+        eps_s,
+        omega_hat_s: omega_hat,
+        phi_hat_mj: phi_hat,
+    };
+    adm.ctl.decide(j, &ctx)
+}
+
+/// Apply one admission ruling to the schedule: deferred users are pushed
+/// back a slot, rejected users are cancelled before ever going live (the
+/// radio stays cold and they stop counting toward the watch count).
+/// Rejected users were never in the active population, so the aggregates
+/// are untouched here; the admit arm is aggregate-maintained by the
+/// incremental tick itself.
+fn admission_apply(
+    adm: &mut AdmissionRuntime,
+    users: &mut [UserSim],
+    done_watching: &mut [bool],
+    watching: &mut usize,
+    j: usize,
+    next_slot: u64,
+    decision: AdmissionDecision,
+) {
+    match decision {
+        AdmissionDecision::Admit => {}
+        AdmissionDecision::Defer => {
+            users[j].arrival_slot = next_slot + 1;
+            adm.pending.push(Reverse((next_slot + 1, j)));
+        }
+        AdmissionDecision::Reject => {
+            users[j].arrival_slot = u64::MAX;
+            users[j].session.cancel_remaining();
+            users[j].playback.abandon();
+            done_watching[j] = true;
+            *watching -= 1;
+        }
+    }
+}
+
 /// One end-of-slot admission pass: rule on every planned arrival due at
 /// the next slot, evaluating each candidate against the Lyapunov bound
 /// estimates *as they would be with the candidate admitted* (candidates
 /// this pass already admitted count toward later candidates' load).
 ///
-/// Runs in the serial phase of both slot loops, right before `end_slot`,
-/// so the decision uses the slot's final capacity and energy accounting
-/// and its records land on the decision slot.
+/// Runs in the serial end-of-slot region of every loop (the driver's
+/// step, the sharded loop's phase D), right before `end_slot`, so the
+/// decision uses the slot's final capacity and energy accounting and its
+/// records land on the decision slot. Each candidate costs O(1): the
+/// active population is read off the incrementally maintained
+/// `n_active`/`rate_sum` aggregates instead of a per-candidate rescan
+/// (the reference loop runs the rescan form,
+/// [`admission_tick_reference`], pinned equal by the admission property
+/// pack).
 #[allow(clippy::too_many_arguments)]
 fn admission_tick<R: SlotRecorder>(
     adm: &mut AdmissionRuntime,
@@ -2697,85 +3049,97 @@ fn admission_tick<R: SlotRecorder>(
     delta_kb: f64,
 ) {
     let next_slot = slot + 1;
-    // Drain every pending arrival due by the next slot, in ascending
-    // (slot, user) order — deterministic across runs and run paths.
-    let mut candidates: Vec<usize> = Vec::new();
-    while let Some(&Reverse((due, j))) = adm.pending.peek() {
-        if due > next_slot {
-            break;
-        }
-        adm.pending.pop();
-        // Stale guard: a user rejected or re-scheduled since the entry
-        // was pushed carries a mismatched arrival slot.
-        if users[j].arrival_slot == due {
-            candidates.push(j);
-        }
-    }
+    let candidates = admission_candidates(adm, users, next_slot);
     if candidates.is_empty() {
         return;
     }
-    // Slot-s capacity in KB/s and the running per-user-slot E* estimate
-    // (0 until any user-slot has been charged — optimistic start).
+    // Slot-s capacity in KB/s.
     let c_kbps = bs_cap_units as f64 * delta_kb / tau;
-    let e_star_user = if adm.user_slots == 0 {
-        0.0
-    } else {
-        adm.energy_mj / adm.user_slots as f64
-    };
-    let mut admitted_now: Vec<usize> = Vec::new();
+    let e_star_user = admission_e_star(adm);
     for j in candidates {
-        // Population with the candidate admitted: users in the system at
-        // the next slot (arrived, not finished) plus the candidates this
-        // pass already admitted, plus `j` itself.
-        let mut n_active = 1usize;
-        let mut rate_sum = adm.rates[j];
-        for (i, u) in users.iter().enumerate() {
-            if i == j || done_watching[i] {
-                continue;
-            }
-            if u.arrival_slot < next_slot || admitted_now.contains(&i) {
-                n_active += 1;
-                rate_sum += adm.rates[i];
-            }
+        // Population with the candidate admitted: the maintained active
+        // population (which already includes the candidates this pass
+        // admitted) plus `j` itself — `j` is never a member yet, since
+        // its arrival slot is the next slot.
+        let n_active = adm.n_active + 1;
+        let rate_sum = adm.rate_sum + adm.rates[j];
+        let decision = admission_decide(adm, j, n_active, rate_sum, e_star_user, c_kbps, tau);
+        if decision == AdmissionDecision::Admit {
+            // Arrival commit: the event point where `j` joins the
+            // active population (and counts toward later candidates).
+            adm.n_active += 1;
+            adm.rate_sum += adm.rates[j];
         }
-        let n = n_active as f64;
-        let r_bar = rate_sum / n;
-        // Per-user service slack ε̂ = τ·(C/(n·r̄) − 1): seconds of
-        // playback headroom per user-slot under an even capacity split.
-        let eps_s = tau * (c_kbps / (n * r_bar) - 1.0);
-        // Theorem 1 bound estimates with the candidate counted in; the
-        // aggregate forms take Σ-quantities, so the per-user estimates
-        // are scaled up by n going in and back down coming out.
-        let b = drift_bound_b(n_active, tau, tau);
-        let phi_hat = energy_upper_bound(e_star_user * n, b, adm.v) / n;
-        let omega_hat = if eps_s > 0.0 {
-            rebuffer_upper_bound(b, adm.v, e_star_user * n, n * eps_s) / n
-        } else {
-            // Non-positive slack: Theorem 1's bound does not exist.
-            f64::INFINITY
-        };
-        let ctx = AdmissionContext {
-            eps_s,
-            omega_hat_s: omega_hat,
-            phi_hat_mj: phi_hat,
-        };
-        let decision = adm.ctl.decide(j, &ctx);
-        match decision {
-            AdmissionDecision::Admit => admitted_now.push(j),
-            AdmissionDecision::Defer => {
-                users[j].arrival_slot = next_slot + 1;
-                adm.pending.push(Reverse((next_slot + 1, j)));
-            }
-            AdmissionDecision::Reject => {
-                // Cancelled before ever going live: the radio stays cold
-                // and the user stops counting toward the watch count.
-                users[j].arrival_slot = u64::MAX;
-                users[j].session.cancel_remaining();
-                users[j].playback.abandon();
-                done_watching[j] = true;
-                *watching -= 1;
-            }
+        admission_apply(adm, users, done_watching, watching, j, next_slot, decision);
+        rec.record_admission(j, decision);
+    }
+}
+
+/// The full-rescan population count the incremental aggregates replace:
+/// users in the system at `next_slot` (arrived, not finished) plus the
+/// candidates this pass already admitted (the `admitted` mask), plus the
+/// candidate `j` itself. O(n_users) per candidate — kept as the
+/// executable specification for `n_active`/`rate_sum`, run by the
+/// reference loop and pinned against the incremental path by the
+/// admission property pack.
+fn admission_aggregates_reference(
+    adm: &AdmissionRuntime,
+    users: &[UserSim],
+    done_watching: &[bool],
+    admitted: &[bool],
+    j: usize,
+    next_slot: u64,
+) -> (usize, f64) {
+    let mut n_active = 1usize;
+    let mut rate_sum = adm.rates[j];
+    for (i, u) in users.iter().enumerate() {
+        if i == j || done_watching[i] {
+            continue;
         }
+        if u.arrival_slot < next_slot || admitted[i] {
+            n_active += 1;
+            rate_sum += adm.rates[i];
+        }
+    }
+    (n_active, rate_sum)
+}
+
+/// [`admission_tick`] in full-rescan form — identical drain order and
+/// decision expression, but each candidate's population aggregates come
+/// from [`admission_aggregates_reference`] instead of the running
+/// counters (which this form does not maintain). The reference slot loop
+/// runs this, keeping the O(n_users) rescan alive as the specification
+/// the hot paths are pinned against.
+#[allow(clippy::too_many_arguments)]
+fn admission_tick_reference<R: SlotRecorder>(
+    adm: &mut AdmissionRuntime,
+    users: &mut [UserSim],
+    done_watching: &mut [bool],
+    watching: &mut usize,
+    rec: &mut R,
+    slot: u64,
+    bs_cap_units: u64,
+    tau: f64,
+    delta_kb: f64,
+) {
+    let next_slot = slot + 1;
+    let candidates = admission_candidates(adm, users, next_slot);
+    if candidates.is_empty() {
+        return;
+    }
+    let c_kbps = bs_cap_units as f64 * delta_kb / tau;
+    let e_star_user = admission_e_star(adm);
+    // Per-tick admitted mask: O(1) membership for the rescan instead of
+    // the linear `admitted_now.contains` scan the old tick carried.
+    let mut admitted = vec![false; users.len()];
+    for j in candidates {
+        let (n_active, rate_sum) =
+            admission_aggregates_reference(adm, users, done_watching, &admitted, j, next_slot);
+        let decision = admission_decide(adm, j, n_active, rate_sum, e_star_user, c_kbps, tau);
+        if decision == AdmissionDecision::Admit {
+            admitted[j] = true;
+        }
+        admission_apply(adm, users, done_watching, watching, j, next_slot, decision);
         rec.record_admission(j, decision);
     }
 }

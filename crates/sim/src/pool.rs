@@ -444,6 +444,15 @@ impl<T> SharedSlice<T> {
     pub(crate) unsafe fn as_slice(&self) -> &[T] {
         std::slice::from_raw_parts(self.ptr, self.len)
     }
+
+    /// # Safety
+    /// Caller must be in a serial phase with exclusive access (every
+    /// other participant parked at a barrier), and must drop the slice
+    /// before the next barrier crossing: it aliases every index mutably.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn as_mut_slice(&self) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
 }
 
 #[cfg(test)]

@@ -389,7 +389,10 @@ fn shard_fallback_raises_typed_warning() {
     warned.warnings = r.warnings.clone();
     assert_eq!(r, warned);
 
-    // Feasibility admission: warned fallback.
+    // Feasibility admission shards like any other scenario: the tick
+    // runs in phase D, so the old serial-only fallback (and its
+    // warning) must never fire, and the sharded result is the serial
+    // run, bytes and all.
     let mut adm = mc_base(3);
     adm.slots = 200;
     adm.arrivals = ArrivalSpec::Poisson {
@@ -405,12 +408,13 @@ fn shard_fallback_raises_typed_warning() {
     });
     let r = adm
         .run_sharded_on(&pool, 2, &mut rec)
-        .expect("fallback still runs");
-    assert_eq!(r.warnings.len(), 1);
-    let SimWarning::ShardFallback { reason } = &r.warnings[0] else {
-        panic!("expected a shard-fallback warning, got {:?}", r.warnings[0]);
-    };
-    assert!(reason.contains("admission"), "{reason}");
+        .expect("admission-controlled scenario shards");
+    assert!(
+        r.warnings.is_empty(),
+        "admission must not fall back to the serial loop: {:?}",
+        r.warnings
+    );
+    assert_eq!(r, adm.run().expect("serial runs"));
 
     // Width 1 is the serial loop by request — no warning, even with a
     // non-pass-through collector.

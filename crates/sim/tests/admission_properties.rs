@@ -1,0 +1,237 @@
+//! Property-based tests pinning the PR 10 admission hot path: the
+//! incrementally-maintained feasibility aggregates (`n_active`,
+//! `rate_sum`) and the sharded-loop admission tick are *bit-identical*
+//! to the paths they replaced.
+//!
+//! * The hot admission tick reads running aggregates updated at the
+//!   O(1) event points (arrival commit, rejection, `done_watching`
+//!   flip); the retired full-population rescan survives as
+//!   `admission_aggregates_reference` inside the reference engine loop.
+//!   Under heavy deferral churn — Poisson arrivals, `max_defer_slots`
+//!   ∈ {0, 1, 30}, exponential sessions ending while other users sit in
+//!   the deferred queue — both loops must produce the same results and
+//!   the same trace bytes.
+//! * Open-system + admission scenarios now run in the sharded loop
+//!   (the admission tick lives in the serial phase D): every shard
+//!   width must reproduce the serial run byte-for-byte, with no
+//!   `ShardFallback` warning.
+
+use jmso_sim::{
+    AdmissionDecision, AdmissionSpec, ArrivalSpec, CapacitySpec, Scenario, SchedulerSpec,
+    SessionLength, SimResult, TraceRecorder, WorkerPool, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+/// Feasibility specs spanning the defer-policy extremes: 0 (reject on
+/// first infeasible slot), 1 (a single retry), 30 (long deferral queues
+/// where sessions end mid-defer).
+fn arb_feasibility() -> impl Strategy<Value = AdmissionSpec> {
+    (
+        0.3f64..4.0,
+        prop::option::of(0.001f64..0.5),
+        prop::option::of(50.0f64..5_000.0),
+        prop_oneof![Just(0u64), Just(1u64), Just(30u64)],
+    )
+        .prop_map(
+            |(v, omega_s, phi_mj, max_defer_slots)| AdmissionSpec::Feasibility {
+                v,
+                omega_s,
+                phi_mj,
+                max_defer_slots,
+            },
+        )
+}
+
+/// Open-system scenarios tuned for admission churn: arrivals fast
+/// enough to queue up, capacity tight enough that candidates get
+/// deferred or rejected, and (optionally) memoryless session lengths so
+/// active users abandon — flipping `done_watching`, and with it the
+/// aggregates — while later arrivals are still deferred.
+fn arb_churn_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        (
+            3usize..10,        // users
+            100u64..260,       // slots
+            400.0f64..2_500.0, // capacity KB/s
+            800.0f64..3_000.0, // video size KB
+            0u64..1_000,       // seed
+            prop::bool::ANY,   // record_series
+        ),
+        (
+            1.0f64..8.0,                      // Poisson mean interarrival
+            prop::option::of(20.0f64..120.0), // exponential session mean
+            prop_oneof![
+                Just(SchedulerSpec::Default),
+                (700.0f64..1300.0).prop_map(SchedulerSpec::rtma)
+            ],
+        ),
+    )
+        .prop_map(
+            |((n, slots, cap, size, seed, series), (mean_interval, session_mean, sched))| {
+                let mut s = Scenario::paper_default(n);
+                s.slots = slots;
+                s.capacity = CapacitySpec::Constant { kbps: cap };
+                s.workload = WorkloadSpec {
+                    size_range_kb: (size, size * 1.5),
+                    rate_range_kbps: (300.0, 600.0),
+                    vbr_levels: None,
+                    vbr_segment_slots: 30,
+                };
+                s.scheduler = sched;
+                s.seed = seed;
+                s.record_series = series;
+                s.arrivals = ArrivalSpec::Poisson {
+                    mean_interval_slots: mean_interval,
+                    diurnal: None,
+                    session_slots: session_mean
+                        .map(|mean_slots| SessionLength::Exponential { mean_slots }),
+                };
+                s
+            },
+        )
+}
+
+fn traced_serial(s: &Scenario) -> (SimResult, String) {
+    let mut rec = TraceRecorder::new().with_live_counts();
+    let r = s.run_with(&mut rec).expect("valid scenario runs");
+    let trace = rec.into_trace(&r.scheduler);
+    let bytes = trace.to_jsonl();
+    (scrub(r), bytes)
+}
+
+fn traced_reference(s: &Scenario) -> (SimResult, String) {
+    let mut rec = TraceRecorder::new().with_live_counts();
+    let r = s.run_reference_with(&mut rec).expect("valid scenario runs");
+    let trace = rec.into_trace(&r.scheduler);
+    let bytes = trace.to_jsonl();
+    (scrub(r), bytes)
+}
+
+fn traced_sharded(s: &Scenario, pool: &WorkerPool, shards: usize) -> (SimResult, String) {
+    let mut rec = TraceRecorder::new().with_live_counts();
+    let r = s
+        .run_sharded_on(pool, shards, &mut rec)
+        .expect("valid scenario runs");
+    let trace = rec.into_trace(&r.scheduler);
+    let bytes = trace.to_jsonl();
+    (scrub(r), bytes)
+}
+
+fn scrub(mut r: SimResult) -> SimResult {
+    if let Some(t) = r.telemetry.as_mut() {
+        t.sched_ns_p50 = 0;
+        t.sched_ns_p95 = 0;
+        t.sched_ns_p99 = 0;
+        t.sched_ns_max = 0;
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole identity: the hot loop's incrementally-maintained
+    /// aggregates rule exactly like the reference loop's per-candidate
+    /// full rescan — same per-user results, same admission decisions in
+    /// the trace, same bytes — under deferral churn and mid-defer
+    /// session endings.
+    #[test]
+    fn incremental_aggregates_match_reference_rescan(
+        scenario in arb_churn_scenario(),
+        admission in arb_feasibility(),
+    ) {
+        let mut s = scenario;
+        s.admission = Some(admission);
+
+        let (hot, hot_trace) = traced_serial(&s);
+        let (reference, reference_trace) = traced_reference(&s);
+        prop_assert_eq!(&hot, &reference, "incremental aggregates diverged from rescan");
+        prop_assert_eq!(
+            &hot_trace,
+            &reference_trace,
+            "trace bytes diverged between hot and reference loops"
+        );
+    }
+
+    /// Lifted pin: open-system + admission scenarios shard, and every
+    /// width reproduces the serial run byte-for-byte with no
+    /// `ShardFallback` warning (the admission tick runs in phase D).
+    #[test]
+    fn sharded_admission_equals_serial(
+        scenario in arb_churn_scenario(),
+        admission in arb_feasibility(),
+    ) {
+        let mut s = scenario;
+        s.admission = Some(admission);
+
+        let (serial, serial_trace) = traced_serial(&s);
+        let pool = WorkerPool::new(3);
+        for shards in [1usize, 2, 4] {
+            let (sharded, sharded_trace) = traced_sharded(&s, &pool, shards);
+            prop_assert!(
+                sharded.warnings.is_empty(),
+                "admission must not fall back at width {}: {:?}",
+                shards,
+                sharded.warnings
+            );
+            prop_assert_eq!(&serial, &sharded, "result diverged at width {}", shards);
+            prop_assert_eq!(
+                &serial_trace,
+                &sharded_trace,
+                "trace bytes diverged at width {}",
+                shards
+            );
+        }
+    }
+}
+
+/// A deterministic congested configuration exercising all three event
+/// points (admit, defer→admit, reject at the defer cap) must see the
+/// incremental, reference, and sharded loops agree — and actually defer
+/// at least one arrival, so the identity above is not vacuous.
+#[test]
+fn congested_cell_defers_and_all_loops_agree() {
+    let mut s = Scenario::paper_default(8);
+    s.slots = 240;
+    s.capacity = CapacitySpec::Constant { kbps: 600.0 };
+    s.workload = WorkloadSpec {
+        size_range_kb: (2_000.0, 3_000.0),
+        rate_range_kbps: (300.0, 600.0),
+        vbr_levels: None,
+        vbr_segment_slots: 30,
+    };
+    s.seed = 7;
+    s.arrivals = ArrivalSpec::Poisson {
+        mean_interval_slots: 2.0,
+        diurnal: None,
+        session_slots: Some(SessionLength::Exponential { mean_slots: 60.0 }),
+    };
+    s.admission = Some(AdmissionSpec::Feasibility {
+        v: 1.0,
+        omega_s: Some(0.01),
+        phi_mj: None,
+        max_defer_slots: 5,
+    });
+
+    let mut rec = TraceRecorder::new().with_live_counts();
+    let r = s.run_with(&mut rec).expect("valid scenario runs");
+    let trace = rec.into_trace(&r.scheduler);
+    let deferred = trace
+        .records
+        .iter()
+        .flat_map(|rec| &rec.adm)
+        .filter(|a| a.decision == AdmissionDecision::Defer)
+        .count();
+    assert!(deferred > 0, "congestion must defer at least one arrival");
+    let (hot, hot_trace) = (scrub(r), trace.to_jsonl());
+
+    let (reference, reference_trace) = traced_reference(&s);
+    assert_eq!(hot, reference);
+    assert_eq!(hot_trace, reference_trace);
+
+    let pool = WorkerPool::new(2);
+    let (sharded, sharded_trace) = traced_sharded(&s, &pool, 2);
+    assert!(sharded.warnings.is_empty(), "{:?}", sharded.warnings);
+    assert_eq!(hot, sharded);
+    assert_eq!(hot_trace, sharded_trace);
+}

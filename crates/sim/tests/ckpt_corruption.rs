@@ -104,11 +104,11 @@ fn version_skew_is_corrupt_with_diagnostic() {
     let ck = make_checkpoint(&s, 10);
     let json = ck.to_json().expect("serialize");
     assert!(
-        json.contains("\"version\":3"),
-        "test assumes CKPT v3 sidecars; update the replacements below"
+        json.contains("\"version\":4"),
+        "test assumes CKPT v4 sidecars; update the replacements below"
     );
     for bogus in ["99", "1", "0"] {
-        let skewed = json.replacen("\"version\":3", &format!("\"version\":{bogus}"), 1);
+        let skewed = json.replacen("\"version\":4", &format!("\"version\":{bogus}"), 1);
         match EngineCheckpoint::from_json(&skewed) {
             Err(CheckpointError::Corrupt { reason }) => {
                 assert!(

@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
 # Slot-loop performance gate: run the hotpath bench and compare each
-# row's slots_per_sec against the committed baseline (BENCH_PR8.json by
+# row's slots_per_sec against the committed baseline (BENCH_PR10.json by
 # default, or the file given as $1). hotpath rows are already a best-of-
 # ten minimum per invocation (see the hotpath module docs); machine load
 # still swings whole invocations, so the gate takes the best row value
 # across three invocations and only a >25% drop on any row fails; new
 # rows missing from the baseline fail too, so the baseline file stays in
-# sync with the bench.
+# sync with the bench. A few headline rows — including the PR 10
+# "open-system + admission" win — are *required*: the gate fails if the
+# bench stops producing them at all.
 #
 # Refresh the baseline after a deliberate perf change with a quiet run
 # of ./target/release/hotpath.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_PR8.json}"
+baseline="${1:-BENCH_PR10.json}"
 runs=3
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -37,6 +39,12 @@ for path in sys.argv[2:]:
     for sched, v in load(path).items():
         best[sched] = max(best.get(sched, 0.0), v)
 fail = False
+# Headline rows the gate must always see, baseline aside: losing one of
+# these from the bench output is itself a regression.
+required = {"Default", "EMA(V=1)", "open-system + admission"}
+for sched in sorted(required - best.keys()):
+    print(f"MISSING   {sched}: required row not produced by hotpath")
+    fail = True
 for sched, now in best.items():
     if sched not in base:
         print(f"MISSING   {sched}: no baseline row — refresh the baseline")

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Profile one hotpath bench row under gprofng and print the hottest
+# functions. The row substring is passed straight to the hotpath
+# binary's row filter, so exactly the selected rows run under the
+# profiler and nothing else pollutes the profile.
+#
+# Usage:
+#   scripts/profile.sh <row-substring> [reps]
+#
+#   scripts/profile.sh "open-system + admission"     # the PR 10 row
+#   scripts/profile.sh "EMA(V=1)" 60                 # more reps = more samples
+#
+# Notes for this host (single-core VM): gprofng percentages are
+# trustworthy, absolute times are not — load the experiment with
+# `gprofng display text -functions <exp>` for the full table, and bump
+# reps (default 40) until the row of interest dominates total CPU time.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+row="${1:?usage: scripts/profile.sh <row-substring> [reps]}"
+reps="${2:-40}"
+
+command -v gprofng >/dev/null || {
+    echo "gprofng not found on PATH" >&2
+    exit 1
+}
+
+echo "== cargo build --release -p jmso-bench --bin hotpath"
+cargo build --release -p jmso-bench --bin hotpath
+
+expdir="$(mktemp -d)/hotpath.er"
+echo "== gprofng collect app ($reps reps of rows matching '$row')"
+HOTPATH_REPS="$reps" gprofng collect app -o "$expdir" \
+    ./target/release/hotpath "$row"
+
+echo "== hottest functions (exclusive CPU)"
+gprofng display text -limit 25 -functions "$expdir"
+echo
+echo "experiment kept at: $expdir"
+echo "drill down with: gprofng display text -callers-callees <fn> $expdir"
